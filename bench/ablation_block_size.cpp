@@ -1,0 +1,80 @@
+// Ablation A5: panel width of the FLAME blocked engine. Each panel scans
+// the peer partition once for `block_size` pivot lines, so the O(p·nnz)
+// peer traffic shrinks by the panel width while the within-panel work grows
+// — the sweep locates the knee and shows how far blocking closes the gap to
+// the wedge engine.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("Ablation A5: blocked-engine panel width (seconds)",
+                      cfg);
+
+  const vidx_t widths[] = {1, 2, 4, 8, 16, 32, 64};
+
+  Table table({"Dataset", "unblocked", "b=1", "b=2", "b=4", "b=8", "b=16",
+               "b=32", "b=64", "wedge"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    // Each dataset is counted with Inv. 2 under every panel width; all runs
+    // must agree before the row is accepted.
+    std::vector<std::string> row{ds.name};
+    la::CountOptions unblocked;
+    count_t reference = 0;
+    row.push_back(Table::fixed(
+        bench::time_median_seconds(
+            cfg,
+            [&] {
+              return la::count_butterflies(ds.graph, la::Invariant::kInv2,
+                                           unblocked);
+            },
+            &reference),
+        3));
+
+    for (const vidx_t b : widths) {
+      la::CountOptions blocked;
+      blocked.engine = la::Engine::kBlocked;
+      blocked.block_size = b;
+      count_t c = 0;
+      const double secs = bench::time_median_seconds(
+          cfg,
+          [&] {
+            return la::count_butterflies(ds.graph, la::Invariant::kInv2,
+                                         blocked);
+          },
+          &c);
+      if (c != reference) {
+        std::cerr << "FATAL: blocked b=" << b << " disagrees on " << ds.name
+                  << '\n';
+        return EXIT_FAILURE;
+      }
+      row.push_back(Table::fixed(secs, 3));
+    }
+
+    la::CountOptions wedge;
+    wedge.engine = la::Engine::kWedge;
+    count_t cw = 0;
+    row.push_back(Table::fixed(
+        bench::time_median_seconds(
+            cfg,
+            [&] {
+              return la::count_butterflies(ds.graph, la::Invariant::kInv2,
+                                           wedge);
+            },
+            &cw),
+        3));
+    if (cw != reference) {
+      std::cerr << "FATAL: wedge engine disagrees on " << ds.name << '\n';
+      return EXIT_FAILURE;
+    }
+    table.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,65 @@
+// Ablation A6: vertex ordering (the paper's §VI future work, "sorting by
+// vertex degrees"). The unblocked kernels' peer scans cover prefix/suffix
+// index ranges, so where hubs sit in the numbering changes how often they
+// are rescanned: look-behind traversals (Inv. 1) rescan low indices every
+// step, so degree-DEscending placement keeps hubs in the hot peer range and
+// degree-AScending keeps them out. The wedge engine is ordering-insensitive
+// (shown as control).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/reorder.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("Ablation A6: degree-ordering effect (seconds)", cfg);
+
+  Table table({"Dataset", "Inv", "engine", "asc-degree", "desc-degree",
+               "random"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    const graph::BipartiteGraph asc =
+        graph::reorder(ds.graph, graph::Order::kDegreeAscending).graph;
+    const graph::BipartiteGraph desc =
+        graph::reorder(ds.graph, graph::Order::kDegreeDescending).graph;
+    const graph::BipartiteGraph rnd =
+        graph::reorder(ds.graph, graph::Order::kRandom, cfg.seed).graph;
+
+    struct Config {
+      la::Invariant inv;
+      la::Engine engine;
+      const char* engine_name;
+    };
+    const Config configs[] = {
+        {la::Invariant::kInv1, la::Engine::kUnblocked, "unblocked"},
+        {la::Invariant::kInv2, la::Engine::kUnblocked, "unblocked"},
+        {la::Invariant::kInv2, la::Engine::kWedge, "wedge"},
+    };
+
+    for (const Config& c : configs) {
+      la::CountOptions options;
+      options.engine = c.engine;
+      count_t ref = -1;
+      auto cell = [&](const graph::BipartiteGraph& g) {
+        count_t result = 0;
+        const double secs = bench::time_median_seconds(
+            cfg, [&] { return la::count_butterflies(g, c.inv, options); },
+            &result);
+        if (ref < 0) ref = result;
+        if (result != ref) {
+          std::cerr << "FATAL: ordering changed the count\n";
+          std::exit(EXIT_FAILURE);
+        }
+        return Table::fixed(secs, 3);
+      };
+      table.add_row({ds.name, la::name(c.inv), c.engine_name, cell(asc),
+                     cell(desc), cell(rnd)});
+    }
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

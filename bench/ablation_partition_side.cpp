@@ -1,0 +1,65 @@
+// Ablation A2: "partition the smaller vertex set" (the paper's §V
+// conclusion). Rectangular Chung–Lu graphs with |V1| ≫ |V2| and |V1| ≪ |V2|
+// at equal |E| are run through one column-family invariant (Inv. 2,
+// partitions V2) and one row-family invariant (Inv. 6, partitions V1); the
+// unblocked kernels cost O(partitioned-dimension × nnz), so whichever
+// family partitions the smaller side should win by roughly the dimension
+// ratio.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "gen/generators.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("Ablation A2: partitioned-side choice (seconds)", cfg);
+
+  struct Shape {
+    vidx_t n1, n2;
+  };
+  const auto scaled = [&](vidx_t v) {
+    return std::max<vidx_t>(4, static_cast<vidx_t>(v * cfg.scale * 8));
+  };
+  const std::vector<Shape> shapes = {
+      {scaled(16000), scaled(1000)},  // |V1| >> |V2|: column family should win
+      {scaled(4000), scaled(4000)},   // square: families comparable
+      {scaled(1000), scaled(16000)},  // |V1| << |V2|: row family should win
+  };
+  const offset_t edges = static_cast<offset_t>(40000 * cfg.scale * 8);
+
+  Table table({"|V1|", "|V2|", "|E|", "Inv. 2 (cols)", "Inv. 6 (rows)",
+               "faster family"});
+
+  for (const Shape& s : shapes) {
+    const auto g = gen::chung_lu(gen::power_law_weights(s.n1, 0.6),
+                                 gen::power_law_weights(s.n2, 0.6), edges,
+                                 cfg.seed);
+    la::CountOptions options;  // unblocked
+    count_t c2 = 0, c6 = 0;
+    const double col_secs = bench::time_median_seconds(
+        cfg,
+        [&] { return la::count_butterflies(g, la::Invariant::kInv2, options); },
+        &c2);
+    const double row_secs = bench::time_median_seconds(
+        cfg,
+        [&] { return la::count_butterflies(g, la::Invariant::kInv6, options); },
+        &c6);
+    if (c2 != c6) {
+      std::cerr << "FATAL: families disagree: " << c2 << " != " << c6 << '\n';
+      return EXIT_FAILURE;
+    }
+    table.add_row({Table::num(g.n1()), Table::num(g.n2()),
+                   Table::num(g.edge_count()), Table::fixed(col_secs, 3),
+                   Table::fixed(row_secs, 3),
+                   col_secs < row_secs ? "columns (V2 partition)"
+                                       : "rows (V1 partition)"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(expected: the family that partitions the smaller vertex "
+               "set wins — the paper's dataset-selection rule)\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,49 @@
+// Ablation A4: storage-format match (§V pairs CSC with invariants 1-4 and
+// CSR with 5-8 "to access adjacent elements"). The mismatched engine runs a
+// column-family traversal with only the row-major orientation available,
+// paying a binary-search scan per pivot to rebuild each column — this bench
+// quantifies that penalty. Mismatched kernels are much slower, so the
+// default dataset scale here is smaller than the other benches'.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  const Cli cli(argc, argv);
+  if (!cli.has("scale")) cfg.scale = 0.03;  // mismatched kernels are O(p·m·log)
+  bench::print_header("Ablation A4: matched vs mismatched storage (seconds)",
+                      cfg);
+
+  Table table({"Dataset", "Inv", "matched", "mismatched", "penalty"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    for (const la::Invariant inv :
+         {la::Invariant::kInv1, la::Invariant::kInv5}) {
+      la::CountOptions matched;
+      la::CountOptions mismatched;
+      mismatched.storage = la::Storage::kMismatched;
+      count_t ca = 0, cb = 0;
+      const double matched_secs = bench::time_median_seconds(
+          cfg, [&] { return la::count_butterflies(ds.graph, inv, matched); },
+          &ca);
+      const double mismatched_secs = bench::time_median_seconds(
+          cfg,
+          [&] { return la::count_butterflies(ds.graph, inv, mismatched); },
+          &cb);
+      if (ca != cb) {
+        std::cerr << "FATAL: storage engines disagree on " << ds.name << '\n';
+        return EXIT_FAILURE;
+      }
+      table.add_row({ds.name, la::name(inv), Table::fixed(matched_secs, 3),
+                     Table::fixed(mismatched_secs, 3),
+                     Table::fixed(mismatched_secs / matched_secs, 1) + "x"});
+    }
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,47 @@
+// Ablation A3: fused vs two-term update evaluation (§III-C's remark that
+// "by carefully implementing this update, the computation of the
+// subtraction term can be avoided"). The two-term form makes one pass over
+// the peer partition for a₁ᵀPPᵀa₁ and a second for Γ(a₁a₁ᵀ∘PPᵀ); the fused
+// form accumulates Σ C(t_c, 2) in a single pass — expect roughly 2x.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("Ablation A3: two-term vs fused update (seconds)", cfg);
+
+  Table table({"Dataset", "Inv", "two-term", "fused", "speedup"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    // One representative per family; the effect is per-step, not
+    // per-traversal, so two invariants suffice.
+    for (const la::Invariant inv :
+         {la::Invariant::kInv1, la::Invariant::kInv5}) {
+      la::CountOptions two_term;
+      two_term.update = la::CountOptions::Update::kTwoTerm;
+      la::CountOptions fused;
+      fused.update = la::CountOptions::Update::kFused;
+      count_t ca = 0, cb = 0;
+      const double two_secs = bench::time_median_seconds(
+          cfg, [&] { return la::count_butterflies(ds.graph, inv, two_term); },
+          &ca);
+      const double fused_secs = bench::time_median_seconds(
+          cfg, [&] { return la::count_butterflies(ds.graph, inv, fused); },
+          &cb);
+      if (ca != cb) {
+        std::cerr << "FATAL: update forms disagree on " << ds.name << '\n';
+        return EXIT_FAILURE;
+      }
+      table.add_row({ds.name, la::name(inv), Table::fixed(two_secs, 3),
+                     Table::fixed(fused_secs, 3),
+                     Table::fixed(two_secs / fused_secs, 2) + "x"});
+    }
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

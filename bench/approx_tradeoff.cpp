@@ -1,0 +1,63 @@
+// B2: approximate counting accuracy/time trade-off (the Sanei-Mehri et al.
+// line of related work [10]). Sweeps the sample budget for the three
+// sampling estimators and reports relative error and speedup against the
+// exact wedge-reference count.
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "count/approx.hpp"
+#include "count/baselines.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("B2: approximate counting trade-off", cfg);
+
+  Table table({"Dataset", "estimator", "samples", "rel.err %", "est / exact",
+               "seconds"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    count_t exact = 0;
+    const double exact_secs = bench::time_median_seconds(
+        cfg, [&] { return count::wedge_reference(ds.graph); }, &exact);
+    table.add_row({ds.name, "exact (wedge-ref)", "-", "0.00",
+                   Table::num(exact) + " / " + Table::num(exact),
+                   Table::fixed(exact_secs, 4)});
+    if (exact == 0) continue;
+
+    struct Estimator {
+      const char* label;
+      count::ApproxResult (*fn)(const graph::BipartiteGraph&,
+                                const count::ApproxOptions&);
+    };
+    const Estimator estimators[] = {
+        {"vertex sampling", &count::approx_vertex_sampling},
+        {"edge sampling", &count::approx_edge_sampling},
+        {"wedge sampling", &count::approx_wedge_sampling},
+    };
+
+    for (const auto& est : estimators) {
+      for (const std::int64_t samples : {100, 1000, 10000}) {
+        count::ApproxOptions opts;
+        opts.samples = samples;
+        opts.seed = cfg.seed;
+        Timer timer;
+        const count::ApproxResult r = est.fn(ds.graph, opts);
+        const double secs = timer.seconds();
+        const double rel_err =
+            100.0 * std::abs(r.estimate - static_cast<double>(exact)) /
+            static_cast<double>(exact);
+        table.add_row({ds.name, est.label, Table::num(samples),
+                       Table::fixed(rel_err, 2),
+                       Table::num(static_cast<count_t>(r.estimate)) + " / " +
+                           Table::num(exact),
+                       Table::fixed(secs, 4)});
+      }
+    }
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

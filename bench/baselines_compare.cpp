@@ -1,0 +1,65 @@
+// B1: the linear-algebra family against the literature baselines it is
+// positioned with (§I): exhaustive wedge reference (Wang et al. 2014),
+// vertex-priority counting (Wang et al. VLDB'19), ParButterfly-style batch
+// sort/hash aggregation (Shi & Shun), plus this library's optimised wedge
+// engine and the paper-faithful unblocked Inv. 2.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "count/baselines.hpp"
+#include "la/count.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("B1: baseline comparison (seconds)", cfg);
+
+  Table table({"Dataset", "wedge-ref", "vert-priority", "batch-sort",
+               "batch-hash", "LA wedge", "LA unblocked Inv.2"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    count_t ref = 0;
+    const double t_ref = bench::time_median_seconds(
+        cfg, [&] { return count::wedge_reference(ds.graph); }, &ref);
+
+    auto timed = [&](auto&& fn) {
+      count_t c = 0;
+      const double secs = bench::time_median_seconds(cfg, fn, &c);
+      if (c != ref) {
+        std::cerr << "FATAL: baseline disagreement on " << ds.name << ": "
+                  << c << " != " << ref << '\n';
+        std::exit(EXIT_FAILURE);
+      }
+      return secs;
+    };
+
+    const double t_vp = timed([&] { return count::vertex_priority(ds.graph); });
+    const double t_bs = timed([&] {
+      return count::batch_sort(ds.graph, count_t{1} << 33);
+    });
+    const double t_bh = timed([&] {
+      return count::batch_hash(ds.graph, count_t{1} << 33);
+    });
+    la::CountOptions wedge;
+    wedge.engine = la::Engine::kWedge;
+    const double t_lw = timed([&] {
+      return la::count_butterflies(ds.graph, la::Invariant::kInv2, wedge);
+    });
+    la::CountOptions unblocked;
+    const double t_lu = timed([&] {
+      return la::count_butterflies(ds.graph, la::Invariant::kInv2, unblocked);
+    });
+
+    table.add_row({ds.name, Table::fixed(t_ref, 3), Table::fixed(t_vp, 3),
+                   Table::fixed(t_bs, 3), Table::fixed(t_bh, 3),
+                   Table::fixed(t_lw, 3), Table::fixed(t_lu, 3)});
+  }
+
+  table.print(std::cout);
+  std::cout << "\n(the unblocked column shows the deliberate O(p·nnz) cost "
+               "of the paper-faithful kernels; the LA wedge engine applies "
+               "the future-work optimisation and is competitive with the "
+               "wedge-based baselines)\n";
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,85 @@
+// Shared plumbing for the table-reproduction benches (Figs. 9-11 and the
+// ablations). Each bench binary prints the same rows/columns as the paper
+// figure it regenerates, plus measured values from this machine.
+//
+// Common flags:
+//   --scale <s>   linear dataset scale factor in (0, 1]; default 0.125 so
+//                 the whole suite runs in a CI-sized budget. --scale 1
+//                 reproduces the paper's published sizes (slow: the
+//                 unblocked kernels are O(p·nnz) by design).
+//   --seed <n>    generator seed (default 42).
+//   --reps <n>    timed repetitions per cell; the median is reported.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "gen/konect_like.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bfc::bench {
+
+struct BenchConfig {
+  double scale = 0.125;
+  std::uint64_t seed = 42;
+  int reps = 1;
+};
+
+inline BenchConfig parse_config(int argc, const char* const* argv) {
+  const Cli cli(argc, argv);
+  BenchConfig cfg;
+  cfg.scale = cli.get_double("scale", cfg.scale);
+  cfg.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
+  cfg.reps = static_cast<int>(cli.get_int("reps", 1));
+  require(cfg.scale > 0.0 && cfg.scale <= 1.0, "--scale must be in (0, 1]");
+  require(cfg.reps >= 1, "--reps must be >= 1");
+  return cfg;
+}
+
+struct Dataset {
+  std::string name;
+  graph::BipartiteGraph graph;
+  count_t paper_butterflies = 0;
+};
+
+/// The five Fig. 9 stand-ins at the configured scale (DESIGN.md §4).
+inline std::vector<Dataset> make_datasets(const BenchConfig& cfg) {
+  std::vector<Dataset> out;
+  std::uint64_t salt = 0;
+  for (const auto& preset : gen::konect_presets()) {
+    out.push_back({preset.name,
+                   gen::make_konect_like(preset, cfg.scale, cfg.seed + salt),
+                   preset.paper_butterflies});
+    ++salt;
+  }
+  return out;
+}
+
+/// Times one run of fn (which must return the computed count so the work
+/// cannot be optimised away); repeats cfg.reps times, reports the median.
+template <typename Fn>
+double time_median_seconds(const BenchConfig& cfg, Fn&& fn,
+                           count_t* count_out = nullptr) {
+  Samples samples;
+  count_t result = 0;
+  for (int r = 0; r < cfg.reps; ++r) {
+    Timer timer;
+    result = fn();
+    samples.add(timer.seconds());
+  }
+  if (count_out != nullptr) *count_out = result;
+  return samples.median();
+}
+
+inline void print_header(const std::string& title, const BenchConfig& cfg) {
+  std::cout << "=== " << title << " ===\n"
+            << "scale=" << cfg.scale << " seed=" << cfg.seed
+            << " reps=" << cfg.reps << '\n'
+            << std::endl;
+}
+
+}  // namespace bfc::bench

@@ -1,0 +1,46 @@
+// B3: workspace-bounded counting (the space/I-O-constrained variants of
+// Wang et al. [14] that §I describes). Sweeps the wedge-batch budget and
+// reports runtime and spill behaviour against the unbounded batch counter —
+// smaller workspace, more sorted runs, same exact count.
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "count/baselines.hpp"
+#include "count/bounded_memory.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  bench::print_header("B3: bounded-workspace counting", cfg);
+
+  Table table({"Dataset", "budget (wedges)", "batches", "peak batch",
+               "seconds", "vs unbounded"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    count_t exact = 0;
+    const double unbounded_secs = bench::time_median_seconds(
+        cfg, [&] { return count::batch_sort(ds.graph, count_t{1} << 33); },
+        &exact);
+
+    for (const std::int64_t budget : {1 << 12, 1 << 16, 1 << 20}) {
+      count::BoundedMemoryStats stats;
+      const double secs = bench::time_median_seconds(cfg, [&] {
+        stats = count::count_bounded_memory(ds.graph, budget);
+        return stats.butterflies;
+      });
+      if (stats.butterflies != exact) {
+        std::cerr << "FATAL: bounded-memory count wrong on " << ds.name
+                  << '\n';
+        return EXIT_FAILURE;
+      }
+      table.add_row({ds.name, Table::num(budget), Table::num(stats.batches),
+                     Table::num(stats.peak_batch_entries),
+                     Table::fixed(secs, 3),
+                     Table::fixed(secs / unbounded_secs, 2) + "x"});
+    }
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,52 @@
+// Regenerates the paper's Fig. 11: parallel runtime (seconds) of the eight
+// invariant-derived algorithms, 6 OpenMP threads like the paper's 6-core
+// i7-8750H (override with --threads). The harness prints the thread count
+// the runtime actually grants: on a 1-core container the OpenMP code path
+// is exercised but no speedup can appear (EXPERIMENTS.md documents this
+// environment substitution).
+#include <cstdlib>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "la/count.hpp"
+#include "util/parallel.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const Cli cli(argc, argv);
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  const int threads = static_cast<int>(cli.get_int("threads", 6));
+
+  bench::print_header("Fig. 11: parallel timing of invariants 1-8 (seconds)",
+                      cfg);
+  std::cout << "requested threads=" << threads
+            << " hardware threads=" << hardware_threads() << "\n\n";
+
+  Table table({"Dataset Name", "Inv. 1", "Inv. 2", "Inv. 3", "Inv. 4",
+               "Inv. 5", "Inv. 6", "Inv. 7", "Inv. 8"});
+
+  for (const auto& ds : bench::make_datasets(cfg)) {
+    std::vector<std::string> row{ds.name};
+    count_t reference = -1;
+    for (const la::Invariant inv : la::all_invariants()) {
+      la::CountOptions options;
+      options.threads = threads;
+      count_t result = 0;
+      const double secs = bench::time_median_seconds(
+          cfg,
+          [&] { return la::count_butterflies(ds.graph, inv, options); },
+          &result);
+      if (reference < 0) reference = result;
+      if (result != reference) {
+        std::cerr << "FATAL: " << la::name(inv) << " disagrees on " << ds.name
+                  << ": " << result << " != " << reference << '\n';
+        return EXIT_FAILURE;
+      }
+      row.push_back(Table::fixed(secs, 3));
+    }
+    table.add_row(std::move(row));
+  }
+
+  table.print(std::cout);
+  return EXIT_SUCCESS;
+}

@@ -1,0 +1,79 @@
+// Microbenchmarks of the sparse substrate kernels (google-benchmark): the
+// building blocks whose costs the table benches aggregate — transpose,
+// SpMV, SpGEMM/Gram, wedge-pairwise counting, and mask application.
+#include <benchmark/benchmark.h>
+
+#include "gen/generators.hpp"
+#include "sparse/ops.hpp"
+#include "sparse/spgemm.hpp"
+
+namespace {
+
+using namespace bfc;
+
+graph::BipartiteGraph make_graph(std::int64_t n, std::int64_t edges) {
+  return gen::chung_lu(gen::power_law_weights(static_cast<vidx_t>(n), 0.6),
+                       gen::power_law_weights(static_cast<vidx_t>(n), 0.6),
+                       edges, 7);
+}
+
+void BM_Transpose(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(g.csr().transpose());
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_Transpose)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_Spmv(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 8);
+  const std::vector<count_t> x(static_cast<std::size_t>(g.n2()), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmv(g.csr(), x));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_Spmv)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_SpmvTranspose(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 8);
+  const std::vector<count_t> x(static_cast<std::size_t>(g.n1()), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::spmv_transpose(g.csr(), x));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_SpmvTranspose)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+void BM_Gram(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::gram(g.csc(), g.csr()));
+  }
+}
+BENCHMARK(BM_Gram)->Arg(1 << 9)->Arg(1 << 11)->Arg(1 << 13);
+
+void BM_GramPairwiseButterflies(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        sparse::gram_pairwise_butterflies(g.csr(), g.csc()));
+  }
+}
+BENCHMARK(BM_GramPairwiseButterflies)->Arg(1 << 9)->Arg(1 << 11)->Arg(1 << 13);
+
+void BM_MaskRows(benchmark::State& state) {
+  const auto g = make_graph(state.range(0), state.range(0) * 8);
+  std::vector<std::uint8_t> mask(static_cast<std::size_t>(g.n1()));
+  for (std::size_t i = 0; i < mask.size(); ++i) mask[i] = i % 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sparse::mask_rows(g.csr(), mask));
+  }
+  state.SetItemsProcessed(state.iterations() * g.edge_count());
+}
+BENCHMARK(BM_MaskRows)->Arg(1 << 10)->Arg(1 << 13)->Arg(1 << 15);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// Community discovery via butterfly peeling (§IV of the paper): plant dense
+// blocks in a noisy bipartite graph, then show how the k-tip and k-wing
+// subgraphs sharpen onto the planted structure as k grows, and how the full
+// tip decomposition separates block vertices from background.
+//
+//   ./community_peeling [--rows 60] [--noise 0.01] [--seed 42]
+#include <algorithm>
+#include <iostream>
+
+#include "gen/generators.hpp"
+#include "peel/decompose.hpp"
+#include "peel/peeling.hpp"
+#include "util/cli.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace bfc;
+  const Cli cli(argc, argv);
+
+  gen::BlockCommunitySpec spec;
+  spec.blocks = 3;
+  spec.block_rows = static_cast<vidx_t>(cli.get_int("rows", 60));
+  spec.block_cols = spec.block_rows;
+  spec.extra_rows = spec.block_rows;  // one block's worth of background
+  spec.extra_cols = spec.block_cols;
+  spec.p_in = 0.25;
+  spec.p_out = cli.get_double("noise", 0.01);
+  const auto g =
+      gen::block_community(spec, static_cast<std::uint64_t>(cli.get_int("seed", 42)));
+
+  const vidx_t block_vertices = spec.blocks * spec.block_rows;
+  std::cout << "planted " << spec.blocks << " blocks of " << spec.block_rows
+            << "x" << spec.block_cols << " (p_in=" << spec.p_in << ") over "
+            << spec.p_out << " background noise; |V1|=" << g.n1()
+            << " |V2|=" << g.n2() << " |E|=" << g.edge_count() << "\n\n";
+
+  // Sweep k and measure precision/recall of "kept V1 vertex is a block
+  // vertex" — peeling should sharpen onto the planted communities.
+  Table table({"k", "kept V1", "block kept", "precision", "recall",
+               "kept |E|", "rounds"});
+  for (count_t k = 1; k <= 4096; k *= 8) {
+    const peel::TipPeelResult r = peel::k_tip(g, k);
+    vidx_t kept = 0, block_kept = 0;
+    for (vidx_t u = 0; u < g.n1(); ++u) {
+      if (!r.kept[static_cast<std::size_t>(u)]) continue;
+      ++kept;
+      if (u < block_vertices) ++block_kept;
+    }
+    if (kept == 0) break;
+    table.add_row(
+        {Table::num(k), Table::num(kept), Table::num(block_kept),
+         Table::fixed(static_cast<double>(block_kept) / kept, 3),
+         Table::fixed(static_cast<double>(block_kept) / block_vertices, 3),
+         Table::num(r.subgraph.edge_count()), Table::num(r.rounds)});
+  }
+  table.print(std::cout);
+
+  // The decomposition view: block vertices should carry much larger tip
+  // numbers than background vertices.
+  const peel::TipDecomposition d = peel::tip_decomposition(g);
+  count_t best_background = 0;
+  count_t worst_block = d.max_tip;
+  for (vidx_t u = 0; u < g.n1(); ++u) {
+    const count_t theta = d.tip_number[static_cast<std::size_t>(u)];
+    if (u < block_vertices)
+      worst_block = std::min(worst_block, theta);
+    else
+      best_background = std::max(best_background, theta);
+  }
+  std::cout << "\ntip numbers: max θ=" << d.max_tip << ", worst block vertex θ="
+            << worst_block << ", best background vertex θ=" << best_background
+            << "\n"
+            << (worst_block > best_background
+                    ? "-> a single threshold separates the planted blocks "
+                      "from the noise\n"
+                    : "-> thresholds overlap at this noise level\n");
+
+  // k-wing on the densest region for comparison.
+  const peel::WingPeelResult wing = peel::k_wing(g, 8);
+  std::cout << "8-wing keeps " << wing.subgraph.edge_count() << "/"
+            << g.edge_count() << " edges after " << wing.rounds
+            << " rounds\n";
+  return 0;
+}

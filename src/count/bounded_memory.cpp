@@ -1,0 +1,152 @@
+#include "count/bounded_memory.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <queue>
+#include <stdexcept>
+#include <vector>
+
+namespace bfc::count {
+namespace {
+
+/// One aggregated (endpoint-pair key, wedge count) record of a sorted run.
+struct RunEntry {
+  std::uint64_t key;
+  count_t count;
+};
+
+/// Sorted run spilled to a temporary file — the "disk" of the modelled
+/// external-memory setting. tmpfile() unlinks automatically.
+class SpilledRun {
+ public:
+  explicit SpilledRun(const std::vector<RunEntry>& entries)
+      : file_(std::tmpfile()) {
+    if (file_ == nullptr)
+      throw std::runtime_error("bounded-memory counter: tmpfile() failed");
+    if (!entries.empty() &&
+        std::fwrite(entries.data(), sizeof(RunEntry), entries.size(),
+                    file_.get()) != entries.size())
+      throw std::runtime_error("bounded-memory counter: spill write failed");
+    std::rewind(file_.get());
+  }
+
+  /// Refills the read buffer; returns false at end of run.
+  bool next(RunEntry& out) {
+    if (pos_ == buffer_.size()) {
+      buffer_.resize(kReadChunk);
+      const std::size_t got = std::fread(buffer_.data(), sizeof(RunEntry),
+                                         kReadChunk, file_.get());
+      buffer_.resize(got);
+      pos_ = 0;
+      if (got == 0) return false;
+    }
+    out = buffer_[pos_++];
+    return true;
+  }
+
+ private:
+  static constexpr std::size_t kReadChunk = 4096;
+  struct FileCloser {
+    void operator()(std::FILE* f) const noexcept {
+      if (f != nullptr) std::fclose(f);
+    }
+  };
+  std::unique_ptr<std::FILE, FileCloser> file_;
+  std::vector<RunEntry> buffer_;
+  std::size_t pos_ = 0;
+};
+
+/// Sorts a raw wedge batch and collapses equal keys.
+std::vector<RunEntry> aggregate_batch(std::vector<std::uint64_t>& batch) {
+  std::sort(batch.begin(), batch.end());
+  std::vector<RunEntry> run;
+  for (std::size_t i = 0; i < batch.size();) {
+    std::size_t j = i;
+    while (j < batch.size() && batch[j] == batch[i]) ++j;
+    run.push_back({batch[i], static_cast<count_t>(j - i)});
+    i = j;
+  }
+  batch.clear();
+  return run;
+}
+
+std::uint64_t pack(vidx_t i, vidx_t j) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i)) << 32) |
+         static_cast<std::uint32_t>(j);
+}
+
+}  // namespace
+
+BoundedMemoryStats count_bounded_memory(const graph::BipartiteGraph& g,
+                                        std::int64_t batch_wedges) {
+  require(batch_wedges >= 2, "count_bounded_memory: batch must hold >= 2");
+  BoundedMemoryStats stats;
+
+  // Enumerate from whichever side generates fewer wedges, like the exact
+  // batch counters.
+  count_t via_v2 = 0, via_v1 = 0;
+  for (vidx_t v = 0; v < g.n2(); ++v) via_v2 += choose2(g.csc().row_degree(v));
+  for (vidx_t u = 0; u < g.n1(); ++u) via_v1 += choose2(g.csr().row_degree(u));
+  const sparse::CsrPattern& wp = via_v2 <= via_v1 ? g.csc() : g.csr();
+  stats.total_wedges = std::min(via_v2, via_v1);
+
+  std::vector<std::uint64_t> batch;
+  batch.reserve(static_cast<std::size_t>(batch_wedges));
+  std::vector<SpilledRun> runs;
+
+  auto flush = [&] {
+    if (batch.empty()) return;
+    stats.peak_batch_entries = std::max(
+        stats.peak_batch_entries, static_cast<std::int64_t>(batch.size()));
+    ++stats.batches;
+    runs.emplace_back(aggregate_batch(batch));
+  };
+
+  for (vidx_t v = 0; v < wp.rows(); ++v) {
+    const auto ends = wp.row(v);
+    for (std::size_t i = 0; i < ends.size(); ++i) {
+      for (std::size_t j = i + 1; j < ends.size(); ++j) {
+        if (static_cast<std::int64_t>(batch.size()) == batch_wedges) flush();
+        batch.push_back(pack(ends[i], ends[j]));
+      }
+    }
+  }
+  flush();
+
+  // K-way merge of the sorted runs, accumulating each key's total wedge
+  // count across runs before applying C(n, 2).
+  struct HeapItem {
+    RunEntry entry;
+    std::size_t run;
+    bool operator>(const HeapItem& other) const {
+      return entry.key > other.entry.key;
+    }
+  };
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    RunEntry e{};
+    if (runs[r].next(e)) heap.push({e, r});
+  }
+
+  bool have_current = false;
+  std::uint64_t current_key = 0;
+  count_t current_count = 0;
+  while (!heap.empty()) {
+    const HeapItem top = heap.top();
+    heap.pop();
+    if (have_current && top.entry.key != current_key) {
+      stats.butterflies += choose2(current_count);
+      current_count = 0;
+    }
+    have_current = true;
+    current_key = top.entry.key;
+    current_count += top.entry.count;
+    RunEntry e{};
+    if (runs[top.run].next(e)) heap.push({e, top.run});
+  }
+  if (have_current) stats.butterflies += choose2(current_count);
+  return stats;
+}
+
+}  // namespace bfc::count

@@ -1,0 +1,31 @@
+// Bounded-workspace butterfly counting, modelling the space- and I/O-
+// constrained variants of Wang et al. [14] the paper's introduction
+// describes ("minimize the amount of work space needed", "reduce the I/O
+// cost"). The counter never materialises the full wedge multiset: wedges
+// are generated in batches of at most `batch_wedges`, each batch is sorted
+// and aggregated in place, and partially-aggregated endpoint-pair groups
+// are carried across batch boundaries. Peak extra memory is
+// O(batch_wedges) regardless of Σ deg², at the price of re-sorting per
+// batch — the classic space/time trade the cited variants make.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::count {
+
+struct BoundedMemoryStats {
+  count_t butterflies = 0;
+  count_t total_wedges = 0;
+  std::int64_t batches = 0;
+  std::int64_t peak_batch_entries = 0;  // max live entries in one batch
+};
+
+/// Exact count with wedge workspace capped at `batch_wedges` entries
+/// (16 bytes each). Wedges are enumerated grouped by endpoint pair, so a
+/// group can only straddle one batch boundary; the straddling group's
+/// partial count is carried over, keeping the result exact.
+[[nodiscard]] BoundedMemoryStats count_bounded_memory(
+    const graph::BipartiteGraph& g, std::int64_t batch_wedges);
+
+}  // namespace bfc::count

@@ -1,0 +1,68 @@
+#include "count/dynamic.hpp"
+
+#include <algorithm>
+
+namespace bfc::count {
+namespace {
+
+count_t ordered_intersection_size(const std::set<vidx_t>& a,
+                                  const std::set<vidx_t>& b) {
+  // Walk the smaller set, probe the larger: O(min·log max).
+  const std::set<vidx_t>& small = a.size() <= b.size() ? a : b;
+  const std::set<vidx_t>& large = a.size() <= b.size() ? b : a;
+  count_t n = 0;
+  for (const vidx_t x : small) n += large.contains(x) ? 1 : 0;
+  return n;
+}
+
+}  // namespace
+
+DynamicButterflyCounter::DynamicButterflyCounter(vidx_t n1, vidx_t n2)
+    : n1_(n1), n2_(n2) {
+  require(n1 >= 0 && n2 >= 0, "DynamicButterflyCounter: negative dimension");
+  adj_v1_.resize(static_cast<std::size_t>(n1));
+  adj_v2_.resize(static_cast<std::size_t>(n2));
+}
+
+bool DynamicButterflyCounter::has_edge(vidx_t u, vidx_t v) const {
+  require(u >= 0 && u < n1_ && v >= 0 && v < n2_,
+          "DynamicButterflyCounter: vertex out of range");
+  return adj_v1_[static_cast<std::size_t>(u)].contains(v);
+}
+
+count_t DynamicButterflyCounter::support_of(vidx_t u, vidx_t v) const {
+  // Butterflies through (u, v): for every other neighbour w of v, each
+  // common neighbour of u and w besides v closes one butterfly.
+  const std::set<vidx_t>& nu = adj_v1_[static_cast<std::size_t>(u)];
+  count_t total = 0;
+  for (const vidx_t w : adj_v2_[static_cast<std::size_t>(v)]) {
+    if (w == u) continue;
+    const count_t common =
+        ordered_intersection_size(nu, adj_v1_[static_cast<std::size_t>(w)]);
+    // Both N(u) and N(w) contain v, so common >= 1; subtract that shared v.
+    total += common - 1;
+  }
+  return total;
+}
+
+count_t DynamicButterflyCounter::insert(vidx_t u, vidx_t v) {
+  if (has_edge(u, v)) return 0;
+  adj_v1_[static_cast<std::size_t>(u)].insert(v);
+  adj_v2_[static_cast<std::size_t>(v)].insert(u);
+  ++edges_;
+  const count_t created = support_of(u, v);
+  butterflies_ += created;
+  return created;
+}
+
+count_t DynamicButterflyCounter::remove(vidx_t u, vidx_t v) {
+  if (!has_edge(u, v)) return 0;
+  const count_t destroyed = support_of(u, v);
+  adj_v1_[static_cast<std::size_t>(u)].erase(v);
+  adj_v2_[static_cast<std::size_t>(v)].erase(u);
+  --edges_;
+  butterflies_ -= destroyed;
+  return destroyed;
+}
+
+}  // namespace bfc::count

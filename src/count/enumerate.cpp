@@ -1,0 +1,127 @@
+#include "count/enumerate.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "sparse/ops.hpp"
+
+namespace bfc::count {
+namespace {
+
+/// Common neighbours of rows u1 and u2 (sorted) via merge.
+std::vector<vidx_t> common_neighbors(const sparse::CsrPattern& a, vidx_t u1,
+                                     vidx_t u2) {
+  const auto r1 = a.row(u1);
+  const auto r2 = a.row(u2);
+  std::vector<vidx_t> out;
+  std::size_t i = 0, j = 0;
+  while (i < r1.size() && j < r2.size()) {
+    if (r1[i] < r2[j]) {
+      ++i;
+    } else if (r2[j] < r1[i]) {
+      ++j;
+    } else {
+      out.push_back(r1[i]);
+      ++i;
+      ++j;
+    }
+  }
+  return out;
+}
+
+/// Emits all C(common, 2) butterflies of the pair (u1 < u2).
+bool emit_pair(const sparse::CsrPattern& a, vidx_t u1, vidx_t u2,
+               count_t& count,
+               const std::function<bool(const Butterfly&)>& visit) {
+  const std::vector<vidx_t> common = common_neighbors(a, u1, u2);
+  for (std::size_t i = 0; i < common.size(); ++i) {
+    for (std::size_t j = i + 1; j < common.size(); ++j) {
+      ++count;
+      if (!visit({u1, u2, common[i], common[j]})) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+count_t for_each_butterfly(
+    const graph::BipartiteGraph& g,
+    const std::function<bool(const Butterfly&)>& visit) {
+  const auto& a = g.csr();
+  const auto& at = g.csc();
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.n1()), 0);
+  std::vector<vidx_t> partners;
+  count_t count = 0;
+
+  for (vidx_t u1 = 0; u1 < g.n1(); ++u1) {
+    // Partners u2 > u1 sharing at least one neighbour, each taken once and
+    // in ascending order for lexicographic output.
+    partners.clear();
+    for (const vidx_t v : a.row(u1)) {
+      for (const vidx_t u2 : at.row(v)) {
+        if (u2 <= u1 || seen[static_cast<std::size_t>(u2)]) continue;
+        seen[static_cast<std::size_t>(u2)] = 1;
+        partners.push_back(u2);
+      }
+    }
+    std::sort(partners.begin(), partners.end());
+    for (const vidx_t u2 : partners) seen[static_cast<std::size_t>(u2)] = 0;
+    for (const vidx_t u2 : partners)
+      if (!emit_pair(a, u1, u2, count, visit)) return count;
+  }
+  return count;
+}
+
+std::vector<Butterfly> enumerate_butterflies(const graph::BipartiteGraph& g,
+                                             count_t limit) {
+  require(limit >= 0, "enumerate_butterflies: negative limit");
+  std::vector<Butterfly> out;
+  bool overflowed = false;
+  for_each_butterfly(g, [&](const Butterfly& b) {
+    if (static_cast<count_t>(out.size()) >= limit) {
+      overflowed = true;
+      return false;
+    }
+    out.push_back(b);
+    return true;
+  });
+  if (overflowed)
+    throw std::length_error("enumerate_butterflies: more than " +
+                            std::to_string(limit) + " butterflies");
+  return out;
+}
+
+std::vector<Butterfly> butterflies_containing_v1(
+    const graph::BipartiteGraph& g, vidx_t u, count_t limit) {
+  require(u >= 0 && u < g.n1(), "butterflies_containing_v1: vertex range");
+  const auto& a = g.csr();
+  const auto& at = g.csc();
+  std::vector<std::uint8_t> seen(static_cast<std::size_t>(g.n1()), 0);
+  std::vector<vidx_t> partners;
+  for (const vidx_t v : a.row(u)) {
+    for (const vidx_t j : at.row(v)) {
+      if (j == u || seen[static_cast<std::size_t>(j)]) continue;
+      seen[static_cast<std::size_t>(j)] = 1;
+      partners.push_back(j);
+    }
+  }
+  std::sort(partners.begin(), partners.end());
+
+  std::vector<Butterfly> out;
+  count_t count = 0;
+  for (const vidx_t j : partners) {
+    const vidx_t u1 = std::min(u, j);
+    const vidx_t u2 = std::max(u, j);
+    emit_pair(a, u1, u2, count, [&](const Butterfly& b) {
+      if (static_cast<count_t>(out.size()) >= limit)
+        throw std::length_error("butterflies_containing_v1: limit exceeded");
+      out.push_back(b);
+      return true;
+    });
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bfc::count

@@ -1,0 +1,39 @@
+// Butterfly enumeration. The paper's opening sentence distinguishes
+// counting butterflies from enumerating them; this module produces the
+// actual motif instances — each butterfly visited exactly once as
+// (u1 < u2 ∈ V1, v1 < v2 ∈ V2) — via the same wedge expansion the counting
+// kernels use.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::count {
+
+struct Butterfly {
+  vidx_t u1, u2;  // V1 vertices, u1 < u2
+  vidx_t v1, v2;  // V2 vertices, v1 < v2
+  bool operator==(const Butterfly& other) const = default;
+  auto operator<=>(const Butterfly& other) const = default;
+};
+
+/// Visits every butterfly exactly once in lexicographic (u1, u2, v1, v2)
+/// order. Return false from the visitor to stop early; the function returns
+/// the number of butterflies visited.
+count_t for_each_butterfly(const graph::BipartiteGraph& g,
+                           const std::function<bool(const Butterfly&)>& visit);
+
+/// Materialises up to `limit` butterflies (lexicographic order). Throws
+/// std::length_error if the graph holds more than `limit` — enumeration
+/// output is Θ(Ξ_G), which grows far faster than the graph.
+[[nodiscard]] std::vector<Butterfly> enumerate_butterflies(
+    const graph::BipartiteGraph& g, count_t limit = count_t{1} << 22);
+
+/// All butterflies containing a given V1 vertex (each exactly once).
+[[nodiscard]] std::vector<Butterfly> butterflies_containing_v1(
+    const graph::BipartiteGraph& g, vidx_t u, count_t limit = count_t{1} << 22);
+
+}  // namespace bfc::count

@@ -1,0 +1,27 @@
+// Local butterfly statistics: butterflies per vertex (the tip vector of
+// Eq. 19) and butterflies per edge (the wing support matrix of Eq. 25),
+// computed sparsely in O(Σ wedges) / O(Σ_{(u,v)} deg v) — the inputs to the
+// peeling algorithms of §IV.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "sparse/csr.hpp"
+#include "util/common.hpp"
+
+namespace bfc::count {
+
+/// Butterflies containing each V1 vertex: b_i = Σ_{j≠i} C(|N(i)∩N(j)|, 2).
+[[nodiscard]] std::vector<count_t> butterflies_per_v1(
+    const graph::BipartiteGraph& g);
+
+/// Butterflies containing each V2 vertex.
+[[nodiscard]] std::vector<count_t> butterflies_per_v2(
+    const graph::BipartiteGraph& g);
+
+/// Per-edge support in CSR order of g.csr(): entry k is the number of
+/// butterflies containing the k-th edge — the sparse evaluation of Eq. (25):
+/// support(u,v) = Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1.
+[[nodiscard]] std::vector<count_t> support_per_edge(
+    const graph::BipartiteGraph& g);
+
+}  // namespace bfc::count

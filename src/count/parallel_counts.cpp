@@ -1,0 +1,140 @@
+#include "count/parallel_counts.hpp"
+
+#include "util/parallel.hpp"
+
+namespace bfc::count {
+namespace {
+
+/// Parallel per-line butterfly counts over the rows of `lines` (transpose
+/// in `lines_t`): the same expansion as count/per_vertex.cpp with the outer
+/// loop distributed.
+std::vector<count_t> per_line_parallel(const sparse::CsrPattern& lines,
+                                       const sparse::CsrPattern& lines_t,
+                                       int threads) {
+  const vidx_t n = lines.rows();
+  std::vector<count_t> out(static_cast<std::size_t>(n), 0);
+  ThreadCountGuard guard(threads);
+
+#pragma omp parallel
+  {
+    std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
+    std::vector<vidx_t> touched;
+#pragma omp for schedule(dynamic, 64)
+    for (vidx_t i = 0; i < n; ++i) {
+      touched.clear();
+      for (const vidx_t k : lines.row(i)) {
+        for (const vidx_t j : lines_t.row(k)) {
+          if (j == i) continue;
+          if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
+          ++acc[static_cast<std::size_t>(j)];
+        }
+      }
+      count_t total = 0;
+      for (const vidx_t j : touched) {
+        total += choose2(acc[static_cast<std::size_t>(j)]);
+        acc[static_cast<std::size_t>(j)] = 0;
+      }
+      out[static_cast<std::size_t>(i)] = total;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+count_t wedge_reference_parallel(const graph::BipartiteGraph& g,
+                                 int threads) {
+  require(threads >= 1, "wedge_reference_parallel: threads must be >= 1");
+  // Expand from the side with the cheaper wedge sum, as in the sequential
+  // reference; only pairs j > i are charged, so halve nothing.
+  count_t cost_v1_side = 0, cost_v2_side = 0;
+  for (vidx_t v = 0; v < g.n2(); ++v) {
+    const count_t d = g.csc().row_degree(v);
+    cost_v1_side += d * d;
+  }
+  for (vidx_t u = 0; u < g.n1(); ++u) {
+    const count_t d = g.csr().row_degree(u);
+    cost_v2_side += d * d;
+  }
+  const sparse::CsrPattern& lines =
+      cost_v1_side <= cost_v2_side ? g.csr() : g.csc();
+  const sparse::CsrPattern& lines_t =
+      cost_v1_side <= cost_v2_side ? g.csc() : g.csr();
+
+  const vidx_t n = lines.rows();
+  count_t total = 0;
+  ThreadCountGuard guard(threads);
+
+#pragma omp parallel
+  {
+    std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
+    std::vector<vidx_t> touched;
+#pragma omp for schedule(dynamic, 64) reduction(+ : total)
+    for (vidx_t i = 0; i < n; ++i) {
+      touched.clear();
+      for (const vidx_t k : lines.row(i)) {
+        for (const vidx_t j : lines_t.row(k)) {
+          if (j <= i) continue;
+          if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
+          ++acc[static_cast<std::size_t>(j)];
+        }
+      }
+      for (const vidx_t j : touched) {
+        total += choose2(acc[static_cast<std::size_t>(j)]);
+        acc[static_cast<std::size_t>(j)] = 0;
+      }
+    }
+  }
+  return total;
+}
+
+std::vector<count_t> butterflies_per_v1_parallel(
+    const graph::BipartiteGraph& g, int threads) {
+  require(threads >= 1, "butterflies_per_v1_parallel: threads must be >= 1");
+  return per_line_parallel(g.csr(), g.csc(), threads);
+}
+
+std::vector<count_t> butterflies_per_v2_parallel(
+    const graph::BipartiteGraph& g, int threads) {
+  require(threads >= 1, "butterflies_per_v2_parallel: threads must be >= 1");
+  return per_line_parallel(g.csc(), g.csr(), threads);
+}
+
+std::vector<count_t> support_per_edge_parallel(const graph::BipartiteGraph& g,
+                                               int threads) {
+  require(threads >= 1, "support_per_edge_parallel: threads must be >= 1");
+  const auto& a = g.csr();
+  const auto& at = g.csc();
+  std::vector<count_t> support(static_cast<std::size_t>(a.nnz()), 0);
+  ThreadCountGuard guard(threads);
+
+#pragma omp parallel
+  {
+    std::vector<count_t> acc(static_cast<std::size_t>(a.rows()), 0);
+    std::vector<vidx_t> touched;
+#pragma omp for schedule(dynamic, 32)
+    for (vidx_t u = 0; u < a.rows(); ++u) {
+      touched.clear();
+      for (const vidx_t k : a.row(u)) {
+        for (const vidx_t w : at.row(k)) {
+          if (acc[static_cast<std::size_t>(w)] == 0) touched.push_back(w);
+          ++acc[static_cast<std::size_t>(w)];
+        }
+      }
+      const count_t deg_u = a.row_degree(u);
+      offset_t edge_id = a.row_ptr()[static_cast<std::size_t>(u)];
+      for (const vidx_t v : a.row(u)) {
+        count_t wedge_sum = 0;
+        for (const vidx_t w : at.row(v))
+          wedge_sum += acc[static_cast<std::size_t>(w)];
+        support[static_cast<std::size_t>(edge_id)] =
+            wedge_sum - deg_u - at.row_degree(v) + 1;
+        ++edge_id;
+      }
+      for (const vidx_t w : touched) acc[static_cast<std::size_t>(w)] = 0;
+    }
+  }
+  return support;
+}
+
+}  // namespace bfc::count

@@ -1,0 +1,29 @@
+// OpenMP-parallel counterparts of the reference counter and the local
+// (per-vertex / per-edge) counts. Rows of the wedge expansion are
+// independent, so they distribute over threads with per-thread dense
+// accumulators — the same decomposition the paper's Fig. 11 experiment
+// applies to the counting loops.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::count {
+
+/// Parallel Σ_{i<j} C(|N(i)∩N(j)|, 2) from the cheaper side.
+[[nodiscard]] count_t wedge_reference_parallel(const graph::BipartiteGraph& g,
+                                               int threads);
+
+/// Parallel butterflies-per-V1-vertex (equals butterflies_per_v1).
+[[nodiscard]] std::vector<count_t> butterflies_per_v1_parallel(
+    const graph::BipartiteGraph& g, int threads);
+
+/// Parallel butterflies-per-V2-vertex.
+[[nodiscard]] std::vector<count_t> butterflies_per_v2_parallel(
+    const graph::BipartiteGraph& g, int threads);
+
+/// Parallel per-edge support in CSR order (equals support_per_edge).
+[[nodiscard]] std::vector<count_t> support_per_edge_parallel(
+    const graph::BipartiteGraph& g, int threads);
+
+}  // namespace bfc::count

@@ -1,0 +1,43 @@
+#include "count/local_counts.hpp"
+
+namespace bfc::count {
+namespace {
+
+/// b_i for every "line" i of `lines` (rows of the given pattern), where
+/// `lines_t` is its transpose: expand wedges i -> k -> j (j ≠ i) and sum
+/// C(w_ij, 2) per i. O(Σ wedges) with a dense accumulator.
+std::vector<count_t> per_line(const sparse::CsrPattern& lines,
+                              const sparse::CsrPattern& lines_t) {
+  std::vector<count_t> out(static_cast<std::size_t>(lines.rows()), 0);
+  std::vector<count_t> acc(static_cast<std::size_t>(lines.rows()), 0);
+  std::vector<vidx_t> touched;
+  for (vidx_t i = 0; i < lines.rows(); ++i) {
+    touched.clear();
+    for (const vidx_t k : lines.row(i)) {
+      for (const vidx_t j : lines_t.row(k)) {
+        if (j == i) continue;
+        if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
+        ++acc[static_cast<std::size_t>(j)];
+      }
+    }
+    count_t total = 0;
+    for (const vidx_t j : touched) {
+      total += choose2(acc[static_cast<std::size_t>(j)]);
+      acc[static_cast<std::size_t>(j)] = 0;
+    }
+    out[static_cast<std::size_t>(i)] = total;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<count_t> butterflies_per_v1(const graph::BipartiteGraph& g) {
+  return per_line(g.csr(), g.csc());
+}
+
+std::vector<count_t> butterflies_per_v2(const graph::BipartiteGraph& g) {
+  return per_line(g.csc(), g.csr());
+}
+
+}  // namespace bfc::count

@@ -1,0 +1,156 @@
+#include "dense/dense_matrix.hpp"
+
+#include <ostream>
+
+namespace bfc::dense {
+
+DenseMatrix::DenseMatrix(vidx_t rows, vidx_t cols)
+    : rows_(rows),
+      cols_(cols),
+      data_(static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols),
+            0) {
+  require(rows >= 0 && cols >= 0, "DenseMatrix: negative dimension");
+}
+
+DenseMatrix::DenseMatrix(
+    std::initializer_list<std::initializer_list<count_t>> rows) {
+  rows_ = static_cast<vidx_t>(rows.size());
+  cols_ = rows_ == 0 ? 0 : static_cast<vidx_t>(rows.begin()->size());
+  data_.reserve(static_cast<std::size_t>(rows_) *
+                static_cast<std::size_t>(cols_));
+  for (const auto& row : rows) {
+    require(static_cast<vidx_t>(row.size()) == cols_,
+            "DenseMatrix: ragged initializer");
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+DenseMatrix DenseMatrix::zeros(vidx_t rows, vidx_t cols) {
+  return DenseMatrix(rows, cols);
+}
+
+DenseMatrix DenseMatrix::ones(vidx_t rows, vidx_t cols) {
+  DenseMatrix m(rows, cols);
+  for (vidx_t r = 0; r < rows; ++r)
+    for (vidx_t c = 0; c < cols; ++c) m(r, c) = 1;
+  return m;
+}
+
+DenseMatrix DenseMatrix::identity(vidx_t n) {
+  DenseMatrix m(n, n);
+  for (vidx_t i = 0; i < n; ++i) m(i, i) = 1;
+  return m;
+}
+
+count_t& DenseMatrix::at(vidx_t r, vidx_t c) {
+  require(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+          "DenseMatrix::at out of range");
+  return (*this)(r, c);
+}
+
+count_t DenseMatrix::at(vidx_t r, vidx_t c) const {
+  require(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+          "DenseMatrix::at out of range");
+  return (*this)(r, c);
+}
+
+DenseMatrix DenseMatrix::transpose() const {
+  DenseMatrix t(cols_, rows_);
+  for (vidx_t r = 0; r < rows_; ++r)
+    for (vidx_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+count_t DenseMatrix::sum() const noexcept {
+  count_t total = 0;
+  for (const count_t v : data_) total += v;
+  return total;
+}
+
+count_t DenseMatrix::trace() const {
+  require(rows_ == cols_, "trace: matrix not square");
+  count_t total = 0;
+  for (vidx_t i = 0; i < rows_; ++i) total += (*this)(i, i);
+  return total;
+}
+
+DenseMatrix DenseMatrix::diag_vector() const {
+  require(rows_ == cols_, "diag_vector: matrix not square");
+  DenseMatrix v(rows_, 1);
+  for (vidx_t i = 0; i < rows_; ++i) v(i, 0) = (*this)(i, i);
+  return v;
+}
+
+DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b) {
+  require(a.cols() == b.rows(), "multiply: inner dimension mismatch");
+  DenseMatrix c(a.rows(), b.cols());
+  for (vidx_t i = 0; i < a.rows(); ++i) {
+    for (vidx_t k = 0; k < a.cols(); ++k) {
+      const count_t aik = a(i, k);
+      if (aik == 0) continue;
+      for (vidx_t j = 0; j < b.cols(); ++j) c(i, j) += aik * b(k, j);
+    }
+  }
+  return c;
+}
+
+DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "hadamard: dimension mismatch");
+  DenseMatrix c(a.rows(), a.cols());
+  for (vidx_t i = 0; i < a.rows(); ++i)
+    for (vidx_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) * b(i, j);
+  return c;
+}
+
+DenseMatrix add(const DenseMatrix& a, const DenseMatrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "add: dimension mismatch");
+  DenseMatrix c(a.rows(), a.cols());
+  for (vidx_t i = 0; i < a.rows(); ++i)
+    for (vidx_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) + b(i, j);
+  return c;
+}
+
+DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b) {
+  require(a.rows() == b.rows() && a.cols() == b.cols(),
+          "subtract: dimension mismatch");
+  DenseMatrix c(a.rows(), a.cols());
+  for (vidx_t i = 0; i < a.rows(); ++i)
+    for (vidx_t j = 0; j < a.cols(); ++j) c(i, j) = a(i, j) - b(i, j);
+  return c;
+}
+
+DenseMatrix scale(const DenseMatrix& a, count_t k) {
+  DenseMatrix c(a.rows(), a.cols());
+  for (vidx_t i = 0; i < a.rows(); ++i)
+    for (vidx_t j = 0; j < a.cols(); ++j) c(i, j) = k * a(i, j);
+  return c;
+}
+
+DenseMatrix slice_cols(const DenseMatrix& a, vidx_t lo, vidx_t hi) {
+  require(0 <= lo && lo <= hi && hi <= a.cols(), "slice_cols: bad range");
+  DenseMatrix c(a.rows(), hi - lo);
+  for (vidx_t i = 0; i < a.rows(); ++i)
+    for (vidx_t j = lo; j < hi; ++j) c(i, j - lo) = a(i, j);
+  return c;
+}
+
+DenseMatrix slice_rows(const DenseMatrix& a, vidx_t lo, vidx_t hi) {
+  require(0 <= lo && lo <= hi && hi <= a.rows(), "slice_rows: bad range");
+  DenseMatrix c(hi - lo, a.cols());
+  for (vidx_t i = lo; i < hi; ++i)
+    for (vidx_t j = 0; j < a.cols(); ++j) c(i - lo, j) = a(i, j);
+  return c;
+}
+
+std::ostream& operator<<(std::ostream& os, const DenseMatrix& m) {
+  for (vidx_t r = 0; r < m.rows(); ++r) {
+    for (vidx_t c = 0; c < m.cols(); ++c)
+      os << (c == 0 ? "" : " ") << m(r, c);
+    os << '\n';
+  }
+  return os;
+}
+
+}  // namespace bfc::dense

@@ -1,0 +1,83 @@
+// Exact integer dense matrices. This is the *specification* substrate: the
+// paper's equations (7), (9), (19), (25) are evaluated literally on these
+// matrices and every derived sparse algorithm is tested against the result.
+// Entries are 64-bit integers so all oracle arithmetic is exact.
+#pragma once
+
+#include <initializer_list>
+#include <iosfwd>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bfc::dense {
+
+class DenseMatrix {
+ public:
+  DenseMatrix() = default;
+
+  /// rows x cols matrix of zeros.
+  DenseMatrix(vidx_t rows, vidx_t cols);
+
+  /// Row-major literal, e.g. DenseMatrix({{1,0},{0,1}}).
+  DenseMatrix(std::initializer_list<std::initializer_list<count_t>> rows);
+
+  [[nodiscard]] static DenseMatrix zeros(vidx_t rows, vidx_t cols);
+  [[nodiscard]] static DenseMatrix ones(vidx_t rows, vidx_t cols);
+  [[nodiscard]] static DenseMatrix identity(vidx_t n);
+
+  [[nodiscard]] vidx_t rows() const noexcept { return rows_; }
+  [[nodiscard]] vidx_t cols() const noexcept { return cols_; }
+
+  [[nodiscard]] count_t& at(vidx_t r, vidx_t c);
+  [[nodiscard]] count_t at(vidx_t r, vidx_t c) const;
+
+  [[nodiscard]] count_t operator()(vidx_t r, vidx_t c) const {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+  [[nodiscard]] count_t& operator()(vidx_t r, vidx_t c) {
+    return data_[static_cast<std::size_t>(r) * static_cast<std::size_t>(cols_) +
+                 static_cast<std::size_t>(c)];
+  }
+
+  [[nodiscard]] DenseMatrix transpose() const;
+
+  /// Sum of all entries.
+  [[nodiscard]] count_t sum() const noexcept;
+
+  /// Trace (square matrices only).
+  [[nodiscard]] count_t trace() const;
+
+  /// Diagonal as a column vector (n x 1), per the paper's DIAG().
+  [[nodiscard]] DenseMatrix diag_vector() const;
+
+  bool operator==(const DenseMatrix& other) const = default;
+
+ private:
+  vidx_t rows_ = 0;
+  vidx_t cols_ = 0;
+  std::vector<count_t> data_;
+};
+
+/// Matrix product (exact; throws on dimension mismatch).
+[[nodiscard]] DenseMatrix multiply(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Hadamard (element-wise) product, the paper's "∘".
+[[nodiscard]] DenseMatrix hadamard(const DenseMatrix& a, const DenseMatrix& b);
+
+[[nodiscard]] DenseMatrix add(const DenseMatrix& a, const DenseMatrix& b);
+[[nodiscard]] DenseMatrix subtract(const DenseMatrix& a, const DenseMatrix& b);
+
+/// Scalar multiple.
+[[nodiscard]] DenseMatrix scale(const DenseMatrix& a, count_t k);
+
+/// Column slice [lo, hi) — used by partitioning tests (A -> (A_L | A_R)).
+[[nodiscard]] DenseMatrix slice_cols(const DenseMatrix& a, vidx_t lo, vidx_t hi);
+
+/// Row slice [lo, hi) — used by partitioning tests (A -> (A_T / A_B)).
+[[nodiscard]] DenseMatrix slice_rows(const DenseMatrix& a, vidx_t lo, vidx_t hi);
+
+std::ostream& operator<<(std::ostream& os, const DenseMatrix& m);
+
+}  // namespace bfc::dense

@@ -1,0 +1,135 @@
+#include "dense/spec.hpp"
+
+namespace bfc::dense {
+namespace {
+
+/// ¼Γ(BB − B∘B − JB + B) for a symmetric Gram matrix B: the bracketed
+/// quantity inside Eq. (7). Asserts exact divisibility by 4, which the
+/// derivation guarantees.
+count_t butterflies_from_gram(const DenseMatrix& b) {
+  const count_t t_bb = multiply(b, b).trace();
+  const count_t t_bhb = hadamard(b, b).trace();
+  const count_t t_jb = multiply(DenseMatrix::ones(b.rows(), b.rows()), b).trace();
+  const count_t t_b = b.trace();
+  const count_t numerator = t_bb - t_bhb - t_jb + t_b;
+  require(numerator % 4 == 0, "butterfly spec: numerator not divisible by 4");
+  return numerator / 4;
+}
+
+/// ½Γ(X·Y − X∘Y) for symmetric X, Y — the crossing-category count of
+/// Eq. (10)/(12).
+count_t crossing_from_grams(const DenseMatrix& x, const DenseMatrix& y) {
+  const count_t numerator =
+      multiply(x, y).trace() - hadamard(x, y).trace();
+  require(numerator % 2 == 0, "crossing spec: numerator not divisible by 2");
+  return numerator / 2;
+}
+
+}  // namespace
+
+count_t butterflies_brute(const DenseMatrix& a) {
+  const vidx_t m = a.rows();
+  const vidx_t n = a.cols();
+  count_t total = 0;
+  for (vidx_t i = 0; i < m; ++i)
+    for (vidx_t j = i + 1; j < m; ++j)
+      for (vidx_t k = 0; k < n; ++k)
+        for (vidx_t p = k + 1; p < n; ++p)
+          if (a(i, k) != 0 && a(i, p) != 0 && a(j, k) != 0 && a(j, p) != 0)
+            ++total;
+  return total;
+}
+
+count_t butterflies_spec(const DenseMatrix& a) {
+  return butterflies_from_gram(multiply(a, a.transpose()));
+}
+
+count_t butterflies_pairwise(const DenseMatrix& a) {
+  const DenseMatrix b = multiply(a, a.transpose());
+  count_t total = 0;
+  for (vidx_t i = 0; i < b.rows(); ++i)
+    for (vidx_t j = i + 1; j < b.cols(); ++j) total += choose2(b(i, j));
+  return total;
+}
+
+count_t wedges_spec(const DenseMatrix& a) {
+  const DenseMatrix b = multiply(a, a.transpose());
+  const count_t t_jbt =
+      multiply(DenseMatrix::ones(b.rows(), b.rows()), b.transpose()).trace();
+  const count_t numerator = t_jbt - b.trace();
+  require(numerator % 2 == 0, "wedge spec: numerator not divisible by 2");
+  return numerator / 2;
+}
+
+PartitionCounts butterflies_col_partition(const DenseMatrix& a, vidx_t split) {
+  require(0 <= split && split <= a.cols(), "col partition: bad split");
+  const DenseMatrix al = slice_cols(a, 0, split);
+  const DenseMatrix ar = slice_cols(a, split, a.cols());
+  // Gram matrices over V1 (m x m): wedge points are columns (V2 vertices).
+  const DenseMatrix bl = multiply(al, al.transpose());
+  const DenseMatrix br = multiply(ar, ar.transpose());
+  PartitionCounts out;
+  out.both_left = butterflies_from_gram(bl);
+  out.crossing = crossing_from_grams(bl, br);
+  out.both_right = butterflies_from_gram(br);
+  return out;
+}
+
+PartitionCounts butterflies_row_partition(const DenseMatrix& a, vidx_t split) {
+  require(0 <= split && split <= a.rows(), "row partition: bad split");
+  const DenseMatrix at = slice_rows(a, 0, split);
+  const DenseMatrix ab = slice_rows(a, split, a.rows());
+  // Wedge points are rows (V1 vertices), so the Gram matrices live over V2.
+  // Note: the paper's Eq. (12) prints the crossing term with A_T A_Tᵀ, which
+  // does not conform dimensionally (t×t vs b×b); the derivation clearly
+  // intends the n×n Gram matrices AᵀA used here.
+  const DenseMatrix bt = multiply(at.transpose(), at);
+  const DenseMatrix bb = multiply(ab.transpose(), ab);
+  PartitionCounts out;
+  out.both_left = butterflies_from_gram(bt);
+  out.crossing = crossing_from_grams(bt, bb);
+  out.both_right = butterflies_from_gram(bb);
+  return out;
+}
+
+std::vector<count_t> tip_vector_spec(const DenseMatrix& a) {
+  const DenseMatrix b = multiply(a, a.transpose());
+  const DenseMatrix j = DenseMatrix::ones(b.rows(), b.rows());
+  const DenseMatrix expr = add(
+      subtract(subtract(multiply(b, b), hadamard(b, b)), multiply(j, b)), b);
+  // Note: the paper's Eq. (19) prints a ¼ factor, but the i-th diagonal
+  // entry of (BB − B∘B − JB + B) equals exactly 2·(butterflies at vertex i):
+  // Σ_{j≠i}(B_ij² − B_ij) = 2·Σ_{j≠i} C(B_ij, 2). The ¼ in Eq. (7) is
+  // correct only for the TRACE, which additionally sums each butterfly over
+  // both of its V1 vertices. Verified against brute-force enumeration in
+  // tests/test_spec.cpp (TipVectorMatchesBruteForce).
+  std::vector<count_t> s(static_cast<std::size_t>(b.rows()));
+  for (vidx_t i = 0; i < b.rows(); ++i) {
+    const count_t v = expr(i, i);
+    require(v % 2 == 0, "tip spec: diagonal entry not divisible by 2");
+    s[static_cast<std::size_t>(i)] = v / 2;
+  }
+  return s;
+}
+
+std::vector<count_t> tip_vector_spec_v2(const DenseMatrix& a) {
+  return tip_vector_spec(a.transpose());
+}
+
+DenseMatrix wing_support_spec(const DenseMatrix& a) {
+  const vidx_t m = a.rows();
+  const vidx_t n = a.cols();
+  const DenseMatrix b_row = multiply(a, a.transpose());   // m x m
+  const DenseMatrix b_col = multiply(a.transpose(), a);   // n x n
+  const DenseMatrix aat_a = multiply(b_row, a);           // m x n
+
+  // diag(AAᵀ)·1ᵀ : column vector of row degrees broadcast across columns.
+  // 1·diag(AᵀA)ᵀ : row vector of column degrees broadcast down rows.
+  DenseMatrix core(m, n);
+  for (vidx_t i = 0; i < m; ++i)
+    for (vidx_t j = 0; j < n; ++j)
+      core(i, j) = aat_a(i, j) - b_row(i, i) - b_col(j, j) + 1;
+  return hadamard(core, a);
+}
+
+}  // namespace bfc::dense

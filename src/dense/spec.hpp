@@ -1,0 +1,57 @@
+// Literal, executable forms of the paper's specifications. These are the
+// correctness oracles: slow (dense, O(m^2 n) and worse) but written exactly
+// as the equations appear in the paper, so a bug in the fast sparse
+// algorithms cannot hide behind a shared implementation.
+#pragma once
+
+#include "dense/dense_matrix.hpp"
+#include "util/common.hpp"
+
+namespace bfc::dense {
+
+/// Total butterflies by brute-force enumeration of vertex quadruples
+/// (i<j in V1, k<p in V2 with all four edges present). The most primitive
+/// oracle of all; only usable on tiny graphs.
+[[nodiscard]] count_t butterflies_brute(const DenseMatrix& a);
+
+/// Eq. (7): Ξ_G = ¼Γ(AAᵀAAᵀ) − ¼Γ(AAᵀ∘AAᵀ) − (¼Γ(J·AAᵀ) − ¼Γ(AAᵀ)).
+[[nodiscard]] count_t butterflies_spec(const DenseMatrix& a);
+
+/// Σ_{i<j} C(B_ij, 2) with B = AAᵀ — the pairwise-wedge specification from
+/// §II used to motivate Eq. (1).
+[[nodiscard]] count_t butterflies_pairwise(const DenseMatrix& a);
+
+/// Eq. (6): W = ½Γ(J·Bᵀ) − ½Γ(B), the number of wedges with distinct
+/// endpoints in V1.
+[[nodiscard]] count_t wedges_spec(const DenseMatrix& a);
+
+/// Eq. (10): the three disjoint butterfly categories under a column
+/// partition A -> (A_L | A_R). Returned in order {Ξ_L, Ξ_LR, Ξ_R}.
+struct PartitionCounts {
+  count_t both_left = 0;    // Ξ_L  (or Ξ_T for the row partition)
+  count_t crossing = 0;     // Ξ_LR (or Ξ_TB)
+  count_t both_right = 0;   // Ξ_R  (or Ξ_B)
+  [[nodiscard]] count_t total() const noexcept {
+    return both_left + crossing + both_right;
+  }
+};
+[[nodiscard]] PartitionCounts butterflies_col_partition(const DenseMatrix& a,
+                                                        vidx_t split);
+
+/// Eq. (12): same three categories under a row partition A -> (A_T / A_B).
+[[nodiscard]] PartitionCounts butterflies_row_partition(const DenseMatrix& a,
+                                                        vidx_t split);
+
+/// Eq. (19): s = ¼·DIAG(AAᵀAAᵀ − AAᵀ∘AAᵀ − J·AAᵀ + AAᵀ), the number of
+/// butterflies each V1 vertex participates in. Returned as an m-vector.
+[[nodiscard]] std::vector<count_t> tip_vector_spec(const DenseMatrix& a);
+
+/// Butterflies each V2 vertex participates in (the symmetric form of
+/// Eq. (19) applied to Aᵀ).
+[[nodiscard]] std::vector<count_t> tip_vector_spec_v2(const DenseMatrix& a);
+
+/// Eq. (25): S_w = (AAᵀA − diag(AAᵀ)·1ᵀ − 1·diag(AᵀA)ᵀ + J) ∘ A, the
+/// per-edge butterfly support matrix (m x n; zero where A is zero).
+[[nodiscard]] DenseMatrix wing_support_spec(const DenseMatrix& a);
+
+}  // namespace bfc::dense

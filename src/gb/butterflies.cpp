@@ -1,0 +1,122 @@
+#include "gb/butterflies.hpp"
+
+namespace bfc::gb {
+namespace {
+
+/// Gram matrix over the partitioned side's complement: B = L·Lᵀ where the
+/// rows of L enumerate the counting side.
+sparse::CsrCounts gram_of(const sparse::CsrPattern& rows_pattern,
+                          const sparse::CsrPattern& rows_pattern_t) {
+  return mxm(from_pattern(rows_pattern), from_pattern(rows_pattern_t));
+}
+
+}  // namespace
+
+count_t butterflies_spec(const graph::BipartiteGraph& g) {
+  // B = AAᵀ.
+  const sparse::CsrCounts b = gram_of(g.csr(), g.csc());
+  // Γ(BBᵀ) = Σ_ij (B∘B)_ij by the Eq. (3) identity.
+  const count_t t_bb = reduce(ewise_mult(b, b));
+  // Γ(B∘B) = Σ_i B_ii².
+  const Vector d = diag(b);
+  const count_t t_bhb = dot(d, d);
+  // Γ(J·Bᵀ) = Σ_ij B_ij (J is all-ones).
+  const count_t t_jb = reduce(b);
+  const count_t t_b = trace(b);
+  const count_t numerator = t_bb - t_bhb - t_jb + t_b;
+  require(numerator % 4 == 0, "gb spec: numerator not divisible by 4");
+  return numerator / 4;
+}
+
+count_t wedges_spec(const graph::BipartiteGraph& g) {
+  const sparse::CsrCounts b = gram_of(g.csr(), g.csc());
+  const count_t numerator = reduce(b) - trace(b);
+  require(numerator % 2 == 0, "gb wedges: numerator not divisible by 2");
+  return numerator / 2;
+}
+
+count_t butterflies_loop(const graph::BipartiteGraph& g, la::Invariant inv) {
+  const la::InvariantTraits t = la::traits(inv);
+  // Lines of the partitioned dimension as an integer matrix L; the update
+  // needs t = P·a₁ where P is the A0 or A2 block of L.
+  const sparse::CsrCounts lines = from_pattern(
+      t.family == la::Family::kColumns ? g.csc() : g.csr());
+  const vidx_t n = lines.rows;
+
+  count_t total = 0;
+  for (vidx_t step = 0; step < n; ++step) {
+    const vidx_t pivot =
+        t.direction == la::Direction::kForward ? step : n - 1 - step;
+    const vidx_t lo = t.peer == la::PeerSide::kBefore ? 0 : pivot + 1;
+    const vidx_t hi = t.peer == la::PeerSide::kBefore ? pivot : n;
+
+    // Fig. 6/7 update: Ξ += ½·a₁ᵀPPᵀa₁ − ½·Γ(a₁a₁ᵀ∘PPᵀ)
+    //                     = ½·(tᵀt − Σt)  with  t = P·a₁.
+    const Vector a1 = extract_row(lines, pivot);
+    const Vector wedge_counts = mxv_row_range(lines, lo, hi, a1);
+    const count_t update =
+        dot(wedge_counts, wedge_counts) - reduce(wedge_counts);
+    require(update % 2 == 0, "gb loop: odd update numerator");
+    total += update / 2;
+  }
+  return total;
+}
+
+std::vector<count_t> tip_vector(const graph::BipartiteGraph& g) {
+  const sparse::CsrCounts b = gram_of(g.csr(), g.csc());
+  const sparse::CsrCounts bb = mxm(b, b);
+  const sparse::CsrCounts bhb = ewise_mult(b, b);
+  // JB's diagonal entry i is the i-th column (= row) sum of B.
+  const Vector row_sums = mxv(b, Vector::indicator(b.cols, [&] {
+    std::vector<vidx_t> all(static_cast<std::size_t>(b.cols));
+    for (vidx_t i = 0; i < b.cols; ++i) all[static_cast<std::size_t>(i)] = i;
+    return all;
+  }()));
+
+  const std::vector<count_t> d_bb = diag(bb).to_dense();
+  const std::vector<count_t> d_bhb = diag(bhb).to_dense();
+  const std::vector<count_t> d_jb = row_sums.to_dense();
+  const std::vector<count_t> d_b = diag(b).to_dense();
+
+  std::vector<count_t> s(static_cast<std::size_t>(g.n1()));
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const count_t numerator = d_bb[i] - d_bhb[i] - d_jb[i] + d_b[i];
+    require(numerator % 2 == 0, "gb tip: odd diagonal entry");
+    s[i] = numerator / 2;  // ¼ in the paper's Eq. (19) is a typo; see spec.cpp
+  }
+  return s;
+}
+
+std::vector<count_t> wing_support(const graph::BipartiteGraph& g) {
+  const sparse::CsrCounts a = from_pattern(g.csr());
+  const sparse::CsrCounts at = from_pattern(g.csc());
+  const sparse::CsrCounts b_row = mxm(a, at);   // AAᵀ (m x m)
+  const sparse::CsrCounts b_col = mxm(at, a);   // AᵀA (n x n)
+  const sparse::CsrCounts aat_a = mxm(b_row, a);  // AAᵀA (m x n)
+
+  // ∘A keeps only edge positions, so the rank-1 terms diag(AAᵀ)·1ᵀ,
+  // 1·diag(AᵀA)ᵀ and J collapse to per-edge lookups.
+  const std::vector<count_t> d1 = diag(b_row).to_dense();
+  const std::vector<count_t> d2 = diag(b_col).to_dense();
+  const sparse::CsrCounts core = ewise_mult(aat_a, a);
+
+  std::vector<count_t> support;
+  support.reserve(static_cast<std::size_t>(g.edge_count()));
+  for (vidx_t u = 0; u < g.n1(); ++u) {
+    // core carries A∘(AAᵀA); walk it alongside A's row to keep CSR order.
+    const Vector row = extract_row(core, u);
+    std::size_t k = 0;
+    for (const vidx_t v : g.csr().row(u)) {
+      count_t wedge_term = 0;
+      if (k < row.nnz() && row.indices()[k] == v) {
+        wedge_term = row.values()[k];
+        ++k;
+      }
+      support.push_back(wedge_term - d1[static_cast<std::size_t>(u)] -
+                        d2[static_cast<std::size_t>(v)] + 1);
+    }
+  }
+  return support;
+}
+
+}  // namespace bfc::gb

@@ -1,0 +1,41 @@
+// The paper's derivation executed verbatim on the GraphBLAS-style layer:
+// every function here is a transliteration of an equation from §II-§IV into
+// gb:: primitives, with no graph-specific specialisation. These serve two
+// purposes: (1) they demonstrate that the linear-algebra formulation is
+// directly runnable on sparse kernels, and (2) they are mid-scale oracles —
+// faster than the dense specs, independent of the optimised la:: kernels.
+#pragma once
+
+#include "gb/matrix.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "la/invariants.hpp"
+#include "util/common.hpp"
+
+namespace bfc::gb {
+
+/// Eq. (7) evaluated sparsely. Γ(BBᵀ) is computed as Σ(B∘B) using the very
+/// Hadamard/trace identity (Eq. 3) the paper's derivation rests on, so the
+/// whole spec costs O(nnz(B)) after one Gram product.
+[[nodiscard]] count_t butterflies_spec(const graph::BipartiteGraph& g);
+
+/// Eq. (6): the number of wedges with distinct endpoints in V1.
+[[nodiscard]] count_t wedges_spec(const graph::BipartiteGraph& g);
+
+/// The Fig. 6/7 loop algorithms with each update statement evaluated as a
+/// matrix-vector expression: a₁ = extract_row, t = P·a₁ (mxv_row_range over
+/// the FLAME peer partition), update = ½(tᵀt − Σt). One function covers all
+/// eight invariants through the trait table.
+[[nodiscard]] count_t butterflies_loop(const graph::BipartiteGraph& g,
+                                       la::Invariant inv);
+
+/// Eq. (19) literally: s = ½·DIAG(BB − B∘B − JB + B) (see dense/spec.cpp
+/// for the ¼→½ factor correction). Builds the dense J product, so this is
+/// a spec-scale oracle, not a production path.
+[[nodiscard]] std::vector<count_t> tip_vector(const graph::BipartiteGraph& g);
+
+/// Eq. (25) literally: S_w = (AAᵀA − diag(AAᵀ)·1ᵀ − 1·diag(AᵀA)ᵀ + J) ∘ A,
+/// returned as per-edge values in CSR order of g.csr(). The trailing ∘A
+/// masks every dense term onto the edge set, so this stays sparse.
+[[nodiscard]] std::vector<count_t> wing_support(const graph::BipartiteGraph& g);
+
+}  // namespace bfc::gb

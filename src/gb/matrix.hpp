@@ -1,0 +1,59 @@
+// GraphBLAS-style sparse matrix operations over the plus-times semiring on
+// 64-bit integers. Matrices reuse sparse::CsrCounts; 0/1 patterns are
+// promoted with from_pattern(). These primitives are sufficient to execute
+// every expression in the paper's §II-§IV verbatim (Gram matrices,
+// Hadamard products, traces, J-products, DIAG, masks).
+#pragma once
+
+#include "gb/vector.hpp"
+#include "sparse/csr.hpp"
+#include "util/common.hpp"
+
+namespace bfc::gb {
+
+/// 0/1 pattern -> integer matrix of ones on the same structure.
+[[nodiscard]] sparse::CsrCounts from_pattern(const sparse::CsrPattern& p);
+
+/// C = A·B over plus-times.
+[[nodiscard]] sparse::CsrCounts mxm(const sparse::CsrCounts& a,
+                                    const sparse::CsrCounts& b);
+
+/// Aᵀ.
+[[nodiscard]] sparse::CsrCounts transpose(const sparse::CsrCounts& a);
+
+/// A ∘ B (element-wise multiply; the paper's Hadamard "∘").
+[[nodiscard]] sparse::CsrCounts ewise_mult(const sparse::CsrCounts& a,
+                                           const sparse::CsrCounts& b);
+
+/// A + B (element-wise add, structural union).
+[[nodiscard]] sparse::CsrCounts ewise_add(const sparse::CsrCounts& a,
+                                          const sparse::CsrCounts& b);
+
+/// Σ_ij A_ij — reduce to scalar.
+[[nodiscard]] count_t reduce(const sparse::CsrCounts& a);
+
+/// Γ(A) — trace (square only).
+[[nodiscard]] count_t trace(const sparse::CsrCounts& a);
+
+/// DIAG(A) as a sparse vector (square only) — the paper's Eq. (19) helper.
+[[nodiscard]] Vector diag(const sparse::CsrCounts& a);
+
+/// Row i of A as a sparse vector of length cols.
+[[nodiscard]] Vector extract_row(const sparse::CsrCounts& a, vidx_t i);
+
+/// y = A·x over plus-times.
+[[nodiscard]] Vector mxv(const sparse::CsrCounts& a, const Vector& x);
+
+/// y = Aᵀ·x without materialising the transpose.
+[[nodiscard]] Vector vxm(const Vector& x, const sparse::CsrCounts& a);
+
+/// y = A(rows lo..hi)·x, restricted to a contiguous row range: the
+/// FLAME repartitioning "P = A0 / A2" selector the loop algorithms need.
+/// Entries of y are indexed by the ORIGINAL row ids.
+[[nodiscard]] Vector mxv_row_range(const sparse::CsrCounts& a, vidx_t lo,
+                                   vidx_t hi, const Vector& x);
+
+/// Pattern of the nonzero structure.
+[[nodiscard]] sparse::CsrPattern pattern(const sparse::CsrCounts& a);
+
+}  // namespace bfc::gb

@@ -1,0 +1,56 @@
+#include "gb/peeling.hpp"
+
+#include "sparse/ops.hpp"
+
+namespace bfc::gb {
+
+MaskIterationResult k_tip_spec(const graph::BipartiteGraph& g, count_t k) {
+  require(k >= 0, "gb::k_tip_spec: negative k");
+  MaskIterationResult result;
+  result.subgraph = g;
+  while (true) {
+    ++result.rounds;
+    // s = ½·DIAG(BB − B∘B − JB + B) of the current subgraph (Eq. 19).
+    const std::vector<count_t> s = tip_vector(result.subgraph);
+    // m = (s >= k) (Eq. 20).
+    std::vector<std::uint8_t> m(s.size());
+    bool all_kept = true;
+    for (std::size_t i = 0; i < s.size(); ++i) {
+      m[i] = s[i] >= k ? 1 : 0;
+      if (!m[i] && result.subgraph.csr().row_degree(static_cast<vidx_t>(i)) > 0)
+        all_kept = false;
+    }
+    if (all_kept) break;
+    // A ← A ∘ (m·mᵀA) (Eqs. 21-22): the rank-structured mask zeroes every
+    // row outside m (the mᵀA factor only re-zeroes already-empty columns).
+    result.subgraph =
+        graph::BipartiteGraph(sparse::mask_rows(result.subgraph.csr(), m));
+  }
+  return result;
+}
+
+MaskIterationResult k_wing_spec(const graph::BipartiteGraph& g, count_t k) {
+  require(k >= 0, "gb::k_wing_spec: negative k");
+  MaskIterationResult result;
+  result.subgraph = g;
+  while (result.subgraph.edge_count() > 0) {
+    ++result.rounds;
+    // S_w = (AAᵀA − diag(AAᵀ)·1ᵀ − 1·diag(AᵀA)ᵀ + J) ∘ A (Eq. 25), as
+    // per-edge values in CSR order.
+    const std::vector<count_t> support = wing_support(result.subgraph);
+    // M = (S_w >= k) (Eq. 26).
+    std::vector<std::uint8_t> keep(support.size());
+    bool changed = false;
+    for (std::size_t e = 0; e < support.size(); ++e) {
+      keep[e] = support[e] >= k ? 1 : 0;
+      if (!keep[e]) changed = true;
+    }
+    if (!changed) break;
+    // A ← A ∘ M (Eq. 27).
+    result.subgraph = graph::BipartiteGraph(
+        sparse::mask_entries(result.subgraph.csr(), keep));
+  }
+  return result;
+}
+
+}  // namespace bfc::gb

@@ -1,0 +1,30 @@
+// §IV's peeling iterations executed verbatim on the GraphBLAS layer:
+// masks are vectors/matrices, the update A ← A ∘ M is an ewise multiply,
+// and the per-round quantities come from gb::tip_vector / gb::wing_support.
+// These are specification-fidelity implementations (each round re-evaluates
+// the full equation, like the paper's Eqs. 19-22 / 25-27 loop); the
+// production paths live in peel/.
+#pragma once
+
+#include "gb/butterflies.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::gb {
+
+struct MaskIterationResult {
+  graph::BipartiteGraph subgraph;
+  int rounds = 0;
+};
+
+/// Eqs. (19)-(22) on the gb layer: s = tip_vector, m = (s ≥ k),
+/// A ← A ∘ (m·mᵀA) — realised as a row mask on the pattern — to fixpoint.
+[[nodiscard]] MaskIterationResult k_tip_spec(const graph::BipartiteGraph& g,
+                                             count_t k);
+
+/// Eqs. (25)-(27) on the gb layer: S_w = wing_support, M = (S_w ≥ k),
+/// A ← A ∘ M, to fixpoint.
+[[nodiscard]] MaskIterationResult k_wing_spec(const graph::BipartiteGraph& g,
+                                              count_t k);
+
+}  // namespace bfc::gb

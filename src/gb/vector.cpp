@@ -1,0 +1,120 @@
+#include "gb/vector.hpp"
+
+namespace bfc::gb {
+
+Vector::Vector(vidx_t size, std::vector<vidx_t> indices,
+               std::vector<count_t> values)
+    : size_(size), indices_(std::move(indices)), values_(std::move(values)) {
+  require(size >= 0, "gb::Vector: negative size");
+  require(indices_.size() == values_.size(),
+          "gb::Vector: index/value length mismatch");
+  for (std::size_t k = 0; k < indices_.size(); ++k) {
+    require(indices_[k] >= 0 && indices_[k] < size,
+            "gb::Vector: index out of range");
+    if (k > 0)
+      require(indices_[k - 1] < indices_[k],
+              "gb::Vector: indices not sorted/unique");
+    require(values_[k] != 0, "gb::Vector: explicit zero stored");
+  }
+}
+
+Vector Vector::indicator(vidx_t size, std::vector<vidx_t> indices) {
+  std::vector<count_t> ones(indices.size(), 1);
+  return Vector(size, std::move(indices), std::move(ones));
+}
+
+Vector Vector::from_dense(const std::vector<count_t>& dense) {
+  std::vector<vidx_t> idx;
+  std::vector<count_t> val;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0) {
+      idx.push_back(static_cast<vidx_t>(i));
+      val.push_back(dense[i]);
+    }
+  }
+  return Vector(static_cast<vidx_t>(dense.size()), std::move(idx),
+                std::move(val));
+}
+
+std::vector<count_t> Vector::to_dense() const {
+  std::vector<count_t> dense(static_cast<std::size_t>(size_), 0);
+  for (std::size_t k = 0; k < indices_.size(); ++k)
+    dense[static_cast<std::size_t>(indices_[k])] = values_[k];
+  return dense;
+}
+
+count_t reduce(const Vector& x) {
+  count_t total = 0;
+  for (const count_t v : x.values()) total += v;
+  return total;
+}
+
+count_t dot(const Vector& x, const Vector& y) {
+  require(x.size() == y.size(), "gb::dot: size mismatch");
+  count_t total = 0;
+  std::size_t i = 0, j = 0;
+  while (i < x.nnz() && j < y.nnz()) {
+    if (x.indices()[i] < y.indices()[j]) {
+      ++i;
+    } else if (y.indices()[j] < x.indices()[i]) {
+      ++j;
+    } else {
+      total += x.values()[i] * y.values()[j];
+      ++i;
+      ++j;
+    }
+  }
+  return total;
+}
+
+Vector ewise_mult(const Vector& x, const Vector& y) {
+  require(x.size() == y.size(), "gb::ewise_mult: size mismatch");
+  std::vector<vidx_t> idx;
+  std::vector<count_t> val;
+  std::size_t i = 0, j = 0;
+  while (i < x.nnz() && j < y.nnz()) {
+    if (x.indices()[i] < y.indices()[j]) {
+      ++i;
+    } else if (y.indices()[j] < x.indices()[i]) {
+      ++j;
+    } else {
+      const count_t p = x.values()[i] * y.values()[j];
+      if (p != 0) {
+        idx.push_back(x.indices()[i]);
+        val.push_back(p);
+      }
+      ++i;
+      ++j;
+    }
+  }
+  return Vector(x.size(), std::move(idx), std::move(val));
+}
+
+Vector ewise_add(const Vector& x, const Vector& y) {
+  require(x.size() == y.size(), "gb::ewise_add: size mismatch");
+  std::vector<vidx_t> idx;
+  std::vector<count_t> val;
+  std::size_t i = 0, j = 0;
+  auto push = [&](vidx_t index, count_t value) {
+    if (value != 0) {
+      idx.push_back(index);
+      val.push_back(value);
+    }
+  };
+  while (i < x.nnz() || j < y.nnz()) {
+    if (j >= y.nnz() || (i < x.nnz() && x.indices()[i] < y.indices()[j])) {
+      push(x.indices()[i], x.values()[i]);
+      ++i;
+    } else if (i >= x.nnz() || y.indices()[j] < x.indices()[i]) {
+      push(y.indices()[j], y.values()[j]);
+      ++j;
+    } else {
+      push(x.indices()[i], x.values()[i] + y.values()[j]);
+      ++i;
+      ++j;
+    }
+  }
+  return Vector(x.size(), std::move(idx), std::move(val));
+}
+
+}  // namespace bfc::gb

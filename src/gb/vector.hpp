@@ -1,0 +1,81 @@
+// Sparse integer vector for the GraphBLAS-style layer (bfc::gb): the
+// "GraphBLAS" substrate lets the paper's update statements be executed
+// literally as matrix/vector expressions (see gb/butterflies.hpp) instead
+// of hand-specialised kernels — an executable form of the derivation.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bfc::gb {
+
+/// Sparse vector: sorted unique indices with parallel nonzero values.
+class Vector {
+ public:
+  Vector() = default;
+  explicit Vector(vidx_t size) : size_(size) {
+    require(size >= 0, "gb::Vector: negative size");
+  }
+
+  /// From parallel arrays; indices must be sorted, unique, in range, and
+  /// values nonzero.
+  Vector(vidx_t size, std::vector<vidx_t> indices,
+         std::vector<count_t> values);
+
+  /// Indicator vector of a sorted index set (all values 1).
+  static Vector indicator(vidx_t size, std::vector<vidx_t> indices);
+
+  /// Dense array -> sparse (zeros dropped).
+  static Vector from_dense(const std::vector<count_t>& dense);
+
+  [[nodiscard]] std::vector<count_t> to_dense() const;
+
+  [[nodiscard]] vidx_t size() const noexcept { return size_; }
+  [[nodiscard]] std::size_t nnz() const noexcept { return indices_.size(); }
+
+  [[nodiscard]] const std::vector<vidx_t>& indices() const noexcept {
+    return indices_;
+  }
+  [[nodiscard]] const std::vector<count_t>& values() const noexcept {
+    return values_;
+  }
+
+  bool operator==(const Vector& other) const = default;
+
+ private:
+  vidx_t size_ = 0;
+  std::vector<vidx_t> indices_;
+  std::vector<count_t> values_;
+};
+
+/// Σ_i x_i — the GraphBLAS reduce over the plus monoid.
+[[nodiscard]] count_t reduce(const Vector& x);
+
+/// xᵀy — dot product over the plus-times semiring.
+[[nodiscard]] count_t dot(const Vector& x, const Vector& y);
+
+/// Element-wise (Hadamard) product x ∘ y.
+[[nodiscard]] Vector ewise_mult(const Vector& x, const Vector& y);
+
+/// Element-wise sum x + y (structural union).
+[[nodiscard]] Vector ewise_add(const Vector& x, const Vector& y);
+
+/// Unary apply: f maps each stored value; zero results are dropped.
+template <typename Fn>
+[[nodiscard]] Vector apply(const Vector& x, Fn&& f) {
+  std::vector<vidx_t> idx;
+  std::vector<count_t> val;
+  idx.reserve(x.nnz());
+  val.reserve(x.nnz());
+  for (std::size_t k = 0; k < x.nnz(); ++k) {
+    const count_t r = f(x.values()[k]);
+    if (r != 0) {
+      idx.push_back(x.indices()[k]);
+      val.push_back(r);
+    }
+  }
+  return Vector(x.size(), std::move(idx), std::move(val));
+}
+
+}  // namespace bfc::gb

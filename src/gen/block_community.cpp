@@ -1,0 +1,38 @@
+#include "gen/generators.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/ops.hpp"
+
+namespace bfc::gen {
+
+graph::BipartiteGraph block_community(const BlockCommunitySpec& spec,
+                                      std::uint64_t seed) {
+  require(spec.blocks >= 0 && spec.block_rows >= 0 && spec.block_cols >= 0 &&
+              spec.extra_rows >= 0 && spec.extra_cols >= 0,
+          "block_community: negative sizes");
+  require(spec.p_in >= 0.0 && spec.p_in <= 1.0 && spec.p_out >= 0.0 &&
+              spec.p_out <= 1.0,
+          "block_community: probabilities outside [0,1]");
+  const vidx_t n1 = spec.blocks * spec.block_rows + spec.extra_rows;
+  const vidx_t n2 = spec.blocks * spec.block_cols + spec.extra_cols;
+
+  Rng rng(seed);
+  // Background edges across the whole matrix.
+  const graph::BipartiteGraph background =
+      erdos_renyi(n1, n2, spec.p_out, rng.next());
+
+  sparse::CooBuilder builder(n1, n2);
+  for (const auto& [u, v] : sparse::edges(background.csr())) builder.add(u, v);
+
+  // Dense diagonal blocks.
+  for (vidx_t b = 0; b < spec.blocks; ++b) {
+    const graph::BipartiteGraph block =
+        erdos_renyi(spec.block_rows, spec.block_cols, spec.p_in, rng.next());
+    const vidx_t row0 = b * spec.block_rows;
+    const vidx_t col0 = b * spec.block_cols;
+    for (const auto& [u, v] : sparse::edges(block.csr()))
+      builder.add(row0 + u, col0 + v);
+  }
+  return graph::BipartiteGraph(builder.build());
+}
+
+}  // namespace bfc::gen

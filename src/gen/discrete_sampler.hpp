@@ -1,0 +1,64 @@
+// Walker's alias method: O(1) sampling from an arbitrary discrete
+// distribution after O(n) setup. Drives the Chung–Lu endpoint draws.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace bfc::gen {
+
+class DiscreteSampler {
+ public:
+  /// weights must be non-negative with a positive sum.
+  explicit DiscreteSampler(const std::vector<double>& weights) {
+    const std::size_t n = weights.size();
+    require(n > 0, "DiscreteSampler: empty weights");
+    double total = 0.0;
+    for (const double w : weights) {
+      require(w >= 0.0, "DiscreteSampler: negative weight");
+      total += w;
+    }
+    require(total > 0.0, "DiscreteSampler: zero total weight");
+
+    prob_.assign(n, 0.0);
+    alias_.assign(n, 0);
+    std::vector<double> scaled(n);
+    for (std::size_t i = 0; i < n; ++i)
+      scaled[i] = weights[i] * static_cast<double>(n) / total;
+
+    std::vector<std::size_t> small, large;
+    for (std::size_t i = 0; i < n; ++i)
+      (scaled[i] < 1.0 ? small : large).push_back(i);
+
+    while (!small.empty() && !large.empty()) {
+      const std::size_t s = small.back();
+      small.pop_back();
+      const std::size_t l = large.back();
+      prob_[s] = scaled[s];
+      alias_[s] = static_cast<vidx_t>(l);
+      scaled[l] -= 1.0 - scaled[s];
+      if (scaled[l] < 1.0) {
+        large.pop_back();
+        small.push_back(l);
+      }
+    }
+    for (const std::size_t i : small) prob_[i] = 1.0;
+    for (const std::size_t i : large) prob_[i] = 1.0;
+  }
+
+  [[nodiscard]] vidx_t sample(Rng& rng) const {
+    const auto i =
+        static_cast<std::size_t>(rng.bounded(prob_.size()));
+    return rng.uniform() < prob_[i] ? static_cast<vidx_t>(i) : alias_[i];
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return prob_.size(); }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<vidx_t> alias_;
+};
+
+}  // namespace bfc::gen

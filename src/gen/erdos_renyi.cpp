@@ -1,0 +1,65 @@
+#include <cmath>
+#include <unordered_set>
+
+#include "gen/generators.hpp"
+#include "sparse/coo.hpp"
+
+namespace bfc::gen {
+
+graph::BipartiteGraph erdos_renyi(vidx_t n1, vidx_t n2, double p,
+                                  std::uint64_t seed) {
+  require(n1 >= 0 && n2 >= 0, "erdos_renyi: negative dimension");
+  require(p >= 0.0 && p <= 1.0, "erdos_renyi: p outside [0,1]");
+  sparse::CooBuilder builder(n1, n2);
+  const auto cells = static_cast<std::uint64_t>(n1) *
+                     static_cast<std::uint64_t>(n2);
+  if (cells == 0 || p == 0.0)
+    return graph::BipartiteGraph(builder.build());
+
+  Rng rng(seed);
+  if (p >= 1.0) {
+    for (vidx_t r = 0; r < n1; ++r)
+      for (vidx_t c = 0; c < n2; ++c) builder.add(r, c);
+    return graph::BipartiteGraph(builder.build());
+  }
+
+  // Geometric skipping over the linearised cell index: the gap to the next
+  // selected cell is Geometric(p).
+  const double log1mp = std::log1p(-p);
+  std::uint64_t idx = 0;
+  while (idx < cells) {
+    const double u = rng.uniform();
+    const auto skip = static_cast<std::uint64_t>(
+        std::floor(std::log1p(-u) / log1mp));
+    if (skip >= cells - idx) break;
+    idx += skip;
+    builder.add(static_cast<vidx_t>(idx / static_cast<std::uint64_t>(n2)),
+                static_cast<vidx_t>(idx % static_cast<std::uint64_t>(n2)));
+    ++idx;
+  }
+  return graph::BipartiteGraph(builder.build());
+}
+
+graph::BipartiteGraph erdos_renyi_m(vidx_t n1, vidx_t n2, offset_t m,
+                                    std::uint64_t seed) {
+  require(n1 > 0 && n2 > 0, "erdos_renyi_m: empty vertex set");
+  const auto cells = static_cast<std::uint64_t>(n1) *
+                     static_cast<std::uint64_t>(n2);
+  require(m >= 0 && static_cast<std::uint64_t>(m) <= cells,
+          "erdos_renyi_m: more edges than cells");
+
+  Rng rng(seed);
+  std::unordered_set<std::uint64_t> chosen;
+  chosen.reserve(static_cast<std::size_t>(m) * 2);
+  while (chosen.size() < static_cast<std::size_t>(m))
+    chosen.insert(rng.bounded(cells));
+
+  sparse::CooBuilder builder(n1, n2);
+  builder.reserve(chosen.size());
+  for (const std::uint64_t idx : chosen)
+    builder.add(static_cast<vidx_t>(idx / static_cast<std::uint64_t>(n2)),
+                static_cast<vidx_t>(idx % static_cast<std::uint64_t>(n2)));
+  return graph::BipartiteGraph(builder.build());
+}
+
+}  // namespace bfc::gen

@@ -1,0 +1,69 @@
+// Synthetic bipartite graph generators. These are the stand-ins for the
+// paper's KONECT datasets (DESIGN.md §4): Erdős–Rényi for uniform sparsity
+// sweeps, Chung–Lu for heavy-tailed KONECT-like degree profiles, the
+// configuration model for exact degree sequences, and a planted
+// block-community model that gives the peeling algorithms dense regions to
+// find.
+#pragma once
+
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace bfc::gen {
+
+/// G(n1, n2, p): each of the n1·n2 cells is an edge independently with
+/// probability p. Uses geometric skipping, O(|E|) expected time.
+[[nodiscard]] graph::BipartiteGraph erdos_renyi(vidx_t n1, vidx_t n2, double p,
+                                                std::uint64_t seed);
+
+/// G(n1, n2, m): exactly m distinct edges sampled uniformly at random.
+[[nodiscard]] graph::BipartiteGraph erdos_renyi_m(vidx_t n1, vidx_t n2,
+                                                  offset_t m,
+                                                  std::uint64_t seed);
+
+/// Chung–Lu style expected-degree model: edges are sampled by drawing
+/// endpoints proportionally to the weight vectors until `target_edges`
+/// distinct edges exist (the standard "fast Chung–Lu" approximation).
+[[nodiscard]] graph::BipartiteGraph chung_lu(
+    const std::vector<double>& weights_v1,
+    const std::vector<double>& weights_v2, offset_t target_edges,
+    std::uint64_t seed);
+
+/// Power-law weight vector w_i ∝ (i+1)^(-alpha), normalised to sum 1.
+[[nodiscard]] std::vector<double> power_law_weights(vidx_t n, double alpha);
+
+/// Configuration model over exact degree sequences (sums must match).
+/// Duplicate stub pairings are retried a bounded number of times and then
+/// dropped, so realised degrees can fall slightly below the request — the
+/// usual simple-graph projection.
+[[nodiscard]] graph::BipartiteGraph configuration_model(
+    const std::vector<offset_t>& degrees_v1,
+    const std::vector<offset_t>& degrees_v2, std::uint64_t seed);
+
+/// Planted community structure: `blocks` diagonal blocks of the given side
+/// lengths with in-block density p_in, plus background density p_out
+/// everywhere. Dense blocks contain butterflies at a much higher rate, so
+/// k-tip / k-wing peeling recovers them.
+struct BlockCommunitySpec {
+  vidx_t block_rows = 0;    // V1 vertices per block
+  vidx_t block_cols = 0;    // V2 vertices per block
+  vidx_t blocks = 0;        // number of planted blocks
+  vidx_t extra_rows = 0;    // background-only V1 vertices (no block)
+  vidx_t extra_cols = 0;    // background-only V2 vertices (no block)
+  double p_in = 0.5;        // density inside a block
+  double p_out = 0.001;     // background density
+};
+[[nodiscard]] graph::BipartiteGraph block_community(
+    const BlockCommunitySpec& spec, std::uint64_t seed);
+
+/// Bipartite preferential attachment: V1 vertices arrive one at a time and
+/// attach `edges_per_v1` distinct edges, each endpoint drawn from existing
+/// V2 endpoints with probability ∝ degree (25% uniform mix-in). Produces
+/// the "rich get richer" hubs typical of affiliation networks.
+[[nodiscard]] graph::BipartiteGraph preferential_attachment(
+    vidx_t n1, vidx_t n2, vidx_t edges_per_v1, std::uint64_t seed);
+
+}  // namespace bfc::gen

@@ -1,0 +1,41 @@
+// Calibrated synthetic stand-ins for the five KONECT datasets in the
+// paper's Fig. 9 (arXiv cond-mat, Producers, Record Labels, Occupations,
+// GitHub). Each preset matches the published |V1|, |V2|, |E| and uses
+// Chung–Lu power-law degree profiles typical of those collections; a scale
+// factor shrinks all three proportionally so the full bench suite fits in a
+// CI budget (DESIGN.md §4).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::gen {
+
+struct KonectPreset {
+  std::string name;       // paper's dataset name
+  vidx_t n1 = 0;          // |V1| as published
+  vidx_t n2 = 0;          // |V2| as published
+  offset_t edges = 0;     // |E| as published
+  double alpha_v1 = 0.7;  // power-law exponent for the V1 weight vector
+  double alpha_v2 = 0.7;  // power-law exponent for the V2 weight vector
+  count_t paper_butterflies = 0;  // Ξ_G as published (for the paper= column)
+};
+
+/// The five Fig. 9 presets, in the paper's row order.
+[[nodiscard]] const std::vector<KonectPreset>& konect_presets();
+
+/// Looks a preset up by (case-sensitive) name; throws if unknown.
+[[nodiscard]] const KonectPreset& konect_preset(const std::string& name);
+
+/// Instantiates a preset at `scale` in (0, 1]: |V1|, |V2| and |E| are all
+/// multiplied by `scale` (so average degree is preserved and the
+/// |V1|-vs-|V2| asymmetry that drives the paper's Fig. 10/11 conclusions is
+/// preserved exactly). Deterministic in `seed`.
+[[nodiscard]] graph::BipartiteGraph make_konect_like(const KonectPreset& preset,
+                                                     double scale,
+                                                     std::uint64_t seed);
+
+}  // namespace bfc::gen

@@ -1,0 +1,50 @@
+#include <algorithm>
+#include <cmath>
+
+#include "gen/generators.hpp"
+#include "sparse/coo.hpp"
+
+namespace bfc::gen {
+
+graph::BipartiteGraph preferential_attachment(vidx_t n1, vidx_t n2,
+                                              vidx_t edges_per_v1,
+                                              std::uint64_t seed) {
+  require(n1 > 0 && n2 > 0, "preferential_attachment: empty vertex set");
+  require(edges_per_v1 >= 1 && edges_per_v1 <= n2,
+          "preferential_attachment: edges_per_v1 out of range");
+
+  Rng rng(seed);
+  sparse::CooBuilder builder(n1, n2);
+  builder.reserve(static_cast<std::size_t>(n1) *
+                  static_cast<std::size_t>(edges_per_v1));
+
+  // Repeated-endpoint list: drawing uniformly from it realises
+  // degree-proportional ("rich get richer") attachment on the V2 side; a
+  // uniform draw is mixed in so early vertices do not monopolise.
+  std::vector<vidx_t> endpoint_pool;
+  endpoint_pool.reserve(static_cast<std::size_t>(n1) *
+                        static_cast<std::size_t>(edges_per_v1));
+
+  for (vidx_t u = 0; u < n1; ++u) {
+    // Distinct targets for this vertex within the batch.
+    std::vector<vidx_t> targets;
+    while (targets.size() < static_cast<std::size_t>(edges_per_v1)) {
+      vidx_t v;
+      if (endpoint_pool.empty() || rng.bernoulli(0.25)) {
+        v = static_cast<vidx_t>(rng.bounded(static_cast<std::uint64_t>(n2)));
+      } else {
+        v = endpoint_pool[static_cast<std::size_t>(
+            rng.bounded(endpoint_pool.size()))];
+      }
+      if (std::find(targets.begin(), targets.end(), v) == targets.end())
+        targets.push_back(v);
+    }
+    for (const vidx_t v : targets) {
+      builder.add(u, v);
+      endpoint_pool.push_back(v);
+    }
+  }
+  return graph::BipartiteGraph(builder.build());
+}
+
+}  // namespace bfc::gen

@@ -1,0 +1,23 @@
+#include "graph/bipartite_graph.hpp"
+
+#include "sparse/coo.hpp"
+
+namespace bfc::graph {
+
+BipartiteGraph::BipartiteGraph(sparse::CsrPattern biadjacency)
+    : a_(std::move(biadjacency)), at_(a_.transpose()) {}
+
+BipartiteGraph BipartiteGraph::from_edges(
+    vidx_t n1, vidx_t n2,
+    const std::vector<std::pair<vidx_t, vidx_t>>& edge_list) {
+  sparse::CooBuilder builder(n1, n2);
+  builder.reserve(edge_list.size());
+  for (const auto& [u, v] : edge_list) builder.add(u, v);
+  return BipartiteGraph(builder.build());
+}
+
+BipartiteGraph BipartiteGraph::swapped_sides() const {
+  return BipartiteGraph(at_);
+}
+
+}  // namespace bfc::graph

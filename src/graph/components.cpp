@@ -1,0 +1,105 @@
+#include "graph/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "sparse/ops.hpp"
+
+namespace bfc::graph {
+
+Components connected_components(const BipartiteGraph& g) {
+  Components out;
+  out.label_v1.assign(static_cast<std::size_t>(g.n1()), -1);
+  out.label_v2.assign(static_cast<std::size_t>(g.n2()), -1);
+
+  // Unified ids: V1 vertex u -> u, V2 vertex v -> n1 + v.
+  const vidx_t total = g.n1() + g.n2();
+  std::queue<vidx_t> frontier;
+
+  auto label_of = [&](vidx_t x) -> vidx_t& {
+    return x < g.n1() ? out.label_v1[static_cast<std::size_t>(x)]
+                      : out.label_v2[static_cast<std::size_t>(x - g.n1())];
+  };
+
+  for (vidx_t start = 0; start < total; ++start) {
+    if (label_of(start) != -1) continue;
+    const vidx_t component = out.count++;
+    label_of(start) = component;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      const vidx_t x = frontier.front();
+      frontier.pop();
+      const auto expand = [&](vidx_t neighbor_unified) {
+        if (label_of(neighbor_unified) == -1) {
+          label_of(neighbor_unified) = component;
+          frontier.push(neighbor_unified);
+        }
+      };
+      if (x < g.n1()) {
+        for (const vidx_t v : g.neighbors_of_v1(x)) expand(g.n1() + v);
+      } else {
+        for (const vidx_t u : g.neighbors_of_v2(x - g.n1())) expand(u);
+      }
+    }
+  }
+
+  out.edges_per_component.assign(static_cast<std::size_t>(out.count), 0);
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    out.edges_per_component[static_cast<std::size_t>(
+        out.label_v1[static_cast<std::size_t>(u)])] +=
+        g.csr().row_degree(u);
+  return out;
+}
+
+BipartiteGraph largest_component(const BipartiteGraph& g) {
+  const Components components = connected_components(g);
+  if (components.count == 0 || g.edge_count() == 0) return g;
+  const auto best = static_cast<vidx_t>(
+      std::max_element(components.edges_per_component.begin(),
+                       components.edges_per_component.end()) -
+      components.edges_per_component.begin());
+  std::vector<std::uint8_t> keep(static_cast<std::size_t>(g.n1()));
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    keep[static_cast<std::size_t>(u)] =
+        components.label_v1[static_cast<std::size_t>(u)] == best ? 1 : 0;
+  return BipartiteGraph(sparse::mask_rows(g.csr(), keep));
+}
+
+CorePruneResult two_core_prune(const BipartiteGraph& g) {
+  CorePruneResult result;
+  result.subgraph = g;
+  std::vector<std::uint8_t> alive_v1(static_cast<std::size_t>(g.n1()), 1);
+  std::vector<std::uint8_t> alive_v2(static_cast<std::size_t>(g.n2()), 1);
+
+  // A degree-0 vertex carries no edges, so only degree-exactly-1 vertices
+  // need removing; the fixpoint leaves no vertex of degree 1, i.e. the
+  // 2-core's edge set (plus edgeless vertices, which keep their ids).
+  while (true) {
+    ++result.rounds;
+    const auto deg1 = sparse::row_degrees(result.subgraph.csr());
+    const auto deg2 = sparse::row_degrees(result.subgraph.csc());
+    bool changed = false;
+    for (vidx_t u = 0; u < g.n1(); ++u) {
+      const auto i = static_cast<std::size_t>(u);
+      if (alive_v1[i] && deg1[i] == 1) {
+        alive_v1[i] = 0;
+        ++result.removed_v1;
+        changed = true;
+      }
+    }
+    for (vidx_t v = 0; v < g.n2(); ++v) {
+      const auto i = static_cast<std::size_t>(v);
+      if (alive_v2[i] && deg2[i] == 1) {
+        alive_v2[i] = 0;
+        ++result.removed_v2;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    result.subgraph = BipartiteGraph(sparse::mask_cols(
+        sparse::mask_rows(result.subgraph.csr(), alive_v1), alive_v2));
+  }
+  return result;
+}
+
+}  // namespace bfc::graph

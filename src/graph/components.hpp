@@ -1,0 +1,40 @@
+// Connectivity utilities over the bipartite graph: connected components on
+// the unified vertex set, largest-component extraction, and the 2-core
+// prune — a correctness-preserving preprocessing step for butterfly work
+// (a vertex of degree < 2 cannot be a butterfly corner, and removing it can
+// only expose more such vertices, so the 2-core contains every butterfly).
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::graph {
+
+struct Components {
+  vidx_t count = 0;
+  std::vector<vidx_t> label_v1;  // component id per V1 vertex
+  std::vector<vidx_t> label_v2;  // component id per V2 vertex
+  std::vector<offset_t> edges_per_component;
+};
+
+/// BFS labelling over the unified vertex set. Isolated vertices each form
+/// their own (edgeless) component.
+[[nodiscard]] Components connected_components(const BipartiteGraph& g);
+
+/// Subgraph of the component with the most edges (dimensions preserved,
+/// other components' edges dropped). The input graph if it has no edges.
+[[nodiscard]] BipartiteGraph largest_component(const BipartiteGraph& g);
+
+struct CorePruneResult {
+  BipartiteGraph subgraph;      // dimensions preserved
+  vidx_t removed_v1 = 0;        // vertices stripped of all edges
+  vidx_t removed_v2 = 0;
+  int rounds = 0;
+};
+
+/// Iteratively removes vertices (both sides) of degree < 2 until none
+/// remain. Butterfly counts, per-vertex butterfly counts of surviving
+/// vertices, and per-edge supports of surviving edges are all unchanged.
+[[nodiscard]] CorePruneResult two_core_prune(const BipartiteGraph& g);
+
+}  // namespace bfc::graph

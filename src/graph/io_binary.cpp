@@ -1,0 +1,79 @@
+#include "graph/io_binary.hpp"
+
+#include <array>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+namespace bfc::graph {
+namespace {
+
+constexpr std::array<char, 8> kMagic = {'B', 'F', 'C', '1', 0, 0, 0, 0};
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) throw std::runtime_error("binary graph: truncated stream");
+  return value;
+}
+
+template <typename T>
+void write_vec(std::ostream& out, const std::vector<T>& v) {
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& in, std::size_t n) {
+  std::vector<T> v(n);
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  if (!in) throw std::runtime_error("binary graph: truncated array");
+  return v;
+}
+
+}  // namespace
+
+void write_binary(std::ostream& out, const BipartiteGraph& g) {
+  out.write(kMagic.data(), kMagic.size());
+  write_pod(out, g.n1());
+  write_pod(out, g.n2());
+  write_pod(out, g.edge_count());
+  write_vec(out, g.csr().row_ptr());
+  write_vec(out, g.csr().col_idx());
+}
+
+void save_binary(const std::string& path, const BipartiteGraph& g) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write binary graph: " + path);
+  write_binary(out, g);
+}
+
+BipartiteGraph read_binary(std::istream& in) {
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
+    throw std::runtime_error("binary graph: bad magic");
+  const auto n1 = read_pod<vidx_t>(in);
+  const auto n2 = read_pod<vidx_t>(in);
+  const auto nnz = read_pod<offset_t>(in);
+  require(n1 >= 0 && n2 >= 0 && nnz >= 0, "binary graph: negative header");
+  auto row_ptr = read_vec<offset_t>(in, static_cast<std::size_t>(n1) + 1);
+  auto col_idx = read_vec<vidx_t>(in, static_cast<std::size_t>(nnz));
+  return BipartiteGraph(
+      sparse::CsrPattern(n1, n2, std::move(row_ptr), std::move(col_idx)));
+}
+
+BipartiteGraph load_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open binary graph: " + path);
+  return read_binary(in);
+}
+
+}  // namespace bfc::graph

@@ -1,0 +1,21 @@
+// Compact binary snapshot format ("BFC1") so the bench harness can cache
+// generated datasets between runs instead of regenerating them. Layout:
+// 8-byte magic, then n1, n2 (int32), nnz (int64), row_ptr, col_idx —
+// all little-endian host order (the format is a local cache, not an
+// interchange format).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bfc::graph {
+
+void write_binary(std::ostream& out, const BipartiteGraph& g);
+void save_binary(const std::string& path, const BipartiteGraph& g);
+
+[[nodiscard]] BipartiteGraph read_binary(std::istream& in);
+[[nodiscard]] BipartiteGraph load_binary(const std::string& path);
+
+}  // namespace bfc::graph

@@ -1,0 +1,67 @@
+#include "graph/io_edgelist.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace bfc::graph {
+
+BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
+  std::vector<std::pair<vidx_t, vidx_t>> edges;
+  vidx_t max_u = 0;
+  vidx_t max_v = 0;
+
+  std::string line;
+  std::size_t lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const auto first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos) continue;
+    if (line[first] == '%' || line[first] == '#') continue;
+
+    std::istringstream fields(line);
+    long long u = 0, v = 0;
+    if (!(fields >> u >> v))
+      throw std::runtime_error("edgelist: malformed line " +
+                               std::to_string(lineno) + ": " + line);
+    if (u < 1 || v < 1)
+      throw std::runtime_error("edgelist: ids must be 1-based positive, line " +
+                               std::to_string(lineno));
+    const auto u0 = static_cast<vidx_t>(u - 1);
+    const auto v0 = static_cast<vidx_t>(v - 1);
+    max_u = std::max(max_u, static_cast<vidx_t>(u0 + 1));
+    max_v = std::max(max_v, static_cast<vidx_t>(v0 + 1));
+    edges.emplace_back(u0, v0);
+  }
+
+  const vidx_t rows = n1 > 0 ? n1 : max_u;
+  const vidx_t cols = n2 > 0 ? n2 : max_v;
+  require(rows >= max_u && cols >= max_v,
+          "edgelist: forced dimensions smaller than ids present");
+  return BipartiteGraph::from_edges(rows, cols, edges);
+}
+
+BipartiteGraph load_edgelist(const std::string& path, vidx_t n1, vidx_t n2) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open edge list: " + path);
+  return read_edgelist(in, n1, n2);
+}
+
+void write_edgelist(std::ostream& out, const BipartiteGraph& g) {
+  out << "% bip " << g.n1() << ' ' << g.n2() << ' ' << g.edge_count() << '\n';
+  const auto& a = g.csr();
+  for (vidx_t u = 0; u < a.rows(); ++u)
+    for (const vidx_t v : a.row(u)) out << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+void save_edgelist(const std::string& path, const BipartiteGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write edge list: " + path);
+  write_edgelist(out, g);
+}
+
+}  // namespace bfc::graph

@@ -1,0 +1,28 @@
+// KONECT-style edge-list I/O. The KONECT `out.<name>` files used by the
+// paper are plain text: comment lines start with '%', data lines are
+// "u v [weight [timestamp]]" with 1-based vertex ids, where u indexes V1 and
+// v indexes V2. Loading one of the real datasets therefore works unchanged;
+// our benches substitute calibrated synthetic graphs (see DESIGN.md §4).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bfc::graph {
+
+/// Parses a KONECT-style stream. Vertex-set sizes are inferred from the
+/// maximum ids seen unless forced via n1/n2 (pass 0 to infer).
+[[nodiscard]] BipartiteGraph read_edgelist(std::istream& in, vidx_t n1 = 0,
+                                           vidx_t n2 = 0);
+
+/// Loads from a file path; throws std::runtime_error if unreadable.
+[[nodiscard]] BipartiteGraph load_edgelist(const std::string& path,
+                                           vidx_t n1 = 0, vidx_t n2 = 0);
+
+/// Writes "u v" lines with 1-based ids plus a '%' header.
+void write_edgelist(std::ostream& out, const BipartiteGraph& g);
+void save_edgelist(const std::string& path, const BipartiteGraph& g);
+
+}  // namespace bfc::graph

@@ -1,0 +1,90 @@
+#include "graph/io_mtx.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sparse/coo.hpp"
+
+namespace bfc::graph {
+namespace {
+
+std::string lowercase(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+BipartiteGraph read_mtx(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("mtx: empty stream");
+
+  std::istringstream banner(lowercase(line));
+  std::string tag, object, format, field, symmetry;
+  banner >> tag >> object >> format >> field >> symmetry;
+  if (tag != "%%matrixmarket" || object != "matrix")
+    throw std::runtime_error("mtx: missing %%MatrixMarket matrix banner");
+  if (format != "coordinate")
+    throw std::runtime_error("mtx: only coordinate format supported");
+  if (field != "pattern" && field != "integer" && field != "real")
+    throw std::runtime_error("mtx: unsupported field: " + field);
+  if (symmetry != "general")
+    throw std::runtime_error(
+        "mtx: biadjacency matrices are rectangular; symmetry must be general");
+  const bool has_value = field != "pattern";
+
+  // Skip comments up to the size line.
+  do {
+    if (!std::getline(in, line)) throw std::runtime_error("mtx: no size line");
+  } while (!line.empty() && line[0] == '%');
+
+  std::istringstream size_line(line);
+  long long rows = 0, cols = 0, entries = 0;
+  if (!(size_line >> rows >> cols >> entries) || rows < 0 || cols < 0 ||
+      entries < 0)
+    throw std::runtime_error("mtx: malformed size line: " + line);
+
+  sparse::CooBuilder builder(static_cast<vidx_t>(rows),
+                             static_cast<vidx_t>(cols));
+  builder.reserve(static_cast<std::size_t>(entries));
+  for (long long k = 0; k < entries; ++k) {
+    long long r = 0, c = 0;
+    double value = 1.0;
+    if (!(in >> r >> c)) throw std::runtime_error("mtx: truncated entries");
+    if (has_value && !(in >> value))
+      throw std::runtime_error("mtx: entry missing value");
+    if (r < 1 || r > rows || c < 1 || c > cols)
+      throw std::runtime_error("mtx: entry out of range");
+    if (value != 0.0)
+      builder.add(static_cast<vidx_t>(r - 1), static_cast<vidx_t>(c - 1));
+  }
+  return BipartiteGraph(builder.build());
+}
+
+BipartiteGraph load_mtx(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open mtx file: " + path);
+  return read_mtx(in);
+}
+
+void write_mtx(std::ostream& out, const BipartiteGraph& g) {
+  out << "%%MatrixMarket matrix coordinate pattern general\n";
+  out << g.n1() << ' ' << g.n2() << ' ' << g.edge_count() << '\n';
+  const auto& a = g.csr();
+  for (vidx_t u = 0; u < a.rows(); ++u)
+    for (const vidx_t v : a.row(u)) out << (u + 1) << ' ' << (v + 1) << '\n';
+}
+
+void save_mtx(const std::string& path, const BipartiteGraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write mtx file: " + path);
+  write_mtx(out, g);
+}
+
+}  // namespace bfc::graph

@@ -1,0 +1,20 @@
+// Matrix Market (coordinate) I/O for biadjacency matrices. Supports the
+// "pattern" field directly and tolerates "integer"/"real" files by treating
+// any explicit nonzero as an edge; "general" symmetry only (a biadjacency
+// matrix is rectangular).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/bipartite_graph.hpp"
+
+namespace bfc::graph {
+
+[[nodiscard]] BipartiteGraph read_mtx(std::istream& in);
+[[nodiscard]] BipartiteGraph load_mtx(const std::string& path);
+
+void write_mtx(std::ostream& out, const BipartiteGraph& g);
+void save_mtx(const std::string& path, const BipartiteGraph& g);
+
+}  // namespace bfc::graph

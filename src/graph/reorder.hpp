@@ -1,0 +1,38 @@
+// Vertex reordering. The paper's future work (§VI) points at "sorting by
+// vertex degrees [3], [12]" as the next optimisation for these algorithms;
+// this module provides the degree (and random) relabelings plus the
+// machinery to carry results back to original ids. Counting is invariant
+// under relabeling, but the unblocked kernels' cost is not: a pivot's peer
+// scan touches prefix/suffix column ranges, so hub placement changes the
+// measured times (ablation_ordering quantifies it).
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::graph {
+
+enum class Order {
+  kDegreeAscending,
+  kDegreeDescending,
+  kRandom,
+};
+
+struct Relabeling {
+  BipartiteGraph graph;            // the relabeled graph
+  std::vector<vidx_t> v1_old_to_new;
+  std::vector<vidx_t> v2_old_to_new;
+};
+
+/// Relabels both vertex sets by the requested order (ties broken by
+/// original id; kRandom uses `seed`).
+[[nodiscard]] Relabeling reorder(const BipartiteGraph& g, Order order,
+                                 std::uint64_t seed = 0);
+
+/// Applies explicit permutations (old id -> new id); both must be
+/// bijections of the correct size.
+[[nodiscard]] BipartiteGraph relabel(const BipartiteGraph& g,
+                                     const std::vector<vidx_t>& v1_old_to_new,
+                                     const std::vector<vidx_t>& v2_old_to_new);
+
+}  // namespace bfc::graph

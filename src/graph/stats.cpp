@@ -1,0 +1,142 @@
+#include "graph/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+#include "sparse/ops.hpp"
+
+namespace bfc::graph {
+namespace {
+
+DegreeSummary summarize_degrees(const std::vector<offset_t>& deg) {
+  DegreeSummary s;
+  if (deg.empty()) return s;
+  s.min = *std::min_element(deg.begin(), deg.end());
+  s.max = *std::max_element(deg.begin(), deg.end());
+  count_t total = 0;
+  for (const offset_t d : deg) {
+    total += d;
+    if (d == 0) ++s.isolated;
+  }
+  s.mean = static_cast<double>(total) / static_cast<double>(deg.size());
+  return s;
+}
+
+count_t wedge_sum(const std::vector<offset_t>& deg) {
+  count_t total = 0;
+  for (const offset_t d : deg) total += choose2(d);
+  return total;
+}
+
+}  // namespace
+
+DegreeSummary degree_summary_v1(const BipartiteGraph& g) {
+  return summarize_degrees(sparse::row_degrees(g.csr()));
+}
+
+DegreeSummary degree_summary_v2(const BipartiteGraph& g) {
+  return summarize_degrees(sparse::row_degrees(g.csc()));
+}
+
+count_t wedges_v1_endpoints(const BipartiteGraph& g) {
+  // Wedge point is a V2 vertex; its degree chooses the two endpoints.
+  return wedge_sum(sparse::row_degrees(g.csc()));
+}
+
+count_t wedges_v2_endpoints(const BipartiteGraph& g) {
+  return wedge_sum(sparse::row_degrees(g.csr()));
+}
+
+count_t caterpillars(const BipartiteGraph& g) {
+  const auto deg1 = sparse::row_degrees(g.csr());
+  const auto deg2 = sparse::row_degrees(g.csc());
+  count_t total = 0;
+  const auto& a = g.csr();
+  for (vidx_t u = 0; u < a.rows(); ++u) {
+    const count_t du = deg1[static_cast<std::size_t>(u)] - 1;
+    if (du <= 0) continue;
+    for (const vidx_t v : a.row(u)) {
+      const count_t dv = deg2[static_cast<std::size_t>(v)] - 1;
+      if (dv > 0) total += du * dv;
+    }
+  }
+  return total;
+}
+
+double clustering_coefficient(const BipartiteGraph& g, count_t butterflies) {
+  const count_t cats = caterpillars(g);
+  if (cats == 0) return 0.0;
+  return 4.0 * static_cast<double>(butterflies) / static_cast<double>(cats);
+}
+
+namespace {
+
+std::vector<vidx_t> histogram_of(const std::vector<offset_t>& deg) {
+  offset_t max_deg = 0;
+  for (const offset_t d : deg) max_deg = std::max(max_deg, d);
+  std::vector<vidx_t> hist(static_cast<std::size_t>(max_deg) + 1, 0);
+  for (const offset_t d : deg) ++hist[static_cast<std::size_t>(d)];
+  return hist;
+}
+
+offset_t percentile_of(std::vector<offset_t> deg, double q) {
+  require(q >= 0.0 && q <= 100.0, "degree percentile: q outside [0, 100]");
+  if (deg.empty()) return 0;
+  std::sort(deg.begin(), deg.end());
+  // Nearest-rank: the ceil(q/100 * n)-th smallest (1-indexed).
+  const auto n = static_cast<double>(deg.size());
+  auto rank = static_cast<std::size_t>(std::ceil(q / 100.0 * n));
+  if (rank > 0) --rank;  // to 0-indexed
+  return deg[std::min(rank, deg.size() - 1)];
+}
+
+}  // namespace
+
+std::vector<vidx_t> degree_histogram_v1(const BipartiteGraph& g) {
+  return histogram_of(sparse::row_degrees(g.csr()));
+}
+
+std::vector<vidx_t> degree_histogram_v2(const BipartiteGraph& g) {
+  return histogram_of(sparse::row_degrees(g.csc()));
+}
+
+offset_t degree_percentile_v1(const BipartiteGraph& g, double q) {
+  return percentile_of(sparse::row_degrees(g.csr()), q);
+}
+
+offset_t degree_percentile_v2(const BipartiteGraph& g, double q) {
+  return percentile_of(sparse::row_degrees(g.csc()), q);
+}
+
+double density(const BipartiteGraph& g) {
+  const double cells =
+      static_cast<double>(g.n1()) * static_cast<double>(g.n2());
+  return cells == 0.0 ? 0.0 : static_cast<double>(g.edge_count()) / cells;
+}
+
+GraphSummary summarize(const BipartiteGraph& g) {
+  GraphSummary s;
+  s.n1 = g.n1();
+  s.n2 = g.n2();
+  s.edges = g.edge_count();
+  s.density = density(g);
+  s.deg_v1 = degree_summary_v1(g);
+  s.deg_v2 = degree_summary_v2(g);
+  s.wedges_v1 = wedges_v1_endpoints(g);
+  s.wedges_v2 = wedges_v2_endpoints(g);
+  s.caterpillars = caterpillars(g);
+  return s;
+}
+
+std::ostream& operator<<(std::ostream& os, const GraphSummary& s) {
+  os << "|V1|=" << s.n1 << " |V2|=" << s.n2 << " |E|=" << s.edges
+     << " density=" << s.density << " degV1[min=" << s.deg_v1.min
+     << ",max=" << s.deg_v1.max << ",mean=" << s.deg_v1.mean
+     << "] degV2[min=" << s.deg_v2.min << ",max=" << s.deg_v2.max
+     << ",mean=" << s.deg_v2.mean << "] wedgesV1=" << s.wedges_v1
+     << " wedgesV2=" << s.wedges_v2 << " caterpillars=" << s.caterpillars;
+  return os;
+}
+
+}  // namespace bfc::graph

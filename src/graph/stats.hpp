@@ -1,0 +1,66 @@
+// Structural statistics of a bipartite graph: degree summaries, wedge
+// counts, caterpillars (paths of length 3) and the butterfly-based
+// clustering coefficient the paper's introduction cites (Wang et al. [15]).
+#pragma once
+
+#include <iosfwd>
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::graph {
+
+struct DegreeSummary {
+  offset_t min = 0;
+  offset_t max = 0;
+  double mean = 0.0;
+  vidx_t isolated = 0;  // vertices of degree zero
+};
+
+[[nodiscard]] DegreeSummary degree_summary_v1(const BipartiteGraph& g);
+[[nodiscard]] DegreeSummary degree_summary_v2(const BipartiteGraph& g);
+
+/// Wedges with endpoints in V1 (wedge point in V2): Σ_v C(deg(v), 2).
+[[nodiscard]] count_t wedges_v1_endpoints(const BipartiteGraph& g);
+
+/// Wedges with endpoints in V2 (wedge point in V1): Σ_u C(deg(u), 2).
+[[nodiscard]] count_t wedges_v2_endpoints(const BipartiteGraph& g);
+
+/// Caterpillars: paths of length 3, Σ_{(u,v)∈E} (deg(u)-1)(deg(v)-1).
+[[nodiscard]] count_t caterpillars(const BipartiteGraph& g);
+
+/// Bipartite clustering coefficient 4·Ξ_G / caterpillars (0 when the graph
+/// has no caterpillar); the caller supplies the butterfly count Ξ_G.
+[[nodiscard]] double clustering_coefficient(const BipartiteGraph& g,
+                                            count_t butterflies);
+
+/// Edge density |E| / (|V1|·|V2|).
+[[nodiscard]] double density(const BipartiteGraph& g);
+
+/// Degree histogram: entry d is the number of vertices of degree d (length
+/// max degree + 1; a single zero entry for an empty vertex set).
+[[nodiscard]] std::vector<vidx_t> degree_histogram_v1(const BipartiteGraph& g);
+[[nodiscard]] std::vector<vidx_t> degree_histogram_v2(const BipartiteGraph& g);
+
+/// The q-th degree percentile (0 <= q <= 100) of a vertex set, by the
+/// nearest-rank definition.
+[[nodiscard]] offset_t degree_percentile_v1(const BipartiteGraph& g, double q);
+[[nodiscard]] offset_t degree_percentile_v2(const BipartiteGraph& g, double q);
+
+struct GraphSummary {
+  vidx_t n1 = 0;
+  vidx_t n2 = 0;
+  offset_t edges = 0;
+  double density = 0.0;
+  DegreeSummary deg_v1;
+  DegreeSummary deg_v2;
+  count_t wedges_v1 = 0;  // endpoints in V1
+  count_t wedges_v2 = 0;  // endpoints in V2
+  count_t caterpillars = 0;
+};
+
+[[nodiscard]] GraphSummary summarize(const BipartiteGraph& g);
+
+std::ostream& operator<<(std::ostream& os, const GraphSummary& s);
+
+}  // namespace bfc::graph

@@ -1,0 +1,50 @@
+#include "la/invariants.hpp"
+
+#include <stdexcept>
+
+namespace bfc::la {
+
+InvariantTraits traits(Invariant inv) {
+  switch (inv) {
+    case Invariant::kInv1:
+      return {Family::kColumns, Direction::kForward, PeerSide::kBefore, false};
+    case Invariant::kInv2:
+      return {Family::kColumns, Direction::kForward, PeerSide::kAfter, true};
+    case Invariant::kInv3:
+      // Backward traversal: indices below the pivot are future pivots, so
+      // the A0 peer is a look-ahead access.
+      return {Family::kColumns, Direction::kBackward, PeerSide::kBefore, true};
+    case Invariant::kInv4:
+      return {Family::kColumns, Direction::kBackward, PeerSide::kAfter, false};
+    case Invariant::kInv5:
+      return {Family::kRows, Direction::kForward, PeerSide::kBefore, false};
+    case Invariant::kInv6:
+      return {Family::kRows, Direction::kForward, PeerSide::kAfter, true};
+    case Invariant::kInv7:
+      return {Family::kRows, Direction::kBackward, PeerSide::kBefore, true};
+    case Invariant::kInv8:
+      return {Family::kRows, Direction::kBackward, PeerSide::kAfter, false};
+  }
+  throw std::invalid_argument("traits: bad invariant value");
+}
+
+const char* name(Invariant inv) {
+  switch (inv) {
+    case Invariant::kInv1: return "Inv. 1";
+    case Invariant::kInv2: return "Inv. 2";
+    case Invariant::kInv3: return "Inv. 3";
+    case Invariant::kInv4: return "Inv. 4";
+    case Invariant::kInv5: return "Inv. 5";
+    case Invariant::kInv6: return "Inv. 6";
+    case Invariant::kInv7: return "Inv. 7";
+    case Invariant::kInv8: return "Inv. 8";
+  }
+  throw std::invalid_argument("name: bad invariant value");
+}
+
+Invariant invariant_from_number(int k) {
+  require(k >= 1 && k <= 8, "invariant number must be 1..8");
+  return static_cast<Invariant>(k);
+}
+
+}  // namespace bfc::la

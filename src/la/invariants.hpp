@@ -1,0 +1,66 @@
+// The family of eight butterfly counting algorithms derived in §III of the
+// paper, one per loop invariant (Figs. 4 and 5):
+//
+//   Invariant  partitioned set  traversal      update peer   algorithm
+//   1          V2 (columns)     L -> R         A0 (before)   Fig. 6, Alg 1
+//   2          V2 (columns)     L -> R         A2 (after)    Fig. 6, Alg 2
+//   3          V2 (columns)     R -> L         A0 (before)   Fig. 6, Alg 3
+//   4          V2 (columns)     R -> L         A2 (after)    Fig. 6, Alg 4
+//   5          V1 (rows)        T -> B         A0 (before)   Fig. 7, Alg 5
+//   6          V1 (rows)        T -> B         A2 (after)    Fig. 7, Alg 6
+//   7          V1 (rows)        B -> T         A0 (before)   Fig. 7, Alg 7
+//   8          V1 (rows)        B -> T         A2 (after)    Fig. 7, Alg 8
+//
+// "Look-ahead" marks algorithms whose update touches matrix parts that will
+// be exposed in future iterations (peer set not yet traversed).
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace bfc::la {
+
+enum class Invariant {
+  kInv1 = 1,
+  kInv2 = 2,
+  kInv3 = 3,
+  kInv4 = 4,
+  kInv5 = 5,
+  kInv6 = 6,
+  kInv7 = 7,
+  kInv8 = 8,
+};
+
+/// Which vertex set the FLAME loop partitions.
+enum class Family { kColumns, kRows };
+
+/// Traversal order of the pivot over the partitioned dimension.
+enum class Direction { kForward, kBackward };
+
+/// Which side of the pivot the update's peer partition lies on:
+/// kBefore = A0 (indices below the pivot), kAfter = A2 (indices above).
+enum class PeerSide { kBefore, kAfter };
+
+struct InvariantTraits {
+  Family family;
+  Direction direction;
+  PeerSide peer;
+  bool look_ahead;  // peer partition has not been traversed yet
+};
+
+[[nodiscard]] InvariantTraits traits(Invariant inv);
+
+[[nodiscard]] const char* name(Invariant inv);
+
+/// 1-8 -> Invariant; throws on anything else.
+[[nodiscard]] Invariant invariant_from_number(int k);
+
+[[nodiscard]] constexpr std::array<Invariant, 8> all_invariants() {
+  return {Invariant::kInv1, Invariant::kInv2, Invariant::kInv3,
+          Invariant::kInv4, Invariant::kInv5, Invariant::kInv6,
+          Invariant::kInv7, Invariant::kInv8};
+}
+
+}  // namespace bfc::la

@@ -1,0 +1,102 @@
+#include <omp.h>
+
+#include "la/kernels.hpp"
+#include "la/partition.hpp"
+
+namespace bfc::la {
+namespace {
+
+inline count_t line_overlap(const sparse::CsrPattern& lines, vidx_t c,
+                            const std::vector<std::uint8_t>& marked) {
+  count_t t = 0;
+  for (const vidx_t i : lines.row(c)) t += marked[static_cast<std::size_t>(i)];
+  return t;
+}
+
+}  // namespace
+
+count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
+                                 Direction direction, PeerSide peer,
+                                 UpdateForm form) {
+  const auto steps = traversal_steps(lines.rows(), direction, peer);
+  const auto n_steps = static_cast<std::int64_t>(steps.size());
+  count_t total = 0;
+
+#pragma omp parallel
+  {
+    // Private mark scratch per thread; butterfly contributions of distinct
+    // pivots are independent, so the steps parallelise trivially and the
+    // integer reduction is deterministic.
+    std::vector<std::uint8_t> marked(static_cast<std::size_t>(lines.cols()),
+                                     0);
+#pragma omp for schedule(dynamic, 16) reduction(+ : total)
+    for (std::int64_t s = 0; s < n_steps; ++s) {
+      const Step& step = steps[static_cast<std::size_t>(s)];
+      const auto pivot_line = lines.row(step.pivot);
+      // Zero-contribution pivots are skipped under both forms (see the
+      // sequential kernel).
+      if (pivot_line.size() < 2) continue;
+      for (const vidx_t i : pivot_line)
+        marked[static_cast<std::size_t>(i)] = 1;
+
+      if (form == UpdateForm::kFused) {
+        count_t step_sum = 0;
+        for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c)
+          step_sum += choose2(line_overlap(lines, c, marked));
+        total += step_sum;
+      } else {
+        count_t quad = 0;
+        for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c) {
+          const count_t t = line_overlap(lines, c, marked);
+          quad += t * t;
+        }
+        count_t lin = 0;
+        for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c)
+          lin += line_overlap(lines, c, marked);
+        total += (quad - lin) / 2;
+      }
+
+      for (const vidx_t i : pivot_line)
+        marked[static_cast<std::size_t>(i)] = 0;
+    }
+  }
+  return total;
+}
+
+count_t count_wedge_parallel(const sparse::CsrPattern& lines,
+                             const sparse::CsrPattern& lines_t,
+                             Direction direction, PeerSide peer) {
+  require(lines_t.rows() == lines.cols() && lines_t.cols() == lines.rows(),
+          "count_wedge_parallel: lines_t is not the transpose of lines");
+  const auto steps = traversal_steps(lines.rows(), direction, peer);
+  const auto n_steps = static_cast<std::int64_t>(steps.size());
+  const vidx_t n = lines.rows();
+  count_t total = 0;
+
+#pragma omp parallel
+  {
+    std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
+    std::vector<vidx_t> touched;
+#pragma omp for schedule(dynamic, 64) reduction(+ : total)
+    for (std::int64_t s = 0; s < n_steps; ++s) {
+      const Step& step = steps[static_cast<std::size_t>(s)];
+      const auto pivot_line = lines.row(step.pivot);
+      if (pivot_line.size() < 2) continue;
+      touched.clear();
+      for (const vidx_t i : pivot_line) {
+        for (const vidx_t c : lines_t.row(i)) {
+          if (c < step.peer_lo || c >= step.peer_hi) continue;
+          if (acc[static_cast<std::size_t>(c)] == 0) touched.push_back(c);
+          ++acc[static_cast<std::size_t>(c)];
+        }
+      }
+      for (const vidx_t c : touched) {
+        total += choose2(acc[static_cast<std::size_t>(c)]);
+        acc[static_cast<std::size_t>(c)] = 0;
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace bfc::la

@@ -1,0 +1,32 @@
+#include "la/partition.hpp"
+
+namespace bfc::la {
+
+std::vector<Step> traversal_steps(vidx_t n, Direction direction,
+                                  PeerSide peer) {
+  require(n >= 0, "traversal_steps: negative dimension");
+  std::vector<Step> steps;
+  steps.reserve(static_cast<std::size_t>(n));
+  for (vidx_t i = 0; i < n; ++i) {
+    const vidx_t pivot = direction == Direction::kForward ? i : n - 1 - i;
+    Step s;
+    s.pivot = pivot;
+    if (peer == PeerSide::kBefore) {
+      s.peer_lo = 0;
+      s.peer_hi = pivot;
+    } else {
+      s.peer_lo = pivot + 1;
+      s.peer_hi = n;
+    }
+    steps.push_back(s);
+  }
+  return steps;
+}
+
+count_t total_peer_width(const std::vector<Step>& steps) {
+  count_t total = 0;
+  for (const Step& s : steps) total += s.peer_hi - s.peer_lo;
+  return total;
+}
+
+}  // namespace bfc::la

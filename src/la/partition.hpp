@@ -1,0 +1,33 @@
+// FLAME-style traversal bookkeeping. A counting loop repeatedly exposes one
+// pivot line a₁ of the partitioned dimension (a column of A for the V2
+// family, a row for the V1 family) and pairs it with a contiguous peer
+// range (A0 = indices below the pivot, A2 = indices above). Materialising
+// the steps makes the update kernels independent of the traversal algebra
+// and lets tests assert the repartitioning logic in isolation.
+#pragma once
+
+#include <vector>
+
+#include "la/invariants.hpp"
+#include "util/common.hpp"
+
+namespace bfc::la {
+
+struct Step {
+  vidx_t pivot = 0;    // index of the exposed line a₁
+  vidx_t peer_lo = 0;  // peer range [peer_lo, peer_hi)
+  vidx_t peer_hi = 0;
+};
+
+/// The n steps of a traversal over dimension size n. Forward visits pivots
+/// 0..n-1, backward n-1..0; the peer range is [0, pivot) for kBefore and
+/// (pivot, n) for kAfter.
+[[nodiscard]] std::vector<Step> traversal_steps(vidx_t n, Direction direction,
+                                                PeerSide peer);
+
+/// Sum over all steps of the peer-range width — the pair-enumeration volume.
+/// Every traversal covers each unordered pair exactly once, so this always
+/// equals C(n, 2); tests use it as a partitioning sanity check.
+[[nodiscard]] count_t total_peer_width(const std::vector<Step>& steps);
+
+}  // namespace bfc::la

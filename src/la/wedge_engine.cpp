@@ -1,0 +1,37 @@
+#include "la/kernels.hpp"
+#include "la/partition.hpp"
+
+namespace bfc::la {
+
+count_t count_wedge(const sparse::CsrPattern& lines,
+                    const sparse::CsrPattern& lines_t, Direction direction,
+                    PeerSide peer) {
+  require(lines_t.rows() == lines.cols() && lines_t.cols() == lines.rows(),
+          "count_wedge: lines_t is not the transpose of lines");
+  const vidx_t n = lines.rows();
+  std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
+  std::vector<vidx_t> touched;
+  count_t total = 0;
+
+  for (const Step& step : traversal_steps(n, direction, peer)) {
+    const auto pivot_line = lines.row(step.pivot);
+    if (pivot_line.size() < 2) continue;
+    touched.clear();
+    // Expand only the pivot's wedges: i is a shared endpoint, c a peer line
+    // containing it, so after the loop acc[c] = t_c.
+    for (const vidx_t i : pivot_line) {
+      for (const vidx_t c : lines_t.row(i)) {
+        if (c < step.peer_lo || c >= step.peer_hi) continue;
+        if (acc[static_cast<std::size_t>(c)] == 0) touched.push_back(c);
+        ++acc[static_cast<std::size_t>(c)];
+      }
+    }
+    for (const vidx_t c : touched) {
+      total += choose2(acc[static_cast<std::size_t>(c)]);
+      acc[static_cast<std::size_t>(c)] = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace bfc::la

@@ -1,0 +1,64 @@
+#include <queue>
+
+#include "count/local_counts.hpp"
+#include "peel/decompose.hpp"
+
+namespace bfc::peel {
+
+TipDecomposition tip_decomposition(const graph::BipartiteGraph& g, Side side) {
+  // `lines` rows enumerate the peeled side; `lines_t` the opposite side.
+  const sparse::CsrPattern& lines = side == Side::kV1 ? g.csr() : g.csc();
+  const sparse::CsrPattern& lines_t = side == Side::kV1 ? g.csc() : g.csr();
+  const vidx_t n = lines.rows();
+
+  std::vector<count_t> b = side == Side::kV1 ? count::butterflies_per_v1(g)
+                                             : count::butterflies_per_v2(g);
+
+  TipDecomposition d;
+  d.tip_number.assign(static_cast<std::size_t>(n), 0);
+
+  using Entry = std::pair<count_t, vidx_t>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (vidx_t u = 0; u < n; ++u)
+    heap.emplace(b[static_cast<std::size_t>(u)], u);
+
+  std::vector<std::uint8_t> removed(static_cast<std::size_t>(n), 0);
+  std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
+  std::vector<vidx_t> touched;
+  count_t running_k = 0;
+
+  while (!heap.empty()) {
+    const auto [val, u] = heap.top();
+    heap.pop();
+    const auto ui = static_cast<std::size_t>(u);
+    // Lazy invalidation: stale heap entries carry an outdated count.
+    if (removed[ui] || val != b[ui]) continue;
+
+    running_k = std::max(running_k, b[ui]);
+    d.tip_number[ui] = running_k;
+    d.max_tip = std::max(d.max_tip, running_k);
+    removed[ui] = 1;
+
+    // Removing u deletes, for every surviving peer j, exactly the
+    // butterflies whose two peeled-side vertices are {u, j}: C(w_uj, 2)
+    // where w_uj counts their common neighbours.
+    touched.clear();
+    for (const vidx_t k : lines.row(u)) {
+      for (const vidx_t j : lines_t.row(k)) {
+        const auto ji = static_cast<std::size_t>(j);
+        if (j == u || removed[ji]) continue;
+        if (acc[ji] == 0) touched.push_back(j);
+        ++acc[ji];
+      }
+    }
+    for (const vidx_t j : touched) {
+      const auto ji = static_cast<std::size_t>(j);
+      b[ji] -= choose2(acc[ji]);
+      acc[ji] = 0;
+      heap.emplace(b[ji], j);
+    }
+  }
+  return d;
+}
+
+}  // namespace bfc::peel

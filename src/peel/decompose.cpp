@@ -1,0 +1,32 @@
+#include "peel/decompose.hpp"
+
+#include "sparse/ops.hpp"
+
+namespace bfc::peel {
+
+graph::BipartiteGraph tip_subgraph(const graph::BipartiteGraph& g,
+                                   const TipDecomposition& d, count_t k,
+                                   Side side) {
+  const auto dim = static_cast<std::size_t>(side == Side::kV1 ? g.n1() : g.n2());
+  require(d.tip_number.size() == dim,
+          "tip_subgraph: decomposition does not match graph/side");
+  std::vector<std::uint8_t> keep(dim);
+  for (std::size_t i = 0; i < dim; ++i)
+    keep[i] = d.tip_number[i] >= k ? 1 : 0;
+  const sparse::CsrPattern masked = side == Side::kV1
+                                        ? sparse::mask_rows(g.csr(), keep)
+                                        : sparse::mask_cols(g.csr(), keep);
+  return graph::BipartiteGraph(masked);
+}
+
+graph::BipartiteGraph wing_subgraph(const graph::BipartiteGraph& g,
+                                    const WingDecomposition& d, count_t k) {
+  require(d.wing_number.size() == static_cast<std::size_t>(g.edge_count()),
+          "wing_subgraph: decomposition does not match graph");
+  std::vector<std::uint8_t> keep(d.wing_number.size());
+  for (std::size_t e = 0; e < keep.size(); ++e)
+    keep[e] = d.wing_number[e] >= k ? 1 : 0;
+  return graph::BipartiteGraph(sparse::mask_entries(g.csr(), keep));
+}
+
+}  // namespace bfc::peel

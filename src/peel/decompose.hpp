@@ -1,0 +1,43 @@
+// Full tip / wing decompositions (Sariyüce & Pinar [11]): the tip number
+// θ(u) is the largest k such that vertex u survives in the k-tip, and the
+// wing number ψ(e) the largest k such that edge e survives in the k-wing.
+// Computed with bottom-up bucket peeling, these give every k-tip/k-wing at
+// once and cross-validate the paper's mask-iteration formulation.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "peel/peeling.hpp"
+#include "util/common.hpp"
+
+namespace bfc::peel {
+
+struct TipDecomposition {
+  std::vector<count_t> tip_number;  // per vertex of the peeled side
+  count_t max_tip = 0;              // largest θ present
+};
+
+/// Peels vertices of `side` in nondecreasing order of their remaining
+/// butterfly count (min-heap with lazy invalidation).
+[[nodiscard]] TipDecomposition tip_decomposition(const graph::BipartiteGraph& g,
+                                                 Side side = Side::kV1);
+
+/// Subgraph induced by vertices with θ >= k — must equal k_tip(g, k, side)
+/// up to isolated vertices.
+[[nodiscard]] graph::BipartiteGraph tip_subgraph(const graph::BipartiteGraph& g,
+                                                 const TipDecomposition& d,
+                                                 count_t k, Side side);
+
+struct WingDecomposition {
+  std::vector<count_t> wing_number;  // per edge in CSR order of g.csr()
+  count_t max_wing = 0;
+};
+
+/// Peels edges in nondecreasing order of remaining butterfly support.
+[[nodiscard]] WingDecomposition wing_decomposition(
+    const graph::BipartiteGraph& g);
+
+/// Subgraph of edges with ψ >= k — must equal k_wing(g, k).
+[[nodiscard]] graph::BipartiteGraph wing_subgraph(
+    const graph::BipartiteGraph& g, const WingDecomposition& d, count_t k);
+
+}  // namespace bfc::peel

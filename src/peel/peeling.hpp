@@ -1,0 +1,54 @@
+// §IV of the paper: k-tip and k-wing subgraph extraction via the
+// linear-algebra mask iteration (Eqs. 19-22 for tips, 25-27 for wings).
+// Vertex and edge ids are stable: peeling zeroes out rows/entries of the
+// biadjacency pattern instead of compacting it.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "util/common.hpp"
+
+namespace bfc::peel {
+
+/// Which vertex set tip peeling removes vertices from. The paper's Eq. (19)
+/// computes butterflies per V1 vertex; kV2 applies the same formulation to
+/// Aᵀ.
+enum class Side { kV1, kV2 };
+
+/// How each round's per-vertex butterfly vector s (Eq. 19) is evaluated.
+enum class TipAlgorithm {
+  /// Full per-vertex recomputation each round — the literal Eqs. 19-22.
+  kRecompute,
+  /// The Fig. 8 "look-ahead" variant: one traversal in which the exposed
+  /// row's count is completed from the A2 partition while the trailing
+  /// rows' counts are partially updated (each pair contributes C(t, 2) to
+  /// both endpoints), halving the wedge expansion work per round.
+  kLookahead,
+};
+
+struct TipPeelResult {
+  graph::BipartiteGraph subgraph;  // same shape as the input, edges removed
+  std::vector<std::uint8_t> kept;  // 0/1 per vertex of the peeled side
+  int rounds = 0;                  // mask iterations until the fixpoint
+  vidx_t removed_vertices = 0;
+};
+
+/// Maximal subgraph in which every kept vertex of `side` participates in at
+/// least k butterflies: iterate s = per-vertex butterflies (Eq. 19),
+/// m = (s ≥ k) (Eq. 20), A ← A ∘ M (Eqs. 21-22) until no vertex is removed.
+[[nodiscard]] TipPeelResult k_tip(const graph::BipartiteGraph& g, count_t k,
+                                  Side side = Side::kV1,
+                                  TipAlgorithm algorithm = TipAlgorithm::kRecompute);
+
+struct WingPeelResult {
+  graph::BipartiteGraph subgraph;
+  std::vector<std::uint8_t> kept_edges;  // 0/1 per ORIGINAL edge, CSR order
+  int rounds = 0;
+  offset_t removed_edges = 0;
+};
+
+/// Maximal subgraph in which every kept edge lies on at least k
+/// butterflies: iterate S_w (Eq. 25), M = (S_w ≥ k) (Eq. 26),
+/// A ← A ∘ M (Eq. 27) until no edge is removed.
+[[nodiscard]] WingPeelResult k_wing(const graph::BipartiteGraph& g, count_t k);
+
+}  // namespace bfc::peel

@@ -1,0 +1,26 @@
+// A family of per-edge support algorithms, derived the same way §III
+// derives the counting family (the paper's §IV closes with "Following
+// similar steps as shown in Section III, algorithms for peeling k-wings can
+// be derived"). The FLAME traversal exposes one line a₁ at a time; for each
+// peer line c with t = |a₁ ∩ c| shared vertices, the C(t, 2) butterflies
+// between the pair contribute (t − 1) units of support to each of the 2t
+// edges incident to a shared vertex. Traversing all pairs once therefore
+// accumulates exactly the Eq. (25) support matrix, and the choice of
+// direction and peer side yields four variants per partition family — the
+// wing analogue of invariants 1-8.
+#pragma once
+
+#include "graph/bipartite_graph.hpp"
+#include "la/invariants.hpp"
+#include "util/common.hpp"
+
+namespace bfc::peel {
+
+/// Per-edge support in CSR order of g.csr(), computed by the partitioned
+/// traversal named by `inv` (all eight produce identical results; column-
+/// family invariants traverse V2 and charge edges through their V2
+/// endpoint, row-family ones the mirror image).
+[[nodiscard]] std::vector<count_t> support_family(const graph::BipartiteGraph& g,
+                                                  la::Invariant inv);
+
+}  // namespace bfc::peel

@@ -1,0 +1,37 @@
+#include "sparse/coo.hpp"
+
+#include <algorithm>
+
+namespace bfc::sparse {
+
+CooBuilder::CooBuilder(vidx_t rows, vidx_t cols) : rows_(rows), cols_(cols) {
+  require(rows >= 0 && cols >= 0, "CooBuilder: negative dimension");
+}
+
+void CooBuilder::add(vidx_t r, vidx_t c) {
+  require(r >= 0 && r < rows_, "CooBuilder::add: row out of range");
+  require(c >= 0 && c < cols_, "CooBuilder::add: column out of range");
+  entries_.emplace_back(r, c);
+}
+
+CsrPattern CooBuilder::build() {
+  std::sort(entries_.begin(), entries_.end());
+  entries_.erase(std::unique(entries_.begin(), entries_.end()),
+                 entries_.end());
+
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
+  std::vector<vidx_t> col_idx;
+  col_idx.reserve(entries_.size());
+  for (const auto& [r, c] : entries_) {
+    ++row_ptr[static_cast<std::size_t>(r) + 1];
+    col_idx.push_back(c);
+  }
+  for (std::size_t r = 0; r < static_cast<std::size_t>(rows_); ++r)
+    row_ptr[r + 1] += row_ptr[r];
+
+  entries_.clear();
+  entries_.shrink_to_fit();
+  return CsrPattern(rows_, cols_, std::move(row_ptr), std::move(col_idx));
+}
+
+}  // namespace bfc::sparse

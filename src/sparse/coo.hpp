@@ -1,0 +1,39 @@
+// Coordinate-format edge accumulator: the construction path from loaders and
+// generators into CsrPattern. Duplicates are merged (the graphs are simple),
+// and entries may arrive in any order.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/common.hpp"
+
+namespace bfc::sparse {
+
+class CooBuilder {
+ public:
+  CooBuilder(vidx_t rows, vidx_t cols);
+
+  /// Records one nonzero; throws on out-of-range indices.
+  void add(vidx_t r, vidx_t c);
+
+  /// Number of entries recorded so far (before dedup).
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+
+  void reserve(std::size_t n) { entries_.reserve(n); }
+
+  [[nodiscard]] vidx_t rows() const noexcept { return rows_; }
+  [[nodiscard]] vidx_t cols() const noexcept { return cols_; }
+
+  /// Sorts, deduplicates, and produces the CSR pattern. The builder is left
+  /// empty afterwards.
+  [[nodiscard]] CsrPattern build();
+
+ private:
+  vidx_t rows_;
+  vidx_t cols_;
+  std::vector<std::pair<vidx_t, vidx_t>> entries_;
+};
+
+}  // namespace bfc::sparse

@@ -1,0 +1,139 @@
+#include "sparse/ops.hpp"
+
+namespace bfc::sparse {
+
+std::vector<offset_t> row_degrees(const CsrPattern& a) {
+  std::vector<offset_t> deg(static_cast<std::size_t>(a.rows()));
+  for (vidx_t r = 0; r < a.rows(); ++r) deg[static_cast<std::size_t>(r)] =
+      a.row_degree(r);
+  return deg;
+}
+
+std::vector<offset_t> col_degrees(const CsrPattern& a) {
+  std::vector<offset_t> deg(static_cast<std::size_t>(a.cols()), 0);
+  for (const vidx_t c : a.col_idx()) ++deg[static_cast<std::size_t>(c)];
+  return deg;
+}
+
+std::vector<count_t> spmv(const CsrPattern& a, std::span<const count_t> x) {
+  require(x.size() == static_cast<std::size_t>(a.cols()),
+          "spmv: vector length != cols");
+  std::vector<count_t> y(static_cast<std::size_t>(a.rows()), 0);
+  for (vidx_t r = 0; r < a.rows(); ++r) {
+    count_t acc = 0;
+    for (const vidx_t c : a.row(r)) acc += x[static_cast<std::size_t>(c)];
+    y[static_cast<std::size_t>(r)] = acc;
+  }
+  return y;
+}
+
+std::vector<count_t> spmv_transpose(const CsrPattern& a,
+                                    std::span<const count_t> x) {
+  require(x.size() == static_cast<std::size_t>(a.rows()),
+          "spmv_transpose: vector length != rows");
+  std::vector<count_t> y(static_cast<std::size_t>(a.cols()), 0);
+  for (vidx_t r = 0; r < a.rows(); ++r) {
+    const count_t xr = x[static_cast<std::size_t>(r)];
+    if (xr == 0) continue;
+    for (const vidx_t c : a.row(r)) y[static_cast<std::size_t>(c)] += xr;
+  }
+  return y;
+}
+
+offset_t intersection_size(std::span<const vidx_t> a,
+                           std::span<const vidx_t> b) {
+  offset_t count = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+template <typename KeepFn>
+CsrPattern filter_entries(const CsrPattern& a, KeepFn&& keep) {
+  std::vector<offset_t> row_ptr(static_cast<std::size_t>(a.rows()) + 1, 0);
+  std::vector<vidx_t> col_idx;
+  col_idx.reserve(static_cast<std::size_t>(a.nnz()));
+  offset_t k = 0;
+  for (vidx_t r = 0; r < a.rows(); ++r) {
+    for (const vidx_t c : a.row(r)) {
+      if (keep(r, c, k)) col_idx.push_back(c);
+      ++k;
+    }
+    row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(col_idx.size());
+  }
+  return CsrPattern(a.rows(), a.cols(), std::move(row_ptr),
+                    std::move(col_idx));
+}
+
+}  // namespace
+
+CsrPattern mask_rows(const CsrPattern& a, std::span<const std::uint8_t> row_mask) {
+  require(row_mask.size() == static_cast<std::size_t>(a.rows()),
+          "mask_rows: mask length != rows");
+  return filter_entries(a, [&](vidx_t r, vidx_t, offset_t) {
+    return row_mask[static_cast<std::size_t>(r)];
+  });
+}
+
+CsrPattern mask_cols(const CsrPattern& a, std::span<const std::uint8_t> col_mask) {
+  require(col_mask.size() == static_cast<std::size_t>(a.cols()),
+          "mask_cols: mask length != cols");
+  return filter_entries(a, [&](vidx_t, vidx_t c, offset_t) {
+    return col_mask[static_cast<std::size_t>(c)];
+  });
+}
+
+CsrPattern mask_entries(const CsrPattern& a, std::span<const std::uint8_t> keep) {
+  require(keep.size() == static_cast<std::size_t>(a.nnz()),
+          "mask_entries: mask length != nnz");
+  return filter_entries(a, [&](vidx_t, vidx_t, offset_t k) {
+    return keep[static_cast<std::size_t>(k)];
+  });
+}
+
+vidx_t empty_row_count(const CsrPattern& a) {
+  vidx_t count = 0;
+  for (vidx_t r = 0; r < a.rows(); ++r)
+    if (a.row_degree(r) == 0) ++count;
+  return count;
+}
+
+std::vector<offset_t> transpose_entry_ids(const CsrPattern& a,
+                                          const CsrPattern& at) {
+  require(at.rows() == a.cols() && at.cols() == a.rows() &&
+              at.nnz() == a.nnz(),
+          "transpose_entry_ids: at is not transpose-shaped");
+  std::vector<offset_t> eid(static_cast<std::size_t>(a.nnz()));
+  std::vector<offset_t> cursor(at.row_ptr().begin(), at.row_ptr().end() - 1);
+  offset_t k = 0;
+  for (vidx_t r = 0; r < a.rows(); ++r) {
+    for (const vidx_t c : a.row(r)) {
+      eid[static_cast<std::size_t>(cursor[static_cast<std::size_t>(c)]++)] = k;
+      ++k;
+    }
+  }
+  return eid;
+}
+
+std::vector<std::pair<vidx_t, vidx_t>> edges(const CsrPattern& a) {
+  std::vector<std::pair<vidx_t, vidx_t>> out;
+  out.reserve(static_cast<std::size_t>(a.nnz()));
+  for (vidx_t r = 0; r < a.rows(); ++r)
+    for (const vidx_t c : a.row(r)) out.emplace_back(r, c);
+  return out;
+}
+
+}  // namespace bfc::sparse

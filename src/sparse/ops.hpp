@@ -1,0 +1,60 @@
+// Sparse kernels built on CsrPattern: degree vectors, sparse matrix-vector
+// products, sorted-set intersection, and the masking primitives the peeling
+// formulations (Eqs. 20-22, 26-27) need.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csr.hpp"
+#include "util/common.hpp"
+
+namespace bfc::sparse {
+
+/// Row degrees (length rows()).
+[[nodiscard]] std::vector<offset_t> row_degrees(const CsrPattern& a);
+
+/// Column degrees (length cols()); single O(nnz) pass, no transpose.
+[[nodiscard]] std::vector<offset_t> col_degrees(const CsrPattern& a);
+
+/// y = A·x where x is an integer vector of length cols().
+[[nodiscard]] std::vector<count_t> spmv(const CsrPattern& a,
+                                        std::span<const count_t> x);
+
+/// y = Aᵀ·x where x has length rows(); O(nnz) scatter, no transpose.
+[[nodiscard]] std::vector<count_t> spmv_transpose(const CsrPattern& a,
+                                                  std::span<const count_t> x);
+
+/// |a ∩ b| for two ascending-sorted index spans (merge-based).
+[[nodiscard]] offset_t intersection_size(std::span<const vidx_t> a,
+                                         std::span<const vidx_t> b);
+
+/// Keeps entry (r, c) iff row_mask[r]; dimensions are preserved so vertex
+/// ids stay stable across peeling rounds (A₁ = A₀ ∘ M of Eq. 22 with the
+/// V1 mask m).
+[[nodiscard]] CsrPattern mask_rows(const CsrPattern& a,
+                                   std::span<const std::uint8_t> row_mask);
+
+/// Keeps entry (r, c) iff col_mask[c].
+[[nodiscard]] CsrPattern mask_cols(const CsrPattern& a,
+                                   std::span<const std::uint8_t> col_mask);
+
+/// Keeps entry k (in CSR traversal order) iff keep[k]; this is the
+/// element-wise A₀ ∘ M edge-mask of the k-wing iteration (Eq. 27).
+[[nodiscard]] CsrPattern mask_entries(const CsrPattern& a,
+                                      std::span<const std::uint8_t> keep);
+
+/// Number of rows with zero entries.
+[[nodiscard]] vidx_t empty_row_count(const CsrPattern& a);
+
+/// Flat list of (row, col) edges in CSR order.
+[[nodiscard]] std::vector<std::pair<vidx_t, vidx_t>> edges(const CsrPattern& a);
+
+/// Entry-id correspondence between a matrix and its transpose: element k of
+/// the result is the CSR position in `a` of the k-th entry of `at`. Lets
+/// edge-indexed data be carried across orientations (wing peeling, the
+/// support family).
+[[nodiscard]] std::vector<offset_t> transpose_entry_ids(const CsrPattern& a,
+                                                        const CsrPattern& at);
+
+}  // namespace bfc::sparse

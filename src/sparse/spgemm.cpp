@@ -1,0 +1,69 @@
+#include "sparse/spgemm.hpp"
+
+#include <algorithm>
+
+namespace bfc::sparse {
+
+CsrCounts spgemm(const CsrPattern& a, const CsrPattern& b) {
+  require(a.cols() == b.rows(), "spgemm: inner dimension mismatch");
+  CsrCounts c;
+  c.rows = a.rows();
+  c.cols = b.cols();
+  c.row_ptr.assign(static_cast<std::size_t>(a.rows()) + 1, 0);
+
+  std::vector<count_t> acc(static_cast<std::size_t>(b.cols()), 0);
+  std::vector<vidx_t> touched;
+  touched.reserve(static_cast<std::size_t>(b.cols()));
+
+  for (vidx_t i = 0; i < a.rows(); ++i) {
+    touched.clear();
+    for (const vidx_t k : a.row(i)) {
+      for (const vidx_t j : b.row(k)) {
+        if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
+        ++acc[static_cast<std::size_t>(j)];
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (const vidx_t j : touched) {
+      c.col_idx.push_back(j);
+      c.values.push_back(acc[static_cast<std::size_t>(j)]);
+      acc[static_cast<std::size_t>(j)] = 0;
+    }
+    c.row_ptr[static_cast<std::size_t>(i) + 1] =
+        static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+CsrCounts gram(const CsrPattern& a, const CsrPattern& at) {
+  require(at.rows() == a.cols() && at.cols() == a.rows(),
+          "gram: at is not transpose-shaped");
+  return spgemm(a, at);
+}
+
+count_t gram_pairwise_butterflies(const CsrPattern& a, const CsrPattern& at) {
+  require(at.rows() == a.cols() && at.cols() == a.rows(),
+          "gram_pairwise_butterflies: at is not transpose-shaped");
+  std::vector<count_t> acc(static_cast<std::size_t>(a.rows()), 0);
+  std::vector<vidx_t> touched;
+  count_t total = 0;
+  for (vidx_t i = 0; i < a.rows(); ++i) {
+    touched.clear();
+    for (const vidx_t k : a.row(i)) {
+      for (const vidx_t j : at.row(k)) {
+        // Only pairs (i, j) with j > i contribute; each unordered pair is
+        // visited exactly once this way.
+        if (j <= i) continue;
+        if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
+        ++acc[static_cast<std::size_t>(j)];
+      }
+    }
+    for (const vidx_t j : touched) {
+      total += choose2(acc[static_cast<std::size_t>(j)]);
+      acc[static_cast<std::size_t>(j)] = 0;
+    }
+  }
+  return total;
+}
+
+}  // namespace bfc::sparse

@@ -1,0 +1,24 @@
+// Sparse general matrix-matrix multiplication (Gustavson's row-wise
+// algorithm with a dense accumulator) for pattern operands with count-valued
+// output. Used for the mid-scale oracle B = AAᵀ and for the per-edge
+// support computation AAᵀA (Eq. 25).
+#pragma once
+
+#include "sparse/csr.hpp"
+#include "util/common.hpp"
+
+namespace bfc::sparse {
+
+/// C = A·B with C_ij = number of (A_ik, B_kj) pairs. Both operands binary.
+[[nodiscard]] CsrCounts spgemm(const CsrPattern& a, const CsrPattern& b);
+
+/// B = A·Aᵀ. `at` must be transpose(a); passing it explicitly lets callers
+/// that already hold both orientations avoid recomputing the transpose.
+[[nodiscard]] CsrCounts gram(const CsrPattern& a, const CsrPattern& at);
+
+/// Σ_{i<j} C(B_ij, 2) computed row by row without materialising B — the
+/// sparse form of the pairwise specification. `at` must be transpose(a).
+[[nodiscard]] count_t gram_pairwise_butterflies(const CsrPattern& a,
+                                                const CsrPattern& at);
+
+}  // namespace bfc::sparse

@@ -1,0 +1,24 @@
+#include "util/parallel.hpp"
+
+#include <omp.h>
+
+namespace bfc {
+
+int num_threads() noexcept { return omp_get_max_threads(); }
+
+void set_num_threads(int n) noexcept {
+  if (n > 0) omp_set_num_threads(n);
+}
+
+int thread_id() noexcept { return omp_get_thread_num(); }
+
+int hardware_threads() noexcept { return omp_get_num_procs(); }
+
+ThreadCountGuard::ThreadCountGuard(int n) noexcept
+    : previous_(omp_get_max_threads()) {
+  set_num_threads(n);
+}
+
+ThreadCountGuard::~ThreadCountGuard() { set_num_threads(previous_); }
+
+}  // namespace bfc

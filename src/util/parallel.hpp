@@ -1,0 +1,34 @@
+// Thin OpenMP wrappers so callers don't scatter #ifdef _OPENMP or raw
+// pragmas with bare loop indices across the codebase.
+#pragma once
+
+#include <cstdint>
+
+namespace bfc {
+
+/// Number of threads an upcoming parallel region will use.
+[[nodiscard]] int num_threads() noexcept;
+
+/// Caps the OpenMP thread count for subsequent parallel regions.
+void set_num_threads(int n) noexcept;
+
+/// Current thread id inside a parallel region (0 outside one).
+[[nodiscard]] int thread_id() noexcept;
+
+/// Maximum hardware concurrency visible to the runtime.
+[[nodiscard]] int hardware_threads() noexcept;
+
+/// RAII guard that sets the thread count and restores the previous value;
+/// the table benches use it to pin "6 threads" like the paper's Fig. 11.
+class ThreadCountGuard {
+ public:
+  explicit ThreadCountGuard(int n) noexcept;
+  ~ThreadCountGuard();
+  ThreadCountGuard(const ThreadCountGuard&) = delete;
+  ThreadCountGuard& operator=(const ThreadCountGuard&) = delete;
+
+ private:
+  int previous_;
+};
+
+}  // namespace bfc

@@ -1,0 +1,54 @@
+// Deterministic, fast pseudo-random number generation for graph generators
+// and property tests. xoshiro256** (Blackman & Vigna) seeded via splitmix64,
+// so the same seed produces the same graph on every platform — unlike
+// std::uniform_int_distribution, whose output is implementation-defined.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/common.hpp"
+
+namespace bfc {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Raw 64 random bits.
+  std::uint64_t next() noexcept;
+
+  // UniformRandomBitGenerator interface (usable with std::shuffle).
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~0ULL; }
+  result_type operator()() noexcept { return next(); }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift rejection
+  /// method; bound must be > 0.
+  std::uint64_t bounded(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  bool bernoulli(double p) noexcept;
+
+  /// Standard-normal variate (polar Box-Muller; caches the pair).
+  double normal() noexcept;
+
+  /// Fork an independent stream (for per-thread generators): consumes one
+  /// value from this stream and seeds a new generator with it.
+  Rng fork() noexcept { return Rng(next()); }
+
+ private:
+  std::array<std::uint64_t, 4> s_{};
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+}  // namespace bfc

@@ -1,0 +1,33 @@
+// Plain-text table formatting so the bench binaries can print rows shaped
+// like the paper's Figs. 9-11.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bfc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience cell formatters.
+  static std::string num(std::int64_t v);          // with thousands separators
+  static std::string fixed(double v, int digits);  // fixed-point
+
+  /// Renders with column alignment and an underline below the header.
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bfc

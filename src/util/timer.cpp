@@ -1,0 +1,44 @@
+#include "util/timer.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace bfc {
+
+namespace {
+void check_nonempty(std::size_t n) {
+  if (n == 0) throw std::logic_error("Samples: no measurements recorded");
+}
+}  // namespace
+
+double Samples::min() const {
+  check_nonempty(values_.size());
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  check_nonempty(values_.size());
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::mean() const {
+  check_nonempty(values_.size());
+  return std::accumulate(values_.begin(), values_.end(), 0.0) /
+         static_cast<double>(values_.size());
+}
+
+double Samples::median() const {
+  check_nonempty(values_.size());
+  std::vector<double> v = values_;
+  const auto mid = v.size() / 2;
+  std::nth_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid),
+                   v.end());
+  if (v.size() % 2 == 1) return v[mid];
+  const double hi = v[mid];
+  const double lo =
+      *std::max_element(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(mid));
+  return 0.5 * (lo + hi);
+}
+
+}  // namespace bfc

@@ -1,0 +1,46 @@
+// Wall-clock timing for the benchmark harness (the google-benchmark library
+// drives microbenchmarks; this Timer drives the whole-table reproductions,
+// which time one multi-second run per cell like the paper does).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bfc {
+
+class Timer {
+ public:
+  Timer() noexcept { reset(); }
+
+  void reset() noexcept { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const noexcept {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates repeated measurements of one quantity and reports summary
+/// statistics; used by the table benches to run each cell a few times.
+class Samples {
+ public:
+  void add(double v) { values_.push_back(v); }
+  [[nodiscard]] std::size_t count() const noexcept { return values_.size(); }
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace bfc

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "count/baselines.hpp"
+#include "gen/generators.hpp"
+#include "graph/components.hpp"
+#include "graph/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::graph {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+
+TEST(ConnectedComponents, SingleComponentPlusIsolated) {
+  // Two K_{2,2}s and one isolated vertex on each side.
+  BipartiteGraph g = BipartiteGraph::from_edges(
+      5, 5, {{0, 0}, {0, 1}, {1, 0}, {1, 1}, {2, 2}, {2, 3}, {3, 2}, {3, 3}});
+  const Components c = connected_components(g);
+  EXPECT_EQ(c.count, 4);  // two bicliques + isolated u4 + isolated v4
+  EXPECT_EQ(c.label_v1[0], c.label_v1[1]);
+  EXPECT_EQ(c.label_v1[0], c.label_v2[0]);
+  EXPECT_EQ(c.label_v1[2], c.label_v1[3]);
+  EXPECT_NE(c.label_v1[0], c.label_v1[2]);
+  EXPECT_NE(c.label_v1[4], c.label_v1[0]);
+  EXPECT_NE(c.label_v2[4], c.label_v2[0]);
+  // Edge counting per component (4 + 4).
+  count_t total_edges = 0;
+  for (const offset_t e : c.edges_per_component) total_edges += e;
+  EXPECT_EQ(total_edges, g.edge_count());
+}
+
+TEST(ConnectedComponents, EmptyAndComplete) {
+  const Components empty = connected_components(BipartiteGraph{});
+  EXPECT_EQ(empty.count, 0);
+  const Components full = connected_components(complete_bipartite(3, 4));
+  EXPECT_EQ(full.count, 1);
+}
+
+TEST(LargestComponent, PicksTheHeavierBlock) {
+  BipartiteGraph g = BipartiteGraph::from_edges(
+      6, 6,
+      {{0, 0}, {0, 1}, {1, 0}, {1, 1},                    // 4 edges
+       {2, 2}, {2, 3}, {3, 2}, {3, 3}, {4, 2}, {4, 3}});  // 6 edges
+  const BipartiteGraph big = largest_component(g);
+  EXPECT_EQ(big.edge_count(), 6);
+  EXPECT_TRUE(big.has_edge(4, 2));
+  EXPECT_FALSE(big.has_edge(0, 0));
+  EXPECT_EQ(big.n1(), g.n1());  // dimensions preserved
+}
+
+TEST(LargestComponent, NoEdgesReturnsInput) {
+  const BipartiteGraph g = BipartiteGraph::from_edges(3, 3, {});
+  EXPECT_EQ(largest_component(g), g);
+}
+
+TEST(TwoCorePrune, PathIsFullyPeeled) {
+  // A path u0-v0-u1-v1 has all butterfly-free edges; the prune empties it.
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(2, 2, {{0, 0}, {1, 0}, {1, 1}});
+  const CorePruneResult r = two_core_prune(g);
+  EXPECT_EQ(r.subgraph.edge_count(), 0);
+  EXPECT_GT(r.removed_v1 + r.removed_v2, 0);
+}
+
+TEST(TwoCorePrune, BicliqueUntouched) {
+  const auto g = complete_bipartite(3, 3);
+  const CorePruneResult r = two_core_prune(g);
+  EXPECT_EQ(r.subgraph, g);
+  EXPECT_EQ(r.removed_v1, 0);
+  EXPECT_EQ(r.removed_v2, 0);
+}
+
+TEST(TwoCorePrune, PendantChainCascades) {
+  // K_{2,2} with a pendant chain hanging off it: the chain peels away over
+  // multiple rounds, the biclique survives.
+  const BipartiteGraph g = BipartiteGraph::from_edges(
+      4, 4, {{0, 0}, {0, 1}, {1, 0}, {1, 1},  // biclique
+             {1, 2}, {2, 2}, {2, 3}, {3, 3}});  // chain u1-v2-u2-v3-u3
+  const CorePruneResult r = two_core_prune(g);
+  EXPECT_EQ(r.subgraph.edge_count(), 4);
+  EXPECT_TRUE(r.subgraph.has_edge(0, 0));
+  EXPECT_FALSE(r.subgraph.has_edge(2, 2));
+  EXPECT_GT(r.rounds, 2);  // the chain unravels one link per round
+}
+
+class PruneInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PruneInvariance, CountsUnchangedByPruning) {
+  const auto g = random_graph(30, 25, 0.08, GetParam());
+  const CorePruneResult r = two_core_prune(g);
+  EXPECT_EQ(count::wedge_reference(r.subgraph), count::wedge_reference(g));
+  // No degree-1 vertex remains.
+  for (vidx_t u = 0; u < r.subgraph.n1(); ++u)
+    EXPECT_NE(r.subgraph.csr().row_degree(u), 1);
+  for (vidx_t v = 0; v < r.subgraph.n2(); ++v)
+    EXPECT_NE(r.subgraph.csc().row_degree(v), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PruneInvariance,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(DegreeHistogram, MatchesDefinition) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(4, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}});
+  const auto h1 = degree_histogram_v1(g);
+  // Degrees: 3, 1, 0, 0 -> hist [2, 1, 0, 1].
+  ASSERT_EQ(h1.size(), 4u);
+  EXPECT_EQ(h1[0], 2);
+  EXPECT_EQ(h1[1], 1);
+  EXPECT_EQ(h1[2], 0);
+  EXPECT_EQ(h1[3], 1);
+  const auto h2 = degree_histogram_v2(g);
+  // Column degrees: 2, 1, 1 -> hist [0, 2, 1].
+  ASSERT_EQ(h2.size(), 3u);
+  EXPECT_EQ(h2[1], 2);
+  EXPECT_EQ(h2[2], 1);
+}
+
+TEST(DegreePercentile, NearestRank) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(4, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}});
+  // Sorted V1 degrees: 0, 0, 1, 3.
+  EXPECT_EQ(degree_percentile_v1(g, 0), 0);
+  EXPECT_EQ(degree_percentile_v1(g, 50), 0);
+  EXPECT_EQ(degree_percentile_v1(g, 75), 1);
+  EXPECT_EQ(degree_percentile_v1(g, 100), 3);
+  EXPECT_THROW(degree_percentile_v1(g, 101), std::invalid_argument);
+  EXPECT_EQ(degree_percentile_v2(g, 100), 2);
+}
+
+}  // namespace
+}  // namespace bfc::graph

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include "count/baselines.hpp"
+#include "count/local_counts.hpp"
+#include "dense/spec.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::count {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::hexagon;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+using bfc::testing::star;
+
+TEST(Baselines, HandGraphs) {
+  const auto bf = single_butterfly();
+  EXPECT_EQ(wedge_reference(bf), 1);
+  EXPECT_EQ(vertex_priority(bf), 1);
+  EXPECT_EQ(batch_sort(bf), 1);
+  EXPECT_EQ(batch_hash(bf), 1);
+
+  const auto hex = hexagon();
+  EXPECT_EQ(wedge_reference(hex), 0);
+  EXPECT_EQ(vertex_priority(hex), 0);
+
+  const auto st = star(6);
+  EXPECT_EQ(wedge_reference(st), 0);
+  EXPECT_EQ(vertex_priority(st), 0);
+  EXPECT_EQ(batch_sort(st), 0);
+}
+
+TEST(Baselines, CompleteBipartiteClosedForm) {
+  for (const auto& [m, n] : {std::pair{3, 3}, {4, 6}, {7, 2}, {5, 5}}) {
+    const auto g = complete_bipartite(m, n);
+    const count_t expected = choose2(m) * choose2(n);
+    EXPECT_EQ(wedge_reference(g), expected);
+    EXPECT_EQ(wedge_reference_v1(g), expected);
+    EXPECT_EQ(wedge_reference_v2(g), expected);
+    EXPECT_EQ(vertex_priority(g), expected);
+    EXPECT_EQ(batch_sort(g), expected);
+    EXPECT_EQ(batch_hash(g), expected);
+  }
+}
+
+TEST(Baselines, EmptyAndEdgelessGraphs) {
+  const graph::BipartiteGraph empty;
+  EXPECT_EQ(wedge_reference(empty), 0);
+  EXPECT_EQ(vertex_priority(empty), 0);
+  const auto edgeless = graph::BipartiteGraph::from_edges(5, 5, {});
+  EXPECT_EQ(wedge_reference(edgeless), 0);
+  EXPECT_EQ(vertex_priority(edgeless), 0);
+  EXPECT_EQ(batch_hash(edgeless), 0);
+}
+
+struct GraphCase {
+  vidx_t m, n;
+  double p;
+  std::uint64_t seed;
+};
+
+class BaselineAgreement : public ::testing::TestWithParam<GraphCase> {};
+
+TEST_P(BaselineAgreement, AllCountersMatchDenseOracle) {
+  const auto& c = GetParam();
+  const auto g = random_graph(c.m, c.n, c.p, c.seed);
+  const count_t oracle = dense::butterflies_spec(g.csr().to_dense());
+  EXPECT_EQ(wedge_reference_v1(g), oracle);
+  EXPECT_EQ(wedge_reference_v2(g), oracle);
+  EXPECT_EQ(wedge_reference(g), oracle);
+  EXPECT_EQ(vertex_priority(g), oracle);
+  EXPECT_EQ(batch_sort(g), oracle);
+  EXPECT_EQ(batch_hash(g), oracle);
+}
+
+TEST_P(BaselineAgreement, PerVertexMatchesTipSpec) {
+  const auto& c = GetParam();
+  const auto g = random_graph(c.m, c.n, c.p, c.seed);
+  const auto d = g.csr().to_dense();
+  EXPECT_EQ(butterflies_per_v1(g), dense::tip_vector_spec(d));
+  EXPECT_EQ(butterflies_per_v2(g), dense::tip_vector_spec_v2(d));
+}
+
+TEST_P(BaselineAgreement, PerEdgeMatchesWingSpec) {
+  const auto& c = GetParam();
+  const auto g = random_graph(c.m, c.n, c.p, c.seed);
+  const dense::DenseMatrix sw = dense::wing_support_spec(g.csr().to_dense());
+  const std::vector<count_t> support = support_per_edge(g);
+  std::size_t e = 0;
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    for (const vidx_t v : g.neighbors_of_v1(u))
+      EXPECT_EQ(support[e++], sw(u, v)) << "edge (" << u << "," << v << ")";
+  EXPECT_EQ(e, support.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BaselineAgreement,
+    ::testing::Values(GraphCase{5, 5, 0.5, 1}, GraphCase{8, 4, 0.6, 2},
+                      GraphCase{4, 9, 0.4, 3}, GraphCase{12, 12, 0.3, 4},
+                      GraphCase{15, 6, 0.2, 5}, GraphCase{6, 15, 0.7, 6},
+                      GraphCase{10, 10, 0.9, 7}, GraphCase{20, 20, 0.15, 8},
+                      GraphCase{1, 12, 0.9, 9}, GraphCase{12, 1, 0.9, 10},
+                      GraphCase{13, 13, 1.0, 11}));
+
+TEST(Baselines, AgreeOnLargerSparseGraph) {
+  // A bigger instance where the dense oracle would be slow: the baselines
+  // must still agree with each other.
+  const auto g = random_graph(120, 150, 0.05, 77);
+  const count_t ref = wedge_reference(g);
+  EXPECT_EQ(vertex_priority(g), ref);
+  EXPECT_EQ(batch_sort(g), ref);
+  EXPECT_EQ(batch_hash(g), ref);
+}
+
+TEST(Baselines, BatchBudgetEnforced) {
+  const auto g = complete_bipartite(30, 30);  // 30·C(30,2) = 13,050 wedges
+  EXPECT_THROW(batch_sort(g, 100), std::length_error);
+  EXPECT_THROW(batch_hash(g, 100), std::length_error);
+  EXPECT_EQ(batch_sort(g, 1 << 20), choose2(30) * choose2(30));
+}
+
+TEST(LocalCounts, PerVertexSumsToTwiceTotal) {
+  const auto g = random_graph(18, 14, 0.35, 12);
+  const count_t total = wedge_reference(g);
+  count_t sum1 = 0;
+  for (const count_t b : butterflies_per_v1(g)) sum1 += b;
+  EXPECT_EQ(sum1, 2 * total);
+  count_t sum2 = 0;
+  for (const count_t b : butterflies_per_v2(g)) sum2 += b;
+  EXPECT_EQ(sum2, 2 * total);
+}
+
+TEST(LocalCounts, PerEdgeSumsToFourTimesTotal) {
+  // Each butterfly contains 4 edges.
+  const auto g = random_graph(16, 16, 0.4, 13);
+  const count_t total = wedge_reference(g);
+  count_t sum = 0;
+  for (const count_t s : support_per_edge(g)) sum += s;
+  EXPECT_EQ(sum, 4 * total);
+}
+
+}  // namespace
+}  // namespace bfc::count

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "dense/dense_matrix.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::dense {
+namespace {
+
+TEST(DenseMatrix, ConstructionAndAccess) {
+  DenseMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(1, 2), 0);
+  m(1, 2) = 7;
+  EXPECT_EQ(m.at(1, 2), 7);
+}
+
+TEST(DenseMatrix, AtBoundsChecked) {
+  DenseMatrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::invalid_argument);
+  EXPECT_THROW(m.at(0, -1), std::invalid_argument);
+  EXPECT_THROW(std::as_const(m).at(0, 2), std::invalid_argument);
+}
+
+TEST(DenseMatrix, InitializerListAndEquality) {
+  DenseMatrix m = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m(0, 1), 2);
+  EXPECT_EQ(m(1, 0), 3);
+  DenseMatrix same = {{1, 2}, {3, 4}};
+  EXPECT_EQ(m, same);
+  DenseMatrix diff = {{1, 2}, {3, 5}};
+  EXPECT_NE(m, diff);
+}
+
+TEST(DenseMatrix, RaggedInitializerThrows) {
+  EXPECT_THROW((DenseMatrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(DenseMatrix, OnesIdentityZeros) {
+  EXPECT_EQ(DenseMatrix::ones(2, 2).sum(), 4);
+  EXPECT_EQ(DenseMatrix::identity(3).trace(), 3);
+  EXPECT_EQ(DenseMatrix::identity(3).sum(), 3);
+  EXPECT_EQ(DenseMatrix::zeros(4, 5).sum(), 0);
+}
+
+TEST(DenseMatrix, TransposeInvolution) {
+  const DenseMatrix m = bfc::testing::random_dense_int(5, 7, -3, 3, 17);
+  EXPECT_EQ(m.transpose().transpose(), m);
+  EXPECT_EQ(m.transpose()(3, 2), m(2, 3));
+}
+
+TEST(DenseMatrix, MultiplyIdentity) {
+  const DenseMatrix m = bfc::testing::random_dense_int(4, 4, 0, 5, 23);
+  EXPECT_EQ(multiply(m, DenseMatrix::identity(4)), m);
+  EXPECT_EQ(multiply(DenseMatrix::identity(4), m), m);
+}
+
+TEST(DenseMatrix, MultiplyKnownProduct) {
+  const DenseMatrix a = {{1, 2}, {3, 4}};
+  const DenseMatrix b = {{5, 6}, {7, 8}};
+  const DenseMatrix expected = {{19, 22}, {43, 50}};
+  EXPECT_EQ(multiply(a, b), expected);
+}
+
+TEST(DenseMatrix, MultiplyDimensionMismatchThrows) {
+  EXPECT_THROW(multiply(DenseMatrix(2, 3), DenseMatrix(2, 3)),
+               std::invalid_argument);
+}
+
+TEST(DenseMatrix, HadamardAndArithmetic) {
+  const DenseMatrix a = {{1, 2}, {3, 4}};
+  const DenseMatrix b = {{2, 0}, {1, 2}};
+  EXPECT_EQ(hadamard(a, b), (DenseMatrix{{2, 0}, {3, 8}}));
+  EXPECT_EQ(add(a, b), (DenseMatrix{{3, 2}, {4, 6}}));
+  EXPECT_EQ(subtract(a, b), (DenseMatrix{{-1, 2}, {2, 2}}));
+  EXPECT_EQ(scale(a, 3), (DenseMatrix{{3, 6}, {9, 12}}));
+  EXPECT_THROW(hadamard(a, DenseMatrix(3, 2)), std::invalid_argument);
+}
+
+TEST(DenseMatrix, TraceRequiresSquare) {
+  EXPECT_THROW(DenseMatrix(2, 3).trace(), std::invalid_argument);
+}
+
+TEST(DenseMatrix, DiagVector) {
+  const DenseMatrix m = {{1, 9}, {9, 4}};
+  const DenseMatrix d = m.diag_vector();
+  EXPECT_EQ(d.rows(), 2);
+  EXPECT_EQ(d.cols(), 1);
+  EXPECT_EQ(d(0, 0), 1);
+  EXPECT_EQ(d(1, 0), 4);
+}
+
+TEST(DenseMatrix, Slices) {
+  const DenseMatrix m = {{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(slice_cols(m, 1, 3), (DenseMatrix{{2, 3}, {5, 6}}));
+  EXPECT_EQ(slice_rows(m, 0, 1), (DenseMatrix{{1, 2, 3}}));
+  EXPECT_EQ(slice_cols(m, 2, 2).cols(), 0);
+  EXPECT_THROW(slice_cols(m, 2, 1), std::invalid_argument);
+  EXPECT_THROW(slice_rows(m, 0, 3), std::invalid_argument);
+}
+
+// --- Algebraic identities the derivation in §II relies on -----------------
+
+class TraceIdentity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceIdentity, HadamardSumEqualsTraceProduct) {
+  // Eq. (3): Σ_ij (X∘Y)_ij = Γ(XYᵀ) = Γ(YXᵀ).
+  const auto seed = GetParam();
+  const DenseMatrix x = bfc::testing::random_dense_int(6, 4, -4, 4, seed);
+  const DenseMatrix y = bfc::testing::random_dense_int(6, 4, -4, 4, seed + 1);
+  const count_t lhs = hadamard(x, y).sum();
+  EXPECT_EQ(lhs, multiply(x, y.transpose()).trace());
+  EXPECT_EQ(lhs, multiply(y, x.transpose()).trace());
+}
+
+TEST_P(TraceIdentity, TraceIsLinear) {
+  const auto seed = GetParam();
+  const DenseMatrix x = bfc::testing::random_dense_int(5, 5, -9, 9, seed);
+  const DenseMatrix y = bfc::testing::random_dense_int(5, 5, -9, 9, seed + 2);
+  EXPECT_EQ(add(x, y).trace(), x.trace() + y.trace());
+}
+
+TEST_P(TraceIdentity, TraceInvariantUnderRotation) {
+  // Γ(AB) = Γ(BA), the rotation property used throughout §III.
+  const auto seed = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense_int(4, 6, -3, 3, seed);
+  const DenseMatrix b = bfc::testing::random_dense_int(6, 4, -3, 3, seed + 3);
+  EXPECT_EQ(multiply(a, b).trace(), multiply(b, a).trace());
+}
+
+TEST_P(TraceIdentity, GramMatrixIsSymmetric) {
+  const auto seed = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(7, 5, 0.4, seed);
+  const DenseMatrix b = multiply(a, a.transpose());
+  EXPECT_EQ(b, b.transpose());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceIdentity,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 100u, 9999u));
+
+}  // namespace
+}  // namespace bfc::dense

@@ -1,0 +1,125 @@
+// Tests for the dynamic (incremental) counter and the bounded-memory
+// external-style counter — both must track the exact batch counters under
+// arbitrary update sequences / workspace budgets.
+#include <gtest/gtest.h>
+
+#include "count/baselines.hpp"
+#include "count/bounded_memory.hpp"
+#include "count/dynamic.hpp"
+#include "sparse/ops.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::count {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+
+TEST(DynamicCounter, SingleButterflyLifecycle) {
+  DynamicButterflyCounter c(2, 2);
+  EXPECT_EQ(c.butterflies(), 0);
+  EXPECT_EQ(c.insert(0, 0), 0);
+  EXPECT_EQ(c.insert(0, 1), 0);
+  EXPECT_EQ(c.insert(1, 0), 0);
+  EXPECT_EQ(c.insert(1, 1), 1);  // the closing edge creates the butterfly
+  EXPECT_EQ(c.butterflies(), 1);
+  EXPECT_EQ(c.edge_count(), 4);
+  EXPECT_EQ(c.remove(0, 0), 1);
+  EXPECT_EQ(c.butterflies(), 0);
+  EXPECT_EQ(c.edge_count(), 3);
+}
+
+TEST(DynamicCounter, DuplicateAndMissingEdgesAreNoops) {
+  DynamicButterflyCounter c(3, 3);
+  EXPECT_EQ(c.insert(0, 0), 0);
+  EXPECT_EQ(c.insert(0, 0), 0);  // duplicate
+  EXPECT_EQ(c.edge_count(), 1);
+  EXPECT_EQ(c.remove(1, 1), 0);  // absent
+  EXPECT_EQ(c.edge_count(), 1);
+  EXPECT_THROW(c.insert(3, 0), std::invalid_argument);
+  EXPECT_THROW(c.remove(0, 3), std::invalid_argument);
+}
+
+TEST(DynamicCounter, InsertionOrderIrrelevant) {
+  // Build K_{3,3} in two different orders; counts must agree at the end.
+  const std::vector<std::pair<vidx_t, vidx_t>> edges = {
+      {0, 0}, {0, 1}, {0, 2}, {1, 0}, {1, 1},
+      {1, 2}, {2, 0}, {2, 1}, {2, 2}};
+  DynamicButterflyCounter forward(3, 3);
+  for (const auto& [u, v] : edges) forward.insert(u, v);
+  DynamicButterflyCounter backward(3, 3);
+  for (auto it = edges.rbegin(); it != edges.rend(); ++it)
+    backward.insert(it->first, it->second);
+  EXPECT_EQ(forward.butterflies(), choose2(3) * choose2(3));
+  EXPECT_EQ(backward.butterflies(), forward.butterflies());
+}
+
+class DynamicRandomized : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DynamicRandomized, TracksExactCounterThroughMixedUpdates) {
+  const auto seed = GetParam();
+  Rng rng(seed);
+  const vidx_t n1 = 10, n2 = 9;
+  DynamicButterflyCounter c(n1, n2);
+  std::vector<std::pair<vidx_t, vidx_t>> present;
+
+  for (int step = 0; step < 300; ++step) {
+    const bool do_insert = present.empty() || rng.bernoulli(0.6);
+    if (do_insert) {
+      const auto u = static_cast<vidx_t>(rng.bounded(n1));
+      const auto v = static_cast<vidx_t>(rng.bounded(n2));
+      if (!c.has_edge(u, v)) present.emplace_back(u, v);
+      c.insert(u, v);
+    } else {
+      const auto k = static_cast<std::size_t>(rng.bounded(present.size()));
+      c.remove(present[k].first, present[k].second);
+      present.erase(present.begin() + static_cast<std::ptrdiff_t>(k));
+    }
+    // Every 25 steps, verify against a from-scratch recount.
+    if (step % 25 == 24) {
+      const auto g = graph::BipartiteGraph::from_edges(n1, n2, present);
+      ASSERT_EQ(c.butterflies(), wedge_reference(g)) << "step " << step;
+      ASSERT_EQ(c.edge_count(), g.edge_count());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicRandomized,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u));
+
+TEST(BoundedMemory, MatchesExactAcrossBudgets) {
+  const auto g = random_graph(25, 20, 0.3, 7);
+  const count_t exact = wedge_reference(g);
+  // From barely-2-wedges up to everything-in-one-batch.
+  for (const std::int64_t budget : {2, 3, 7, 64, 1 << 20}) {
+    const BoundedMemoryStats s = count_bounded_memory(g, budget);
+    EXPECT_EQ(s.butterflies, exact) << "budget " << budget;
+    EXPECT_LE(s.peak_batch_entries, budget);
+  }
+  EXPECT_THROW(count_bounded_memory(g, 1), std::invalid_argument);
+}
+
+TEST(BoundedMemory, StatsAreConsistent) {
+  const auto g = complete_bipartite(8, 8);  // 8·C(8,2) = 224 wedges per side
+  const BoundedMemoryStats s = count_bounded_memory(g, 50);
+  EXPECT_EQ(s.butterflies, choose2(8) * choose2(8));
+  EXPECT_EQ(s.total_wedges, 224);
+  EXPECT_EQ(s.batches, (224 + 49) / 50);
+  EXPECT_LE(s.peak_batch_entries, 50);
+}
+
+TEST(BoundedMemory, TinyBudgetOnLargerGraph) {
+  const auto g = random_graph(40, 40, 0.2, 12);
+  EXPECT_EQ(count_bounded_memory(g, 16).butterflies, wedge_reference(g));
+}
+
+TEST(BoundedMemory, EmptyGraph) {
+  const BoundedMemoryStats s =
+      count_bounded_memory(graph::BipartiteGraph::from_edges(4, 4, {}), 8);
+  EXPECT_EQ(s.butterflies, 0);
+  EXPECT_EQ(s.batches, 0);
+  EXPECT_EQ(s.total_wedges, 0);
+}
+
+}  // namespace
+}  // namespace bfc::count

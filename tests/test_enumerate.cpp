@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "count/baselines.hpp"
+#include "count/enumerate.hpp"
+#include "count/local_counts.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::count {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::hexagon;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+
+TEST(Enumerate, SingleButterfly) {
+  const auto list = enumerate_butterflies(single_butterfly());
+  ASSERT_EQ(list.size(), 1u);
+  EXPECT_EQ(list[0], (Butterfly{0, 1, 0, 1}));
+}
+
+TEST(Enumerate, EmptyCases) {
+  EXPECT_TRUE(enumerate_butterflies(hexagon()).empty());
+  EXPECT_TRUE(enumerate_butterflies(graph::BipartiteGraph{}).empty());
+  EXPECT_TRUE(enumerate_butterflies(bfc::testing::star(5)).empty());
+}
+
+TEST(Enumerate, CompleteBipartiteExactSet) {
+  const auto g = complete_bipartite(3, 3);
+  const auto list = enumerate_butterflies(g);
+  EXPECT_EQ(static_cast<count_t>(list.size()), choose2(3) * choose2(3));
+  // Every quadruple must be present exactly once.
+  const std::set<Butterfly> unique(list.begin(), list.end());
+  EXPECT_EQ(unique.size(), list.size());
+  EXPECT_TRUE(unique.contains(Butterfly{0, 2, 1, 2}));
+}
+
+TEST(Enumerate, LexicographicOrderAndValidity) {
+  const auto g = random_graph(12, 10, 0.4, 3);
+  const auto list = enumerate_butterflies(g);
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    const Butterfly& b = list[i];
+    EXPECT_LT(b.u1, b.u2);
+    EXPECT_LT(b.v1, b.v2);
+    // All four edges exist.
+    EXPECT_TRUE(g.has_edge(b.u1, b.v1));
+    EXPECT_TRUE(g.has_edge(b.u1, b.v2));
+    EXPECT_TRUE(g.has_edge(b.u2, b.v1));
+    EXPECT_TRUE(g.has_edge(b.u2, b.v2));
+    if (i > 0) EXPECT_LT(list[i - 1], list[i]);
+  }
+}
+
+class EnumerateAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EnumerateAgreement, CountMatchesReferenceCounter) {
+  const auto g = random_graph(15, 13, 0.35, GetParam());
+  const auto list = enumerate_butterflies(g);
+  EXPECT_EQ(static_cast<count_t>(list.size()), wedge_reference(g));
+  const std::set<Butterfly> unique(list.begin(), list.end());
+  EXPECT_EQ(unique.size(), list.size()) << "duplicate butterflies emitted";
+}
+
+TEST_P(EnumerateAgreement, PerVertexEnumerationMatchesLocalCounts) {
+  const auto g = random_graph(12, 12, 0.4, GetParam() + 100);
+  const auto per_vertex = butterflies_per_v1(g);
+  for (vidx_t u = 0; u < g.n1(); ++u) {
+    const auto list = butterflies_containing_v1(g, u);
+    EXPECT_EQ(static_cast<count_t>(list.size()),
+              per_vertex[static_cast<std::size_t>(u)])
+        << "vertex " << u;
+    for (const Butterfly& b : list) EXPECT_TRUE(b.u1 == u || b.u2 == u);
+    const std::set<Butterfly> unique(list.begin(), list.end());
+    EXPECT_EQ(unique.size(), list.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EnumerateAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(Enumerate, EarlyStopViaVisitor) {
+  const auto g = complete_bipartite(4, 4);
+  count_t visited = 0;
+  const count_t total = for_each_butterfly(g, [&](const Butterfly&) {
+    ++visited;
+    return visited < 5;
+  });
+  EXPECT_EQ(visited, 5);
+  EXPECT_EQ(total, 5);
+}
+
+TEST(Enumerate, LimitEnforced) {
+  const auto g = complete_bipartite(6, 6);  // 225 butterflies
+  EXPECT_THROW(enumerate_butterflies(g, 10), std::length_error);
+  EXPECT_EQ(enumerate_butterflies(g, 225).size(), 225u);
+}
+
+TEST(Enumerate, VertexArgumentChecked) {
+  const auto g = single_butterfly();
+  EXPECT_THROW(butterflies_containing_v1(g, 5), std::invalid_argument);
+  EXPECT_THROW(butterflies_containing_v1(g, -1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfc::count

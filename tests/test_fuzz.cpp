@@ -1,0 +1,99 @@
+// Deterministic differential "fuzz" sweeps: many seeded random instances,
+// every independent counting path compared pairwise. Complements the
+// oracle-pinned tests with breadth — a disagreement between ANY two
+// implementations fails, without needing the dense oracle's O(m²n) cost.
+#include <gtest/gtest.h>
+
+#include "count/baselines.hpp"
+#include "count/bounded_memory.hpp"
+#include "count/local_counts.hpp"
+#include "count/parallel_counts.hpp"
+#include "gb/butterflies.hpp"
+#include "gen/generators.hpp"
+#include "la/count.hpp"
+#include "peel/wing_family.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc {
+namespace {
+
+struct FuzzCase {
+  std::uint64_t seed;
+  int shape;  // 0: square sparse, 1: wide, 2: tall, 3: dense small, 4: CL
+};
+
+graph::BipartiteGraph make_case(const FuzzCase& c) {
+  switch (c.shape) {
+    case 0:
+      return gen::erdos_renyi(60, 60, 0.05, c.seed);
+    case 1:
+      return gen::erdos_renyi(15, 120, 0.08, c.seed);
+    case 2:
+      return gen::erdos_renyi(120, 15, 0.08, c.seed);
+    case 3:
+      return gen::erdos_renyi(18, 18, 0.5, c.seed);
+    default:
+      return gen::chung_lu(gen::power_law_weights(80, 0.9),
+                           gen::power_law_weights(60, 0.7), 400, c.seed);
+  }
+}
+
+class DifferentialFuzz : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(DifferentialFuzz, TotalsAgreeEverywhere) {
+  const auto g = make_case(GetParam());
+  const count_t reference = count::wedge_reference(g);
+
+  EXPECT_EQ(count::vertex_priority(g), reference);
+  EXPECT_EQ(count::batch_hash(g), reference);
+  EXPECT_EQ(count::wedge_reference_parallel(g, 3), reference);
+  EXPECT_EQ(count::count_bounded_memory(g, 256).butterflies, reference);
+  EXPECT_EQ(gb::butterflies_spec(g), reference);
+  EXPECT_EQ(la::count_butterflies(g), reference);
+
+  for (const la::Invariant inv : la::all_invariants()) {
+    la::CountOptions wedge;
+    wedge.engine = la::Engine::kWedge;
+    EXPECT_EQ(la::count_butterflies(g, inv, wedge), reference)
+        << la::name(inv);
+    la::CountOptions blocked;
+    blocked.engine = la::Engine::kBlocked;
+    blocked.block_size = 7;  // deliberately awkward panel width
+    EXPECT_EQ(la::count_butterflies(g, inv, blocked), reference)
+        << la::name(inv);
+  }
+}
+
+TEST_P(DifferentialFuzz, LocalCountsConsistent) {
+  const auto g = make_case(GetParam());
+  const count_t reference = count::wedge_reference(g);
+
+  // Per-vertex sums = 2Ξ on each side; parallel == sequential.
+  const auto b1 = count::butterflies_per_v1(g);
+  count_t sum1 = 0;
+  for (const count_t b : b1) sum1 += b;
+  EXPECT_EQ(sum1, 2 * reference);
+  EXPECT_EQ(count::butterflies_per_v1_parallel(g, 2), b1);
+
+  // Per-edge support: Eq. 25 path == traversal family path, sums to 4Ξ.
+  const auto support = count::support_per_edge(g);
+  count_t sum_e = 0;
+  for (const count_t s : support) sum_e += s;
+  EXPECT_EQ(sum_e, 4 * reference);
+  EXPECT_EQ(peel::support_family(g, la::Invariant::kInv3), support);
+  EXPECT_EQ(peel::support_family(g, la::Invariant::kInv8), support);
+  EXPECT_EQ(gb::wing_support(g), support);
+}
+
+std::vector<FuzzCase> fuzz_cases() {
+  std::vector<FuzzCase> cases;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed)
+    for (int shape = 0; shape < 5; ++shape) cases.push_back({seed, shape});
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DifferentialFuzz,
+                         ::testing::ValuesIn(fuzz_cases()));
+
+}  // namespace
+}  // namespace bfc

@@ -1,0 +1,208 @@
+// Tests for the GraphBLAS-style layer: kernel-level checks against the
+// dense oracle, then the verbatim-equation implementations against the
+// dense specs and the production counters.
+#include <gtest/gtest.h>
+
+#include "count/local_counts.hpp"
+#include "dense/spec.hpp"
+#include "gb/butterflies.hpp"
+#include "gb/matrix.hpp"
+#include "gb/vector.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::gb {
+namespace {
+
+using dense::DenseMatrix;
+
+sparse::CsrCounts counts_from_dense(const DenseMatrix& d) {
+  sparse::CsrCounts c;
+  c.rows = d.rows();
+  c.cols = d.cols();
+  c.row_ptr.assign(static_cast<std::size_t>(d.rows()) + 1, 0);
+  for (vidx_t r = 0; r < d.rows(); ++r) {
+    for (vidx_t col = 0; col < d.cols(); ++col) {
+      if (d(r, col) != 0) {
+        c.col_idx.push_back(col);
+        c.values.push_back(d(r, col));
+      }
+    }
+    c.row_ptr[static_cast<std::size_t>(r) + 1] =
+        static_cast<offset_t>(c.col_idx.size());
+  }
+  return c;
+}
+
+TEST(GbVector, ConstructionAndValidation) {
+  const Vector v(5, {1, 3}, {10, -2});
+  EXPECT_EQ(v.size(), 5);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(reduce(v), 8);
+  EXPECT_THROW(Vector(3, {0, 0}, {1, 1}), std::invalid_argument);  // dup
+  EXPECT_THROW(Vector(3, {2, 1}, {1, 1}), std::invalid_argument);  // unsorted
+  EXPECT_THROW(Vector(3, {5}, {1}), std::invalid_argument);        // range
+  EXPECT_THROW(Vector(3, {1}, {0}), std::invalid_argument);        // zero
+  EXPECT_THROW(Vector(3, {1}, {}), std::invalid_argument);         // lengths
+}
+
+TEST(GbVector, DenseRoundTrip) {
+  const std::vector<count_t> dense{0, 5, 0, -3, 0};
+  const Vector v = Vector::from_dense(dense);
+  EXPECT_EQ(v.nnz(), 2u);
+  EXPECT_EQ(v.to_dense(), dense);
+}
+
+TEST(GbVector, DotAndEwise) {
+  const Vector x(4, {0, 2, 3}, {2, 3, 4});
+  const Vector y(4, {1, 2, 3}, {7, 5, -4});
+  EXPECT_EQ(dot(x, y), 3 * 5 + 4 * -4);
+  EXPECT_EQ(dot(x, x), 4 + 9 + 16);
+  const Vector m = ewise_mult(x, y);
+  EXPECT_EQ(m.to_dense(), (std::vector<count_t>{0, 0, 15, -16}));
+  const Vector a = ewise_add(x, y);
+  EXPECT_EQ(a.to_dense(), (std::vector<count_t>{2, 7, 8, 0}));
+  // x_3 + y_3 = 0: structural zero must be dropped.
+  EXPECT_EQ(a.nnz(), 3u);
+  EXPECT_THROW(dot(x, Vector(3)), std::invalid_argument);
+}
+
+TEST(GbVector, IndicatorAndApply) {
+  const Vector ind = Vector::indicator(6, {1, 4});
+  EXPECT_EQ(reduce(ind), 2);
+  const Vector sq = apply(ind, [](count_t v) { return v * 3; });
+  EXPECT_EQ(reduce(sq), 6);
+  const Vector dropped = apply(ind, [](count_t) { return count_t{0}; });
+  EXPECT_EQ(dropped.nnz(), 0u);
+}
+
+class GbMatrixRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GbMatrixRandom, MxmMatchesDense) {
+  const auto seed = GetParam();
+  const DenseMatrix da = bfc::testing::random_dense_int(6, 7, -2, 2, seed);
+  const DenseMatrix db = bfc::testing::random_dense_int(7, 5, -2, 2, seed + 1);
+  EXPECT_EQ(mxm(counts_from_dense(da), counts_from_dense(db)).to_dense(),
+            multiply(da, db));
+}
+
+TEST_P(GbMatrixRandom, TransposeEwiseReduceTrace) {
+  const auto seed = GetParam();
+  const DenseMatrix da = bfc::testing::random_dense_int(6, 6, -3, 3, seed);
+  const DenseMatrix db = bfc::testing::random_dense_int(6, 6, -3, 3, seed + 2);
+  const sparse::CsrCounts a = counts_from_dense(da);
+  const sparse::CsrCounts b = counts_from_dense(db);
+  EXPECT_EQ(transpose(a).to_dense(), da.transpose());
+  EXPECT_EQ(ewise_mult(a, b).to_dense(), hadamard(da, db));
+  EXPECT_EQ(ewise_add(a, b).to_dense(), add(da, db));
+  EXPECT_EQ(reduce(a), da.sum());
+  EXPECT_EQ(trace(a), da.trace());
+  EXPECT_EQ(Vector::from_dense(diag(a).to_dense()).to_dense(),
+            diag(a).to_dense());
+}
+
+TEST_P(GbMatrixRandom, MxvVxmRowRange) {
+  const auto seed = GetParam();
+  const DenseMatrix da = bfc::testing::random_dense_int(8, 5, -2, 2, seed);
+  const sparse::CsrCounts a = counts_from_dense(da);
+  Rng rng(seed + 9);
+  std::vector<count_t> xd(5);
+  for (auto& v : xd) v = rng.range(-3, 3);
+  const Vector x = Vector::from_dense(xd);
+
+  // y = A·x against the dense product.
+  const Vector y = mxv(a, x);
+  for (vidx_t r = 0; r < 8; ++r) {
+    count_t expect = 0;
+    for (vidx_t c = 0; c < 5; ++c) expect += da(r, c) * xd[static_cast<std::size_t>(c)];
+    EXPECT_EQ(y.to_dense()[static_cast<std::size_t>(r)], expect);
+  }
+
+  // Row-range restriction zeroes everything outside [2, 6).
+  const Vector yr = mxv_row_range(a, 2, 6, x);
+  const auto yd = y.to_dense();
+  const auto yrd = yr.to_dense();
+  for (vidx_t r = 0; r < 8; ++r)
+    EXPECT_EQ(yrd[static_cast<std::size_t>(r)],
+              (r >= 2 && r < 6) ? yd[static_cast<std::size_t>(r)] : 0);
+
+  // vxm equals mxv on the transpose.
+  std::vector<count_t> zd(8);
+  for (auto& v : zd) v = rng.range(-3, 3);
+  const Vector z = Vector::from_dense(zd);
+  EXPECT_EQ(vxm(z, a).to_dense(), mxv(transpose(a), z).to_dense());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbMatrixRandom,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+TEST(GbMatrix, PatternRoundTrip) {
+  const auto g = bfc::testing::random_graph(7, 9, 0.4, 3);
+  EXPECT_EQ(pattern(from_pattern(g.csr())), g.csr());
+}
+
+TEST(GbMatrix, MxmCancellationDropsExplicitZeros) {
+  // (1 -1)·(1 / 1) = 0 must be structurally absent.
+  sparse::CsrCounts a;
+  a.rows = 1;
+  a.cols = 2;
+  a.row_ptr = {0, 2};
+  a.col_idx = {0, 1};
+  a.values = {1, -1};
+  sparse::CsrCounts b;
+  b.rows = 2;
+  b.cols = 1;
+  b.row_ptr = {0, 1, 2};
+  b.col_idx = {0, 0};
+  b.values = {1, 1};
+  EXPECT_EQ(mxm(a, b).nnz(), 0);
+}
+
+struct GbCase {
+  vidx_t m, n;
+  double p;
+  std::uint64_t seed;
+};
+
+class GbButterflies : public ::testing::TestWithParam<GbCase> {};
+
+TEST_P(GbButterflies, SpecMatchesDenseOracle) {
+  const auto& c = GetParam();
+  const auto g = bfc::testing::random_graph(c.m, c.n, c.p, c.seed);
+  const count_t oracle = dense::butterflies_spec(g.csr().to_dense());
+  EXPECT_EQ(butterflies_spec(g), oracle);
+  EXPECT_EQ(wedges_spec(g), dense::wedges_spec(g.csr().to_dense()));
+}
+
+TEST_P(GbButterflies, LoopMatchesOracleForAllInvariants) {
+  const auto& c = GetParam();
+  const auto g = bfc::testing::random_graph(c.m, c.n, c.p, c.seed);
+  const count_t oracle = dense::butterflies_spec(g.csr().to_dense());
+  for (const la::Invariant inv : la::all_invariants())
+    EXPECT_EQ(butterflies_loop(g, inv), oracle) << la::name(inv);
+}
+
+TEST_P(GbButterflies, LocalCountsMatchProductionKernels) {
+  const auto& c = GetParam();
+  const auto g = bfc::testing::random_graph(c.m, c.n, c.p, c.seed);
+  EXPECT_EQ(tip_vector(g), count::butterflies_per_v1(g));
+  EXPECT_EQ(wing_support(g), count::support_per_edge(g));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GbButterflies,
+    ::testing::Values(GbCase{5, 5, 0.5, 1}, GbCase{9, 4, 0.5, 2},
+                      GbCase{4, 9, 0.5, 3}, GbCase{12, 12, 0.3, 4},
+                      GbCase{14, 6, 0.25, 5}, GbCase{6, 14, 0.7, 6},
+                      GbCase{10, 10, 1.0, 7}, GbCase{10, 10, 0.05, 8},
+                      GbCase{1, 8, 0.9, 9}, GbCase{16, 16, 0.2, 10}));
+
+TEST(GbButterflies, HandGraphs) {
+  EXPECT_EQ(butterflies_spec(bfc::testing::single_butterfly()), 1);
+  EXPECT_EQ(butterflies_spec(bfc::testing::hexagon()), 0);
+  EXPECT_EQ(butterflies_spec(bfc::testing::complete_bipartite(4, 5)),
+            choose2(4) * choose2(5));
+  EXPECT_EQ(wedges_spec(bfc::testing::single_butterfly()), 2);
+}
+
+}  // namespace
+}  // namespace bfc::gb

@@ -1,0 +1,66 @@
+// The gb-layer mask iterations must produce the same fixpoints as the
+// production peel:: implementations for every k on varied graphs.
+#include <gtest/gtest.h>
+
+#include "gb/peeling.hpp"
+#include "gen/generators.hpp"
+#include "peel/peeling.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::gb {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+
+TEST(GbPeeling, HandGraphs) {
+  const auto g = single_butterfly();
+  EXPECT_EQ(k_tip_spec(g, 1).subgraph, g);
+  EXPECT_EQ(k_tip_spec(g, 2).subgraph.edge_count(), 0);
+  EXPECT_EQ(k_wing_spec(g, 1).subgraph, g);
+  EXPECT_EQ(k_wing_spec(g, 2).subgraph.edge_count(), 0);
+  EXPECT_THROW(k_tip_spec(g, -1), std::invalid_argument);
+  EXPECT_THROW(k_wing_spec(g, -2), std::invalid_argument);
+}
+
+class GbPeelAgreement : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(GbPeelAgreement, TipMatchesProductionForAllK) {
+  const auto g = random_graph(14, 12, 0.35, GetParam());
+  for (const count_t k : {0, 1, 2, 4, 8, 50}) {
+    const MaskIterationResult spec = k_tip_spec(g, k);
+    const peel::TipPeelResult production = peel::k_tip(g, k);
+    EXPECT_EQ(spec.subgraph, production.subgraph) << "k=" << k;
+    EXPECT_EQ(spec.rounds, production.rounds) << "k=" << k;
+  }
+}
+
+TEST_P(GbPeelAgreement, WingMatchesProductionForAllK) {
+  const auto g = random_graph(12, 12, 0.4, GetParam() + 50);
+  for (const count_t k : {0, 1, 2, 3, 6, 40}) {
+    const MaskIterationResult spec = k_wing_spec(g, k);
+    const peel::WingPeelResult production = peel::k_wing(g, k);
+    EXPECT_EQ(spec.subgraph, production.subgraph) << "k=" << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GbPeelAgreement,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(GbPeeling, CommunityGraph) {
+  gen::BlockCommunitySpec spec;
+  spec.blocks = 2;
+  spec.block_rows = 10;
+  spec.block_cols = 10;
+  spec.extra_rows = 8;
+  spec.extra_cols = 8;
+  spec.p_in = 0.6;
+  spec.p_out = 0.02;
+  const auto g = gen::block_community(spec, 77);
+  EXPECT_EQ(k_tip_spec(g, 20).subgraph, peel::k_tip(g, 20).subgraph);
+  EXPECT_EQ(k_wing_spec(g, 5).subgraph, peel::k_wing(g, 5).subgraph);
+}
+
+}  // namespace
+}  // namespace bfc::gb

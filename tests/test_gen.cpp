@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "gen/discrete_sampler.hpp"
+#include "gen/generators.hpp"
+#include "gen/konect_like.hpp"
+#include "sparse/ops.hpp"
+
+namespace bfc::gen {
+namespace {
+
+TEST(ErdosRenyi, ExtremeProbabilities) {
+  const auto empty = erdos_renyi(10, 10, 0.0, 1);
+  EXPECT_EQ(empty.edge_count(), 0);
+  const auto full = erdos_renyi(10, 10, 1.0, 1);
+  EXPECT_EQ(full.edge_count(), 100);
+}
+
+TEST(ErdosRenyi, EdgeCountNearExpectation) {
+  const auto g = erdos_renyi(200, 200, 0.1, 7);
+  const double expected = 200.0 * 200.0 * 0.1;
+  EXPECT_GT(g.edge_count(), expected * 0.85);
+  EXPECT_LT(g.edge_count(), expected * 1.15);
+}
+
+TEST(ErdosRenyi, DeterministicBySeed) {
+  EXPECT_EQ(erdos_renyi(50, 40, 0.2, 9), erdos_renyi(50, 40, 0.2, 9));
+  EXPECT_NE(erdos_renyi(50, 40, 0.2, 9), erdos_renyi(50, 40, 0.2, 10));
+}
+
+TEST(ErdosRenyi, EmptyDimensions) {
+  EXPECT_EQ(erdos_renyi(0, 10, 0.5, 1).edge_count(), 0);
+  EXPECT_EQ(erdos_renyi(10, 0, 0.5, 1).edge_count(), 0);
+  EXPECT_THROW(erdos_renyi(2, 2, 1.5, 1), std::invalid_argument);
+}
+
+TEST(ErdosRenyiM, ExactEdgeCount) {
+  for (const offset_t m : {0, 1, 37, 100}) {
+    const auto g = erdos_renyi_m(10, 10, m, 3);
+    EXPECT_EQ(g.edge_count(), m);
+  }
+  EXPECT_THROW(erdos_renyi_m(3, 3, 10, 1), std::invalid_argument);
+}
+
+TEST(PowerLawWeights, NormalisedAndDecreasing) {
+  const auto w = power_law_weights(100, 0.8);
+  ASSERT_EQ(w.size(), 100u);
+  const double sum = std::accumulate(w.begin(), w.end(), 0.0);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+  for (std::size_t i = 1; i < w.size(); ++i) EXPECT_LE(w[i], w[i - 1]);
+}
+
+TEST(PowerLawWeights, AlphaZeroIsUniform) {
+  const auto w = power_law_weights(10, 0.0);
+  for (const double x : w) EXPECT_NEAR(x, 0.1, 1e-12);
+}
+
+TEST(DiscreteSamplerTest, RespectsZeroWeights) {
+  DiscreteSampler s({0.0, 1.0, 0.0, 3.0});
+  Rng rng(4);
+  int counts[4] = {0, 0, 0, 0};
+  for (int i = 0; i < 4000; ++i) ++counts[s.sample(rng)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_EQ(counts[2], 0);
+  // Weight-3 index should dominate the weight-1 index roughly 3:1.
+  EXPECT_GT(counts[3], counts[1] * 2);
+  EXPECT_LT(counts[3], counts[1] * 4);
+}
+
+TEST(DiscreteSamplerTest, RejectsBadWeights) {
+  EXPECT_THROW(DiscreteSampler({}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteSampler({1.0, -1.0}), std::invalid_argument);
+}
+
+TEST(ChungLu, ReachesTargetEdges) {
+  const auto w1 = power_law_weights(300, 0.6);
+  const auto w2 = power_law_weights(500, 0.6);
+  const auto g = chung_lu(w1, w2, 2000, 11);
+  EXPECT_EQ(g.n1(), 300);
+  EXPECT_EQ(g.n2(), 500);
+  EXPECT_EQ(g.edge_count(), 2000);
+}
+
+TEST(ChungLu, HeavyTailShowsInDegrees) {
+  const auto g = chung_lu(power_law_weights(400, 0.9),
+                          power_law_weights(400, 0.9), 3000, 13);
+  const auto deg = sparse::row_degrees(g.csr());
+  const auto max_deg = *std::max_element(deg.begin(), deg.end());
+  const double mean = 3000.0 / 400.0;
+  EXPECT_GT(static_cast<double>(max_deg), 4 * mean);  // hub vertices exist
+  // Vertex 0 carries the largest weight, so it should be a top hub.
+  EXPECT_GT(deg[0], max_deg / 2);
+}
+
+TEST(ChungLu, DeterministicBySeed) {
+  const auto w = power_law_weights(100, 0.7);
+  EXPECT_EQ(chung_lu(w, w, 500, 21), chung_lu(w, w, 500, 21));
+}
+
+TEST(ConfigurationModel, MatchesDegreesOnEasyInstances) {
+  // Regular-ish degrees with plenty of slack pair up exactly.
+  const std::vector<offset_t> d1(20, 3);
+  const std::vector<offset_t> d2(30, 2);
+  const auto g = configuration_model(d1, d2, 17);
+  EXPECT_EQ(g.edge_count(), 60);
+  const auto rd = sparse::row_degrees(g.csr());
+  for (const offset_t d : rd) EXPECT_EQ(d, 3);
+}
+
+TEST(ConfigurationModel, RejectsMismatchedSums) {
+  EXPECT_THROW(configuration_model({3}, {1}, 1), std::invalid_argument);
+  EXPECT_THROW(configuration_model({5}, {5}, 1),
+               std::invalid_argument);  // degree exceeds other side
+}
+
+TEST(BlockCommunity, PlantsDenseBlocks) {
+  BlockCommunitySpec spec;
+  spec.blocks = 3;
+  spec.block_rows = 10;
+  spec.block_cols = 10;
+  spec.p_in = 0.9;
+  spec.p_out = 0.0;
+  const auto g = block_community(spec, 23);
+  EXPECT_EQ(g.n1(), 30);
+  EXPECT_EQ(g.n2(), 30);
+  // All edges live inside diagonal blocks.
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    for (const vidx_t v : g.neighbors_of_v1(u))
+      EXPECT_EQ(u / 10, v / 10) << "edge crosses blocks";
+  // Roughly p_in density per block.
+  EXPECT_GT(g.edge_count(), 3 * 100 * 0.7);
+}
+
+TEST(BlockCommunity, BackgroundNoiseAppears) {
+  BlockCommunitySpec spec;
+  spec.blocks = 2;
+  spec.block_rows = 20;
+  spec.block_cols = 20;
+  spec.p_in = 0.0;
+  spec.p_out = 0.3;
+  const auto g = block_community(spec, 29);
+  EXPECT_GT(g.edge_count(), 40 * 40 * 0.2);
+}
+
+TEST(KonectPresets, MatchPaperFig9) {
+  const auto& presets = konect_presets();
+  ASSERT_EQ(presets.size(), 5u);
+  EXPECT_EQ(presets[0].name, "arXiv cond-mat");
+  EXPECT_EQ(presets[0].n1, 16726);
+  EXPECT_EQ(presets[0].n2, 22015);
+  EXPECT_EQ(presets[0].edges, 58595);
+  EXPECT_EQ(presets[0].paper_butterflies, 70549);
+  EXPECT_EQ(presets[4].name, "GitHub");
+  EXPECT_EQ(presets[4].edges, 440237);
+  EXPECT_EQ(presets[4].paper_butterflies, 50894505);
+  // Record Labels and Occupations are the |V1| > |V2| datasets.
+  EXPECT_GT(presets[2].n1, presets[2].n2);
+  EXPECT_GT(presets[3].n1, presets[3].n2);
+  EXPECT_LT(presets[1].n1, presets[1].n2);
+}
+
+TEST(KonectPresets, LookupByName) {
+  EXPECT_EQ(konect_preset("GitHub").edges, 440237);
+  EXPECT_THROW(konect_preset("NoSuchDataset"), std::invalid_argument);
+}
+
+TEST(KonectLike, ScalePreservesShape) {
+  const auto& preset = konect_preset("Record Labels");
+  const auto g = make_konect_like(preset, 0.01, 5);
+  // |V1|/|V2| asymmetry is preserved at any scale.
+  EXPECT_GT(g.n1(), g.n2());
+  EXPECT_NEAR(static_cast<double>(g.n1()), preset.n1 * 0.01, 2);
+  EXPECT_NEAR(static_cast<double>(g.n2()), preset.n2 * 0.01, 2);
+  EXPECT_NEAR(static_cast<double>(g.edge_count()),
+              static_cast<double>(preset.edges) * 0.01,
+              static_cast<double>(preset.edges) * 0.01 * 0.05);
+  EXPECT_THROW(make_konect_like(preset, 0.0, 1), std::invalid_argument);
+  EXPECT_THROW(make_konect_like(preset, 1.5, 1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfc::gen

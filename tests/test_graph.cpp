@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "graph/bipartite_graph.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/io_mtx.hpp"
+#include "graph/stats.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::graph {
+namespace {
+
+TEST(BipartiteGraph, BasicAccessors) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(3, 2, {{0, 0}, {0, 1}, {2, 1}});
+  EXPECT_EQ(g.n1(), 3);
+  EXPECT_EQ(g.n2(), 2);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(1, 0));
+  EXPECT_EQ(g.neighbors_of_v1(0).size(), 2u);
+  EXPECT_EQ(g.neighbors_of_v2(1).size(), 2u);
+  EXPECT_EQ(g.neighbors_of_v2(1)[0], 0);
+  EXPECT_EQ(g.neighbors_of_v2(1)[1], 2);
+}
+
+TEST(BipartiteGraph, CscIsTransposeOfCsr) {
+  const BipartiteGraph g = bfc::testing::random_graph(10, 7, 0.3, 77);
+  EXPECT_EQ(g.csc(), g.csr().transpose());
+}
+
+TEST(BipartiteGraph, SwappedSides) {
+  const BipartiteGraph g = bfc::testing::random_graph(6, 9, 0.4, 5);
+  const BipartiteGraph s = g.swapped_sides();
+  EXPECT_EQ(s.n1(), g.n2());
+  EXPECT_EQ(s.n2(), g.n1());
+  EXPECT_EQ(s.edge_count(), g.edge_count());
+  EXPECT_EQ(s.csr(), g.csc());
+  EXPECT_EQ(s.swapped_sides(), g);
+}
+
+TEST(BipartiteGraph, DuplicateEdgesMerged) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(2, 2, {{0, 0}, {0, 0}, {1, 1}});
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(EdgelistIo, ParsesKonectFormat) {
+  std::istringstream in(
+      "% bip comment line\n"
+      "# another comment\n"
+      "\n"
+      "1 1 1 917000000\n"
+      "1 2\n"
+      "3 2 5\n");
+  const BipartiteGraph g = read_edgelist(in);
+  EXPECT_EQ(g.n1(), 3);
+  EXPECT_EQ(g.n2(), 2);
+  EXPECT_EQ(g.edge_count(), 3);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(2, 1));
+}
+
+TEST(EdgelistIo, ForcedDimensions) {
+  std::istringstream in("1 1\n");
+  const BipartiteGraph g = read_edgelist(in, 5, 6);
+  EXPECT_EQ(g.n1(), 5);
+  EXPECT_EQ(g.n2(), 6);
+  std::istringstream in2("3 1\n");
+  EXPECT_THROW(read_edgelist(in2, 2, 2), std::invalid_argument);
+}
+
+TEST(EdgelistIo, RejectsMalformedInput) {
+  std::istringstream bad_ids("0 1\n");
+  EXPECT_THROW(read_edgelist(bad_ids), std::runtime_error);
+  std::istringstream garbage("hello world\n");
+  EXPECT_THROW(read_edgelist(garbage), std::runtime_error);
+}
+
+TEST(EdgelistIo, RoundTrip) {
+  const BipartiteGraph g = bfc::testing::random_graph(8, 5, 0.4, 99);
+  std::stringstream buffer;
+  write_edgelist(buffer, g);
+  const BipartiteGraph back = read_edgelist(buffer, g.n1(), g.n2());
+  EXPECT_EQ(back, g);
+}
+
+TEST(EdgelistIo, MissingFileThrows) {
+  EXPECT_THROW(load_edgelist("/nonexistent/path/graph.txt"),
+               std::runtime_error);
+}
+
+TEST(MtxIo, ParsesPatternCoordinate) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "% comment\n"
+      "3 4 2\n"
+      "1 1\n"
+      "3 4\n");
+  const BipartiteGraph g = read_mtx(in);
+  EXPECT_EQ(g.n1(), 3);
+  EXPECT_EQ(g.n2(), 4);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_TRUE(g.has_edge(0, 0));
+  EXPECT_TRUE(g.has_edge(2, 3));
+}
+
+TEST(MtxIo, IntegerFieldTreatsNonzeroAsEdge) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate integer general\n"
+      "2 2 2\n"
+      "1 1 5\n"
+      "2 2 0\n");
+  const BipartiteGraph g = read_mtx(in);
+  EXPECT_EQ(g.edge_count(), 1);  // the explicit zero is dropped
+  EXPECT_TRUE(g.has_edge(0, 0));
+}
+
+TEST(MtxIo, RejectsBadBanners) {
+  std::istringstream no_banner("3 3 0\n");
+  EXPECT_THROW(read_mtx(no_banner), std::runtime_error);
+  std::istringstream symmetric(
+      "%%MatrixMarket matrix coordinate pattern symmetric\n2 2 0\n");
+  EXPECT_THROW(read_mtx(symmetric), std::runtime_error);
+  std::istringstream array_fmt(
+      "%%MatrixMarket matrix array real general\n2 2\n");
+  EXPECT_THROW(read_mtx(array_fmt), std::runtime_error);
+  std::istringstream out_of_range(
+      "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n");
+  EXPECT_THROW(read_mtx(out_of_range), std::runtime_error);
+}
+
+TEST(MtxIo, RoundTrip) {
+  const BipartiteGraph g = bfc::testing::random_graph(6, 11, 0.3, 31);
+  std::stringstream buffer;
+  write_mtx(buffer, g);
+  EXPECT_EQ(read_mtx(buffer), g);
+}
+
+TEST(BinaryIo, RoundTrip) {
+  const BipartiteGraph g = bfc::testing::random_graph(12, 9, 0.25, 55);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  EXPECT_EQ(read_binary(buffer), g);
+}
+
+TEST(BinaryIo, BadMagicThrows) {
+  std::stringstream buffer;
+  buffer << "NOTBFC__garbage";
+  EXPECT_THROW(read_binary(buffer), std::runtime_error);
+}
+
+TEST(BinaryIo, TruncatedThrows) {
+  const BipartiteGraph g = bfc::testing::random_graph(4, 4, 0.5, 1);
+  std::stringstream buffer(std::ios::in | std::ios::out | std::ios::binary);
+  write_binary(buffer, g);
+  std::string bytes = buffer.str();
+  bytes.resize(bytes.size() / 2);
+  std::istringstream truncated(bytes, std::ios::binary);
+  EXPECT_THROW(read_binary(truncated), std::runtime_error);
+}
+
+TEST(Stats, DegreeSummaries) {
+  const BipartiteGraph g =
+      BipartiteGraph::from_edges(3, 3, {{0, 0}, {0, 1}, {0, 2}, {1, 0}});
+  const DegreeSummary d1 = degree_summary_v1(g);
+  EXPECT_EQ(d1.min, 0);
+  EXPECT_EQ(d1.max, 3);
+  EXPECT_EQ(d1.isolated, 1);
+  EXPECT_DOUBLE_EQ(d1.mean, 4.0 / 3.0);
+  const DegreeSummary d2 = degree_summary_v2(g);
+  EXPECT_EQ(d2.max, 2);
+  EXPECT_EQ(d2.isolated, 0);
+}
+
+TEST(Stats, WedgeCountsMatchDefinition) {
+  const BipartiteGraph g = bfc::testing::single_butterfly();
+  // K_{2,2}: each side contributes 2 wedges.
+  EXPECT_EQ(wedges_v1_endpoints(g), 2);
+  EXPECT_EQ(wedges_v2_endpoints(g), 2);
+  const BipartiteGraph s = bfc::testing::star(4);  // K_{1,4}
+  EXPECT_EQ(wedges_v1_endpoints(s), 0);
+  EXPECT_EQ(wedges_v2_endpoints(s), 6);
+}
+
+TEST(Stats, CaterpillarsAndClustering) {
+  const BipartiteGraph g = bfc::testing::single_butterfly();
+  // K_{2,2}: each edge has (2-1)(2-1)=1 caterpillar -> 4 total.
+  EXPECT_EQ(caterpillars(g), 4);
+  // One butterfly: cc = 4*1/4 = 1 (every caterpillar closes).
+  EXPECT_DOUBLE_EQ(clustering_coefficient(g, 1), 1.0);
+  const BipartiteGraph h = bfc::testing::hexagon();
+  EXPECT_EQ(caterpillars(h), 6);
+  EXPECT_DOUBLE_EQ(clustering_coefficient(h, 0), 0.0);
+}
+
+TEST(Stats, DensityAndSummary) {
+  const BipartiteGraph g = bfc::testing::complete_bipartite(4, 5);
+  EXPECT_DOUBLE_EQ(density(g), 1.0);
+  const GraphSummary s = summarize(g);
+  EXPECT_EQ(s.n1, 4);
+  EXPECT_EQ(s.n2, 5);
+  EXPECT_EQ(s.edges, 20);
+  EXPECT_EQ(s.wedges_v1, 5 * choose2(4));
+  EXPECT_EQ(s.wedges_v2, 4 * choose2(5));
+  std::ostringstream os;
+  os << s;
+  EXPECT_NE(os.str().find("|E|=20"), std::string::npos);
+}
+
+TEST(Stats, EmptyGraphIsSafe) {
+  const BipartiteGraph g;
+  EXPECT_DOUBLE_EQ(density(g), 0.0);
+  EXPECT_EQ(caterpillars(g), 0);
+  EXPECT_EQ(summarize(g).edges, 0);
+}
+
+}  // namespace
+}  // namespace bfc::graph

@@ -1,0 +1,160 @@
+// Cross-module integration sweeps: generated graphs (not dense-backed test
+// fixtures) flowing through I/O round-trips, reordering, every counting
+// engine, peeling, and the dynamic counter — the paths a downstream user
+// actually composes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "count/baselines.hpp"
+#include "count/bounded_memory.hpp"
+#include "count/dynamic.hpp"
+#include "count/enumerate.hpp"
+#include "gen/generators.hpp"
+#include "gen/konect_like.hpp"
+#include "gb/butterflies.hpp"
+#include "graph/io_binary.hpp"
+#include "graph/io_edgelist.hpp"
+#include "graph/io_mtx.hpp"
+#include "graph/reorder.hpp"
+#include "la/count.hpp"
+#include "peel/decompose.hpp"
+#include "peel/peeling.hpp"
+#include "sparse/ops.hpp"
+
+namespace bfc {
+namespace {
+
+struct GenCase {
+  const char* label;
+  graph::BipartiteGraph graph;
+};
+
+std::vector<GenCase> generated_graphs() {
+  std::vector<GenCase> cases;
+  cases.push_back({"erdos-renyi", gen::erdos_renyi(80, 60, 0.08, 1)});
+  cases.push_back({"erdos-renyi-m", gen::erdos_renyi_m(50, 90, 700, 2)});
+  cases.push_back(
+      {"chung-lu", gen::chung_lu(gen::power_law_weights(70, 0.8),
+                                 gen::power_law_weights(70, 0.8), 600, 3)});
+  cases.push_back({"preferential", gen::preferential_attachment(80, 50, 4, 4)});
+  gen::BlockCommunitySpec spec;
+  spec.blocks = 3;
+  spec.block_rows = 15;
+  spec.block_cols = 15;
+  spec.extra_rows = 10;
+  spec.extra_cols = 10;
+  spec.p_in = 0.4;
+  spec.p_out = 0.01;
+  cases.push_back({"block-community", gen::block_community(spec, 5)});
+  cases.push_back({"konect-like",
+                   gen::make_konect_like(gen::konect_preset("Producers"),
+                                         0.004, 6)});
+  return cases;
+}
+
+TEST(Integration, AllEnginesAgreeOnGeneratedGraphs) {
+  for (const auto& [label, g] : generated_graphs()) {
+    const count_t reference = count::wedge_reference(g);
+    EXPECT_EQ(count::vertex_priority(g), reference) << label;
+    EXPECT_EQ(gb::butterflies_spec(g), reference) << label;
+    EXPECT_EQ(count::count_bounded_memory(g, 1024).butterflies, reference)
+        << label;
+    for (const la::Invariant inv : la::all_invariants()) {
+      la::CountOptions unblocked;
+      EXPECT_EQ(la::count_butterflies(g, inv, unblocked), reference)
+          << label << " " << la::name(inv);
+      la::CountOptions blocked;
+      blocked.engine = la::Engine::kBlocked;
+      blocked.block_size = 16;
+      EXPECT_EQ(la::count_butterflies(g, inv, blocked), reference)
+          << label << " " << la::name(inv);
+      la::CountOptions wedge_par;
+      wedge_par.engine = la::Engine::kWedge;
+      wedge_par.threads = 3;
+      EXPECT_EQ(la::count_butterflies(g, inv, wedge_par), reference)
+          << label << " " << la::name(inv);
+    }
+  }
+}
+
+TEST(Integration, IoRoundTripsPreserveCounts) {
+  for (const auto& [label, g] : generated_graphs()) {
+    const count_t reference = count::wedge_reference(g);
+
+    std::stringstream edgelist;
+    graph::write_edgelist(edgelist, g);
+    EXPECT_EQ(count::wedge_reference(
+                  graph::read_edgelist(edgelist, g.n1(), g.n2())),
+              reference)
+        << label;
+
+    std::stringstream mtx;
+    graph::write_mtx(mtx, g);
+    EXPECT_EQ(count::wedge_reference(graph::read_mtx(mtx)), reference)
+        << label;
+
+    std::stringstream binary(std::ios::in | std::ios::out | std::ios::binary);
+    graph::write_binary(binary, g);
+    EXPECT_EQ(graph::read_binary(binary), g) << label;
+  }
+}
+
+TEST(Integration, ReorderingInvariance) {
+  for (const auto& [label, g] : generated_graphs()) {
+    const count_t reference = count::wedge_reference(g);
+    for (const graph::Order order :
+         {graph::Order::kDegreeAscending, graph::Order::kDegreeDescending,
+          graph::Order::kRandom}) {
+      const graph::Relabeling r = graph::reorder(g, order, 7);
+      EXPECT_EQ(la::count_butterflies(r.graph), reference) << label;
+    }
+  }
+}
+
+TEST(Integration, PeelingPipelineOnGeneratedGraphs) {
+  for (const auto& [label, g] : generated_graphs()) {
+    // Tip: mask iteration == decomposition threshold at a couple of k.
+    const peel::TipDecomposition tips = peel::tip_decomposition(g);
+    for (const count_t k : {1, 3}) {
+      const peel::TipPeelResult direct = peel::k_tip(g, k);
+      EXPECT_EQ(peel::tip_subgraph(g, tips, k, peel::Side::kV1),
+                direct.subgraph)
+          << label << " k=" << k;
+      const peel::TipPeelResult lookahead =
+          peel::k_tip(g, k, peel::Side::kV1, peel::TipAlgorithm::kLookahead);
+      EXPECT_EQ(lookahead.subgraph, direct.subgraph) << label;
+    }
+    // Wing at k=2.
+    const peel::WingDecomposition wings = peel::wing_decomposition(g);
+    EXPECT_EQ(peel::wing_subgraph(g, wings, 2), peel::k_wing(g, 2).subgraph)
+        << label;
+  }
+}
+
+TEST(Integration, DynamicCounterReplaysGeneratedGraph) {
+  const auto g = gen::erdos_renyi(30, 30, 0.15, 9);
+  count::DynamicButterflyCounter dyn(g.n1(), g.n2());
+  for (const auto& [u, v] : sparse::edges(g.csr())) dyn.insert(u, v);
+  EXPECT_EQ(dyn.butterflies(), count::wedge_reference(g));
+  // Tear it all down; count must return to zero.
+  for (const auto& [u, v] : sparse::edges(g.csr())) dyn.remove(u, v);
+  EXPECT_EQ(dyn.butterflies(), 0);
+  EXPECT_EQ(dyn.edge_count(), 0);
+}
+
+TEST(Integration, EnumerationAgreesOnGeneratedGraphs) {
+  for (const auto& [label, g] : generated_graphs()) {
+    const count_t reference = count::wedge_reference(g);
+    if (reference > (count_t{1} << 18)) continue;  // keep runtime bounded
+    count_t visited = 0;
+    count::for_each_butterfly(g, [&](const count::Butterfly&) {
+      ++visited;
+      return true;
+    });
+    EXPECT_EQ(visited, reference) << label;
+  }
+}
+
+}  // namespace
+}  // namespace bfc

@@ -1,0 +1,192 @@
+// The core correctness matrix: every invariant-derived algorithm, in every
+// engine / update-form / storage / threading configuration, must equal the
+// literal dense specification of Eq. (7) on randomized instances of varied
+// shape and density, plus hand-checkable closed forms.
+#include <gtest/gtest.h>
+
+#include "dense/spec.hpp"
+#include "la/count.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::la {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::hexagon;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+using bfc::testing::star;
+
+CountOptions opts(Engine e, CountOptions::Update u, int threads = 1,
+                  Storage s = Storage::kMatched) {
+  CountOptions o;
+  o.engine = e;
+  o.update = u;
+  o.threads = threads;
+  o.storage = s;
+  return o;
+}
+
+TEST(LaCount, SingleButterflyAllInvariants) {
+  const auto g = single_butterfly();
+  for (const Invariant inv : all_invariants())
+    EXPECT_EQ(count_butterflies(g, inv), 1) << name(inv);
+}
+
+TEST(LaCount, HexagonAllInvariants) {
+  const auto g = hexagon();
+  for (const Invariant inv : all_invariants())
+    EXPECT_EQ(count_butterflies(g, inv), 0) << name(inv);
+}
+
+TEST(LaCount, CompleteBipartiteClosedForm) {
+  const auto g = complete_bipartite(6, 4);
+  const count_t expected = choose2(6) * choose2(4);
+  for (const Invariant inv : all_invariants())
+    EXPECT_EQ(count_butterflies(g, inv), expected) << name(inv);
+}
+
+TEST(LaCount, DegenerateShapes) {
+  for (const Invariant inv : all_invariants()) {
+    EXPECT_EQ(count_butterflies(graph::BipartiteGraph{}, inv), 0);
+    EXPECT_EQ(count_butterflies(star(9), inv), 0) << name(inv);
+    EXPECT_EQ(count_butterflies(star(9).swapped_sides(), inv), 0);
+    EXPECT_EQ(
+        count_butterflies(graph::BipartiteGraph::from_edges(7, 3, {}), inv),
+        0);
+  }
+}
+
+TEST(LaCount, DefaultConvenienceOverload) {
+  const auto g = random_graph(20, 11, 0.3, 321);
+  EXPECT_EQ(count_butterflies(g),
+            dense::butterflies_spec(g.csr().to_dense()));
+}
+
+TEST(LaCount, InvalidOptionsRejected) {
+  const auto g = single_butterfly();
+  CountOptions bad;
+  bad.threads = 0;
+  EXPECT_THROW(count_butterflies(g, Invariant::kInv1, bad),
+               std::invalid_argument);
+  CountOptions mismatched_parallel;
+  mismatched_parallel.storage = Storage::kMismatched;
+  mismatched_parallel.threads = 2;
+  EXPECT_THROW(count_butterflies(g, Invariant::kInv1, mismatched_parallel),
+               std::invalid_argument);
+  CountOptions mismatched_wedge;
+  mismatched_wedge.storage = Storage::kMismatched;
+  mismatched_wedge.engine = Engine::kWedge;
+  EXPECT_THROW(count_butterflies(g, Invariant::kInv1, mismatched_wedge),
+               std::invalid_argument);
+}
+
+struct LaCase {
+  vidx_t m, n;
+  double p;
+  std::uint64_t seed;
+};
+
+class LaAgreement : public ::testing::TestWithParam<LaCase> {
+ protected:
+  void SetUp() override {
+    const auto& c = GetParam();
+    g_ = random_graph(c.m, c.n, c.p, c.seed);
+    oracle_ = dense::butterflies_spec(g_.csr().to_dense());
+  }
+  graph::BipartiteGraph g_;
+  count_t oracle_ = 0;
+};
+
+TEST_P(LaAgreement, UnblockedSequentialAllInvariantsAllForms) {
+  for (const Invariant inv : all_invariants()) {
+    for (const auto form :
+         {CountOptions::Update::kAuto, CountOptions::Update::kFused,
+          CountOptions::Update::kTwoTerm}) {
+      EXPECT_EQ(count_butterflies(g_, inv, opts(Engine::kUnblocked, form)),
+                oracle_)
+          << name(inv);
+    }
+  }
+}
+
+TEST_P(LaAgreement, WedgeEngineAllInvariants) {
+  for (const Invariant inv : all_invariants()) {
+    EXPECT_EQ(count_butterflies(
+                  g_, inv, opts(Engine::kWedge, CountOptions::Update::kAuto)),
+              oracle_)
+        << name(inv);
+  }
+}
+
+TEST_P(LaAgreement, ParallelMatchesSequential) {
+  for (const Invariant inv : all_invariants()) {
+    EXPECT_EQ(count_butterflies(g_, inv,
+                                opts(Engine::kUnblocked,
+                                     CountOptions::Update::kAuto, 4)),
+              oracle_)
+        << name(inv) << " unblocked parallel";
+    EXPECT_EQ(
+        count_butterflies(
+            g_, inv, opts(Engine::kWedge, CountOptions::Update::kAuto, 4)),
+        oracle_)
+        << name(inv) << " wedge parallel";
+  }
+}
+
+TEST_P(LaAgreement, MismatchedStorageStillCorrect) {
+  for (const Invariant inv : all_invariants()) {
+    EXPECT_EQ(count_butterflies(g_, inv,
+                                opts(Engine::kUnblocked,
+                                     CountOptions::Update::kAuto, 1,
+                                     Storage::kMismatched)),
+              oracle_)
+        << name(inv);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LaAgreement,
+    ::testing::Values(LaCase{6, 6, 0.5, 1}, LaCase{10, 5, 0.4, 2},
+                      LaCase{5, 10, 0.6, 3}, LaCase{12, 12, 0.3, 4},
+                      LaCase{16, 7, 0.25, 5}, LaCase{7, 16, 0.7, 6},
+                      LaCase{14, 14, 0.9, 7}, LaCase{20, 20, 0.12, 8},
+                      LaCase{1, 9, 0.9, 9}, LaCase{9, 1, 0.9, 10},
+                      LaCase{2, 2, 1.0, 11}, LaCase{11, 11, 1.0, 12},
+                      LaCase{25, 13, 0.2, 13}, LaCase{13, 25, 0.2, 14}));
+
+TEST(LaCount, LargerSparseConsistencyAcrossConfigurations) {
+  // Too large for the dense oracle; all configurations must agree with each
+  // other instead.
+  const auto g = random_graph(150, 110, 0.04, 2024);
+  const count_t ref = count_butterflies(
+      g, Invariant::kInv1, opts(Engine::kWedge, CountOptions::Update::kAuto));
+  for (const Invariant inv : all_invariants()) {
+    EXPECT_EQ(count_butterflies(
+                  g, inv, opts(Engine::kUnblocked, CountOptions::Update::kAuto)),
+              ref)
+        << name(inv);
+    EXPECT_EQ(count_butterflies(
+                  g, inv, opts(Engine::kWedge, CountOptions::Update::kAuto, 3)),
+              ref)
+        << name(inv);
+  }
+}
+
+TEST(LaCount, SwappedGraphSwapsFamilies) {
+  // Counting with the column family on g equals counting with the row
+  // family on the swapped graph (A vs Aᵀ symmetry).
+  const auto g = random_graph(18, 9, 0.35, 99);
+  const auto s = g.swapped_sides();
+  EXPECT_EQ(count_butterflies(g, Invariant::kInv1),
+            count_butterflies(s, Invariant::kInv5));
+  EXPECT_EQ(count_butterflies(g, Invariant::kInv2),
+            count_butterflies(s, Invariant::kInv6));
+  EXPECT_EQ(count_butterflies(g, Invariant::kInv3),
+            count_butterflies(s, Invariant::kInv7));
+  EXPECT_EQ(count_butterflies(g, Invariant::kInv4),
+            count_butterflies(s, Invariant::kInv8));
+}
+
+}  // namespace
+}  // namespace bfc::la

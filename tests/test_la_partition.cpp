@@ -1,0 +1,126 @@
+// Tests of the FLAME traversal bookkeeping and the invariant trait table —
+// the "derivation" layer that maps Loop Invariants 1-8 to concrete pivot
+// orders and peer ranges.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "la/invariants.hpp"
+#include "la/partition.hpp"
+
+namespace bfc::la {
+namespace {
+
+TEST(Traversal, ForwardBeforeShapes) {
+  const auto steps = traversal_steps(4, Direction::kForward, PeerSide::kBefore);
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].pivot, 0);
+  EXPECT_EQ(steps[0].peer_lo, 0);
+  EXPECT_EQ(steps[0].peer_hi, 0);  // empty peer at the first step
+  EXPECT_EQ(steps[3].pivot, 3);
+  EXPECT_EQ(steps[3].peer_lo, 0);
+  EXPECT_EQ(steps[3].peer_hi, 3);
+}
+
+TEST(Traversal, BackwardAfterShapes) {
+  const auto steps = traversal_steps(4, Direction::kBackward, PeerSide::kAfter);
+  ASSERT_EQ(steps.size(), 4u);
+  EXPECT_EQ(steps[0].pivot, 3);
+  EXPECT_EQ(steps[0].peer_lo, 4);
+  EXPECT_EQ(steps[0].peer_hi, 4);  // empty peer at the first step
+  EXPECT_EQ(steps[3].pivot, 0);
+  EXPECT_EQ(steps[3].peer_lo, 1);
+  EXPECT_EQ(steps[3].peer_hi, 4);
+}
+
+class TraversalProperty
+    : public ::testing::TestWithParam<std::tuple<int, Direction, PeerSide>> {};
+
+TEST_P(TraversalProperty, PivotsFormAPermutation) {
+  const auto [n, dir, peer] = GetParam();
+  const auto steps = traversal_steps(static_cast<vidx_t>(n), dir, peer);
+  std::set<vidx_t> pivots;
+  for (const Step& s : steps) pivots.insert(s.pivot);
+  EXPECT_EQ(pivots.size(), static_cast<std::size_t>(n));
+  if (n > 0) {
+    EXPECT_EQ(*pivots.begin(), 0);
+    EXPECT_EQ(*pivots.rbegin(), n - 1);
+  }
+}
+
+TEST_P(TraversalProperty, PeerRangesValidAndExcludePivot) {
+  const auto [n, dir, peer] = GetParam();
+  for (const Step& s : traversal_steps(static_cast<vidx_t>(n), dir, peer)) {
+    EXPECT_LE(s.peer_lo, s.peer_hi);
+    EXPECT_GE(s.peer_lo, 0);
+    EXPECT_LE(s.peer_hi, n);
+    EXPECT_TRUE(s.pivot < s.peer_lo || s.pivot >= s.peer_hi);
+  }
+}
+
+TEST_P(TraversalProperty, EveryUnorderedPairCoveredExactlyOnce) {
+  // The pair-coverage argument behind all eight algorithms: summed peer
+  // widths equal C(n,2), and each specific (pivot, peer) pair occurs once.
+  const auto [n, dir, peer] = GetParam();
+  const auto steps = traversal_steps(static_cast<vidx_t>(n), dir, peer);
+  EXPECT_EQ(total_peer_width(steps), choose2(n));
+  std::set<std::pair<vidx_t, vidx_t>> pairs;
+  for (const Step& s : steps)
+    for (vidx_t c = s.peer_lo; c < s.peer_hi; ++c)
+      pairs.insert({std::min(s.pivot, c), std::max(s.pivot, c)});
+  EXPECT_EQ(pairs.size(), static_cast<std::size_t>(choose2(n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TraversalProperty,
+    ::testing::Combine(::testing::Values(0, 1, 2, 3, 7, 16),
+                       ::testing::Values(Direction::kForward,
+                                         Direction::kBackward),
+                       ::testing::Values(PeerSide::kBefore,
+                                         PeerSide::kAfter)));
+
+TEST(InvariantTraits, FamilyAssignment) {
+  // Invariants 1-4 partition V2 (columns), 5-8 partition V1 (rows) — §III.
+  for (const int k : {1, 2, 3, 4})
+    EXPECT_EQ(traits(invariant_from_number(k)).family, Family::kColumns);
+  for (const int k : {5, 6, 7, 8})
+    EXPECT_EQ(traits(invariant_from_number(k)).family, Family::kRows);
+}
+
+TEST(InvariantTraits, DirectionAndPeer) {
+  EXPECT_EQ(traits(Invariant::kInv1).direction, Direction::kForward);
+  EXPECT_EQ(traits(Invariant::kInv1).peer, PeerSide::kBefore);
+  EXPECT_EQ(traits(Invariant::kInv2).peer, PeerSide::kAfter);
+  EXPECT_EQ(traits(Invariant::kInv3).direction, Direction::kBackward);
+  EXPECT_EQ(traits(Invariant::kInv4).direction, Direction::kBackward);
+  EXPECT_EQ(traits(Invariant::kInv4).peer, PeerSide::kAfter);
+  EXPECT_EQ(traits(Invariant::kInv6).peer, PeerSide::kAfter);
+  EXPECT_EQ(traits(Invariant::kInv7).direction, Direction::kBackward);
+}
+
+TEST(InvariantTraits, LookAheadMeansPeerNotYetTraversed) {
+  for (const Invariant inv : all_invariants()) {
+    const InvariantTraits t = traits(inv);
+    const bool peer_is_future =
+        (t.direction == Direction::kForward && t.peer == PeerSide::kAfter) ||
+        (t.direction == Direction::kBackward && t.peer == PeerSide::kBefore);
+    EXPECT_EQ(t.look_ahead, peer_is_future) << name(inv);
+  }
+}
+
+TEST(InvariantTraits, NamesAndParsing) {
+  EXPECT_STREQ(name(Invariant::kInv1), "Inv. 1");
+  EXPECT_STREQ(name(Invariant::kInv8), "Inv. 8");
+  EXPECT_EQ(invariant_from_number(3), Invariant::kInv3);
+  EXPECT_THROW(invariant_from_number(0), std::invalid_argument);
+  EXPECT_THROW(invariant_from_number(9), std::invalid_argument);
+}
+
+TEST(Traversal, NegativeDimensionRejected) {
+  EXPECT_THROW(traversal_steps(-1, Direction::kForward, PeerSide::kBefore),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace bfc::la

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "count/baselines.hpp"
+#include "count/local_counts.hpp"
+#include "count/parallel_counts.hpp"
+#include "count/top_pairs.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::count {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+
+class ParallelCounts : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParallelCounts, MatchSequentialOnRandomGraphs) {
+  const auto g = random_graph(40, 35, 0.2, GetParam());
+  for (const int threads : {1, 2, 4}) {
+    EXPECT_EQ(wedge_reference_parallel(g, threads), wedge_reference(g));
+    EXPECT_EQ(butterflies_per_v1_parallel(g, threads),
+              butterflies_per_v1(g));
+    EXPECT_EQ(butterflies_per_v2_parallel(g, threads),
+              butterflies_per_v2(g));
+    EXPECT_EQ(support_per_edge_parallel(g, threads), support_per_edge(g));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelCounts,
+                         ::testing::Values(1u, 2u, 3u, 4u));
+
+TEST(ParallelCountsEdge, RejectsBadThreadCount) {
+  const auto g = single_butterfly();
+  EXPECT_THROW(wedge_reference_parallel(g, 0), std::invalid_argument);
+  EXPECT_THROW(butterflies_per_v1_parallel(g, -1), std::invalid_argument);
+  EXPECT_THROW(support_per_edge_parallel(g, 0), std::invalid_argument);
+}
+
+TEST(ParallelCountsEdge, EmptyGraph) {
+  const graph::BipartiteGraph g;
+  EXPECT_EQ(wedge_reference_parallel(g, 2), 0);
+  EXPECT_TRUE(butterflies_per_v1_parallel(g, 2).empty());
+}
+
+TEST(TopPairs, SingleButterfly) {
+  const auto g = single_butterfly();
+  const auto pairs = top_wedge_pairs_v1(g, 3);
+  ASSERT_EQ(pairs.size(), 1u);  // only one connected pair exists
+  EXPECT_EQ(pairs[0].a, 0);
+  EXPECT_EQ(pairs[0].b, 1);
+  EXPECT_EQ(pairs[0].wedges, 2);
+  EXPECT_EQ(pairs[0].butterflies(), 1);
+}
+
+TEST(TopPairs, KZeroAndNoPairs) {
+  EXPECT_TRUE(top_wedge_pairs_v1(single_butterfly(), 0).empty());
+  EXPECT_TRUE(top_wedge_pairs_v1(bfc::testing::star(5), 5).empty());
+}
+
+TEST(TopPairs, OrderingAndTruncation) {
+  // Vertex 0 and 1 share 3 columns; 0 and 2 share 2; 1 and 2 share 2.
+  const dense::DenseMatrix d = {{1, 1, 1, 0}, {1, 1, 1, 1}, {0, 1, 1, 0}};
+  const graph::BipartiteGraph g(sparse::CsrPattern::from_dense(d));
+  const auto all = top_wedge_pairs_v1(g, 10);
+  ASSERT_EQ(all.size(), 3u);
+  EXPECT_EQ(all[0].wedges, 3);
+  EXPECT_EQ(all[0].a, 0);
+  EXPECT_EQ(all[0].b, 1);
+  EXPECT_GE(all[1].wedges, all[2].wedges);
+  const auto top1 = top_wedge_pairs_v1(g, 1);
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0], all[0]);
+}
+
+TEST(TopPairs, SumOfButterfliesMatchesTotal) {
+  const auto g = random_graph(18, 16, 0.35, 9);
+  const auto pairs = top_wedge_pairs_v1(g, 100000);  // all pairs
+  count_t total = 0;
+  for (const VertexPair& p : pairs) {
+    EXPECT_LT(p.a, p.b);
+    total += p.butterflies();
+  }
+  EXPECT_EQ(total, wedge_reference(g));
+  // And from the V2 side.
+  const auto pairs2 = top_wedge_pairs_v2(g, 100000);
+  count_t total2 = 0;
+  for (const VertexPair& p : pairs2) total2 += p.butterflies();
+  EXPECT_EQ(total2, total);
+}
+
+TEST(TopPairs, MaxBiclique) {
+  const auto g = complete_bipartite(4, 6);
+  const Biclique2 bc = max_biclique_2xk(g);
+  EXPECT_EQ(bc.columns.size(), 6u);  // any pair spans all columns
+  const Biclique2 none = max_biclique_2xk(bfc::testing::hexagon());
+  EXPECT_TRUE(none.columns.empty());
+}
+
+}  // namespace
+}  // namespace bfc::count

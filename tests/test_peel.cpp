@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include "count/local_counts.hpp"
+#include "gen/generators.hpp"
+#include "peel/decompose.hpp"
+#include "peel/peeling.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::peel {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+
+TEST(KTip, KZeroKeepsEverything) {
+  const auto g = random_graph(10, 10, 0.3, 1);
+  const TipPeelResult r = k_tip(g, 0);
+  EXPECT_EQ(r.removed_vertices, 0);
+  EXPECT_EQ(r.subgraph, g);
+}
+
+TEST(KTip, SingleButterflySurvivesK1) {
+  const auto g = single_butterfly();
+  const TipPeelResult r = k_tip(g, 1);
+  EXPECT_EQ(r.removed_vertices, 0);
+  EXPECT_EQ(r.subgraph.edge_count(), 4);
+  const TipPeelResult r2 = k_tip(g, 2);
+  EXPECT_EQ(r2.removed_vertices, 2);
+  EXPECT_EQ(r2.subgraph.edge_count(), 0);
+}
+
+TEST(KTip, CompleteBipartiteThresholds) {
+  // In K_{4,4} every V1 vertex sits in C(3,1)·... = 3·C(4,2) = 18
+  // butterflies: per vertex u, pairs (other row, column pair) = 3·6.
+  const auto g = complete_bipartite(4, 4);
+  const auto per_vertex = count::butterflies_per_v1(g);
+  for (const count_t b : per_vertex) EXPECT_EQ(b, 18);
+  EXPECT_EQ(k_tip(g, 18).removed_vertices, 0);
+  EXPECT_EQ(k_tip(g, 19).removed_vertices, 4);  // all-or-nothing
+}
+
+TEST(KTip, EveryKeptVertexMeetsThreshold) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u}) {
+    const auto g = random_graph(20, 16, 0.25, seed);
+    for (const count_t k : {1, 2, 5}) {
+      const TipPeelResult r = k_tip(g, k);
+      const auto b = count::butterflies_per_v1(r.subgraph);
+      for (std::size_t u = 0; u < r.kept.size(); ++u) {
+        if (r.kept[u]) EXPECT_GE(b[u], k) << "vertex " << u << " k=" << k;
+      }
+      // Peeled vertices have no remaining edges.
+      for (vidx_t u = 0; u < r.subgraph.n1(); ++u)
+        if (!r.kept[static_cast<std::size_t>(u)])
+          EXPECT_TRUE(r.subgraph.neighbors_of_v1(u).empty());
+    }
+  }
+}
+
+TEST(KTip, MonotoneInK) {
+  const auto g = random_graph(18, 18, 0.3, 9);
+  offset_t prev_edges = g.edge_count() + 1;
+  for (const count_t k : {0, 1, 2, 4, 8, 16}) {
+    const TipPeelResult r = k_tip(g, k);
+    EXPECT_LE(r.subgraph.edge_count(), prev_edges);
+    prev_edges = r.subgraph.edge_count();
+  }
+}
+
+TEST(KTip, V2SideMatchesSwappedV1) {
+  const auto g = random_graph(14, 10, 0.35, 21);
+  const TipPeelResult v2 = k_tip(g, 2, Side::kV2);
+  const TipPeelResult swapped = k_tip(g.swapped_sides(), 2, Side::kV1);
+  EXPECT_EQ(v2.subgraph.csr(), swapped.subgraph.csr().transpose());
+  EXPECT_EQ(v2.removed_vertices, swapped.removed_vertices);
+}
+
+TEST(KTip, RejectsNegativeK) {
+  EXPECT_THROW(k_tip(single_butterfly(), -1), std::invalid_argument);
+}
+
+TEST(KWing, KZeroKeepsEverything) {
+  const auto g = random_graph(10, 10, 0.3, 2);
+  const WingPeelResult r = k_wing(g, 0);
+  EXPECT_EQ(r.removed_edges, 0);
+  EXPECT_EQ(r.subgraph, g);
+}
+
+TEST(KWing, SingleButterflyThresholds) {
+  const auto g = single_butterfly();
+  EXPECT_EQ(k_wing(g, 1).removed_edges, 0);
+  EXPECT_EQ(k_wing(g, 2).subgraph.edge_count(), 0);
+}
+
+TEST(KWing, EveryKeptEdgeMeetsThreshold) {
+  for (const std::uint64_t seed : {5u, 6u, 7u}) {
+    const auto g = random_graph(16, 16, 0.3, seed);
+    for (const count_t k : {1, 2, 4}) {
+      const WingPeelResult r = k_wing(g, k);
+      if (r.subgraph.edge_count() == 0) continue;
+      for (const count_t s : count::support_per_edge(r.subgraph))
+        EXPECT_GE(s, k) << "k=" << k;
+    }
+  }
+}
+
+TEST(KWing, KeptEdgeMaskConsistent) {
+  const auto g = random_graph(12, 12, 0.4, 8);
+  const WingPeelResult r = k_wing(g, 2);
+  offset_t kept = 0;
+  for (const std::uint8_t b : r.kept_edges) kept += b;
+  EXPECT_EQ(kept, r.subgraph.edge_count());
+  EXPECT_EQ(static_cast<offset_t>(r.kept_edges.size()) - kept,
+            r.removed_edges);
+}
+
+TEST(KWing, WingSubgraphOfCompleteBipartite) {
+  // In K_{3,3} every edge lies in (3-1)·(3-1) = 4 butterflies.
+  const auto g = complete_bipartite(3, 3);
+  EXPECT_EQ(k_wing(g, 4).removed_edges, 0);
+  EXPECT_EQ(k_wing(g, 5).subgraph.edge_count(), 0);
+}
+
+TEST(TipDecompositionTest, MatchesKTipForEveryK) {
+  for (const std::uint64_t seed : {3u, 14u}) {
+    const auto g = random_graph(15, 12, 0.35, seed);
+    const TipDecomposition d = tip_decomposition(g, Side::kV1);
+    for (count_t k = 0; k <= d.max_tip + 1; ++k) {
+      const TipPeelResult direct = k_tip(g, k);
+      const graph::BipartiteGraph via_numbers =
+          tip_subgraph(g, d, k, Side::kV1);
+      EXPECT_EQ(via_numbers, direct.subgraph) << "k=" << k;
+    }
+  }
+}
+
+TEST(TipDecompositionTest, NumbersBoundedByVertexButterflies) {
+  const auto g = random_graph(14, 14, 0.4, 6);
+  const TipDecomposition d = tip_decomposition(g, Side::kV1);
+  const auto b = count::butterflies_per_v1(g);
+  for (std::size_t u = 0; u < d.tip_number.size(); ++u)
+    EXPECT_LE(d.tip_number[u], b[u]);  // θ(u) ≤ initial butterfly count
+}
+
+TEST(TipDecompositionTest, CompleteBipartiteUniform) {
+  const auto g = complete_bipartite(4, 4);
+  const TipDecomposition d = tip_decomposition(g, Side::kV1);
+  EXPECT_EQ(d.max_tip, 18);
+  for (const count_t t : d.tip_number) EXPECT_EQ(t, 18);
+}
+
+TEST(WingDecompositionTest, MatchesKWingForEveryK) {
+  for (const std::uint64_t seed : {4u, 15u}) {
+    const auto g = random_graph(12, 12, 0.4, seed);
+    const WingDecomposition d = wing_decomposition(g);
+    for (count_t k = 0; k <= d.max_wing + 1; ++k) {
+      const WingPeelResult direct = k_wing(g, k);
+      EXPECT_EQ(wing_subgraph(g, d, k), direct.subgraph) << "k=" << k;
+    }
+  }
+}
+
+TEST(WingDecompositionTest, CompleteBipartiteUniform) {
+  const auto g = complete_bipartite(3, 4);
+  // Every edge of K_{3,4} lies in (3-1)·(4-1) = 6 butterflies.
+  const WingDecomposition d = wing_decomposition(g);
+  EXPECT_EQ(d.max_wing, 6);
+  for (const count_t w : d.wing_number) EXPECT_EQ(w, 6);
+}
+
+TEST(Peeling, RecoversPlantedCommunities) {
+  // Dense planted blocks survive peeling at a threshold that removes the
+  // background noise.
+  gen::BlockCommunitySpec spec;
+  spec.blocks = 2;
+  spec.block_rows = 12;
+  spec.block_cols = 12;
+  spec.extra_rows = 10;  // background-only vertices that must be peeled
+  spec.extra_cols = 10;
+  spec.p_in = 0.8;
+  spec.p_out = 0.01;
+  const auto g = gen::block_community(spec, 31);
+  const TipPeelResult r = k_tip(g, 50);
+  // Survivors exist and all have high butterfly counts.
+  EXPECT_GT(r.subgraph.edge_count(), 0);
+  EXPECT_GT(r.removed_vertices, 0);
+  const auto b = count::butterflies_per_v1(r.subgraph);
+  for (std::size_t u = 0; u < r.kept.size(); ++u)
+    if (r.kept[u]) EXPECT_GE(b[u], 50);
+}
+
+TEST(Peeling, SubgraphMismatchDetected) {
+  // Non-square so a V1-sided decomposition cannot be confused for V2.
+  const auto g = random_graph(8, 5, 0.4, 2);
+  const TipDecomposition d = tip_decomposition(g, Side::kV1);
+  EXPECT_THROW(tip_subgraph(g, d, 1, Side::kV2), std::invalid_argument);
+  const auto other = random_graph(9, 9, 0.4, 3);
+  const WingDecomposition wd = wing_decomposition(g);
+  if (other.edge_count() != g.edge_count())
+    EXPECT_THROW(wing_subgraph(other, wd, 1), std::invalid_argument);
+}
+
+TEST(KTipLookahead, MatchesRecomputeOnRandomGraphs) {
+  // The Fig. 8 look-ahead evaluation of s must yield identical peeling
+  // fixpoints to the literal per-round recomputation, on both sides.
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    const auto g = random_graph(18, 15, 0.3, seed);
+    for (const count_t k : {1, 2, 4, 9}) {
+      const TipPeelResult a = k_tip(g, k, Side::kV1, TipAlgorithm::kRecompute);
+      const TipPeelResult b = k_tip(g, k, Side::kV1, TipAlgorithm::kLookahead);
+      EXPECT_EQ(a.subgraph, b.subgraph) << "k=" << k << " seed=" << seed;
+      EXPECT_EQ(a.kept, b.kept);
+      EXPECT_EQ(a.rounds, b.rounds);
+      const TipPeelResult c = k_tip(g, k, Side::kV2, TipAlgorithm::kRecompute);
+      const TipPeelResult d = k_tip(g, k, Side::kV2, TipAlgorithm::kLookahead);
+      EXPECT_EQ(c.subgraph, d.subgraph);
+      EXPECT_EQ(c.kept, d.kept);
+    }
+  }
+}
+
+TEST(KTipLookahead, HandGraphs) {
+  const auto g = single_butterfly();
+  EXPECT_EQ(k_tip(g, 1, Side::kV1, TipAlgorithm::kLookahead).removed_vertices,
+            0);
+  EXPECT_EQ(k_tip(g, 2, Side::kV1, TipAlgorithm::kLookahead).removed_vertices,
+            2);
+  const auto kb = complete_bipartite(4, 4);
+  EXPECT_EQ(k_tip(kb, 18, Side::kV1, TipAlgorithm::kLookahead).removed_vertices,
+            0);
+  EXPECT_EQ(k_tip(kb, 19, Side::kV1, TipAlgorithm::kLookahead).removed_vertices,
+            4);
+}
+
+}  // namespace
+}  // namespace bfc::peel

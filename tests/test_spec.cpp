@@ -1,0 +1,165 @@
+// Tests for the literal dense specifications of the paper's equations:
+// brute-force enumeration == Eq. (7) == pairwise-wedge form, the wedge
+// count of Eq. (6), the partitioned category counts of Eqs. (8)-(12), and
+// the tip/wing local counts of Eqs. (19) and (25).
+#include <gtest/gtest.h>
+
+#include "dense/spec.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::dense {
+namespace {
+
+TEST(SpecHandGraphs, SingleButterfly) {
+  const DenseMatrix a = {{1, 1}, {1, 1}};  // K_{2,2}
+  EXPECT_EQ(butterflies_brute(a), 1);
+  EXPECT_EQ(butterflies_spec(a), 1);
+  EXPECT_EQ(butterflies_pairwise(a), 1);
+  EXPECT_EQ(wedges_spec(a), 2);  // two wedges between the V1 pair
+}
+
+TEST(SpecHandGraphs, HexagonHasNoButterflies) {
+  const DenseMatrix a = {{1, 1, 0}, {0, 1, 1}, {1, 0, 1}};
+  EXPECT_EQ(butterflies_brute(a), 0);
+  EXPECT_EQ(butterflies_spec(a), 0);
+  EXPECT_EQ(wedges_spec(a), 3);  // each V2 vertex is one wedge point
+}
+
+TEST(SpecHandGraphs, StarHasNoButterflies) {
+  const DenseMatrix a = {{1, 1, 1, 1}};  // K_{1,4}
+  EXPECT_EQ(butterflies_spec(a), 0);
+  EXPECT_EQ(wedges_spec(a), 0);  // wedges with endpoints in V1 need 2 rows
+}
+
+TEST(SpecHandGraphs, CompleteBipartiteClosedForm) {
+  // K_{m,n} has C(m,2)·C(n,2) butterflies.
+  for (const auto& [m, n] : {std::pair{2, 2}, {3, 3}, {4, 5}, {2, 7}, {6, 3}}) {
+    const DenseMatrix a = DenseMatrix::ones(m, n);
+    const count_t expected = choose2(m) * choose2(n);
+    EXPECT_EQ(butterflies_spec(a), expected) << "K_{" << m << "," << n << "}";
+    EXPECT_EQ(butterflies_brute(a), expected);
+  }
+}
+
+TEST(SpecHandGraphs, WedgeCountMatchesDegreeFormula) {
+  // Wedges with endpoints in V1 = Σ_{v∈V2} C(deg(v), 2).
+  const DenseMatrix a = {{1, 1, 1}, {1, 1, 0}, {0, 1, 1}};
+  // Column degrees: 2, 3, 2 -> 1 + 3 + 1 = 5 wedges.
+  EXPECT_EQ(wedges_spec(a), 5);
+}
+
+TEST(SpecHandGraphs, EmptyAndDegenerate) {
+  EXPECT_EQ(butterflies_spec(DenseMatrix(0, 0)), 0);
+  EXPECT_EQ(butterflies_spec(DenseMatrix(3, 4)), 0);  // no edges
+  EXPECT_EQ(butterflies_spec(DenseMatrix::ones(1, 5)), 0);
+  EXPECT_EQ(butterflies_spec(DenseMatrix::ones(5, 1)), 0);
+}
+
+struct SpecCase {
+  vidx_t m, n;
+  double p;
+  std::uint64_t seed;
+};
+
+class SpecAgreement : public ::testing::TestWithParam<SpecCase> {};
+
+TEST_P(SpecAgreement, BruteEqualsSpecEqualsPairwise) {
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  const count_t brute = butterflies_brute(a);
+  EXPECT_EQ(butterflies_spec(a), brute);
+  EXPECT_EQ(butterflies_pairwise(a), brute);
+  // Counting from the V2 side gives the same total.
+  EXPECT_EQ(butterflies_spec(a.transpose()), brute);
+  EXPECT_EQ(butterflies_pairwise(a.transpose()), brute);
+}
+
+TEST_P(SpecAgreement, ColumnPartitionCategoriesSumToTotal) {
+  // Eq. (8): Ξ_G = Ξ_L + Ξ_LR + Ξ_R for every split point.
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  const count_t total = butterflies_spec(a);
+  for (vidx_t split = 0; split <= c.n; ++split) {
+    const PartitionCounts parts = butterflies_col_partition(a, split);
+    EXPECT_EQ(parts.total(), total) << "split=" << split;
+  }
+  // Extreme splits put everything in one category.
+  EXPECT_EQ(butterflies_col_partition(a, 0).both_right, total);
+  EXPECT_EQ(butterflies_col_partition(a, c.n).both_left, total);
+}
+
+TEST_P(SpecAgreement, RowPartitionCategoriesSumToTotal) {
+  // Eq. (11): Ξ_G = Ξ_T + Ξ_TB + Ξ_B for every split point.
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  const count_t total = butterflies_spec(a);
+  for (vidx_t split = 0; split <= c.m; ++split) {
+    const PartitionCounts parts = butterflies_row_partition(a, split);
+    EXPECT_EQ(parts.total(), total) << "split=" << split;
+  }
+  EXPECT_EQ(butterflies_row_partition(a, 0).both_right, total);
+  EXPECT_EQ(butterflies_row_partition(a, c.m).both_left, total);
+}
+
+TEST_P(SpecAgreement, TipVectorMatchesBruteForce) {
+  // s_i (Eq. 19) = number of butterflies containing V1 vertex i, checked by
+  // enumerating quadruples.
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  const std::vector<count_t> s = tip_vector_spec(a);
+  std::vector<count_t> brute(static_cast<std::size_t>(c.m), 0);
+  for (vidx_t i = 0; i < c.m; ++i)
+    for (vidx_t j = i + 1; j < c.m; ++j)
+      for (vidx_t k = 0; k < c.n; ++k)
+        for (vidx_t p = k + 1; p < c.n; ++p)
+          if (a(i, k) && a(i, p) && a(j, k) && a(j, p)) {
+            ++brute[static_cast<std::size_t>(i)];
+            ++brute[static_cast<std::size_t>(j)];
+          }
+  EXPECT_EQ(s, brute);
+  // Σ_i s_i counts each butterfly twice (two V1 vertices each).
+  count_t sum = 0;
+  for (const count_t v : s) sum += v;
+  EXPECT_EQ(sum, 2 * butterflies_spec(a));
+}
+
+TEST_P(SpecAgreement, WingSupportMatchesBruteForce) {
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  const DenseMatrix sw = wing_support_spec(a);
+  // Brute force: butterflies containing each edge.
+  DenseMatrix brute(c.m, c.n);
+  for (vidx_t i = 0; i < c.m; ++i)
+    for (vidx_t j = i + 1; j < c.m; ++j)
+      for (vidx_t k = 0; k < c.n; ++k)
+        for (vidx_t p = k + 1; p < c.n; ++p)
+          if (a(i, k) && a(i, p) && a(j, k) && a(j, p)) {
+            ++brute(i, k);
+            ++brute(i, p);
+            ++brute(j, k);
+            ++brute(j, p);
+          }
+  EXPECT_EQ(sw, brute);
+  // Support is zero wherever there is no edge.
+  for (vidx_t i = 0; i < c.m; ++i)
+    for (vidx_t k = 0; k < c.n; ++k)
+      if (!a(i, k)) EXPECT_EQ(sw(i, k), 0);
+}
+
+TEST_P(SpecAgreement, TipVectorV2MatchesTransposedSpec) {
+  const auto& c = GetParam();
+  const DenseMatrix a = bfc::testing::random_dense01(c.m, c.n, c.p, c.seed);
+  EXPECT_EQ(tip_vector_spec_v2(a), tip_vector_spec(a.transpose()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SpecAgreement,
+    ::testing::Values(SpecCase{4, 4, 0.5, 1}, SpecCase{6, 3, 0.6, 2},
+                      SpecCase{3, 8, 0.4, 3}, SpecCase{10, 10, 0.3, 4},
+                      SpecCase{12, 5, 0.25, 5}, SpecCase{5, 12, 0.7, 6},
+                      SpecCase{9, 9, 0.9, 7}, SpecCase{8, 8, 0.1, 8},
+                      SpecCase{1, 10, 0.8, 9}, SpecCase{10, 1, 0.8, 10},
+                      SpecCase{7, 7, 1.0, 11}, SpecCase{7, 7, 0.0, 12}));
+
+}  // namespace
+}  // namespace bfc::dense

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/cli.hpp"
+#include "util/common.hpp"
+#include "util/parallel.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+namespace bfc {
+namespace {
+
+TEST(Choose2, SmallValues) {
+  EXPECT_EQ(choose2(0), 0);
+  EXPECT_EQ(choose2(1), 0);
+  EXPECT_EQ(choose2(2), 1);
+  EXPECT_EQ(choose2(3), 3);
+  EXPECT_EQ(choose2(4), 6);
+  EXPECT_EQ(choose2(10), 45);
+}
+
+TEST(Choose2, NegativeIsZero) {
+  EXPECT_EQ(choose2(-1), 0);
+  EXPECT_EQ(choose2(-100), 0);
+}
+
+TEST(Choose2, LargeValuesExact) {
+  // 2^31 choose 2 = 2^30 * (2^31 - 1): still fits in int64 exactly.
+  const count_t n = count_t{1} << 31;
+  EXPECT_EQ(choose2(n), (n / 2) * (n - 1));
+  EXPECT_EQ(choose2(1000001), count_t{1000001} * 500000);
+}
+
+TEST(Require, ThrowsWithMessage) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  try {
+    require(false, "boom");
+    FAIL() << "require(false) did not throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_STREQ(e.what(), "boom");
+  }
+}
+
+TEST(Rng, DeterministicBySeed) {
+  Rng a(42), b(42), c(43);
+  bool any_differs = false;
+  for (int i = 0; i < 100; ++i) {
+    const auto va = a.next();
+    EXPECT_EQ(va, b.next());
+    if (va != c.next()) any_differs = true;
+  }
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Rng, BoundedStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.bounded(17), 17u);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(rng.bounded(1), 0u);
+}
+
+TEST(Rng, BoundedCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.bounded(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(rng.bernoulli(0.0));
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(rng.bernoulli(1.0));
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(13);
+  double sum = 0, sumsq = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sumsq += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sumsq / n, 1.0, 0.08);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a(42);
+  Rng b = a.fork();
+  // Forked stream differs from the parent's continuation.
+  bool differs = false;
+  for (int i = 0; i < 32; ++i)
+    if (a.next() != b.next()) differs = true;
+  EXPECT_TRUE(differs);
+}
+
+TEST(Cli, ParsesSpaceAndEqualsForms) {
+  // Note: a bare flag followed by a positional ("--flag pos1") is ambiguous
+  // under the "--name value" form; positionals go before flags or flags use
+  // the "=" form.
+  const char* argv[] = {"prog", "--alpha", "3", "--beta=hi", "pos1", "--flag"};
+  Cli cli(6, argv);
+  EXPECT_EQ(cli.get_int("alpha", 0), 3);
+  EXPECT_EQ(cli.get("beta", ""), "hi");
+  EXPECT_TRUE(cli.has("flag"));
+  EXPECT_TRUE(cli.get_bool("flag", false));
+  ASSERT_EQ(cli.positional().size(), 1u);
+  EXPECT_EQ(cli.positional()[0], "pos1");
+  EXPECT_EQ(cli.program(), "prog");
+}
+
+TEST(Cli, FallbacksWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Cli cli(1, argv);
+  EXPECT_FALSE(cli.has("missing"));
+  EXPECT_EQ(cli.get_int("missing", 42), 42);
+  EXPECT_DOUBLE_EQ(cli.get_double("missing", 2.5), 2.5);
+  EXPECT_EQ(cli.get("missing", "dflt"), "dflt");
+  EXPECT_TRUE(cli.get_bool("missing", true));
+}
+
+TEST(Cli, BooleanSpellings) {
+  const char* argv[] = {"prog", "--a=true", "--b=0", "--c=off", "--d=yes"};
+  Cli cli(5, argv);
+  EXPECT_TRUE(cli.get_bool("a", false));
+  EXPECT_FALSE(cli.get_bool("b", true));
+  EXPECT_FALSE(cli.get_bool("c", true));
+  EXPECT_TRUE(cli.get_bool("d", false));
+}
+
+TEST(Cli, BadBooleanThrows) {
+  const char* argv[] = {"prog", "--x=maybe"};
+  Cli cli(2, argv);
+  EXPECT_THROW(cli.get_bool("x", false), std::invalid_argument);
+}
+
+TEST(Cli, OptionValueThatLooksNumeric) {
+  const char* argv[] = {"prog", "--scale", "0.125", "--n", "-5"};
+  Cli cli(5, argv);
+  EXPECT_DOUBLE_EQ(cli.get_double("scale", 1.0), 0.125);
+  EXPECT_EQ(cli.get_int("n", 0), -5);
+}
+
+TEST(Table, FormatsNumbersWithSeparators) {
+  EXPECT_EQ(Table::num(0), "0");
+  EXPECT_EQ(Table::num(999), "999");
+  EXPECT_EQ(Table::num(1000), "1,000");
+  EXPECT_EQ(Table::num(1234567), "1,234,567");
+  EXPECT_EQ(Table::num(-50894505), "-50,894,505");
+}
+
+TEST(Table, FixedDigits) {
+  EXPECT_EQ(Table::fixed(1.23456, 3), "1.235");
+  EXPECT_EQ(Table::fixed(2.0, 1), "2.0");
+}
+
+TEST(Table, PrintsAlignedRows) {
+  Table t({"Dataset", "Inv. 1"});
+  t.add_row({"GitHub", "104.069"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Dataset"), std::string::npos);
+  EXPECT_NE(out.find("GitHub"), std::string::npos);
+  EXPECT_NE(out.find("104.069"), std::string::npos);
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Samples, SummaryStatistics) {
+  Samples s;
+  for (const double v : {3.0, 1.0, 2.0, 5.0, 4.0}) s.add(v);
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.median(), 3.0);
+}
+
+TEST(Samples, MedianOfEvenCount) {
+  Samples s;
+  for (const double v : {1.0, 2.0, 3.0, 10.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.median(), 2.5);
+}
+
+TEST(Samples, EmptyThrows) {
+  Samples s;
+  EXPECT_THROW(s.mean(), std::logic_error);
+  EXPECT_THROW(s.min(), std::logic_error);
+  EXPECT_THROW(s.median(), std::logic_error);
+}
+
+TEST(Timer, MeasuresNonNegativeDurations) {
+  Timer t;
+  volatile double sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GT(t.seconds(), 0.0);
+  EXPECT_GE(t.millis(), t.seconds());  // millis = 1000x seconds
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+TEST(Parallel, ThreadCountGuardRestores) {
+  const int before = num_threads();
+  {
+    ThreadCountGuard guard(2);
+    EXPECT_EQ(num_threads(), 2);
+  }
+  EXPECT_EQ(num_threads(), before);
+}
+
+TEST(Parallel, HardwareThreadsPositive) {
+  EXPECT_GE(hardware_threads(), 1);
+  EXPECT_EQ(thread_id(), 0);  // outside a parallel region
+}
+
+}  // namespace
+}  // namespace bfc

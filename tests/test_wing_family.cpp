@@ -1,0 +1,81 @@
+// The §IV-derived per-edge support family: all eight partitioned traversal
+// variants must equal the Eq. (25) specification (dense and sparse paths).
+#include <gtest/gtest.h>
+
+#include "count/local_counts.hpp"
+#include "dense/spec.hpp"
+#include "peel/wing_family.hpp"
+#include "test_helpers.hpp"
+
+namespace bfc::peel {
+namespace {
+
+using bfc::testing::complete_bipartite;
+using bfc::testing::random_graph;
+using bfc::testing::single_butterfly;
+
+TEST(WingFamily, SingleButterfly) {
+  const auto g = single_butterfly();
+  for (const la::Invariant inv : la::all_invariants()) {
+    const auto support = support_family(g, inv);
+    ASSERT_EQ(support.size(), 4u);
+    for (const count_t s : support) EXPECT_EQ(s, 1) << la::name(inv);
+  }
+}
+
+TEST(WingFamily, CompleteBipartiteUniform) {
+  // Every edge of K_{m,n} lies on (m-1)(n-1) butterflies.
+  const auto g = complete_bipartite(4, 5);
+  for (const la::Invariant inv :
+       {la::Invariant::kInv1, la::Invariant::kInv4, la::Invariant::kInv6}) {
+    for (const count_t s : support_family(g, inv))
+      EXPECT_EQ(s, 12) << la::name(inv);
+  }
+}
+
+TEST(WingFamily, NoButterflyGraphs) {
+  for (const la::Invariant inv : la::all_invariants()) {
+    for (const count_t s : support_family(bfc::testing::hexagon(), inv))
+      EXPECT_EQ(s, 0);
+    for (const count_t s : support_family(bfc::testing::star(6), inv))
+      EXPECT_EQ(s, 0);
+    EXPECT_TRUE(support_family(graph::BipartiteGraph{}, inv).empty());
+  }
+}
+
+struct WingCase {
+  vidx_t m, n;
+  double p;
+  std::uint64_t seed;
+};
+
+class WingFamilyAgreement : public ::testing::TestWithParam<WingCase> {};
+
+TEST_P(WingFamilyAgreement, AllInvariantsMatchEq25) {
+  const auto& c = GetParam();
+  const auto g = random_graph(c.m, c.n, c.p, c.seed);
+  const std::vector<count_t> expected = count::support_per_edge(g);
+  for (const la::Invariant inv : la::all_invariants())
+    EXPECT_EQ(support_family(g, inv), expected) << la::name(inv);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, WingFamilyAgreement,
+    ::testing::Values(WingCase{6, 6, 0.5, 1}, WingCase{10, 5, 0.4, 2},
+                      WingCase{5, 10, 0.6, 3}, WingCase{13, 13, 0.3, 4},
+                      WingCase{15, 7, 0.25, 5}, WingCase{7, 15, 0.7, 6},
+                      WingCase{12, 12, 0.95, 7}, WingCase{20, 20, 0.12, 8}));
+
+TEST(WingFamily, SupportSumsToFourTimesButterflies) {
+  const auto g = random_graph(16, 14, 0.35, 9);
+  const count_t total = dense::butterflies_spec(g.csr().to_dense());
+  for (const la::Invariant inv :
+       {la::Invariant::kInv2, la::Invariant::kInv7}) {
+    count_t sum = 0;
+    for (const count_t s : support_family(g, inv)) sum += s;
+    EXPECT_EQ(sum, 4 * total) << la::name(inv);
+  }
+}
+
+}  // namespace
+}  // namespace bfc::peel
