@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_partition_side.dir/ablation_partition_side.cpp.o"
+  "CMakeFiles/ablation_partition_side.dir/ablation_partition_side.cpp.o.d"
+  "ablation_partition_side"
+  "ablation_partition_side.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_partition_side.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

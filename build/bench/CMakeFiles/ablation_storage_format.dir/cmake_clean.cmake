@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storage_format.dir/ablation_storage_format.cpp.o"
+  "CMakeFiles/ablation_storage_format.dir/ablation_storage_format.cpp.o.d"
+  "ablation_storage_format"
+  "ablation_storage_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storage_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_update_form.dir/ablation_update_form.cpp.o"
+  "CMakeFiles/ablation_update_form.dir/ablation_update_form.cpp.o.d"
+  "ablation_update_form"
+  "ablation_update_form.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_update_form.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_datasets.dir/fig09_datasets.cpp.o"
+  "CMakeFiles/fig09_datasets.dir/fig09_datasets.cpp.o.d"
+  "fig09_datasets"
+  "fig09_datasets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

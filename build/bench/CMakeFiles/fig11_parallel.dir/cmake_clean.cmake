@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_parallel.dir/fig11_parallel.cpp.o"
+  "CMakeFiles/fig11_parallel.dir/fig11_parallel.cpp.o.d"
+  "fig11_parallel"
+  "fig11_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_sparse.dir/micro_sparse.cpp.o"
+  "CMakeFiles/micro_sparse.dir/micro_sparse.cpp.o.d"
+  "micro_sparse"
+  "micro_sparse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_sparse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

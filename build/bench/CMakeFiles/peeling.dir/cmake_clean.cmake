@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peeling.dir/peeling.cpp.o"
+  "CMakeFiles/peeling.dir/peeling.cpp.o.d"
+  "peeling"
+  "peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

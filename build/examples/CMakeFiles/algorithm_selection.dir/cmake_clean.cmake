@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/algorithm_selection.dir/algorithm_selection.cpp.o"
+  "CMakeFiles/algorithm_selection.dir/algorithm_selection.cpp.o.d"
+  "algorithm_selection"
+  "algorithm_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/algorithm_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

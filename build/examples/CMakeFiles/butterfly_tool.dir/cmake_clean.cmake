@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/butterfly_tool.dir/butterfly_tool.cpp.o"
+  "CMakeFiles/butterfly_tool.dir/butterfly_tool.cpp.o.d"
+  "butterfly_tool"
+  "butterfly_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/butterfly_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/community_peeling.dir/community_peeling.cpp.o"
+  "CMakeFiles/community_peeling.dir/community_peeling.cpp.o.d"
+  "community_peeling"
+  "community_peeling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/community_peeling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

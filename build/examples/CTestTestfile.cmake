@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example.quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example.quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;7;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.dataset_analysis "/root/repo/build/examples/dataset_analysis" "--preset" "arXiv cond-mat" "--scale" "0.02")
+set_tests_properties(example.dataset_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;8;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.algorithm_selection "/root/repo/build/examples/algorithm_selection" "--n" "800" "--edges" "4000")
+set_tests_properties(example.algorithm_selection PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;10;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.community_peeling "/root/repo/build/examples/community_peeling" "--rows" "24")
+set_tests_properties(example.community_peeling PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;12;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.streaming_updates "/root/repo/build/examples/streaming_updates" "--events" "1500" "--window" "400")
+set_tests_properties(example.streaming_updates PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;14;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.butterfly_tool_count "/root/repo/build/examples/butterfly_tool" "count" "--preset" "GitHub" "--scale" "0.02")
+set_tests_properties(example.butterfly_tool_count PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;16;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.butterfly_tool_stats "/root/repo/build/examples/butterfly_tool" "stats" "--preset" "Producers" "--scale" "0.02")
+set_tests_properties(example.butterfly_tool_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.butterfly_tool_peel "/root/repo/build/examples/butterfly_tool" "peel" "--preset" "GitHub" "--scale" "0.02" "--k" "2" "--mode" "wing")
+set_tests_properties(example.butterfly_tool_peel PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.butterfly_tool_pairs "/root/repo/build/examples/butterfly_tool" "pairs" "--preset" "Producers" "--scale" "0.02" "--top" "5")
+set_tests_properties(example.butterfly_tool_pairs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example.butterfly_tool_prune "/root/repo/build/examples/butterfly_tool" "prune" "--preset" "Producers" "--scale" "0.02")
+set_tests_properties(example.butterfly_tool_prune PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")

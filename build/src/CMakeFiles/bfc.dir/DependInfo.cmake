@@ -1,0 +1,70 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/count/approx.cpp" "src/CMakeFiles/bfc.dir/count/approx.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/approx.cpp.o.d"
+  "/root/repo/src/count/batch_aggregate.cpp" "src/CMakeFiles/bfc.dir/count/batch_aggregate.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/batch_aggregate.cpp.o.d"
+  "/root/repo/src/count/bounded_memory.cpp" "src/CMakeFiles/bfc.dir/count/bounded_memory.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/bounded_memory.cpp.o.d"
+  "/root/repo/src/count/dynamic.cpp" "src/CMakeFiles/bfc.dir/count/dynamic.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/dynamic.cpp.o.d"
+  "/root/repo/src/count/enumerate.cpp" "src/CMakeFiles/bfc.dir/count/enumerate.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/enumerate.cpp.o.d"
+  "/root/repo/src/count/parallel_counts.cpp" "src/CMakeFiles/bfc.dir/count/parallel_counts.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/parallel_counts.cpp.o.d"
+  "/root/repo/src/count/per_edge.cpp" "src/CMakeFiles/bfc.dir/count/per_edge.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/per_edge.cpp.o.d"
+  "/root/repo/src/count/per_vertex.cpp" "src/CMakeFiles/bfc.dir/count/per_vertex.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/per_vertex.cpp.o.d"
+  "/root/repo/src/count/top_pairs.cpp" "src/CMakeFiles/bfc.dir/count/top_pairs.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/top_pairs.cpp.o.d"
+  "/root/repo/src/count/vertex_priority.cpp" "src/CMakeFiles/bfc.dir/count/vertex_priority.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/vertex_priority.cpp.o.d"
+  "/root/repo/src/count/wedge_reference.cpp" "src/CMakeFiles/bfc.dir/count/wedge_reference.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/count/wedge_reference.cpp.o.d"
+  "/root/repo/src/dense/dense_matrix.cpp" "src/CMakeFiles/bfc.dir/dense/dense_matrix.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/dense/dense_matrix.cpp.o.d"
+  "/root/repo/src/dense/spec.cpp" "src/CMakeFiles/bfc.dir/dense/spec.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/dense/spec.cpp.o.d"
+  "/root/repo/src/gb/butterflies.cpp" "src/CMakeFiles/bfc.dir/gb/butterflies.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gb/butterflies.cpp.o.d"
+  "/root/repo/src/gb/matrix.cpp" "src/CMakeFiles/bfc.dir/gb/matrix.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gb/matrix.cpp.o.d"
+  "/root/repo/src/gb/peeling.cpp" "src/CMakeFiles/bfc.dir/gb/peeling.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gb/peeling.cpp.o.d"
+  "/root/repo/src/gb/vector.cpp" "src/CMakeFiles/bfc.dir/gb/vector.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gb/vector.cpp.o.d"
+  "/root/repo/src/gen/block_community.cpp" "src/CMakeFiles/bfc.dir/gen/block_community.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/block_community.cpp.o.d"
+  "/root/repo/src/gen/chung_lu.cpp" "src/CMakeFiles/bfc.dir/gen/chung_lu.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/chung_lu.cpp.o.d"
+  "/root/repo/src/gen/configuration.cpp" "src/CMakeFiles/bfc.dir/gen/configuration.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/configuration.cpp.o.d"
+  "/root/repo/src/gen/erdos_renyi.cpp" "src/CMakeFiles/bfc.dir/gen/erdos_renyi.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/erdos_renyi.cpp.o.d"
+  "/root/repo/src/gen/konect_like.cpp" "src/CMakeFiles/bfc.dir/gen/konect_like.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/konect_like.cpp.o.d"
+  "/root/repo/src/gen/preferential.cpp" "src/CMakeFiles/bfc.dir/gen/preferential.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/gen/preferential.cpp.o.d"
+  "/root/repo/src/graph/bipartite_graph.cpp" "src/CMakeFiles/bfc.dir/graph/bipartite_graph.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/bipartite_graph.cpp.o.d"
+  "/root/repo/src/graph/components.cpp" "src/CMakeFiles/bfc.dir/graph/components.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/components.cpp.o.d"
+  "/root/repo/src/graph/io_binary.cpp" "src/CMakeFiles/bfc.dir/graph/io_binary.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/io_binary.cpp.o.d"
+  "/root/repo/src/graph/io_edgelist.cpp" "src/CMakeFiles/bfc.dir/graph/io_edgelist.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/io_edgelist.cpp.o.d"
+  "/root/repo/src/graph/io_mtx.cpp" "src/CMakeFiles/bfc.dir/graph/io_mtx.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/io_mtx.cpp.o.d"
+  "/root/repo/src/graph/reorder.cpp" "src/CMakeFiles/bfc.dir/graph/reorder.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/reorder.cpp.o.d"
+  "/root/repo/src/graph/stats.cpp" "src/CMakeFiles/bfc.dir/graph/stats.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/graph/stats.cpp.o.d"
+  "/root/repo/src/la/blocked.cpp" "src/CMakeFiles/bfc.dir/la/blocked.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/blocked.cpp.o.d"
+  "/root/repo/src/la/dispatch.cpp" "src/CMakeFiles/bfc.dir/la/dispatch.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/dispatch.cpp.o.d"
+  "/root/repo/src/la/invariants.cpp" "src/CMakeFiles/bfc.dir/la/invariants.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/invariants.cpp.o.d"
+  "/root/repo/src/la/parallel.cpp" "src/CMakeFiles/bfc.dir/la/parallel.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/parallel.cpp.o.d"
+  "/root/repo/src/la/partition.cpp" "src/CMakeFiles/bfc.dir/la/partition.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/partition.cpp.o.d"
+  "/root/repo/src/la/unblocked.cpp" "src/CMakeFiles/bfc.dir/la/unblocked.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/unblocked.cpp.o.d"
+  "/root/repo/src/la/wedge_engine.cpp" "src/CMakeFiles/bfc.dir/la/wedge_engine.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/la/wedge_engine.cpp.o.d"
+  "/root/repo/src/peel/bucket_tip.cpp" "src/CMakeFiles/bfc.dir/peel/bucket_tip.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/bucket_tip.cpp.o.d"
+  "/root/repo/src/peel/bucket_wing.cpp" "src/CMakeFiles/bfc.dir/peel/bucket_wing.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/bucket_wing.cpp.o.d"
+  "/root/repo/src/peel/decompose.cpp" "src/CMakeFiles/bfc.dir/peel/decompose.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/decompose.cpp.o.d"
+  "/root/repo/src/peel/tip_la.cpp" "src/CMakeFiles/bfc.dir/peel/tip_la.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/tip_la.cpp.o.d"
+  "/root/repo/src/peel/wing_family.cpp" "src/CMakeFiles/bfc.dir/peel/wing_family.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/wing_family.cpp.o.d"
+  "/root/repo/src/peel/wing_la.cpp" "src/CMakeFiles/bfc.dir/peel/wing_la.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/peel/wing_la.cpp.o.d"
+  "/root/repo/src/sparse/coo.cpp" "src/CMakeFiles/bfc.dir/sparse/coo.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/sparse/coo.cpp.o.d"
+  "/root/repo/src/sparse/csr.cpp" "src/CMakeFiles/bfc.dir/sparse/csr.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/sparse/csr.cpp.o.d"
+  "/root/repo/src/sparse/ops.cpp" "src/CMakeFiles/bfc.dir/sparse/ops.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/sparse/ops.cpp.o.d"
+  "/root/repo/src/sparse/spgemm.cpp" "src/CMakeFiles/bfc.dir/sparse/spgemm.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/sparse/spgemm.cpp.o.d"
+  "/root/repo/src/util/cli.cpp" "src/CMakeFiles/bfc.dir/util/cli.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/util/cli.cpp.o.d"
+  "/root/repo/src/util/parallel.cpp" "src/CMakeFiles/bfc.dir/util/parallel.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/util/parallel.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/bfc.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/table.cpp" "src/CMakeFiles/bfc.dir/util/table.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/util/table.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/bfc.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/bfc.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

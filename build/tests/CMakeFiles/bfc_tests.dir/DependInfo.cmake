@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_approx.cpp" "tests/CMakeFiles/bfc_tests.dir/test_approx.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_approx.cpp.o.d"
+  "/root/repo/tests/test_blocked.cpp" "tests/CMakeFiles/bfc_tests.dir/test_blocked.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_blocked.cpp.o.d"
+  "/root/repo/tests/test_components.cpp" "tests/CMakeFiles/bfc_tests.dir/test_components.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_components.cpp.o.d"
+  "/root/repo/tests/test_count_baselines.cpp" "tests/CMakeFiles/bfc_tests.dir/test_count_baselines.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_count_baselines.cpp.o.d"
+  "/root/repo/tests/test_dense.cpp" "tests/CMakeFiles/bfc_tests.dir/test_dense.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_dense.cpp.o.d"
+  "/root/repo/tests/test_dynamic_and_bounded.cpp" "tests/CMakeFiles/bfc_tests.dir/test_dynamic_and_bounded.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_dynamic_and_bounded.cpp.o.d"
+  "/root/repo/tests/test_enumerate.cpp" "tests/CMakeFiles/bfc_tests.dir/test_enumerate.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_enumerate.cpp.o.d"
+  "/root/repo/tests/test_fuzz.cpp" "tests/CMakeFiles/bfc_tests.dir/test_fuzz.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_fuzz.cpp.o.d"
+  "/root/repo/tests/test_gb.cpp" "tests/CMakeFiles/bfc_tests.dir/test_gb.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_gb.cpp.o.d"
+  "/root/repo/tests/test_gb_peeling.cpp" "tests/CMakeFiles/bfc_tests.dir/test_gb_peeling.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_gb_peeling.cpp.o.d"
+  "/root/repo/tests/test_gen.cpp" "tests/CMakeFiles/bfc_tests.dir/test_gen.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_gen.cpp.o.d"
+  "/root/repo/tests/test_graph.cpp" "tests/CMakeFiles/bfc_tests.dir/test_graph.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_graph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bfc_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_la_count.cpp" "tests/CMakeFiles/bfc_tests.dir/test_la_count.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_la_count.cpp.o.d"
+  "/root/repo/tests/test_la_partition.cpp" "tests/CMakeFiles/bfc_tests.dir/test_la_partition.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_la_partition.cpp.o.d"
+  "/root/repo/tests/test_parallel_and_pairs.cpp" "tests/CMakeFiles/bfc_tests.dir/test_parallel_and_pairs.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_parallel_and_pairs.cpp.o.d"
+  "/root/repo/tests/test_peel.cpp" "tests/CMakeFiles/bfc_tests.dir/test_peel.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_peel.cpp.o.d"
+  "/root/repo/tests/test_reorder.cpp" "tests/CMakeFiles/bfc_tests.dir/test_reorder.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_reorder.cpp.o.d"
+  "/root/repo/tests/test_sparse.cpp" "tests/CMakeFiles/bfc_tests.dir/test_sparse.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_sparse.cpp.o.d"
+  "/root/repo/tests/test_spec.cpp" "tests/CMakeFiles/bfc_tests.dir/test_spec.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_spec.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/bfc_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_util.cpp.o.d"
+  "/root/repo/tests/test_wing_family.cpp" "tests/CMakeFiles/bfc_tests.dir/test_wing_family.cpp.o" "gcc" "tests/CMakeFiles/bfc_tests.dir/test_wing_family.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/bfc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
