@@ -40,5 +40,6 @@ int main(int argc, char** argv) {
   std::cout << "\n(if look-ahead wins under auto-form but the gap closes "
                "under fused-form, the paper's Inv2/Inv4 advantage is the "
                "avoided subtraction pass, not traversal order)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

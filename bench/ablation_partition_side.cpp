@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(expected: the family that partitions the smaller vertex "
                "set wins — the paper's dataset-selection rule)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

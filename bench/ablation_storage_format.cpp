@@ -45,5 +45,6 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

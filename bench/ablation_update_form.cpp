@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

@@ -61,5 +61,6 @@ int main(int argc, char** argv) {
                "of the paper-faithful kernels; the LA wedge engine applies "
                "the future-work optimisation and is competitive with the "
                "wedge-based baselines)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

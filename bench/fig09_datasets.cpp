@@ -43,5 +43,6 @@ int main(int argc, char** argv) {
                "dataset at scale 1; the synthetic stand-in preserves "
                "|V1|/|V2|/|E| and heavy-tailed degrees, not the exact "
                "motif count.)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

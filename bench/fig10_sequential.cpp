@@ -31,7 +31,7 @@ int main(int argc, char** argv) {
       const double secs = bench::time_median_seconds(
           cfg,
           [&] { return la::count_butterflies(ds.graph, inv, options); },
-          &result);
+          &result, ds.name + "/" + la::name(inv));
       if (reference < 0) reference = result;
       if (result != reference) {
         std::cerr << "FATAL: " << la::name(inv) << " disagrees on " << ds.name
@@ -46,5 +46,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(all eight algorithms verified to return identical "
                "butterfly counts per dataset before timing was accepted)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

@@ -14,8 +14,9 @@
 int main(int argc, char** argv) {
   using namespace bfc;
   const Cli cli(argc, argv);
-  const bench::BenchConfig cfg = bench::parse_config(argc, argv);
+  const bench::BenchConfig cfg = bench::parse_config(argc, argv, {"threads"});
   const int threads = static_cast<int>(cli.get_int("threads", 6));
+  bench::report().set_config("threads", static_cast<std::int64_t>(threads));
 
   bench::print_header("Fig. 11: parallel timing of invariants 1-8 (seconds)",
                       cfg);
@@ -35,7 +36,7 @@ int main(int argc, char** argv) {
       const double secs = bench::time_median_seconds(
           cfg,
           [&] { return la::count_butterflies(ds.graph, inv, options); },
-          &result);
+          &result, ds.name + "/" + la::name(inv));
       if (reference < 0) reference = result;
       if (result != reference) {
         std::cerr << "FATAL: " << la::name(inv) << " disagrees on " << ds.name
@@ -48,5 +49,6 @@ int main(int argc, char** argv) {
   }
 
   table.print(std::cout);
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

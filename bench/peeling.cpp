@@ -72,5 +72,6 @@ int main(int argc, char** argv) {
             << wing_dec_secs << " s (max ψ=" << wings.max_wing << ")\n"
             << "(every k row was verified equal between the paper's mask "
                "iteration and bucket peeling)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

@@ -67,5 +67,6 @@ int main(int argc, char** argv) {
   table.print(std::cout);
   std::cout << "\n(the 2-core prune is butterfly-preserving, so the counts "
                "are verified identical before rows are accepted)\n";
+  bench::write_reports(cfg);
   return EXIT_SUCCESS;
 }

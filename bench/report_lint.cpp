@@ -1,0 +1,97 @@
+// report_lint: validates the machine-readable artifacts the benches emit.
+//
+//   report_lint --report out.json   check a RunReport (--json output)
+//   report_lint --trace  out.json   check a chrome://tracing file (--trace)
+//
+// Exits 0 when the file parses as JSON and has the documented shape, 1 with
+// a diagnostic otherwise. The `validate-report` ctest runs a bench at tiny
+// scale and pipes its artifacts through this linter, so a PR that breaks
+// the report schema fails CI rather than downstream tooling.
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+#include "util/cli.hpp"
+
+namespace {
+
+using bfc::obs::Json;
+
+Json load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  return Json::parse(buf.str());
+}
+
+void check(bool cond, const std::string& what) {
+  if (!cond) throw std::runtime_error(what);
+}
+
+void lint_report(const Json& doc) {
+  for (const char* key : {"config", "environment", "metrics", "samples"})
+    check(doc.has(key), std::string("missing top-level key \"") + key + '"');
+  check(doc.at("config").is_object(), "\"config\" is not an object");
+  check(doc.at("metrics").is_object(), "\"metrics\" is not an object");
+
+  const Json& env = doc.at("environment");
+  for (const char* key :
+       {"compiler", "omp_max_threads", "metrics_enabled", "timestamp_utc"})
+    check(env.has(key), std::string("environment missing \"") + key + '"');
+
+  const Json& samples = doc.at("samples");
+  check(samples.is_array(), "\"samples\" is not an array");
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const Json& cell = samples.at(i);
+    for (const char* key : {"label", "seconds", "count", "median"})
+      check(cell.has(key),
+            "sample " + std::to_string(i) + " missing \"" + key + '"');
+    check(cell.at("seconds").size() ==
+              static_cast<std::size_t>(cell.at("count").as_int()),
+          "sample " + std::to_string(i) + ": seconds[] shorter than count");
+  }
+  std::cout << "report ok: " << samples.size() << " sample cells, "
+            << doc.at("metrics").size() << " metrics\n";
+}
+
+void lint_trace(const Json& doc) {
+  check(doc.has("traceEvents"), "missing top-level key \"traceEvents\"");
+  const Json& events = doc.at("traceEvents");
+  check(events.is_array(), "\"traceEvents\" is not an array");
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const Json& ev = events.at(i);
+    for (const char* key : {"name", "ph", "pid", "tid", "ts", "dur"})
+      check(ev.has(key),
+            "event " + std::to_string(i) + " missing \"" + key + '"');
+    check(ev.at("ph").as_string() == "X",
+          "event " + std::to_string(i) + ": ph is not \"X\"");
+    check(ev.at("ts").as_double() >= 0 && ev.at("dur").as_double() >= 0,
+          "event " + std::to_string(i) + ": negative ts/dur");
+  }
+  std::cout << "trace ok: " << events.size() << " events\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bfc::Cli cli(argc, argv);
+  const std::string report_path = cli.get("report", "");
+  const std::string trace_path = cli.get("trace", "");
+  if (report_path.empty() && trace_path.empty()) {
+    std::cerr << "usage: report_lint --report <run.json> | --trace "
+                 "<trace.json>\n";
+    return 2;
+  }
+  try {
+    if (!report_path.empty()) lint_report(load(report_path));
+    if (!trace_path.empty()) lint_trace(load(trace_path));
+  } catch (const std::exception& e) {
+    std::cerr << "report_lint: " << e.what() << '\n';
+    return 1;
+  }
+  return EXIT_SUCCESS;
+}

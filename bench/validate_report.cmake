@@ -1,0 +1,25 @@
+# Test driver for the `validate-report` ctest: runs one bench binary at tiny
+# scale with --json/--trace, then checks both artifacts with report_lint.
+# Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>.
+file(MAKE_DIRECTORY "${OUT}")
+set(report "${OUT}/validate_report.json")
+set(trace "${OUT}/validate_trace.json")
+
+execute_process(
+  COMMAND "${BENCH}" --scale 0.02 --reps 2 --json "${report}" --trace "${trace}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "bench failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${LINT}" --report "${report}" --trace "${trace}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report_lint failed (rc=${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "${out}")

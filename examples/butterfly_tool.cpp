@@ -11,6 +11,10 @@
 //
 // Inputs: --file <path> (KONECT edge list), --mtx <path>, --bin <path>, or
 // --preset "<name>" --scale <s> for a synthetic stand-in.
+//
+// Add --stats to any command to print the kernel metrics the run recorded
+// (wedges expanded, lines processed, peel rounds, parse counters, ...);
+// requires a build with the default BFC_METRICS=ON for nonzero values.
 #include <iostream>
 #include <string>
 
@@ -24,6 +28,7 @@
 #include "graph/io_mtx.hpp"
 #include "graph/stats.hpp"
 #include "la/count.hpp"
+#include "obs/metrics.hpp"
 #include "peel/peeling.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
@@ -173,6 +178,36 @@ int cmd_convert(const Cli& cli, const graph::BipartiteGraph& g) {
   return 0;
 }
 
+void print_metrics_table() {
+  Table table({"metric", "kind", "value"});
+  for (const obs::MetricSnapshot& m : obs::Registry::instance().snapshot()) {
+    switch (m.kind) {
+      case obs::MetricSnapshot::Kind::kCounter:
+        table.add_row({m.name, "counter", Table::num(m.value)});
+        break;
+      case obs::MetricSnapshot::Kind::kGauge:
+        table.add_row({m.name, "gauge", Table::fixed(m.gauge, 6)});
+        break;
+      case obs::MetricSnapshot::Kind::kHistogram:
+        table.add_row({m.name, "histogram",
+                       "count=" + Table::num(m.hist_count) +
+                           " sum=" + Table::num(m.hist_sum) +
+                           " min=" + Table::num(m.hist_min) +
+                           " max=" + Table::num(m.hist_max)});
+        break;
+    }
+  }
+  if (table.rows() == 0) {
+    std::cout << "(no metrics recorded"
+              << (obs::kMetricsEnabled
+                      ? ")\n"
+                      : "; rebuild with -DBFC_METRICS=ON)\n");
+    return;
+  }
+  std::cout << '\n';
+  table.print(std::cout);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -185,14 +220,19 @@ int main(int argc, char** argv) {
   try {
     const graph::BipartiteGraph g = load_input(cli);
     const std::string& command = cli.positional()[0];
-    if (command == "count") return cmd_count(cli, g);
-    if (command == "stats") return cmd_stats(g);
-    if (command == "peel") return cmd_peel(cli, g);
-    if (command == "pairs") return cmd_pairs(cli, g);
-    if (command == "prune") return cmd_prune(cli, g);
-    if (command == "convert") return cmd_convert(cli, g);
-    std::cerr << "unknown command: " << command << '\n';
-    return 1;
+    int rc = 1;
+    if (command == "count") rc = cmd_count(cli, g);
+    else if (command == "stats") rc = cmd_stats(g);
+    else if (command == "peel") rc = cmd_peel(cli, g);
+    else if (command == "pairs") rc = cmd_pairs(cli, g);
+    else if (command == "prune") rc = cmd_prune(cli, g);
+    else if (command == "convert") rc = cmd_convert(cli, g);
+    else {
+      std::cerr << "unknown command: " << command << '\n';
+      return 1;
+    }
+    if (cli.has("stats")) print_metrics_table();
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << '\n';
     return 1;

@@ -6,11 +6,16 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/coo.hpp"
+#include "util/timer.hpp"
 
 namespace bfc::graph {
 
 BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
+  BFC_TRACE_SCOPE("graph.read_edgelist");
+  const Timer parse_timer;
   std::vector<std::pair<vidx_t, vidx_t>> edges;
   vidx_t max_u = 0;
   vidx_t max_v = 0;
@@ -42,6 +47,9 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
   const vidx_t cols = n2 > 0 ? n2 : max_v;
   require(rows >= max_u && cols >= max_v,
           "edgelist: forced dimensions smaller than ids present");
+  BFC_COUNT_ADD("graph.io.lines_read", static_cast<std::int64_t>(lineno));
+  BFC_COUNT_ADD("graph.io.edges_read", static_cast<std::int64_t>(edges.size()));
+  BFC_GAUGE_SET("graph.io.parse_seconds", parse_timer.seconds());
   return BipartiteGraph::from_edges(rows, cols, edges);
 }
 

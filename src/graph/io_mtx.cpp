@@ -7,7 +7,10 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sparse/coo.hpp"
+#include "util/timer.hpp"
 
 namespace bfc::graph {
 namespace {
@@ -21,6 +24,8 @@ std::string lowercase(std::string s) {
 }  // namespace
 
 BipartiteGraph read_mtx(std::istream& in) {
+  BFC_TRACE_SCOPE("graph.read_mtx");
+  const Timer parse_timer;
   std::string line;
   if (!std::getline(in, line))
     throw std::runtime_error("mtx: empty stream");
@@ -64,6 +69,8 @@ BipartiteGraph read_mtx(std::istream& in) {
     if (value != 0.0)
       builder.add(static_cast<vidx_t>(r - 1), static_cast<vidx_t>(c - 1));
   }
+  BFC_COUNT_ADD("graph.io.edges_read", static_cast<std::int64_t>(entries));
+  BFC_GAUGE_SET("graph.io.parse_seconds", parse_timer.seconds());
   return BipartiteGraph(builder.build());
 }
 

@@ -4,6 +4,9 @@
 #include <bit>
 #include <vector>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace bfc::la {
 namespace {
 
@@ -34,6 +37,12 @@ count_t panel_update(const sparse::CsrPattern& lines, vidx_t b0, vidx_t b1,
   }
 
   count_t total = 0;
+  count_t obs_wedges = 0, obs_nnz = 0;
+  // The peer range is contiguous: its scanned entries are one row_ptr
+  // difference, not a per-line degree lookup inside the scan loop.
+  if constexpr (obs::kMetricsEnabled)
+    obs_nnz = lines.row_ptr()[static_cast<std::size_t>(peer_hi)] -
+              lines.row_ptr()[static_cast<std::size_t>(peer_lo)];
 
   // (b) Panel x peer: ONE scan of the peer partition recovers t_{c,q} for
   // every panel line q simultaneously — the blocking payoff.
@@ -50,6 +59,8 @@ count_t panel_update(const sparse::CsrPattern& lines, vidx_t b0, vidx_t b1,
       }
     }
     for (const vidx_t q : scratch.touched) {
+      if constexpr (obs::kMetricsEnabled)
+        obs_wedges += scratch.t[static_cast<std::size_t>(q)];
       total += choose2(scratch.t[static_cast<std::size_t>(q)]);
       scratch.t[static_cast<std::size_t>(q)] = 0;
     }
@@ -73,6 +84,8 @@ count_t panel_update(const sparse::CsrPattern& lines, vidx_t b0, vidx_t b1,
       }
     }
     for (const vidx_t q2 : scratch.touched) {
+      if constexpr (obs::kMetricsEnabled)
+        obs_wedges += scratch.t[static_cast<std::size_t>(q2)];
       total += choose2(scratch.t[static_cast<std::size_t>(q2)]);
       scratch.t[static_cast<std::size_t>(q2)] = 0;
     }
@@ -83,6 +96,12 @@ count_t panel_update(const sparse::CsrPattern& lines, vidx_t b0, vidx_t b1,
     for (const vidx_t i : lines.row(p))
       scratch.member[static_cast<std::size_t>(i)] = 0;
 
+  if constexpr (obs::kMetricsEnabled) {
+    BFC_COUNT_ADD("la.panels", 1);
+    BFC_COUNT_ADD("la.lines_processed", b1 - b0);
+    BFC_COUNT_ADD("la.wedges", obs_wedges);
+    BFC_COUNT_ADD("la.nnz_scanned", obs_nnz);
+  }
   return total;
 }
 
@@ -124,6 +143,7 @@ count_t count_blocked_parallel(const sparse::CsrPattern& lines,
 #pragma omp parallel
   {
     PanelScratch scratch(lines.cols());
+    obs::ScopedTrace thread_span("kernel.blocked_parallel");
 #pragma omp for schedule(dynamic, 1) reduction(+ : total)
     for (std::int64_t k = 0; k < panels; ++k) {
       const auto panel_idx = static_cast<vidx_t>(

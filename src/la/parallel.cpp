@@ -2,6 +2,8 @@
 
 #include "la/kernels.hpp"
 #include "la/partition.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace bfc::la {
 namespace {
@@ -29,6 +31,10 @@ count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
     // integer reduction is deterministic.
     std::vector<std::uint8_t> marked(static_cast<std::size_t>(lines.cols()),
                                      0);
+    // One trace span and one work-histogram sample per thread per region,
+    // so imbalance across the dynamic schedule is visible per track.
+    obs::ScopedTrace thread_span("kernel.unblocked_parallel");
+    count_t my_lines = 0, my_wedges = 0, my_nnz = 0;
 #pragma omp for schedule(dynamic, 16) reduction(+ : total)
     for (std::int64_t s = 0; s < n_steps; ++s) {
       const Step& step = steps[static_cast<std::size_t>(s)];
@@ -39,11 +45,25 @@ count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
       for (const vidx_t i : pivot_line)
         marked[static_cast<std::size_t>(i)] = 1;
 
+      // The contiguous peer range's entry count is one row_ptr difference;
+      // keep the degree lookup out of the O(p·nnz) loops (see unblocked.cpp).
+      if constexpr (obs::kMetricsEnabled) {
+        const auto& ptr = lines.row_ptr();
+        const offset_t range_nnz =
+            ptr[static_cast<std::size_t>(step.peer_hi)] -
+            ptr[static_cast<std::size_t>(step.peer_lo)];
+        my_nnz += (form == UpdateForm::kFused ? 1 : 2) * range_nnz;
+      }
       if (form == UpdateForm::kFused) {
         count_t step_sum = 0;
-        for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c)
-          step_sum += choose2(line_overlap(lines, c, marked));
+        count_t step_wedges = 0;
+        for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c) {
+          const count_t t = line_overlap(lines, c, marked);
+          step_sum += choose2(t);
+          if constexpr (obs::kMetricsEnabled) step_wedges += t;
+        }
         total += step_sum;
+        if constexpr (obs::kMetricsEnabled) my_wedges += step_wedges;
       } else {
         count_t quad = 0;
         for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c) {
@@ -54,10 +74,18 @@ count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
         for (vidx_t c = step.peer_lo; c < step.peer_hi; ++c)
           lin += line_overlap(lines, c, marked);
         total += (quad - lin) / 2;
+        if constexpr (obs::kMetricsEnabled) my_wedges += lin;
       }
 
+      if constexpr (obs::kMetricsEnabled) ++my_lines;
       for (const vidx_t i : pivot_line)
         marked[static_cast<std::size_t>(i)] = 0;
+    }
+    if constexpr (obs::kMetricsEnabled) {
+      BFC_COUNT_ADD("la.lines_processed", my_lines);
+      BFC_COUNT_ADD("la.wedges", my_wedges);
+      BFC_COUNT_ADD("la.nnz_scanned", my_nnz);
+      BFC_HIST_OBSERVE("la.thread_lines", my_lines);
     }
   }
   return total;
@@ -77,6 +105,8 @@ count_t count_wedge_parallel(const sparse::CsrPattern& lines,
   {
     std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
     std::vector<vidx_t> touched;
+    obs::ScopedTrace thread_span("kernel.wedge_parallel");
+    count_t my_lines = 0, my_wedges = 0;
 #pragma omp for schedule(dynamic, 64) reduction(+ : total)
     for (std::int64_t s = 0; s < n_steps; ++s) {
       const Step& step = steps[static_cast<std::size_t>(s)];
@@ -91,9 +121,17 @@ count_t count_wedge_parallel(const sparse::CsrPattern& lines,
         }
       }
       for (const vidx_t c : touched) {
+        if constexpr (obs::kMetricsEnabled)
+          my_wedges += acc[static_cast<std::size_t>(c)];
         total += choose2(acc[static_cast<std::size_t>(c)]);
         acc[static_cast<std::size_t>(c)] = 0;
       }
+      if constexpr (obs::kMetricsEnabled) ++my_lines;
+    }
+    if constexpr (obs::kMetricsEnabled) {
+      BFC_COUNT_ADD("la.lines_processed", my_lines);
+      BFC_COUNT_ADD("la.wedges", my_wedges);
+      BFC_HIST_OBSERVE("la.thread_lines", my_lines);
     }
   }
   return total;

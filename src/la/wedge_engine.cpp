@@ -1,5 +1,6 @@
 #include "la/kernels.hpp"
 #include "la/partition.hpp"
+#include "obs/metrics.hpp"
 
 namespace bfc::la {
 
@@ -12,6 +13,7 @@ count_t count_wedge(const sparse::CsrPattern& lines,
   std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
   std::vector<vidx_t> touched;
   count_t total = 0;
+  count_t obs_lines = 0, obs_wedges = 0;
 
   for (const Step& step : traversal_steps(n, direction, peer)) {
     const auto pivot_line = lines.row(step.pivot);
@@ -27,9 +29,18 @@ count_t count_wedge(const sparse::CsrPattern& lines,
       }
     }
     for (const vidx_t c : touched) {
+      // acc[c] = t_c, so summing it here counts every expanded wedge
+      // without touching the inner expansion loop.
+      if constexpr (obs::kMetricsEnabled)
+        obs_wedges += acc[static_cast<std::size_t>(c)];
       total += choose2(acc[static_cast<std::size_t>(c)]);
       acc[static_cast<std::size_t>(c)] = 0;
     }
+    if constexpr (obs::kMetricsEnabled) ++obs_lines;
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    BFC_COUNT_ADD("la.lines_processed", obs_lines);
+    BFC_COUNT_ADD("la.wedges", obs_wedges);
   }
   return total;
 }

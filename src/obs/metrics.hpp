@@ -1,0 +1,181 @@
+// Low-overhead metrics for the counting stack: named Counter / Gauge /
+// Histogram instruments behind a process-wide Registry.
+//
+// Counters are sharded per thread (cache-line-aligned slots indexed by the
+// OpenMP thread id) so hot parallel kernels never contend on one atomic;
+// value() sums the shards at snapshot time. The kernel-side hooks are the
+// BFC_COUNT_ADD / BFC_GAUGE_SET / BFC_HIST_OBSERVE macros below, which bind
+// the registry entry once (function-local static) and compile to nothing
+// when the BFC_METRICS CMake option is OFF — together with
+// `if constexpr (obs::kMetricsEnabled)` around any bookkeeping arithmetic,
+// a disabled build carries zero instrumentation cost.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace bfc::obs {
+
+#if defined(BFC_METRICS_ENABLED) && BFC_METRICS_ENABLED
+inline constexpr bool kMetricsEnabled = true;
+#else
+inline constexpr bool kMetricsEnabled = false;
+#endif
+
+/// Monotonic sum, sharded to keep OpenMP regions contention-free. Relaxed
+/// atomics make the (rare) shard collision between two threads safe without
+/// ordering cost; totals are exact because adds are never lost.
+class Counter {
+ public:
+  static constexpr std::size_t kShards = 64;  // power of two
+
+  void add(std::int64_t n) noexcept {
+    shards_[shard_index()].v.fetch_add(n, std::memory_order_relaxed);
+  }
+  void increment() noexcept { add(1); }
+
+  [[nodiscard]] std::int64_t value() const noexcept {
+    std::int64_t total = 0;
+    for (const Shard& s : shards_) total += s.v.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  void reset() noexcept {
+    for (Shard& s : shards_) s.v.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::atomic<std::int64_t> v{0};
+  };
+  [[nodiscard]] static std::size_t shard_index() noexcept;
+  std::array<Shard, kShards> shards_{};
+};
+
+/// Last-write-wins scalar (parse seconds, configured block size, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Exponential (base-2) histogram of non-negative integer observations:
+/// bucket i counts values whose bit width is i, i.e. [2^(i-1), 2^i), with
+/// 0 (and any negative input) clamped into bucket 0. Used for distribution
+/// shapes — per-thread work items, line degrees — where exact quantiles
+/// are not worth per-sample cost.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 64;
+
+  void observe(std::int64_t v) noexcept;
+
+  [[nodiscard]] std::int64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::int64_t min() const noexcept;  // 0 when empty
+  [[nodiscard]] std::int64_t max() const noexcept;  // 0 when empty
+  [[nodiscard]] std::int64_t bucket_count(int i) const noexcept {
+    return buckets_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  /// Inclusive upper bound of bucket i (0, 1, 3, 7, 15, ...).
+  [[nodiscard]] static std::int64_t bucket_upper(int i) noexcept;
+
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::int64_t>, kBuckets> buckets_{};
+  std::atomic<std::int64_t> count_{0};
+  std::atomic<std::int64_t> sum_{0};
+  // Sentinels while empty; min()/max() report 0 for an empty histogram.
+  std::atomic<std::int64_t> min_{std::numeric_limits<std::int64_t>::max()};
+  std::atomic<std::int64_t> max_{std::numeric_limits<std::int64_t>::min()};
+};
+
+/// Snapshot row for reporting (RunReport serialization, --stats tables).
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;  // counter total
+  double gauge = 0.0;
+  std::int64_t hist_count = 0;
+  std::int64_t hist_sum = 0;
+  std::int64_t hist_min = 0;
+  std::int64_t hist_max = 0;
+  /// (inclusive upper bound, count) for non-empty buckets only.
+  std::vector<std::pair<std::int64_t, std::int64_t>> hist_buckets;
+};
+
+/// Process-wide instrument registry. Lookup is mutex-guarded and intended
+/// to happen once per call site (the macros below cache the reference in a
+/// function-local static); the instruments themselves are lock-free.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// All instruments in name order (counters, gauges, histograms merged).
+  [[nodiscard]] std::vector<MetricSnapshot> snapshot() const;
+
+  /// Zeroes every instrument (tests, repeated bench cells). Instrument
+  /// references stay valid.
+  void reset();
+
+ private:
+  Registry() = default;
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace bfc::obs
+
+// Hot-path hooks. The name must be a stable string literal: the registry
+// reference is resolved once per call site and cached.
+#if defined(BFC_METRICS_ENABLED) && BFC_METRICS_ENABLED
+#define BFC_COUNT_ADD(name, n)                                       \
+  do {                                                               \
+    static ::bfc::obs::Counter& bfc_obs_counter_ =                   \
+        ::bfc::obs::Registry::instance().counter(name);              \
+    bfc_obs_counter_.add(static_cast<std::int64_t>(n));              \
+  } while (0)
+#define BFC_GAUGE_SET(name, v)                                       \
+  do {                                                               \
+    static ::bfc::obs::Gauge& bfc_obs_gauge_ =                       \
+        ::bfc::obs::Registry::instance().gauge(name);                \
+    bfc_obs_gauge_.set(static_cast<double>(v));                      \
+  } while (0)
+#define BFC_HIST_OBSERVE(name, v)                                    \
+  do {                                                               \
+    static ::bfc::obs::Histogram& bfc_obs_hist_ =                    \
+        ::bfc::obs::Registry::instance().histogram(name);            \
+    bfc_obs_hist_.observe(static_cast<std::int64_t>(v));             \
+  } while (0)
+#else
+#define BFC_COUNT_ADD(name, n) static_cast<void>(0)
+#define BFC_GAUGE_SET(name, v) static_cast<void>(0)
+#define BFC_HIST_OBSERVE(name, v) static_cast<void>(0)
+#endif

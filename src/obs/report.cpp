@@ -1,0 +1,146 @@
+#include "obs/report.hpp"
+
+#include <omp.h>
+#include <unistd.h>
+
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "util/parallel.hpp"
+
+namespace bfc::obs {
+namespace {
+
+std::string compiler_string() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("gcc ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+std::string iso8601_utc_now() {
+  const std::time_t now =
+      std::chrono::system_clock::to_time_t(std::chrono::system_clock::now());
+  std::tm tm{};
+  gmtime_r(&now, &tm);
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm);
+  return buf;
+}
+
+std::string hostname() {
+  char buf[256] = {0};
+  if (gethostname(buf, sizeof(buf) - 1) != 0) return "unknown";
+  return buf;
+}
+
+}  // namespace
+
+std::string git_describe() {
+  FILE* pipe =
+      popen("git describe --always --dirty --tags 2>/dev/null", "r");
+  if (pipe == nullptr) return "unknown";
+  std::array<char, 128> buf{};
+  std::string out;
+  while (fgets(buf.data(), buf.size(), pipe) != nullptr) out += buf.data();
+  const int rc = pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r'))
+    out.pop_back();
+  if (rc != 0 || out.empty()) return "unknown";
+  return out;
+}
+
+void RunReport::set_config(const std::string& key, Json value) {
+  config_[key] = std::move(value);
+}
+
+void RunReport::add_sample(const std::string& label, const Samples& samples) {
+  Json cell = Json::object();
+  cell["label"] = label;
+  Json values = Json::array();
+  for (const double v : samples.values()) values.push_back(v);
+  cell["seconds"] = std::move(values);
+  cell["count"] = static_cast<std::int64_t>(samples.count());
+  if (samples.count() > 0) {
+    cell["median"] = samples.median();
+    cell["mean"] = samples.mean();
+    cell["min"] = samples.min();
+    cell["max"] = samples.max();
+    cell["stddev"] = samples.stddev();
+    cell["p90"] = samples.percentile(90.0);
+  }
+  samples_.push_back(std::move(cell));
+}
+
+void RunReport::capture_environment() {
+  environment_ = Json::object();
+  environment_["compiler"] = compiler_string();
+  environment_["cxx_standard"] = static_cast<std::int64_t>(__cplusplus);
+  environment_["openmp_version"] = static_cast<std::int64_t>(_OPENMP);
+  environment_["omp_max_threads"] =
+      static_cast<std::int64_t>(omp_get_max_threads());
+  environment_["hardware_threads"] =
+      static_cast<std::int64_t>(hardware_threads());
+  environment_["pointer_bits"] =
+      static_cast<std::int64_t>(sizeof(void*) * 8);
+  environment_["metrics_enabled"] = kMetricsEnabled;
+  environment_["git_describe"] = git_describe();
+  environment_["hostname"] = hostname();
+  environment_["timestamp_utc"] = iso8601_utc_now();
+}
+
+void RunReport::set_metrics_from_registry() {
+  metrics_ = Json::object();
+  for (const MetricSnapshot& m : Registry::instance().snapshot()) {
+    switch (m.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        metrics_[m.name] = m.value;
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        metrics_[m.name] = m.gauge;
+        break;
+      case MetricSnapshot::Kind::kHistogram: {
+        Json h = Json::object();
+        h["count"] = m.hist_count;
+        h["sum"] = m.hist_sum;
+        h["min"] = m.hist_min;
+        h["max"] = m.hist_max;
+        Json buckets = Json::array();
+        for (const auto& [upper, n] : m.hist_buckets) {
+          Json b = Json::object();
+          b["le"] = upper;
+          b["count"] = n;
+          buckets.push_back(std::move(b));
+        }
+        h["buckets"] = std::move(buckets);
+        metrics_[m.name] = std::move(h);
+        break;
+      }
+    }
+  }
+}
+
+Json RunReport::to_json() const {
+  Json root = Json::object();
+  root["config"] = config_;
+  root["environment"] = environment_;
+  root["metrics"] = metrics_;
+  root["samples"] = samples_;
+  return root;
+}
+
+void RunReport::write(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write run report: " + path);
+  out << to_json().dump(1) << '\n';
+}
+
+}  // namespace bfc::obs

@@ -1,0 +1,87 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+#include "util/parallel.hpp"
+
+namespace bfc::obs {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point trace_epoch() {
+  static const Clock::time_point epoch = Clock::now();
+  return epoch;
+}
+
+std::mutex& events_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::vector<TraceEvent>& events_store() {
+  static std::vector<TraceEvent> store;
+  return store;
+}
+
+}  // namespace
+
+std::atomic<bool>& Tracer::enabled_flag() noexcept {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+std::int64_t Tracer::now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               trace_epoch())
+      .count();
+}
+
+void Tracer::record(std::string name, std::int64_t ts_us,
+                    std::int64_t dur_us) {
+  TraceEvent ev;
+  ev.name = std::move(name);
+  ev.ts_us = ts_us;
+  ev.dur_us = dur_us;
+  ev.tid = thread_id();
+  const std::lock_guard<std::mutex> lock(events_mutex());
+  events_store().push_back(std::move(ev));
+}
+
+std::vector<TraceEvent> Tracer::events() {
+  const std::lock_guard<std::mutex> lock(events_mutex());
+  return events_store();
+}
+
+void Tracer::clear() {
+  const std::lock_guard<std::mutex> lock(events_mutex());
+  events_store().clear();
+}
+
+void Tracer::write_chrome_json(const std::string& path) {
+  Json root = Json::object();
+  Json& list = root["traceEvents"];
+  list = Json::array();
+  for (const TraceEvent& ev : events()) {
+    Json e = Json::object();
+    e["name"] = ev.name;
+    e["cat"] = "bfc";
+    e["ph"] = "X";
+    e["pid"] = 1;
+    e["tid"] = ev.tid;
+    e["ts"] = ev.ts_us;
+    e["dur"] = ev.dur_us;
+    list.push_back(std::move(e));
+  }
+  root["displayTimeUnit"] = "ms";
+
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write trace file: " + path);
+  out << root.dump(1) << '\n';
+}
+
+}  // namespace bfc::obs

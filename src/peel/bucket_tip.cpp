@@ -1,11 +1,14 @@
 #include <queue>
 
 #include "count/local_counts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peel/decompose.hpp"
 
 namespace bfc::peel {
 
 TipDecomposition tip_decomposition(const graph::BipartiteGraph& g, Side side) {
+  BFC_TRACE_SCOPE("peel.tip_decomposition");
   // `lines` rows enumerate the peeled side; `lines_t` the opposite side.
   const sparse::CsrPattern& lines = side == Side::kV1 ? g.csr() : g.csc();
   const sparse::CsrPattern& lines_t = side == Side::kV1 ? g.csc() : g.csr();
@@ -26,6 +29,10 @@ TipDecomposition tip_decomposition(const graph::BipartiteGraph& g, Side side) {
   std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
   std::vector<vidx_t> touched;
   count_t running_k = 0;
+  // Bucket moves = re-pushed heap entries (the lazy-invalidation analogue of
+  // moving a vertex between peel buckets); decrements = butterflies removed
+  // from surviving peers' counts.
+  count_t obs_moves = 0, obs_decrements = 0;
 
   while (!heap.empty()) {
     const auto [val, u] = heap.top();
@@ -53,10 +60,19 @@ TipDecomposition tip_decomposition(const graph::BipartiteGraph& g, Side side) {
     }
     for (const vidx_t j : touched) {
       const auto ji = static_cast<std::size_t>(j);
+      if constexpr (obs::kMetricsEnabled) {
+        obs_decrements += choose2(acc[ji]);
+        ++obs_moves;
+      }
       b[ji] -= choose2(acc[ji]);
       acc[ji] = 0;
       heap.emplace(b[ji], j);
     }
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    BFC_COUNT_ADD("peel.vertices_peeled", n);
+    BFC_COUNT_ADD("peel.bucket_moves", obs_moves);
+    BFC_COUNT_ADD("peel.butterflies_decremented", obs_decrements);
   }
   return d;
 }

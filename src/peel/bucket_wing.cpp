@@ -2,6 +2,8 @@
 #include <queue>
 
 #include "count/local_counts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peel/decompose.hpp"
 
 #include "sparse/ops.hpp"
@@ -9,6 +11,7 @@
 namespace bfc::peel {
 
 WingDecomposition wing_decomposition(const graph::BipartiteGraph& g) {
+  BFC_TRACE_SCOPE("peel.wing_decomposition");
   const sparse::CsrPattern& a = g.csr();
   const sparse::CsrPattern& at = g.csc();
   const auto nnz = static_cast<std::size_t>(a.nnz());
@@ -38,10 +41,12 @@ WingDecomposition wing_decomposition(const graph::BipartiteGraph& g) {
   }
 
   count_t running_k = 0;
+  count_t obs_moves = 0;
   auto decrement = [&](offset_t e) {
     const auto ei = static_cast<std::size_t>(e);
     --support[ei];
     heap.emplace(support[ei], e);
+    if constexpr (obs::kMetricsEnabled) ++obs_moves;
   };
 
   while (!heap.empty()) {
@@ -97,6 +102,12 @@ WingDecomposition wing_decomposition(const graph::BipartiteGraph& g) {
         }
       }
     }
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    BFC_COUNT_ADD("peel.edges_peeled", static_cast<count_t>(nnz));
+    BFC_COUNT_ADD("peel.bucket_moves", obs_moves);
+    // Each removed butterfly decrements three surviving edges' supports.
+    BFC_COUNT_ADD("peel.butterflies_decremented", obs_moves / 3);
   }
   return d;
 }

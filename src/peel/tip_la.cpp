@@ -1,4 +1,6 @@
 #include "count/local_counts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peel/peeling.hpp"
 #include "sparse/ops.hpp"
 
@@ -50,6 +52,7 @@ std::vector<count_t> tip_vector(const graph::BipartiteGraph& g, Side side,
 
 TipPeelResult k_tip(const graph::BipartiteGraph& g, count_t k, Side side,
                     TipAlgorithm algorithm) {
+  BFC_TRACE_SCOPE("peel.k_tip");
   require(k >= 0, "k_tip: negative k");
   const vidx_t peel_dim = side == Side::kV1 ? g.n1() : g.n2();
 
@@ -82,6 +85,8 @@ TipPeelResult k_tip(const graph::BipartiteGraph& g, count_t k, Side side,
                           : sparse::mask_cols(result.subgraph.csr(), result.kept);
     result.subgraph = graph::BipartiteGraph(masked);
   }
+  BFC_COUNT_ADD("peel.rounds", result.rounds);
+  BFC_COUNT_ADD("peel.vertices_removed", result.removed_vertices);
   return result;
 }
 

@@ -1,10 +1,13 @@
 #include "count/local_counts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "peel/peeling.hpp"
 #include "sparse/ops.hpp"
 
 namespace bfc::peel {
 
 WingPeelResult k_wing(const graph::BipartiteGraph& g, count_t k) {
+  BFC_TRACE_SCOPE("peel.k_wing");
   require(k >= 0, "k_wing: negative k");
 
   WingPeelResult result;
@@ -46,6 +49,8 @@ WingPeelResult k_wing(const graph::BipartiteGraph& g, count_t k) {
     result.subgraph = graph::BipartiteGraph(
         sparse::mask_entries(result.subgraph.csr(), keep));
   }
+  BFC_COUNT_ADD("peel.rounds", result.rounds);
+  BFC_COUNT_ADD("peel.edges_removed", result.removed_edges);
   return result;
 }
 

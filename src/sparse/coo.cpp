@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace bfc::sparse {
 
 CooBuilder::CooBuilder(vidx_t rows, vidx_t cols) : rows_(rows), cols_(cols) {
@@ -16,8 +18,11 @@ void CooBuilder::add(vidx_t r, vidx_t c) {
 
 CsrPattern CooBuilder::build() {
   std::sort(entries_.begin(), entries_.end());
+  [[maybe_unused]] const std::size_t before = entries_.size();
   entries_.erase(std::unique(entries_.begin(), entries_.end()),
                  entries_.end());
+  BFC_COUNT_ADD("graph.coo.dedup_dropped",
+                static_cast<std::int64_t>(before - entries_.size()));
 
   std::vector<offset_t> row_ptr(static_cast<std::size_t>(rows_) + 1, 0);
   std::vector<vidx_t> col_idx;

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+
 namespace bfc::sparse {
 
 CsrCounts spgemm(const CsrPattern& a, const CsrPattern& b) {
@@ -47,6 +49,7 @@ count_t gram_pairwise_butterflies(const CsrPattern& a, const CsrPattern& at) {
   std::vector<count_t> acc(static_cast<std::size_t>(a.rows()), 0);
   std::vector<vidx_t> touched;
   count_t total = 0;
+  count_t obs_wedges = 0;
   for (vidx_t i = 0; i < a.rows(); ++i) {
     touched.clear();
     for (const vidx_t k : a.row(i)) {
@@ -59,10 +62,14 @@ count_t gram_pairwise_butterflies(const CsrPattern& a, const CsrPattern& at) {
       }
     }
     for (const vidx_t j : touched) {
+      if constexpr (obs::kMetricsEnabled)
+        obs_wedges += acc[static_cast<std::size_t>(j)];
       total += choose2(acc[static_cast<std::size_t>(j)]);
       acc[static_cast<std::size_t>(j)] = 0;
     }
   }
+  if constexpr (obs::kMetricsEnabled)
+    BFC_COUNT_ADD("count.baseline.wedges", obs_wedges);
   return total;
 }
 

@@ -28,6 +28,13 @@ Cli::Cli(int argc, const char* const* argv) {
   }
 }
 
+std::vector<std::string> Cli::option_names() const {
+  std::vector<std::string> names;
+  names.reserve(options_.size());
+  for (const auto& [name, value] : options_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
 bool Cli::has(const std::string& name) const {
   return options_.contains(name);
 }

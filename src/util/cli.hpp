@@ -30,6 +30,10 @@ class Cli {
     return positional_;
   }
 
+  /// Names of every --option present, sorted; lets binaries reject typo'd
+  /// flags instead of silently running with defaults.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
   [[nodiscard]] const std::string& program() const noexcept { return program_; }
 
  private:

@@ -1,6 +1,7 @@
 #include "util/timer.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <numeric>
 #include <stdexcept>
 
@@ -26,6 +27,28 @@ double Samples::mean() const {
   check_nonempty(values_.size());
   return std::accumulate(values_.begin(), values_.end(), 0.0) /
          static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  check_nonempty(values_.size());
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double ss = 0.0;
+  for (const double v : values_) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  check_nonempty(values_.size());
+  if (p < 0.0 || p > 100.0)
+    throw std::invalid_argument("Samples::percentile: p must be in [0, 100]");
+  std::vector<double> v = values_;
+  std::sort(v.begin(), v.end());
+  const double rank = p / 100.0 * static_cast<double>(v.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  if (lo + 1 >= v.size()) return v.back();
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] + frac * (v[lo + 1] - v[lo]);
 }
 
 double Samples::median() const {

@@ -38,6 +38,18 @@ class Samples {
   [[nodiscard]] double max() const;
   [[nodiscard]] double mean() const;
   [[nodiscard]] double median() const;
+  /// Sample standard deviation (n-1 denominator); 0 with fewer than two
+  /// measurements.
+  [[nodiscard]] double stddev() const;
+  /// Percentile p in [0, 100] with linear interpolation between order
+  /// statistics (p=50 matches median()).
+  [[nodiscard]] double percentile(double p) const;
+
+  /// Raw measurements in insertion order (the RunReport serializes all of
+  /// them rather than just a summary).
+  [[nodiscard]] const std::vector<double>& values() const noexcept {
+    return values_;
+  }
 
  private:
   std::vector<double> values_;

@@ -1,0 +1,316 @@
+// Tests for the observability layer (src/obs/): sharded counters under
+// OpenMP, histogram bucketing, the JSON value tree, scoped tracing, and the
+// RunReport — plus an end-to-end check that the kernel counters recorded
+// during a counting run agree with the dense wedge specification.
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "dense/spec.hpp"
+#include "la/count.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/report.hpp"
+#include "obs/trace.hpp"
+#include "test_helpers.hpp"
+#include "util/parallel.hpp"
+#include "util/timer.hpp"
+
+namespace bfc {
+namespace {
+
+// ---------------------------------------------------------------- Counter
+
+TEST(ObsCounter, AddAndReset) {
+  obs::Counter c;
+  EXPECT_EQ(c.value(), 0);
+  c.add(5);
+  c.increment();
+  EXPECT_EQ(c.value(), 6);
+  c.reset();
+  EXPECT_EQ(c.value(), 0);
+}
+
+TEST(ObsCounter, AggregatesAcrossOmpThreads) {
+  // Every thread hammers the same counter; the per-thread shards must sum
+  // to the exact total regardless of how iterations were distributed.
+  obs::Counter c;
+  constexpr int kThreads = 4;
+  constexpr int kIters = 100000;
+  ThreadCountGuard guard(kThreads);
+#pragma omp parallel num_threads(kThreads)
+  {
+#pragma omp for
+    for (int i = 0; i < kIters; ++i) c.add(1);
+  }
+  EXPECT_EQ(c.value(), kIters);
+}
+
+TEST(ObsRegistry, CounterReferencesStableAcrossReset) {
+  obs::Counter& a = obs::Registry::instance().counter("test.obs.stable");
+  a.add(3);
+  obs::Registry::instance().reset();
+  EXPECT_EQ(a.value(), 0);
+  obs::Counter& b = obs::Registry::instance().counter("test.obs.stable");
+  EXPECT_EQ(&a, &b);
+  b.add(2);
+  EXPECT_EQ(a.value(), 2);
+}
+
+// -------------------------------------------------------------- Histogram
+
+TEST(ObsHistogram, ExponentialBucketing) {
+  obs::Histogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);  // empty histogram reports 0, not the sentinel
+  EXPECT_EQ(h.max(), 0);
+
+  h.observe(0);   // bucket 0 (upper bound 0)
+  h.observe(1);   // bucket 1 (upper bound 1)
+  h.observe(2);   // bucket 2 (upper bound 3)
+  h.observe(3);   // bucket 2
+  h.observe(4);   // bucket 3 (upper bound 7)
+  h.observe(-7);  // clamped to 0, lands in bucket 0
+
+  EXPECT_EQ(h.count(), 6);
+  EXPECT_EQ(h.sum(), 0 + 1 + 2 + 3 + 4);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 4);
+  EXPECT_EQ(h.bucket_count(0), 2);
+  EXPECT_EQ(h.bucket_count(1), 1);
+  EXPECT_EQ(h.bucket_count(2), 2);
+  EXPECT_EQ(h.bucket_count(3), 1);
+  EXPECT_EQ(obs::Histogram::bucket_upper(0), 0);
+  EXPECT_EQ(obs::Histogram::bucket_upper(1), 1);
+  EXPECT_EQ(obs::Histogram::bucket_upper(2), 3);
+  EXPECT_EQ(obs::Histogram::bucket_upper(3), 7);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+}
+
+TEST(ObsHistogram, HugeValuesClampIntoLastBucket) {
+  obs::Histogram h;
+  h.observe(std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.bucket_count(obs::Histogram::kBuckets - 1), 1);
+}
+
+// ------------------------------------------------------------------- JSON
+
+TEST(ObsJson, DumpParseRoundTrip) {
+  obs::Json doc = obs::Json::object();
+  doc["int"] = obs::Json(std::int64_t{42});
+  doc["neg"] = obs::Json(std::int64_t{-7});
+  doc["pi"] = obs::Json(3.25);  // exactly representable
+  doc["flag"] = obs::Json(true);
+  doc["null"] = obs::Json(nullptr);
+  doc["text"] = obs::Json("line1\nline2 \"quoted\" \\slash");
+  obs::Json arr = obs::Json::array();
+  arr.push_back(obs::Json(std::int64_t{1}));
+  arr.push_back(obs::Json("two"));
+  doc["arr"] = arr;
+
+  for (const int indent : {0, 2}) {
+    const obs::Json back = obs::Json::parse(doc.dump(indent));
+    EXPECT_EQ(back.at("int").as_int(), 42);
+    EXPECT_EQ(back.at("neg").as_int(), -7);
+    EXPECT_DOUBLE_EQ(back.at("pi").as_double(), 3.25);
+    EXPECT_TRUE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("null").is_null());
+    EXPECT_EQ(back.at("text").as_string(), "line1\nline2 \"quoted\" \\slash");
+    EXPECT_EQ(back.at("arr").size(), 2u);
+    EXPECT_EQ(back.at("arr").at(0).as_int(), 1);
+    EXPECT_EQ(back.at("arr").at(1).as_string(), "two");
+  }
+}
+
+TEST(ObsJson, KeysAreSortedAndStable) {
+  obs::Json doc = obs::Json::object();
+  doc["zebra"] = obs::Json(1);
+  doc["apple"] = obs::Json(2);
+  const std::string text = doc.dump();
+  EXPECT_LT(text.find("apple"), text.find("zebra"));
+  EXPECT_EQ(text, obs::Json::parse(text).dump());
+}
+
+TEST(ObsJson, ParserRejectsMalformedInput) {
+  EXPECT_THROW(obs::Json::parse(""), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("[1,]"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{\"a\": 1} trailing"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("'single'"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("nul"), std::runtime_error);
+  EXPECT_THROW(obs::Json::parse("{\"a\" 1}"), std::runtime_error);
+}
+
+TEST(ObsJson, ParsesUnicodeEscapes) {
+  const std::string utf8_eacute =
+      "a\xc3\xa9"
+      "b";  // "aéb" in UTF-8
+  // é must decode to the two-byte UTF-8 sequence...
+  EXPECT_EQ(obs::Json::parse(R"("a\u00e9b")").as_string(), utf8_eacute);
+  // ...and raw UTF-8 bytes inside a string pass through untouched.
+  EXPECT_EQ(obs::Json::parse("\"" + utf8_eacute + "\"").as_string(),
+            utf8_eacute);
+}
+
+// ------------------------------------------------------------------ Trace
+
+TEST(ObsTrace, RecordsSpansOnlyWhenEnabled) {
+  obs::Tracer::clear();
+  obs::Tracer::set_enabled(false);
+  { BFC_TRACE_SCOPE("test.disabled"); }
+  EXPECT_TRUE(obs::Tracer::events().empty());
+
+  obs::Tracer::set_enabled(true);
+  { BFC_TRACE_SCOPE("test.enabled"); }
+  obs::Tracer::set_enabled(false);
+
+  const auto events = obs::Tracer::events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "test.enabled");
+  EXPECT_GE(events[0].ts_us, 0);
+  EXPECT_GE(events[0].dur_us, 0);
+  obs::Tracer::clear();
+}
+
+TEST(ObsTrace, ChromeJsonIsValidTraceEventFormat) {
+  obs::Tracer::clear();
+  obs::Tracer::set_enabled(true);
+  { BFC_TRACE_SCOPE("span.a"); }
+  { BFC_TRACE_SCOPE("span.b"); }
+  obs::Tracer::set_enabled(false);
+
+  const std::string path = ::testing::TempDir() + "bfc_trace_test.json";
+  obs::Tracer::write_chrome_json(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(buf.str());
+  ASSERT_TRUE(doc.has("traceEvents"));
+  ASSERT_EQ(doc.at("traceEvents").size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    const obs::Json& ev = doc.at("traceEvents").at(i);
+    EXPECT_EQ(ev.at("ph").as_string(), "X");
+    EXPECT_TRUE(ev.at("name").is_string());
+    EXPECT_TRUE(ev.at("ts").is_number());
+    EXPECT_TRUE(ev.at("dur").is_number());
+    EXPECT_TRUE(ev.at("tid").is_int());
+  }
+  obs::Tracer::clear();
+  std::remove(path.c_str());
+}
+
+// -------------------------------------------------------------- RunReport
+
+TEST(ObsReport, TopLevelKeysAndSampleStats) {
+  obs::RunReport report;
+  report.set_config("scale", obs::Json(0.5));
+  Samples s;
+  s.add(0.1);
+  s.add(0.3);
+  s.add(0.2);
+  report.add_sample("cell", s);
+  report.capture_environment();
+  report.set_metrics_from_registry();
+
+  // Round-trip through text so we validate what a consumer actually reads.
+  const obs::Json doc = obs::Json::parse(report.to_json().dump(2));
+  for (const char* key : {"config", "environment", "metrics", "samples"})
+    EXPECT_TRUE(doc.has(key)) << key;
+
+  EXPECT_DOUBLE_EQ(doc.at("config").at("scale").as_double(), 0.5);
+  EXPECT_EQ(doc.at("environment").at("metrics_enabled").as_bool(),
+            obs::kMetricsEnabled);
+  EXPECT_GE(doc.at("environment").at("omp_max_threads").as_int(), 1);
+
+  ASSERT_EQ(doc.at("samples").size(), 1u);
+  const obs::Json& cell = doc.at("samples").at(0);
+  EXPECT_EQ(cell.at("label").as_string(), "cell");
+  EXPECT_EQ(cell.at("count").as_int(), 3);
+  ASSERT_EQ(cell.at("seconds").size(), 3u);  // every rep retained
+  EXPECT_DOUBLE_EQ(cell.at("median").as_double(), 0.2);
+  EXPECT_DOUBLE_EQ(cell.at("min").as_double(), 0.1);
+  EXPECT_DOUBLE_EQ(cell.at("max").as_double(), 0.3);
+  EXPECT_NEAR(cell.at("stddev").as_double(), 0.1, 1e-12);
+}
+
+// ------------------------------------------------- Samples (timer.hpp adds)
+
+TEST(ObsSamples, StddevAndPercentile) {
+  Samples s;
+  EXPECT_THROW(static_cast<void>(s.stddev()), std::exception);  // empty
+  s.add(1.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);  // a single sample has no spread
+  for (const double v : {2.0, 3.0, 4.0, 5.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.stddev(), std::sqrt(2.5));  // sample stddev, n-1
+  EXPECT_DOUBLE_EQ(s.percentile(0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 3.0);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 5.0);
+  EXPECT_DOUBLE_EQ(s.percentile(25), 2.0);
+  EXPECT_DOUBLE_EQ(s.percentile(90), 4.6);  // linear interpolation
+  EXPECT_THROW(static_cast<void>(s.percentile(-1)), std::exception);
+  EXPECT_THROW(static_cast<void>(s.percentile(101)), std::exception);
+}
+
+// --------------------------------- kernel counters vs. the dense oracles
+
+TEST(ObsKernels, WedgeCounterMatchesDenseSpec) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  // K_{6,8}: every V1 degree is >= 2, so every wedge is visited by the
+  // row-family kernels and the la.wedges counter must equal Eq. (6).
+  const dense::DenseMatrix d = dense::DenseMatrix::ones(6, 8);
+  const graph::BipartiteGraph g = testing::complete_bipartite(6, 8);
+  const count_t want_butterflies = dense::butterflies_spec(d);
+  const count_t want_wedges = dense::wedges_spec(d);  // C(6,2)*8 = 120
+  ASSERT_EQ(want_wedges, 120);
+
+  for (const la::Engine engine :
+       {la::Engine::kUnblocked, la::Engine::kWedge, la::Engine::kBlocked}) {
+    obs::Registry::instance().reset();
+    la::CountOptions opts;
+    opts.engine = engine;
+    EXPECT_EQ(la::count_butterflies(g, la::Invariant::kInv6, opts),
+              want_butterflies);
+    EXPECT_EQ(obs::Registry::instance().counter("la.wedges").value(),
+              want_wedges);
+    EXPECT_GT(obs::Registry::instance().counter("la.lines_processed").value(),
+              0);
+  }
+  obs::Registry::instance().reset();
+}
+
+TEST(ObsKernels, CountersPresentInSnapshotAfterRandomRun) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::Registry::instance().reset();
+  const graph::BipartiteGraph g = testing::random_graph(40, 30, 0.2, 7);
+  const count_t got = la::count_butterflies(g, la::Invariant::kInv2);
+  EXPECT_EQ(got, dense::butterflies_spec(
+                     testing::random_dense01(40, 30, 0.2, 7)));
+
+  bool saw_wedges = false;
+  for (const obs::MetricSnapshot& m : obs::Registry::instance().snapshot()) {
+    if (m.name == "la.wedges") {
+      saw_wedges = true;
+      EXPECT_EQ(m.kind, obs::MetricSnapshot::Kind::kCounter);
+      EXPECT_GT(m.value, 0);
+    }
+  }
+  EXPECT_TRUE(saw_wedges);
+  obs::Registry::instance().reset();
+}
+
+}  // namespace
+}  // namespace bfc
