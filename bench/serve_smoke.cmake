@@ -1,0 +1,27 @@
+# Test driver for the `serve-smoke` ctest: runs bench/serving at tiny scale
+# with --json, relying on the bench's built-in acceptance checks (zero count
+# drift vs. a from-scratch recount; nonzero cache hits and coalesced batches
+# when metrics are compiled in), then validates the RunReport artifact with
+# report_lint. Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>.
+file(MAKE_DIRECTORY "${OUT}")
+set(report "${OUT}/serving_report.json")
+
+execute_process(
+  COMMAND "${BENCH}" --scale 0.02 --readers 3 --epochs 4 --batch 60
+          --queries 80 --pool 3 --json "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "serving bench failed (rc=${rc}):\n${out}\n${err}")
+endif()
+
+execute_process(
+  COMMAND "${LINT}" --report "${report}"
+  RESULT_VARIABLE rc
+  OUTPUT_VARIABLE out
+  ERROR_VARIABLE err)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "report_lint failed (rc=${rc}):\n${out}\n${err}")
+endif()
+message(STATUS "${out}")

@@ -1,0 +1,285 @@
+// Closed-loop load generator for the serving subsystem (src/svc/): N reader
+// threads issue a configurable mix of butterfly queries against pinned
+// snapshots while one writer thread applies edge-update batches and
+// publishes epochs underneath them. Emits a throughput / p50 / p95 / p99
+// latency table per query kind, and the usual RunReport (--json) with every
+// latency sample plus the svc.* counters (cache hits, coalesced batches,
+// epochs published, ...).
+//
+//   ./serving [--readers 4] [--epochs 8] [--batch 200] [--queries 500]
+//             [--pool 4] [--mix tip:6,global:2,edge:1,top:1]
+//             [--scale 0.05] [--seed 42] [--json out.json] [--trace t.json]
+//
+// The run fails (exit 1) if the incrementally maintained count at the final
+// epoch drifts from a from-scratch recount, or — when kernel metrics are
+// compiled in — if the run produced no cache hits or no coalesced batches
+// (both are load-bearing properties of the serving design, not incidental).
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "count/baselines.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/ops.hpp"
+#include "svc/service.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace bfc;
+
+struct MixEntry {
+  std::string name;  // tip | global | edge | top
+  int weight = 0;
+};
+
+std::vector<MixEntry> parse_mix(const std::string& spec) {
+  std::vector<MixEntry> mix;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    const std::size_t colon = item.find(':');
+    require(colon != std::string::npos,
+            "--mix entries must look like kind:weight");
+    const std::string name = item.substr(0, colon);
+    require(name == "tip" || name == "global" || name == "edge" ||
+                name == "top",
+            "--mix kinds are tip|global|edge|top, got '" + name + "'");
+    const int weight = std::stoi(item.substr(colon + 1));
+    require(weight >= 0, "--mix weights must be >= 0");
+    mix.push_back({name, weight});
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  int total = 0;
+  for (const MixEntry& m : mix) total += m.weight;
+  require(total > 0, "--mix must have positive total weight");
+  return mix;
+}
+
+const MixEntry& pick(const std::vector<MixEntry>& mix, Rng& rng, int total) {
+  auto roll = static_cast<int>(rng.bounded(static_cast<std::uint64_t>(total)));
+  for (const MixEntry& m : mix) {
+    roll -= m.weight;
+    if (roll < 0) return m;
+  }
+  return mix.back();
+}
+
+/// Uniform present edge of the pinned snapshot via the CSR row pointers.
+std::pair<vidx_t, vidx_t> random_edge(const svc::SnapshotPtr& snap, Rng& rng) {
+  const sparse::CsrPattern& a = snap->graph.csr();
+  const auto k = static_cast<offset_t>(
+      rng.bounded(static_cast<std::uint64_t>(snap->edges)));
+  const auto& rp = a.row_ptr();
+  const auto it = std::upper_bound(rp.begin(), rp.end(), k);
+  const auto u = static_cast<vidx_t>(it - rp.begin() - 1);
+  return {u, a.col_idx()[static_cast<std::size_t>(k)]};
+}
+
+struct KindStats {
+  Samples latency;  // seconds per completed query
+};
+
+constexpr const char* kKinds[] = {"tip", "global", "edge", "top"};
+constexpr int kKindCount = 4;
+
+int kind_index(const std::string& name) {
+  for (int i = 0; i < kKindCount; ++i)
+    if (name == kKinds[i]) return i;
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bfc::bench::BenchConfig;
+  const BenchConfig cfg = bfc::bench::parse_config(
+      argc, argv, {"readers", "epochs", "batch", "queries", "pool", "mix"});
+  const Cli cli(argc, argv);
+  const int readers = static_cast<int>(cli.get_int("readers", 4));
+  const int epochs = static_cast<int>(cli.get_int("epochs", 8));
+  const int batch_size = static_cast<int>(cli.get_int("batch", 200));
+  const int queries_per_reader = static_cast<int>(cli.get_int("queries", 500));
+  const int pool = static_cast<int>(cli.get_int("pool", 4));
+  const std::vector<MixEntry> mix =
+      parse_mix(cli.get("mix", "tip:6,global:2,edge:1,top:1"));
+  require(readers >= 1 && epochs >= 1 && batch_size >= 1 &&
+              queries_per_reader >= 1 && pool >= 1,
+          "--readers/--epochs/--batch/--queries/--pool must be >= 1");
+  int mix_total = 0;
+  for (const MixEntry& m : mix) mix_total += m.weight;
+
+  bfc::bench::print_header("serving: concurrent query load generator", cfg);
+
+  // Initial graph: the arXiv cond-mat stand-in at --scale, loaded as the
+  // first published epoch.
+  const gen::KonectPreset& preset = gen::konect_preset("arXiv cond-mat");
+  const graph::BipartiteGraph initial =
+      gen::make_konect_like(preset, cfg.scale, cfg.seed);
+  const vidx_t n1 = initial.n1(), n2 = initial.n2();
+
+  svc::ButterflyService service(n1, n2, {.threads = pool});
+  {
+    std::vector<svc::EdgeUpdate> load;
+    for (const auto& [u, v] : sparse::edges(initial.csr()))
+      load.push_back(svc::EdgeUpdate::add(u, v));
+    service.apply_updates(load);
+  }
+  std::cout << "graph: |V1|=" << n1 << " |V2|=" << n2
+            << " |E|=" << service.snapshot()->edges << "  readers=" << readers
+            << " pool=" << pool << " epochs=" << epochs
+            << " batch=" << batch_size << " queries/reader="
+            << queries_per_reader << "\n\n";
+
+  // A small hot set makes key popularity skewed (as real traffic is) so the
+  // result cache sees repeats within an epoch.
+  constexpr int kHotSet = 16;
+  const std::int64_t total_queries =
+      static_cast<std::int64_t>(readers) * queries_per_reader;
+  std::atomic<std::int64_t> completed{0};
+  std::vector<std::vector<KindStats>> per_reader(
+      static_cast<std::size_t>(readers));
+
+  Timer wall;
+  {
+    std::vector<std::jthread> threads;
+    threads.reserve(static_cast<std::size_t>(readers) + 1);
+
+    // Writer: publishes `epochs` update batches, paced against reader
+    // progress so the epochs are spread across the whole run.
+    threads.emplace_back([&] {
+      Rng rng(cfg.seed + 1);
+      const std::int64_t quota =
+          std::max<std::int64_t>(1, total_queries / (epochs + 1));
+      for (int e = 0; e < epochs; ++e) {
+        std::vector<svc::EdgeUpdate> batch;
+        batch.reserve(static_cast<std::size_t>(batch_size));
+        for (int i = 0; i < batch_size; ++i)
+          batch.push_back({static_cast<vidx_t>(rng.bounded(
+                               static_cast<std::uint64_t>(n1))),
+                           static_cast<vidx_t>(rng.bounded(
+                               static_cast<std::uint64_t>(n2))),
+                           rng.bernoulli(0.7)});
+        service.apply_updates(batch);
+        const std::int64_t target = std::min(
+            total_queries, completed.load(std::memory_order_relaxed) + quota);
+        while (completed.load(std::memory_order_relaxed) < target)
+          std::this_thread::yield();
+      }
+    });
+
+    for (int r = 0; r < readers; ++r) {
+      per_reader[static_cast<std::size_t>(r)].resize(kKindCount);
+      threads.emplace_back([&, r] {
+        std::vector<KindStats>& stats = per_reader[static_cast<std::size_t>(r)];
+        Rng rng(cfg.seed + 100 + static_cast<std::uint64_t>(r));
+        for (int q = 0; q < queries_per_reader; ++q) {
+          const svc::SnapshotPtr snap = service.snapshot();
+          const MixEntry& kind = pick(mix, rng, mix_total);
+          Timer timer;
+          if (kind.name == "tip") {
+            const bool hot = rng.bernoulli(0.3);
+            if (rng.bernoulli(0.5)) {
+              const auto u = static_cast<vidx_t>(rng.bounded(
+                  static_cast<std::uint64_t>(hot ? std::min(kHotSet, n1)
+                                                 : n1)));
+              (void)service.vertex_tip_v1(u, snap).get();
+            } else {
+              const auto v = static_cast<vidx_t>(rng.bounded(
+                  static_cast<std::uint64_t>(hot ? std::min(kHotSet, n2)
+                                                 : n2)));
+              (void)service.vertex_tip_v2(v, snap).get();
+            }
+          } else if (kind.name == "global") {
+            (void)service.global_count(snap).get();
+          } else if (kind.name == "edge") {
+            if (snap->edges > 0) {
+              const auto [u, v] = random_edge(snap, rng);
+              (void)service.edge_support(u, v, snap).get();
+            }
+          } else {  // top
+            (void)service.top_pairs(8, snap).get();
+          }
+          stats[static_cast<std::size_t>(kind_index(kind.name))].latency.add(
+              timer.seconds());
+          completed.fetch_add(1, std::memory_order_relaxed);
+        }
+      });
+    }
+  }  // join writer + readers
+  const double elapsed = wall.seconds();
+
+  // Merge per-reader samples and print the latency table.
+  obs::RunReport& report = bfc::bench::report();
+  Table table({"kind", "queries", "qps", "p50 ms", "p95 ms", "p99 ms"});
+  std::int64_t answered = 0;
+  for (int k = 0; k < kKindCount; ++k) {
+    Samples merged;
+    for (const std::vector<KindStats>& stats : per_reader)
+      for (const double s :
+           stats[static_cast<std::size_t>(k)].latency.values())
+        merged.add(s);
+    if (merged.count() == 0) continue;
+    answered += static_cast<std::int64_t>(merged.count());
+    table.add_row({kKinds[k], Table::num(static_cast<count_t>(merged.count())),
+                   Table::fixed(static_cast<double>(merged.count()) / elapsed,
+                                1),
+                   Table::fixed(merged.percentile(50) * 1e3, 3),
+                   Table::fixed(merged.percentile(95) * 1e3, 3),
+                   Table::fixed(merged.percentile(99) * 1e3, 3)});
+    report.add_sample(std::string("latency.") + kKinds[k], merged);
+  }
+  table.print(std::cout);
+  std::cout << "\n" << answered << " queries in " << Table::fixed(elapsed, 3)
+            << " s (" << Table::fixed(static_cast<double>(answered) / elapsed,
+                                      1)
+            << " qps aggregate) across "
+            << service.snapshot()->epoch << " published epochs\n";
+
+  report.set_config("readers", static_cast<std::int64_t>(readers));
+  report.set_config("epochs", static_cast<std::int64_t>(epochs));
+  report.set_config("batch", static_cast<std::int64_t>(batch_size));
+  report.set_config("queries_per_reader",
+                    static_cast<std::int64_t>(queries_per_reader));
+  report.set_config("pool", static_cast<std::int64_t>(pool));
+
+  // Zero-drift acceptance: the incrementally maintained count at the final
+  // epoch must equal a from-scratch recount of the materialised snapshot.
+  const svc::SnapshotPtr fin = service.snapshot();
+  const count_t recount = count::wedge_reference(fin->graph);
+  if (fin->butterflies != recount) {
+    std::cerr << "FATAL: count drift at epoch " << fin->epoch << ": serving "
+              << fin->butterflies << " != recount " << recount << '\n';
+    return 1;
+  }
+  std::cout << "drift check: epoch " << fin->epoch << " count "
+            << fin->butterflies << " == from-scratch recount\n";
+
+  if constexpr (obs::kMetricsEnabled) {
+    const auto counter = [](const char* name) {
+      return obs::Registry::instance().counter(name).value();
+    };
+    const std::int64_t hits = counter("svc.cache_hits");
+    const std::int64_t coalesced = counter("svc.coalesced_batches");
+    std::cout << "cache hits: " << hits
+              << "  misses: " << counter("svc.cache_misses")
+              << "  coalesced batches: " << coalesced
+              << "  tip passes: " << counter("svc.tip_passes") << '\n';
+    if (hits <= 0 || coalesced <= 0) {
+      std::cerr << "FATAL: serving run produced no cache hits or no "
+                   "coalesced batches\n";
+      return 1;
+    }
+  }
+
+  bfc::bench::write_reports(cfg);
+  return 0;
+}

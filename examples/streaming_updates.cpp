@@ -42,6 +42,9 @@ int main(int argc, char** argv) {
   Timer timer;
   const auto limit =
       std::min<std::int64_t>(events, static_cast<std::int64_t>(stream.size()));
+  // limit / 5 is 0 for < 5 events, and n % 0 is UB — clamp the checkpoint
+  // interval to 1 so tiny runs checkpoint every event instead.
+  const auto checkpoint = std::max<std::int64_t>(1, limit / 5);
   for (std::int64_t e = 0; e < limit; ++e) {
     const auto& [u, v] = stream[static_cast<std::size_t>(e)];
     created_total += counter.insert(u, v);
@@ -51,7 +54,7 @@ int main(int argc, char** argv) {
       destroyed_total += counter.remove(ou, ov);
       live.pop_front();
     }
-    if ((e + 1) % (limit / 5) == 0) {
+    if ((e + 1) % checkpoint == 0) {
       // Cross-check against a full recount of the live window.
       const auto snapshot = graph::BipartiteGraph::from_edges(
           g.n1(), g.n2(), {live.begin(), live.end()});

@@ -2,17 +2,74 @@
 
 #include <algorithm>
 
+#include "sparse/csr.hpp"
+
 namespace bfc::count {
 namespace {
 
-count_t ordered_intersection_size(const std::set<vidx_t>& a,
-                                  const std::set<vidx_t>& b) {
-  // Walk the smaller set, probe the larger: O(min·log max).
-  const std::set<vidx_t>& small = a.size() <= b.size() ? a : b;
-  const std::set<vidx_t>& large = a.size() <= b.size() ? b : a;
+/// |a ∩ b| for sorted ranges. Linear two-pointer merge when the sizes are
+/// comparable; when one side is much smaller, gallop (exponential search +
+/// binary search) through the larger side so the cost is
+/// O(min · log(max/min)) rather than O(min + max).
+count_t sorted_intersection_size(std::span<const vidx_t> a,
+                                 std::span<const vidx_t> b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  if (a.empty()) return 0;
+
   count_t n = 0;
-  for (const vidx_t x : small) n += large.contains(x) ? 1 : 0;
+  if (b.size() / a.size() >= 8) {
+    // Galloping: positions in b advance monotonically because a is sorted.
+    std::size_t lo = 0;
+    for (const vidx_t x : a) {
+      std::size_t step = 1;
+      std::size_t hi = lo;
+      while (hi < b.size() && b[hi] < x) {
+        lo = hi + 1;
+        hi += step;
+        step *= 2;
+      }
+      hi = std::min(hi, b.size());
+      const auto it = std::lower_bound(b.begin() + static_cast<std::ptrdiff_t>(lo),
+                                       b.begin() + static_cast<std::ptrdiff_t>(hi), x);
+      lo = static_cast<std::size_t>(it - b.begin());
+      if (lo < b.size() && b[lo] == x) {
+        ++n;
+        ++lo;
+      }
+      if (lo >= b.size()) break;
+    }
+    return n;
+  }
+
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++n;
+      ++i;
+      ++j;
+    }
+  }
   return n;
+}
+
+/// Inserts x into the sorted vector; returns false if already present.
+bool sorted_insert(std::vector<vidx_t>& v, vidx_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it != v.end() && *it == x) return false;
+  v.insert(it, x);
+  return true;
+}
+
+/// Erases x from the sorted vector; returns false if absent.
+bool sorted_erase(std::vector<vidx_t>& v, vidx_t x) {
+  const auto it = std::lower_bound(v.begin(), v.end(), x);
+  if (it == v.end() || *it != x) return false;
+  v.erase(it);
+  return true;
 }
 
 }  // namespace
@@ -27,18 +84,43 @@ DynamicButterflyCounter::DynamicButterflyCounter(vidx_t n1, vidx_t n2)
 bool DynamicButterflyCounter::has_edge(vidx_t u, vidx_t v) const {
   require(u >= 0 && u < n1_ && v >= 0 && v < n2_,
           "DynamicButterflyCounter: vertex out of range");
-  return adj_v1_[static_cast<std::size_t>(u)].contains(v);
+  const std::vector<vidx_t>& nu = adj_v1_[static_cast<std::size_t>(u)];
+  return std::binary_search(nu.begin(), nu.end(), v);
+}
+
+std::span<const vidx_t> DynamicButterflyCounter::neighbors_v1(vidx_t u) const {
+  require(u >= 0 && u < n1_, "DynamicButterflyCounter: vertex out of range");
+  return adj_v1_[static_cast<std::size_t>(u)];
+}
+
+std::span<const vidx_t> DynamicButterflyCounter::neighbors_v2(vidx_t v) const {
+  require(v >= 0 && v < n2_, "DynamicButterflyCounter: vertex out of range");
+  return adj_v2_[static_cast<std::size_t>(v)];
+}
+
+graph::BipartiteGraph DynamicButterflyCounter::to_graph() const {
+  std::vector<offset_t> row_ptr;
+  row_ptr.reserve(static_cast<std::size_t>(n1_) + 1);
+  row_ptr.push_back(0);
+  std::vector<vidx_t> col_idx;
+  col_idx.reserve(static_cast<std::size_t>(edges_));
+  for (const std::vector<vidx_t>& row : adj_v1_) {
+    col_idx.insert(col_idx.end(), row.begin(), row.end());
+    row_ptr.push_back(static_cast<offset_t>(col_idx.size()));
+  }
+  return graph::BipartiteGraph(
+      sparse::CsrPattern(n1_, n2_, std::move(row_ptr), std::move(col_idx)));
 }
 
 count_t DynamicButterflyCounter::support_of(vidx_t u, vidx_t v) const {
   // Butterflies through (u, v): for every other neighbour w of v, each
   // common neighbour of u and w besides v closes one butterfly.
-  const std::set<vidx_t>& nu = adj_v1_[static_cast<std::size_t>(u)];
+  const std::vector<vidx_t>& nu = adj_v1_[static_cast<std::size_t>(u)];
   count_t total = 0;
   for (const vidx_t w : adj_v2_[static_cast<std::size_t>(v)]) {
     if (w == u) continue;
-    const count_t common =
-        ordered_intersection_size(nu, adj_v1_[static_cast<std::size_t>(w)]);
+    const count_t common = sorted_intersection_size(
+        nu, adj_v1_[static_cast<std::size_t>(w)]);
     // Both N(u) and N(w) contain v, so common >= 1; subtract that shared v.
     total += common - 1;
   }
@@ -47,8 +129,8 @@ count_t DynamicButterflyCounter::support_of(vidx_t u, vidx_t v) const {
 
 count_t DynamicButterflyCounter::insert(vidx_t u, vidx_t v) {
   if (has_edge(u, v)) return 0;
-  adj_v1_[static_cast<std::size_t>(u)].insert(v);
-  adj_v2_[static_cast<std::size_t>(v)].insert(u);
+  sorted_insert(adj_v1_[static_cast<std::size_t>(u)], v);
+  sorted_insert(adj_v2_[static_cast<std::size_t>(v)], u);
   ++edges_;
   const count_t created = support_of(u, v);
   butterflies_ += created;
@@ -58,8 +140,8 @@ count_t DynamicButterflyCounter::insert(vidx_t u, vidx_t v) {
 count_t DynamicButterflyCounter::remove(vidx_t u, vidx_t v) {
   if (!has_edge(u, v)) return 0;
   const count_t destroyed = support_of(u, v);
-  adj_v1_[static_cast<std::size_t>(u)].erase(v);
-  adj_v2_[static_cast<std::size_t>(v)].erase(u);
+  sorted_erase(adj_v1_[static_cast<std::size_t>(u)], v);
+  sorted_erase(adj_v2_[static_cast<std::size_t>(v)], u);
   --edges_;
   butterflies_ -= destroyed;
   return destroyed;

@@ -1,0 +1,50 @@
+#include "svc/executor.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace bfc::svc {
+
+Executor::Executor(int threads) {
+  require(threads >= 1, "Executor: threads must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    workers_.emplace_back(
+        [this](const std::stop_token& stop) { worker_loop(stop); });
+}
+
+Executor::~Executor() {
+  // jthread destructors request_stop() and join; the stop_token wakes any
+  // worker parked in the condition-variable wait below.
+  for (std::jthread& w : workers_) w.request_stop();
+}
+
+std::size_t Executor::queue_depth() const {
+  const std::scoped_lock lock(mu_);
+  return queue_.size();
+}
+
+void Executor::enqueue(std::function<void()> task) {
+  {
+    const std::scoped_lock lock(mu_);
+    queue_.push_back(std::move(task));
+    BFC_GAUGE_SET("svc.queue_depth", queue_.size());
+  }
+  cv_.notify_one();
+}
+
+void Executor::worker_loop(const std::stop_token& stop) {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mu_);
+      // Returns false only when stop was requested with the queue empty.
+      if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      BFC_GAUGE_SET("svc.queue_depth", queue_.size());
+    }
+    task();
+  }
+}
+
+}  // namespace bfc::svc

@@ -1,0 +1,67 @@
+// Thread-pool executor for query requests: a fixed set of std::jthread
+// workers draining one FIFO of type-erased tasks. Deliberately independent
+// of the OpenMP compute lanes — OpenMP parallelises *inside* one batch
+// kernel, while this pool multiplexes *many small queries* across cores;
+// mixing the two schedulers would let a single heavyweight query starve
+// the latency-sensitive ones. Queue depth is exported as a gauge
+// (svc.queue_depth) on every push/pop.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace bfc::svc {
+
+class Executor {
+ public:
+  /// Spawns `threads` workers (>= 1).
+  explicit Executor(int threads);
+
+  /// Drains nothing: pending tasks that never ran are abandoned (their
+  /// futures get a broken_promise); running tasks finish first.
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  /// Enqueues fn and returns a future for its result. fn runs on one pool
+  /// worker; exceptions propagate through the future.
+  template <typename Fn>
+  [[nodiscard]] auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    // std::function requires copyable callables, so the packaged state
+    // lives behind a shared_ptr.
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  [[nodiscard]] int thread_count() const noexcept {
+    return static_cast<int>(workers_.size());
+  }
+
+  /// Tasks queued but not yet picked up by a worker.
+  [[nodiscard]] std::size_t queue_depth() const;
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop(const std::stop_token& stop);
+
+  mutable std::mutex mu_;
+  std::condition_variable_any cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+};
+
+}  // namespace bfc::svc

@@ -1,0 +1,36 @@
+// Query vocabulary of the serving layer: the request shapes the counting
+// stack answers in production (Shi & Shun's and Wang et al.'s workhorse
+// statistics) — the global count, per-vertex tip numbers, per-edge wing
+// support, and top-k wedge pairs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/common.hpp"
+
+namespace bfc::svc {
+
+enum class QueryKind : std::uint8_t {
+  kGlobalCount = 0,  // Ξ_G of the pinned snapshot
+  kVertexTipV1,      // butterflies containing one V1 vertex (Eq. 19)
+  kVertexTipV2,      // butterflies containing one V2 vertex
+  kEdgeSupport,      // butterflies containing one edge (Eq. 25); 0 if absent
+  kTopPairs,         // k V1-pairs with the most wedges
+};
+
+inline constexpr int kQueryKinds = 5;
+
+/// Stable label used for metric names, latency tables and reports.
+[[nodiscard]] inline const char* kind_name(QueryKind k) noexcept {
+  switch (k) {
+    case QueryKind::kGlobalCount: return "global";
+    case QueryKind::kVertexTipV1: return "tip_v1";
+    case QueryKind::kVertexTipV2: return "tip_v2";
+    case QueryKind::kEdgeSupport: return "edge";
+    case QueryKind::kTopPairs: return "top_pairs";
+  }
+  return "unknown";
+}
+
+}  // namespace bfc::svc

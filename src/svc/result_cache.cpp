@@ -1,0 +1,52 @@
+#include "svc/result_cache.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace bfc::svc {
+
+ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+  require(capacity >= 1, "ResultCache: capacity must be >= 1");
+}
+
+std::optional<CacheValue> ResultCache::get(const CacheKey& key) {
+  const std::scoped_lock lock(mu_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) {
+    BFC_COUNT_ADD("svc.cache_misses", 1);
+    return std::nullopt;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  BFC_COUNT_ADD("svc.cache_hits", 1);
+  return it->second->second;
+}
+
+void ResultCache::put(const CacheKey& key, CacheValue value) {
+  const std::scoped_lock lock(mu_);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  if (map_.size() >= capacity_) {
+    BFC_COUNT_ADD("svc.cache_evictions", 1);
+    map_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+  lru_.emplace_front(key, std::move(value));
+  map_.emplace(key, lru_.begin());
+}
+
+void ResultCache::invalidate_all() {
+  const std::scoped_lock lock(mu_);
+  map_.clear();
+  lru_.clear();
+  BFC_COUNT_ADD("svc.cache_invalidations", 1);
+}
+
+std::size_t ResultCache::size() const {
+  const std::scoped_lock lock(mu_);
+  return map_.size();
+}
+
+}  // namespace bfc::svc

@@ -1,0 +1,81 @@
+// Bounded LRU cache over query results, keyed by (epoch, kind, argument).
+// Because the key includes the epoch and snapshots are immutable, a cached
+// entry can never be stale — entries for old epochs are merely useless once
+// every reader has moved on, so the service invalidates the cache wholesale
+// on each publish rather than tracking per-entry liveness. Hits and misses
+// are exported through the obs registry (svc.cache_hits / svc.cache_misses).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <variant>
+#include <vector>
+
+#include "count/top_pairs.hpp"
+#include "svc/request.hpp"
+#include "util/common.hpp"
+
+namespace bfc::svc {
+
+struct CacheKey {
+  std::uint64_t epoch = 0;
+  QueryKind kind = QueryKind::kGlobalCount;
+  std::int64_t a = 0;  // vertex / edge endpoint / k, kind-dependent
+  std::int64_t b = 0;  // second edge endpoint; 0 otherwise
+  bool operator==(const CacheKey&) const = default;
+};
+
+struct CacheKeyHash {
+  [[nodiscard]] std::size_t operator()(const CacheKey& k) const noexcept {
+    // splitmix64-style mixing of the four fields.
+    auto mix = [](std::uint64_t x) noexcept {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(k.epoch);
+    h = mix(h ^ static_cast<std::uint64_t>(k.kind));
+    h = mix(h ^ static_cast<std::uint64_t>(k.a));
+    h = mix(h ^ static_cast<std::uint64_t>(k.b));
+    return static_cast<std::size_t>(h);
+  }
+};
+
+/// Scalar answers (count / tip / support) or a shared top-k pair list.
+using CacheValue =
+    std::variant<count_t,
+                 std::shared_ptr<const std::vector<count::VertexPair>>>;
+
+class ResultCache {
+ public:
+  /// `capacity` = maximum number of entries (>= 1).
+  explicit ResultCache(std::size_t capacity);
+
+  /// Returns the value and refreshes its recency, or nullopt on miss.
+  [[nodiscard]] std::optional<CacheValue> get(const CacheKey& key);
+
+  /// Inserts or refreshes; evicts the least-recently-used entry when full.
+  void put(const CacheKey& key, CacheValue value);
+
+  /// Drops every entry (epoch publish). Counters are left running.
+  void invalidate_all();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  using Entry = std::pair<CacheKey, CacheValue>;
+
+  std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recently used
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+};
+
+}  // namespace bfc::svc

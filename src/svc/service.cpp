@@ -1,0 +1,191 @@
+#include "svc/service.hpp"
+
+#include <exception>
+
+#include "count/local_counts.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "sparse/ops.hpp"
+#include "util/timer.hpp"
+
+namespace bfc::svc {
+namespace {
+
+template <typename T>
+std::future<T> ready_future(T value) {
+  std::promise<T> p;
+  p.set_value(std::move(value));
+  return p.get_future();
+}
+
+/// Support of one present edge, Eq. (25) evaluated for a single (u, v):
+/// Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1. No global pass.
+count_t support_of_edge(const graph::BipartiteGraph& g, vidx_t u, vidx_t v) {
+  const std::span<const vidx_t> nu = g.neighbors_of_v1(u);
+  const std::span<const vidx_t> nv = g.neighbors_of_v2(v);
+  count_t sum = 0;
+  for (const vidx_t w : nv)
+    sum += sparse::intersection_size(nu, g.neighbors_of_v1(w));
+  return sum - static_cast<count_t>(nu.size()) -
+         static_cast<count_t>(nv.size()) + 1;
+}
+
+}  // namespace
+
+ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
+                                   ServiceOptions options)
+    : store_(n1, n2),
+      cache_(options.cache_capacity),
+      memo_keep_epochs_(options.memo_keep_epochs),
+      pool_(options.threads) {
+  require(options.memo_keep_epochs >= 1,
+          "ButterflyService: memo_keep_epochs must be >= 1");
+}
+
+PublishResult ButterflyService::apply_updates(
+    std::span<const EdgeUpdate> batch) {
+  const PublishResult result = store_.apply_batch(batch);
+  // Wholesale invalidation: entries are epoch-keyed so none could serve a
+  // wrong answer, but readers move to the new epoch immediately and stale
+  // entries would only crowd out live ones.
+  cache_.invalidate_all();
+  {
+    const std::scoped_lock lock(memo_mu_);
+    std::erase_if(tip_memo_, [&](const auto& entry) {
+      return entry.first.first + memo_keep_epochs_ <= result.epoch;
+    });
+  }
+  return result;
+}
+
+std::future<count_t> ButterflyService::global_count(SnapshotPtr snap) {
+  if (!snap) snap = store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  // Maintained incrementally by the writer: answering is one field read.
+  BFC_HIST_OBSERVE("svc.latency_us.global", 0);
+  return ready_future(snap->butterflies);
+}
+
+std::future<count_t> ButterflyService::vertex_tip_v1(vidx_t u,
+                                                     SnapshotPtr snap) {
+  require(u >= 0 && u < store_.n1(), "vertex_tip_v1: vertex out of range");
+  if (!snap) snap = store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  const CacheKey key{snap->epoch, QueryKind::kVertexTipV1, u, 0};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.tip_v1", 0);
+    return ready_future(std::get<count_t>(*hit));
+  }
+  return pool_.submit([this, snap = std::move(snap), key, u, timer = Timer()] {
+    const TipVector tips = tips_for(snap, /*v1_side=*/true);
+    const count_t value = (*tips)[static_cast<std::size_t>(u)];
+    cache_.put(key, value);
+    BFC_HIST_OBSERVE("svc.latency_us.tip_v1", timer.seconds() * 1e6);
+    return value;
+  });
+}
+
+std::future<count_t> ButterflyService::vertex_tip_v2(vidx_t v,
+                                                     SnapshotPtr snap) {
+  require(v >= 0 && v < store_.n2(), "vertex_tip_v2: vertex out of range");
+  if (!snap) snap = store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  const CacheKey key{snap->epoch, QueryKind::kVertexTipV2, v, 0};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
+    return ready_future(std::get<count_t>(*hit));
+  }
+  return pool_.submit([this, snap = std::move(snap), key, v, timer = Timer()] {
+    const TipVector tips = tips_for(snap, /*v1_side=*/false);
+    const count_t value = (*tips)[static_cast<std::size_t>(v)];
+    cache_.put(key, value);
+    BFC_HIST_OBSERVE("svc.latency_us.tip_v2", timer.seconds() * 1e6);
+    return value;
+  });
+}
+
+std::future<count_t> ButterflyService::edge_support(vidx_t u, vidx_t v,
+                                                    SnapshotPtr snap) {
+  require(u >= 0 && u < store_.n1() && v >= 0 && v < store_.n2(),
+          "edge_support: vertex out of range");
+  if (!snap) snap = store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  const CacheKey key{snap->epoch, QueryKind::kEdgeSupport, u, v};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.edge", 0);
+    return ready_future(std::get<count_t>(*hit));
+  }
+  return pool_.submit(
+      [this, snap = std::move(snap), key, u, v, timer = Timer()] {
+        const count_t value = snap->graph.has_edge(u, v)
+                                  ? support_of_edge(snap->graph, u, v)
+                                  : 0;
+        cache_.put(key, value);
+        BFC_HIST_OBSERVE("svc.latency_us.edge", timer.seconds() * 1e6);
+        return value;
+      });
+}
+
+std::future<TopPairsPtr> ButterflyService::top_pairs(std::size_t k,
+                                                     SnapshotPtr snap) {
+  if (!snap) snap = store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  const CacheKey key{snap->epoch, QueryKind::kTopPairs,
+                     static_cast<std::int64_t>(k), 0};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.top_pairs", 0);
+    return ready_future(std::get<TopPairsPtr>(*hit));
+  }
+  return pool_.submit([this, snap = std::move(snap), key, k, timer = Timer()] {
+    auto pairs = std::make_shared<const std::vector<count::VertexPair>>(
+        count::top_wedge_pairs_v1(snap->graph, k));
+    cache_.put(key, CacheValue{pairs});
+    BFC_HIST_OBSERVE("svc.latency_us.top_pairs", timer.seconds() * 1e6);
+    return TopPairsPtr(pairs);
+  });
+}
+
+ButterflyService::TipVector ButterflyService::tips_for(const SnapshotPtr& snap,
+                                                       bool v1_side) {
+  const std::pair<std::uint64_t, bool> key{snap->epoch, v1_side};
+  std::promise<TipVector> mine;
+  std::shared_future<TipVector> pass;
+  bool compute = false;
+  {
+    const std::scoped_lock lock(memo_mu_);
+    const auto it = tip_memo_.find(key);
+    if (it == tip_memo_.end()) {
+      pass = mine.get_future().share();
+      tip_memo_.emplace(key, TipPass{pass, false});
+      compute = true;
+    } else {
+      pass = it->second.result;
+      BFC_COUNT_ADD("svc.coalesced_queries", 1);
+      if (!it->second.has_joiner) {
+        it->second.has_joiner = true;
+        BFC_COUNT_ADD("svc.coalesced_batches", 1);
+      }
+    }
+  }
+  if (compute) {
+    BFC_TRACE_SCOPE(v1_side ? "svc.tip_pass_v1" : "svc.tip_pass_v2");
+    BFC_COUNT_ADD("svc.tip_passes", 1);
+    try {
+      auto tips = std::make_shared<const std::vector<count_t>>(
+          v1_side ? count::butterflies_per_v1(snap->graph)
+                  : count::butterflies_per_v2(snap->graph));
+      mine.set_value(std::move(tips));
+    } catch (...) {
+      // Drop the memo so a later query can retry, then propagate to every
+      // request already coalesced onto this pass.
+      {
+        const std::scoped_lock lock(memo_mu_);
+        tip_memo_.erase(key);
+      }
+      mine.set_exception(std::current_exception());
+    }
+  }
+  return pass.get();
+}
+
+}  // namespace bfc::svc

@@ -1,0 +1,118 @@
+// ButterflyService — the serving facade. One writer thread feeds edge
+// batches in; any number of reader threads submit queries and get futures
+// back. Three layers cooperate per query:
+//
+//   1. snapshot pinning   every query is answered against one immutable
+//                         epoch (the caller's pinned snapshot, or the
+//                         latest at submission time);
+//   2. LRU result cache   (epoch, kind, argument) -> answer, so repeated
+//                         queries on an unchanged snapshot are O(1); the
+//                         cache is invalidated wholesale on publish;
+//   3. request coalescing per-vertex tip queries for the same (epoch,
+//                         side) share ONE pass over count::local_counts —
+//                         the first request computes the full tip vector,
+//                         concurrent and later requests block on (or read)
+//                         the same shared future instead of re-scanning.
+//
+// Everything is wired into the obs registry: svc.queries, svc.cache_hits /
+// svc.cache_misses, svc.tip_passes, svc.coalesced_queries /
+// svc.coalesced_batches, svc.queue_depth, svc.epochs_published and one
+// latency histogram per query kind (svc.latency_us.<kind>).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "count/top_pairs.hpp"
+#include "svc/executor.hpp"
+#include "svc/request.hpp"
+#include "svc/result_cache.hpp"
+#include "svc/snapshot_store.hpp"
+#include "util/common.hpp"
+
+namespace bfc::svc {
+
+struct ServiceOptions {
+  int threads = 4;                    // query-pool workers
+  std::size_t cache_capacity = 1 << 16;
+  std::uint64_t memo_keep_epochs = 4;  // trailing epochs whose tip passes stay
+};
+
+using TopPairsPtr = std::shared_ptr<const std::vector<count::VertexPair>>;
+
+class ButterflyService {
+ public:
+  ButterflyService(vidx_t n1, vidx_t n2, ServiceOptions options = {});
+
+  // ---- writer side -------------------------------------------------------
+
+  /// Applies the batch and publishes the next epoch; invalidates the result
+  /// cache and retires tip-pass memos older than memo_keep_epochs.
+  PublishResult apply_updates(std::span<const EdgeUpdate> batch);
+  PublishResult apply_updates(std::initializer_list<EdgeUpdate> batch) {
+    return apply_updates(
+        std::span<const EdgeUpdate>(batch.begin(), batch.end()));
+  }
+
+  // ---- reader side -------------------------------------------------------
+
+  /// Pins the latest snapshot. Pass it to the query methods to run several
+  /// queries against one consistent epoch; queries called with no snapshot
+  /// pin the latest themselves.
+  [[nodiscard]] SnapshotPtr snapshot() const { return store_.current(); }
+
+  /// Ξ_G of the pinned epoch. O(1): maintained incrementally by the writer.
+  [[nodiscard]] std::future<count_t> global_count(SnapshotPtr snap = {});
+
+  /// Butterflies containing V1 vertex u (tip number). Coalesced: concurrent
+  /// same-epoch tip queries share one butterflies_per_v1 pass.
+  [[nodiscard]] std::future<count_t> vertex_tip_v1(vidx_t u,
+                                                   SnapshotPtr snap = {});
+  [[nodiscard]] std::future<count_t> vertex_tip_v2(vidx_t v,
+                                                   SnapshotPtr snap = {});
+
+  /// Butterflies containing edge (u, v); 0 when the edge is absent at the
+  /// pinned epoch. O(Σ_{w∈N(v)} min(deg u, deg w)), no global pass.
+  [[nodiscard]] std::future<count_t> edge_support(vidx_t u, vidx_t v,
+                                                  SnapshotPtr snap = {});
+
+  /// The k V1-pairs with the most wedges at the pinned epoch.
+  [[nodiscard]] std::future<TopPairsPtr> top_pairs(std::size_t k,
+                                                   SnapshotPtr snap = {});
+
+  // ---- introspection -----------------------------------------------------
+
+  [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+  [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
+  [[nodiscard]] int thread_count() const noexcept {
+    return pool_.thread_count();
+  }
+
+ private:
+  using TipVector = std::shared_ptr<const std::vector<count_t>>;
+
+  /// The coalescing point: returns the full tip vector for (snap->epoch,
+  /// side), computing it at most once per epoch and side.
+  TipVector tips_for(const SnapshotPtr& snap, bool v1_side);
+
+  struct TipPass {
+    std::shared_future<TipVector> result;
+    bool has_joiner = false;  // became a coalesced batch already
+  };
+
+  SnapshotStore store_;
+  ResultCache cache_;
+  std::uint64_t memo_keep_epochs_;
+  std::mutex memo_mu_;
+  std::map<std::pair<std::uint64_t, bool>, TipPass> tip_memo_;
+  Executor pool_;  // last: workers stop before the layers they use die
+};
+
+}  // namespace bfc::svc

@@ -1,0 +1,73 @@
+#include "svc/snapshot_store.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace bfc::svc {
+
+SnapshotStore::SnapshotStore(vidx_t n1, vidx_t n2)
+    : n1_(n1), n2_(n2), counter_(n1, n2) {
+  auto genesis = std::make_shared<GraphSnapshot>();
+  genesis->epoch = 0;
+  genesis->graph = counter_.to_graph();
+  genesis->butterflies = 0;
+  genesis->edges = 0;
+  head_store(std::move(genesis));
+}
+
+SnapshotPtr SnapshotStore::head_load() const {
+#if defined(__SANITIZE_THREAD__)
+  const std::scoped_lock lock(head_mu_);
+  return head_;
+#else
+  return head_.load(std::memory_order_acquire);
+#endif
+}
+
+void SnapshotStore::head_store(SnapshotPtr snap) {
+#if defined(__SANITIZE_THREAD__)
+  const std::scoped_lock lock(head_mu_);
+  head_ = std::move(snap);
+#else
+  head_.store(std::move(snap), std::memory_order_release);
+#endif
+}
+
+PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
+  BFC_TRACE_SCOPE("svc.publish");
+  const std::scoped_lock lock(writer_mu_);
+
+  PublishResult result;
+  for (const EdgeUpdate& up : batch) {
+    if (up.insert) {
+      const bool present = counter_.has_edge(up.u, up.v);
+      result.created += counter_.insert(up.u, up.v);
+      present ? ++result.ignored : ++result.applied;
+    } else {
+      const bool present = counter_.has_edge(up.u, up.v);
+      result.destroyed += counter_.remove(up.u, up.v);
+      present ? ++result.applied : ++result.ignored;
+    }
+  }
+
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->epoch = next_epoch_++;
+  snap->graph = counter_.to_graph();
+  snap->butterflies = counter_.butterflies();
+  snap->edges = counter_.edge_count();
+  result.epoch = snap->epoch;
+
+  head_store(std::move(snap));
+  BFC_COUNT_ADD("svc.epochs_published", 1);
+  BFC_COUNT_ADD("svc.updates_applied", result.applied);
+  return result;
+}
+
+SnapshotPtr SnapshotStore::current() const { return head_load(); }
+
+std::uint64_t SnapshotStore::epoch() const { return head_load()->epoch; }
+
+}  // namespace bfc::svc

@@ -1,0 +1,76 @@
+// Single-writer, many-reader snapshot store. The writer owns a
+// DynamicButterflyCounter (the authoritative mutable state), applies edge
+// batches through it, and publishes the result as an immutable
+// GraphSnapshot behind std::atomic<std::shared_ptr>. Readers never block
+// the writer and the writer never blocks readers: current() is one atomic
+// shared_ptr load, and a pinned snapshot stays alive (and bit-identical)
+// for as long as the reader holds it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+
+#include "count/dynamic.hpp"
+#include "svc/snapshot.hpp"
+#include "util/common.hpp"
+
+namespace bfc::svc {
+
+/// Outcome of one apply_batch() call.
+struct PublishResult {
+  std::uint64_t epoch = 0;     // epoch of the snapshot just published
+  offset_t applied = 0;        // updates that changed the graph
+  offset_t ignored = 0;        // duplicate inserts / missing removes
+  count_t created = 0;         // butterflies created by this batch
+  count_t destroyed = 0;       // butterflies destroyed by this batch
+};
+
+class SnapshotStore {
+ public:
+  /// Starts at epoch 0: the empty graph over fixed vertex sets.
+  SnapshotStore(vidx_t n1, vidx_t n2);
+
+  /// Applies the batch through the incremental counter, materialises the
+  /// resulting graph, and publishes it as epoch current+1. Updates are
+  /// applied in order; duplicate inserts and absent removes are counted in
+  /// PublishResult::ignored. Serialised internally, so concurrent callers
+  /// are safe — but the design intent is a single writer thread.
+  PublishResult apply_batch(std::span<const EdgeUpdate> batch);
+  PublishResult apply_batch(std::initializer_list<EdgeUpdate> batch) {
+    return apply_batch(std::span<const EdgeUpdate>(batch.begin(), batch.end()));
+  }
+
+  /// Pins the latest published snapshot: one atomic load, never blocks on
+  /// the writer.
+  [[nodiscard]] SnapshotPtr current() const;
+
+  /// Epoch of the latest published snapshot.
+  [[nodiscard]] std::uint64_t epoch() const;
+
+  [[nodiscard]] vidx_t n1() const noexcept { return n1_; }
+  [[nodiscard]] vidx_t n2() const noexcept { return n2_; }
+
+ private:
+  [[nodiscard]] SnapshotPtr head_load() const;
+  void head_store(SnapshotPtr snap);
+
+  vidx_t n1_;
+  vidx_t n2_;
+  std::mutex writer_mu_;                    // serialises apply_batch
+  std::uint64_t next_epoch_ = 1;            // guarded by writer_mu_
+  count::DynamicButterflyCounter counter_;  // writer-side mutable state
+#if defined(__SANITIZE_THREAD__)
+  // libstdc++'s atomic<shared_ptr> embeds a spin lock in the control word
+  // that TSan cannot see through, so it reports the publish/pin pair as a
+  // data race. Under TSan only, publish through a mutex it models exactly;
+  // the production build keeps the atomic fast path.
+  mutable std::mutex head_mu_;
+  SnapshotPtr head_;
+#else
+  std::atomic<SnapshotPtr> head_;  // latest published snapshot
+#endif
+};
+
+}  // namespace bfc::svc
