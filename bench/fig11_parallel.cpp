@@ -15,7 +15,7 @@ int main(int argc, char** argv) {
   using namespace bfc;
   const Cli cli(argc, argv);
   const bench::BenchConfig cfg = bench::parse_config(argc, argv, {"threads"});
-  const int threads = static_cast<int>(cli.get_int("threads", 6));
+  const int threads = static_cast<int>(cli.get_int_at_least("threads", 6, 1));
   bench::report().set_config("threads", static_cast<std::int64_t>(threads));
 
   bench::print_header("Fig. 11: parallel timing of invariants 1-8 (seconds)",

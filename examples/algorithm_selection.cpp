@@ -19,8 +19,8 @@
 int main(int argc, char** argv) {
   using namespace bfc;
   const Cli cli(argc, argv);
-  const auto n = static_cast<vidx_t>(cli.get_int("n", 4000));
-  const auto edges = static_cast<offset_t>(cli.get_int("edges", 20000));
+  const auto n = static_cast<vidx_t>(cli.get_int_at_least("n", 4000, 1));
+  const auto edges = static_cast<offset_t>(cli.get_int_at_least("edges", 20000, 0));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
   struct Scenario {

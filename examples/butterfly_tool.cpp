@@ -52,7 +52,7 @@ int cmd_count(const Cli& cli, const graph::BipartiteGraph& g) {
   Timer timer;
   if (cli.has("approx")) {
     count::ApproxOptions opts;
-    opts.samples = cli.get_int("samples", 10000);
+    opts.samples = cli.get_int_at_least("samples", 10000, 1);
     opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
     const std::string kind = cli.get("approx", "edge");
     count::ApproxResult r;
@@ -81,8 +81,8 @@ int cmd_count(const Cli& cli, const graph::BipartiteGraph& g) {
               << " (unblocked|wedge|blocked)\n";
     return 1;
   }
-  opts.threads = static_cast<int>(cli.get_int("threads", 1));
-  opts.block_size = static_cast<vidx_t>(cli.get_int("block-size", 32));
+  opts.threads = static_cast<int>(cli.get_int_at_least("threads", 1, 1));
+  opts.block_size = static_cast<vidx_t>(cli.get_int_at_least("block-size", 32, 1));
 
   count_t result;
   if (cli.has("invariant")) {
@@ -110,7 +110,7 @@ int cmd_stats(const graph::BipartiteGraph& g) {
 }
 
 int cmd_peel(const Cli& cli, const graph::BipartiteGraph& g) {
-  const count_t k = cli.get_int("k", 1);
+  const count_t k = cli.get_int_at_least("k", 1, 0);
   const std::string mode = cli.get("mode", "tip");
   Timer timer;
   if (mode == "tip") {
@@ -137,7 +137,7 @@ int cmd_peel(const Cli& cli, const graph::BipartiteGraph& g) {
 }
 
 int cmd_pairs(const Cli& cli, const graph::BipartiteGraph& g) {
-  const auto top = static_cast<std::size_t>(cli.get_int("top", 10));
+  const auto top = static_cast<std::size_t>(cli.get_int_at_least("top", 10, 1));
   Table table({"V1 pair", "shared neighbours", "butterflies"});
   for (const count::VertexPair& p : count::top_wedge_pairs_v1(g, top))
     table.add_row({"(" + std::to_string(p.a) + ", " + std::to_string(p.b) +

@@ -19,7 +19,7 @@ int main(int argc, char** argv) {
 
   gen::BlockCommunitySpec spec;
   spec.blocks = 3;
-  spec.block_rows = static_cast<vidx_t>(cli.get_int("rows", 60));
+  spec.block_rows = static_cast<vidx_t>(cli.get_int_at_least("rows", 60, 1));
   spec.block_cols = spec.block_rows;
   spec.extra_rows = spec.block_rows;  // one block's worth of background
   spec.extra_cols = spec.block_cols;

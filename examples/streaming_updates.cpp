@@ -20,8 +20,8 @@
 int main(int argc, char** argv) {
   using namespace bfc;
   const Cli cli(argc, argv);
-  const auto window = static_cast<std::size_t>(cli.get_int("window", 2000));
-  const auto events = cli.get_int("events", 10000);
+  const auto window = static_cast<std::size_t>(cli.get_int_at_least("window", 2000, 1));
+  const auto events = cli.get_int_at_least("events", 10000, 0);
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 42));
 
   // Edge stream: edges of a synthetic affiliation graph in random order.

@@ -1,0 +1,27 @@
+#include "chk/check.hpp"
+
+#include <sstream>
+
+#include "chk/checked_math.hpp"
+#include "obs/metrics.hpp"
+
+namespace bfc::chk {
+
+void check_fail(const char* expr, const char* file, int line,
+                const std::string& msg) {
+  BFC_COUNT_ADD("chk.failures", 1);
+  std::ostringstream out;
+  out << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) out << " (" << msg << ')';
+  throw CheckError(out.str());
+}
+
+void overflow_fail(const char* op, long long a, long long b) {
+  BFC_COUNT_ADD("chk.overflows", 1);
+  std::ostringstream out;
+  out << "checked_" << op << ": signed 64-bit overflow on " << a << ' ' << op
+      << ' ' << b << " — wedge/butterfly accumulator exceeded count_t";
+  throw CheckError(out.str());
+}
+
+}  // namespace bfc::chk

@@ -1,0 +1,47 @@
+// Happens-before fence for OpenMP joins under ThreadSanitizer.
+//
+// GCC's libgomp is not TSan-instrumented, so the synchronization of a
+// parallel region's join is invisible to the runtime: anything a worker
+// thread touched inside the region (the shared graph it read, the output
+// slots it wrote) later looks racy against the spawning thread — e.g. a
+// report of "data race" between a worker's read of a CsrPattern and the
+// main thread destroying that graph after the kernel returned.
+//
+// TsanOmpFence re-draws the edge with explicit annotations: every thread
+// releases on the fence address as the last statement of the parallel
+// block, and the spawning thread acquires right after the region. In
+// non-TSan builds both calls are empty inlines. The reduction-clause
+// combine that libgomp itself performs stays opaque either way; those
+// reports carry libgomp frames and are handled by the embedded
+// suppressions in chk/tsan_suppressions.cpp.
+#pragma once
+
+#if defined(__SANITIZE_THREAD__)
+extern "C" {
+void AnnotateHappensBefore(const char* file, int line,
+                           const volatile void* addr);
+void AnnotateHappensAfter(const char* file, int line,
+                          const volatile void* addr);
+}
+#endif
+
+namespace bfc::chk {
+
+class TsanOmpFence {
+ public:
+  /// Last statement of the parallel block, executed by every thread.
+  void thread_done() noexcept {
+#if defined(__SANITIZE_THREAD__)
+    AnnotateHappensBefore(__FILE__, __LINE__, this);
+#endif
+  }
+
+  /// First statement after the region, in the spawning thread.
+  void join() noexcept {
+#if defined(__SANITIZE_THREAD__)
+    AnnotateHappensAfter(__FILE__, __LINE__, this);
+#endif
+  }
+};
+
+}  // namespace bfc::chk

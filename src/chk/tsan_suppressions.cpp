@@ -1,0 +1,24 @@
+// Default ThreadSanitizer suppressions for the TSan build lane
+// (-DBFC_SANITIZE=thread).
+//
+// GCC's libgomp is not TSan-instrumented, so TSan cannot observe the
+// happens-before edges its barriers and reduction combines establish and
+// reports every `#pragma omp parallel ... reduction` as a race between a
+// worker's accumulation and the main thread's read of the result — with
+// `gomp_thread_start` / `gomp_team_start` on one stack. Those are false
+// positives: the kernels aggregate through per-thread buffers and
+// reduction clauses (scripts/lint.sh rule A), and their sequential
+// agreement is separately enforced by the differential tests in every
+// lane.
+//
+// Suppressing on the libgomp frames keeps the TSan lane's real target —
+// the std::thread-based serving layer in src/svc/, whose stacks never
+// enter libgomp — at full fidelity.
+#if defined(__SANITIZE_THREAD__)
+extern "C" const char* __tsan_default_suppressions();
+extern "C" const char* __tsan_default_suppressions() {
+  return "race:^gomp_\n"
+         "race:libgomp\n"
+         "called_from_lib:libgomp\n";
+}
+#endif

@@ -1,0 +1,151 @@
+#include "chk/validate.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "count/baselines.hpp"
+#include "count/dynamic.hpp"
+#include "graph/bipartite_graph.hpp"
+#include "obs/metrics.hpp"
+#include "sparse/coo.hpp"
+#include "sparse/csr.hpp"
+#include "svc/snapshot.hpp"
+
+namespace bfc::chk {
+namespace {
+
+std::string at_row(const char* what, vidx_t r) {
+  return std::string(what) + " at row " + std::to_string(r);
+}
+
+/// One side's adjacency vectors: sorted, unique, in [0, limit); returns the
+/// total degree.
+offset_t validate_adjacency_side(const count::DynamicButterflyCounter& c,
+                                 bool v1_side, vidx_t n, vidx_t limit) {
+  offset_t degree_sum = 0;
+  for (vidx_t x = 0; x < n; ++x) {
+    const std::span<const vidx_t> nbrs =
+        v1_side ? c.neighbors_v1(x) : c.neighbors_v2(x);
+    for (std::size_t k = 0; k < nbrs.size(); ++k) {
+      enforce(nbrs[k] >= 0 && nbrs[k] < limit,
+              at_row("dynamic counter: neighbour out of range", x));
+      if (k > 0)
+        enforce(nbrs[k - 1] < nbrs[k],
+                at_row("dynamic counter: adjacency not sorted/unique", x));
+    }
+    degree_sum += static_cast<offset_t>(nbrs.size());
+  }
+  return degree_sum;
+}
+
+}  // namespace
+
+void validate_csr_arrays(vidx_t rows, vidx_t cols,
+                         std::span<const offset_t> row_ptr,
+                         std::span<const vidx_t> col_idx) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  enforce(rows >= 0 && cols >= 0, "csr: negative dimension");
+  enforce(row_ptr.size() == static_cast<std::size_t>(rows) + 1,
+          "csr: row_ptr size != rows + 1");
+  enforce(row_ptr.front() == 0, "csr: row_ptr[0] != 0");
+  enforce(row_ptr.back() == static_cast<offset_t>(col_idx.size()),
+          "csr: row_ptr back != nnz");
+  for (vidx_t r = 0; r < rows; ++r) {
+    const offset_t lo = row_ptr[static_cast<std::size_t>(r)];
+    const offset_t hi = row_ptr[static_cast<std::size_t>(r) + 1];
+    enforce(lo <= hi, at_row("csr: row_ptr not monotone", r));
+    for (offset_t k = lo; k < hi; ++k) {
+      const vidx_t c = col_idx[static_cast<std::size_t>(k)];
+      enforce(c >= 0 && c < cols, at_row("csr: column index out of range", r));
+      if (k > lo)
+        enforce(col_idx[static_cast<std::size_t>(k) - 1] < c,
+                at_row("csr: row not sorted/unique", r));
+    }
+  }
+}
+
+void validate(const sparse::CsrPattern& p) {
+  validate_csr_arrays(p.rows(), p.cols(), p.row_ptr(), p.col_idx());
+}
+
+void validate(const sparse::CsrCounts& c) {
+  validate_csr_arrays(c.rows, c.cols, c.row_ptr, c.col_idx);
+  enforce(c.values.size() == c.col_idx.size(),
+          "csr counts: values size != nnz");
+}
+
+void validate(const sparse::CooBuilder& b) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  enforce(b.rows() >= 0 && b.cols() >= 0, "coo: negative dimension");
+  for (const auto& [r, c] : b.entries()) {
+    enforce(r >= 0 && r < b.rows(), "coo: row index out of range");
+    enforce(c >= 0 && c < b.cols(), "coo: column index out of range");
+  }
+}
+
+void validate_mirror(const sparse::CsrPattern& a,
+                     const sparse::CsrPattern& at) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  enforce(at.rows() == a.cols() && at.cols() == a.rows(),
+          "mirror: transpose shape mismatch");
+  enforce(at.nnz() == a.nnz(), "mirror: transpose nnz mismatch");
+  // Same nnz on both sides, so one direction of edge containment implies
+  // the mirrors are identical as edge sets.
+  for (vidx_t r = 0; r < a.rows(); ++r)
+    for (const vidx_t c : a.row(r))
+      enforce(at.has(c, r), at_row("mirror: edge missing from transpose", r));
+}
+
+void validate(const graph::BipartiteGraph& g) {
+  validate(g.csr());
+  validate(g.csc());
+  validate_mirror(g.csr(), g.csc());
+  // row_ptr.back() == nnz is already enforced per orientation; the mirror
+  // check above pins the two orientations to the same edge set, so the
+  // degree sums of both sides necessarily equal edge_count() here.
+  enforce(g.csr().nnz() == g.edge_count() && g.csc().nnz() == g.edge_count(),
+          "graph: degree sums disagree with edge count");
+}
+
+void validate(const count::DynamicButterflyCounter& c) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  const offset_t deg_v1 = validate_adjacency_side(c, true, c.n1(), c.n2());
+  const offset_t deg_v2 = validate_adjacency_side(c, false, c.n2(), c.n1());
+  enforce(deg_v1 == c.edge_count(),
+          "dynamic counter: V1 degree sum != edge count");
+  enforce(deg_v2 == c.edge_count(),
+          "dynamic counter: V2 degree sum != edge count");
+  // Mirror agreement: every (u, v) in adj_v1 appears as (v, u) in adj_v2.
+  // Equal degree sums make one direction sufficient.
+  for (vidx_t u = 0; u < c.n1(); ++u) {
+    for (const vidx_t v : c.neighbors_v1(u)) {
+      const std::span<const vidx_t> nv = c.neighbors_v2(v);
+      enforce(std::binary_search(nv.begin(), nv.end(), u),
+              at_row("dynamic counter: V1/V2 mirror disagreement", u));
+    }
+  }
+  const graph::BipartiteGraph g = c.to_graph();
+  validate(g);
+  enforce(count::wedge_reference(g) == c.butterflies(),
+          "dynamic counter: incremental count drifted from recount");
+}
+
+void validate(const svc::GraphSnapshot& s) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  validate(s.graph);
+  enforce(s.edges == s.graph.edge_count(),
+          "snapshot: edges field != materialised edge count");
+  enforce(count::wedge_reference(s.graph) == s.butterflies,
+          "snapshot: butterfly count != recount of materialised graph");
+}
+
+void validate_epoch_transition(const svc::GraphSnapshot& prev,
+                               const svc::GraphSnapshot& next) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  enforce(next.epoch == prev.epoch + 1,
+          "snapshot: epoch did not advance by exactly one (got " +
+              std::to_string(next.epoch) + " after " +
+              std::to_string(prev.epoch) + ")");
+}
+
+}  // namespace bfc::chk

@@ -1,3 +1,4 @@
+#include "chk/checked_math.hpp"
 #include "count/dynamic.hpp"
 
 #include <algorithm>
@@ -122,7 +123,7 @@ count_t DynamicButterflyCounter::support_of(vidx_t u, vidx_t v) const {
     const count_t common = sorted_intersection_size(
         nu, adj_v1_[static_cast<std::size_t>(w)]);
     // Both N(u) and N(w) contain v, so common >= 1; subtract that shared v.
-    total += common - 1;
+    total = chk::checked_add(total, common - 1);
   }
   return total;
 }
@@ -133,7 +134,7 @@ count_t DynamicButterflyCounter::insert(vidx_t u, vidx_t v) {
   sorted_insert(adj_v2_[static_cast<std::size_t>(v)], u);
   ++edges_;
   const count_t created = support_of(u, v);
-  butterflies_ += created;
+  butterflies_ = chk::checked_add(butterflies_, created);
   return created;
 }
 
@@ -143,7 +144,7 @@ count_t DynamicButterflyCounter::remove(vidx_t u, vidx_t v) {
   sorted_erase(adj_v1_[static_cast<std::size_t>(u)], v);
   sorted_erase(adj_v2_[static_cast<std::size_t>(v)], u);
   --edges_;
-  butterflies_ -= destroyed;
+  butterflies_ = chk::checked_sub(butterflies_, destroyed);
   return destroyed;
 }
 

@@ -1,6 +1,8 @@
+#include "chk/checked_math.hpp"
 #include "count/parallel_counts.hpp"
 
 #include "util/parallel.hpp"
+#include "chk/tsan_fence.hpp"
 
 namespace bfc::count {
 namespace {
@@ -14,6 +16,7 @@ std::vector<count_t> per_line_parallel(const sparse::CsrPattern& lines,
   const vidx_t n = lines.rows();
   std::vector<count_t> out(static_cast<std::size_t>(n), 0);
   ThreadCountGuard guard(threads);
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -31,12 +34,15 @@ std::vector<count_t> per_line_parallel(const sparse::CsrPattern& lines,
       }
       count_t total = 0;
       for (const vidx_t j : touched) {
-        total += choose2(acc[static_cast<std::size_t>(j)]);
+        total = chk::checked_add(
+            total, chk::checked_choose2(acc[static_cast<std::size_t>(j)]));
         acc[static_cast<std::size_t>(j)] = 0;
       }
       out[static_cast<std::size_t>(i)] = total;
     }
+    fence.thread_done();
   }
+  fence.join();
   return out;
 }
 
@@ -64,6 +70,7 @@ count_t wedge_reference_parallel(const graph::BipartiteGraph& g,
   const vidx_t n = lines.rows();
   count_t total = 0;
   ThreadCountGuard guard(threads);
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -80,11 +87,14 @@ count_t wedge_reference_parallel(const graph::BipartiteGraph& g,
         }
       }
       for (const vidx_t j : touched) {
-        total += choose2(acc[static_cast<std::size_t>(j)]);
+        total = chk::checked_add(
+            total, chk::checked_choose2(acc[static_cast<std::size_t>(j)]));
         acc[static_cast<std::size_t>(j)] = 0;
       }
     }
+    fence.thread_done();
   }
+  fence.join();
   return total;
 }
 
@@ -107,6 +117,7 @@ std::vector<count_t> support_per_edge_parallel(const graph::BipartiteGraph& g,
   const auto& at = g.csc();
   std::vector<count_t> support(static_cast<std::size_t>(a.nnz()), 0);
   ThreadCountGuard guard(threads);
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -126,14 +137,17 @@ std::vector<count_t> support_per_edge_parallel(const graph::BipartiteGraph& g,
       for (const vidx_t v : a.row(u)) {
         count_t wedge_sum = 0;
         for (const vidx_t w : at.row(v))
-          wedge_sum += acc[static_cast<std::size_t>(w)];
+          wedge_sum =
+              chk::checked_add(wedge_sum, acc[static_cast<std::size_t>(w)]);
         support[static_cast<std::size_t>(edge_id)] =
             wedge_sum - deg_u - at.row_degree(v) + 1;
         ++edge_id;
       }
       for (const vidx_t w : touched) acc[static_cast<std::size_t>(w)] = 0;
     }
+    fence.thread_done();
   }
+  fence.join();
   return support;
 }
 

@@ -1,3 +1,4 @@
+#include "chk/checked_math.hpp"
 #include "count/local_counts.hpp"
 
 namespace bfc::count {
@@ -26,7 +27,8 @@ std::vector<count_t> support_per_edge(const graph::BipartiteGraph& g) {
     for (const vidx_t v : a.row(u)) {
       count_t wedge_sum = 0;
       for (const vidx_t w : at.row(v))
-        wedge_sum += acc[static_cast<std::size_t>(w)];
+        wedge_sum =
+            chk::checked_add(wedge_sum, acc[static_cast<std::size_t>(w)]);
       const count_t deg_v = at.row_degree(v);
       support[static_cast<std::size_t>(edge_id)] =
           wedge_sum - deg_u - deg_v + 1;

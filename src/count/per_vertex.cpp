@@ -1,3 +1,4 @@
+#include "chk/checked_math.hpp"
 #include "count/local_counts.hpp"
 
 namespace bfc::count {
@@ -22,7 +23,8 @@ std::vector<count_t> per_line(const sparse::CsrPattern& lines,
     }
     count_t total = 0;
     for (const vidx_t j : touched) {
-      total += choose2(acc[static_cast<std::size_t>(j)]);
+      total = chk::checked_add(
+          total, chk::checked_choose2(acc[static_cast<std::size_t>(j)]));
       acc[static_cast<std::size_t>(j)] = 0;
     }
     out[static_cast<std::size_t>(i)] = total;

@@ -1,3 +1,4 @@
+#include "chk/checked_math.hpp"
 #include "gb/matrix.hpp"
 
 #include <algorithm>
@@ -50,7 +51,9 @@ sparse::CsrCounts mxm(const sparse::CsrCounts& a, const sparse::CsrCounts& b) {
       for (std::size_t kb = 0; kb < rb.len; ++kb) {
         const vidx_t j = rb.idx[kb];
         if (acc[static_cast<std::size_t>(j)] == 0) touched.push_back(j);
-        acc[static_cast<std::size_t>(j)] += aik * rb.val[kb];
+        acc[static_cast<std::size_t>(j)] = chk::checked_add(
+            acc[static_cast<std::size_t>(j)],
+            chk::checked_mul(aik, rb.val[kb]));
       }
     }
     std::sort(touched.begin(), touched.end());
@@ -146,7 +149,7 @@ sparse::CsrCounts ewise_add(const sparse::CsrCounts& a,
 
 count_t reduce(const sparse::CsrCounts& a) {
   count_t total = 0;
-  for (const count_t v : a.values) total += v;
+  for (const count_t v : a.values) total = chk::checked_add(total, v);
   return total;
 }
 
@@ -199,7 +202,9 @@ Vector mxv_row_range(const sparse::CsrCounts& a, vidx_t lo, vidx_t hi,
     const RowView row = row_view(a, r);
     count_t acc = 0;
     for (std::size_t k = 0; k < row.len; ++k)
-      acc += row.val[k] * xd[static_cast<std::size_t>(row.idx[k])];
+      acc = chk::checked_add(
+          acc, chk::checked_mul(row.val[k],
+                                xd[static_cast<std::size_t>(row.idx[k])]));
     if (acc != 0) {
       idx.push_back(r);
       val.push_back(acc);
@@ -216,7 +221,9 @@ Vector vxm(const Vector& x, const sparse::CsrCounts& a) {
     const count_t xv = x.values()[k];
     const RowView row = row_view(a, r);
     for (std::size_t j = 0; j < row.len; ++j)
-      acc[static_cast<std::size_t>(row.idx[j])] += xv * row.val[j];
+      acc[static_cast<std::size_t>(row.idx[j])] = chk::checked_add(
+          acc[static_cast<std::size_t>(row.idx[j])],
+          chk::checked_mul(xv, row.val[j]));
   }
   return Vector::from_dense(acc);
 }

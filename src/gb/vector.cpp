@@ -1,3 +1,4 @@
+#include "chk/checked_math.hpp"
 #include "gb/vector.hpp"
 
 namespace bfc::gb {
@@ -45,7 +46,7 @@ std::vector<count_t> Vector::to_dense() const {
 
 count_t reduce(const Vector& x) {
   count_t total = 0;
-  for (const count_t v : x.values()) total += v;
+  for (const count_t v : x.values()) total = chk::checked_add(total, v);
   return total;
 }
 
@@ -59,7 +60,8 @@ count_t dot(const Vector& x, const Vector& y) {
     } else if (y.indices()[j] < x.indices()[i]) {
       ++j;
     } else {
-      total += x.values()[i] * y.values()[j];
+      total = chk::checked_add(
+          total, chk::checked_mul(x.values()[i], y.values()[j]));
       ++i;
       ++j;
     }

@@ -1,3 +1,4 @@
+#include "chk/validate.hpp"
 #include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 #include "sparse/ops.hpp"
@@ -32,7 +33,9 @@ graph::BipartiteGraph block_community(const BlockCommunitySpec& spec,
     for (const auto& [u, v] : sparse::edges(block.csr()))
       builder.add(row0 + u, col0 + v);
   }
-  return graph::BipartiteGraph(builder.build());
+  graph::BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 }  // namespace bfc::gen

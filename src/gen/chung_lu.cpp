@@ -2,6 +2,7 @@
 #include <unordered_set>
 
 #include "gen/discrete_sampler.hpp"
+#include "chk/validate.hpp"
 #include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 
@@ -60,7 +61,9 @@ graph::BipartiteGraph chung_lu(const std::vector<double>& weights_v1,
   for (const std::uint64_t idx : chosen)
     builder.add(static_cast<vidx_t>(idx / static_cast<std::uint64_t>(n2)),
                 static_cast<vidx_t>(idx % static_cast<std::uint64_t>(n2)));
-  return graph::BipartiteGraph(builder.build());
+  graph::BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 }  // namespace bfc::gen

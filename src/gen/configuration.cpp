@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "chk/validate.hpp"
 #include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 
@@ -51,7 +52,9 @@ graph::BipartiteGraph configuration_model(
       sparse::CooBuilder builder(n1, n2);
       builder.reserve(pairs.size());
       for (const auto& [u, v] : pairs) builder.add(u, v);
-      return graph::BipartiteGraph(builder.build());
+      graph::BipartiteGraph g(builder.build());
+      BFC_VALIDATE(g);
+      return g;
     }
   }
   // Unreachable: the final round above always returns.

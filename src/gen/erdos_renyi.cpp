@@ -1,6 +1,7 @@
 #include <cmath>
 #include <unordered_set>
 
+#include "chk/validate.hpp"
 #include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 
@@ -13,14 +14,19 @@ graph::BipartiteGraph erdos_renyi(vidx_t n1, vidx_t n2, double p,
   sparse::CooBuilder builder(n1, n2);
   const auto cells = static_cast<std::uint64_t>(n1) *
                      static_cast<std::uint64_t>(n2);
-  if (cells == 0 || p == 0.0)
-    return graph::BipartiteGraph(builder.build());
+  if (cells == 0 || p == 0.0) {
+    graph::BipartiteGraph g(builder.build());
+    BFC_VALIDATE(g);
+    return g;
+  }
 
   Rng rng(seed);
   if (p >= 1.0) {
     for (vidx_t r = 0; r < n1; ++r)
       for (vidx_t c = 0; c < n2; ++c) builder.add(r, c);
-    return graph::BipartiteGraph(builder.build());
+    graph::BipartiteGraph g(builder.build());
+    BFC_VALIDATE(g);
+    return g;
   }
 
   // Geometric skipping over the linearised cell index: the gap to the next
@@ -37,7 +43,9 @@ graph::BipartiteGraph erdos_renyi(vidx_t n1, vidx_t n2, double p,
                 static_cast<vidx_t>(idx % static_cast<std::uint64_t>(n2)));
     ++idx;
   }
-  return graph::BipartiteGraph(builder.build());
+  graph::BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 graph::BipartiteGraph erdos_renyi_m(vidx_t n1, vidx_t n2, offset_t m,
@@ -59,7 +67,9 @@ graph::BipartiteGraph erdos_renyi_m(vidx_t n1, vidx_t n2, offset_t m,
   for (const std::uint64_t idx : chosen)
     builder.add(static_cast<vidx_t>(idx / static_cast<std::uint64_t>(n2)),
                 static_cast<vidx_t>(idx % static_cast<std::uint64_t>(n2)));
-  return graph::BipartiteGraph(builder.build());
+  graph::BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 }  // namespace bfc::gen

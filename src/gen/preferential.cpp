@@ -1,6 +1,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "chk/validate.hpp"
 #include "gen/generators.hpp"
 #include "sparse/coo.hpp"
 
@@ -44,7 +45,9 @@ graph::BipartiteGraph preferential_attachment(vidx_t n1, vidx_t n2,
       endpoint_pool.push_back(v);
     }
   }
-  return graph::BipartiteGraph(builder.build());
+  graph::BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 }  // namespace bfc::gen

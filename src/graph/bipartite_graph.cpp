@@ -1,11 +1,17 @@
 #include "graph/bipartite_graph.hpp"
 
+#include "chk/validate.hpp"
 #include "sparse/coo.hpp"
 
 namespace bfc::graph {
 
 BipartiteGraph::BipartiteGraph(sparse::CsrPattern biadjacency)
-    : a_(std::move(biadjacency)), at_(a_.transpose()) {}
+    : a_(std::move(biadjacency)), at_(a_.transpose()) {
+  // Every graph in the system funnels through this constructor, so in a
+  // checked build verify the freshly built CSR/CSC pair actually mirror
+  // each other (each pattern was already shape-checked on construction).
+  if constexpr (chk::kCheckedEnabled) chk::validate_mirror(a_, at_);
+}
 
 BipartiteGraph BipartiteGraph::from_edges(
     vidx_t n1, vidx_t n2,

@@ -5,6 +5,8 @@
 #include <fstream>
 #include <stdexcept>
 
+#include "chk/validate.hpp"
+
 namespace bfc::graph {
 namespace {
 
@@ -66,8 +68,10 @@ BipartiteGraph read_binary(std::istream& in) {
   require(n1 >= 0 && n2 >= 0 && nnz >= 0, "binary graph: negative header");
   auto row_ptr = read_vec<offset_t>(in, static_cast<std::size_t>(n1) + 1);
   auto col_idx = read_vec<vidx_t>(in, static_cast<std::size_t>(nnz));
-  return BipartiteGraph(
+  BipartiteGraph g(
       sparse::CsrPattern(n1, n2, std::move(row_ptr), std::move(col_idx)));
+  BFC_VALIDATE(g);
+  return g;
 }
 
 BipartiteGraph load_binary(const std::string& path) {

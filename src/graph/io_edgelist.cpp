@@ -8,6 +8,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "chk/validate.hpp"
 #include "sparse/coo.hpp"
 #include "util/timer.hpp"
 
@@ -50,7 +51,9 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
   BFC_COUNT_ADD("graph.io.lines_read", static_cast<std::int64_t>(lineno));
   BFC_COUNT_ADD("graph.io.edges_read", static_cast<std::int64_t>(edges.size()));
   BFC_GAUGE_SET("graph.io.parse_seconds", parse_timer.seconds());
-  return BipartiteGraph::from_edges(rows, cols, edges);
+  BipartiteGraph g = BipartiteGraph::from_edges(rows, cols, edges);
+  BFC_VALIDATE(g);
+  return g;
 }
 
 BipartiteGraph load_edgelist(const std::string& path, vidx_t n1, vidx_t n2) {

@@ -9,6 +9,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "chk/validate.hpp"
 #include "sparse/coo.hpp"
 #include "util/timer.hpp"
 
@@ -71,7 +72,9 @@ BipartiteGraph read_mtx(std::istream& in) {
   }
   BFC_COUNT_ADD("graph.io.edges_read", static_cast<std::int64_t>(entries));
   BFC_GAUGE_SET("graph.io.parse_seconds", parse_timer.seconds());
-  return BipartiteGraph(builder.build());
+  BipartiteGraph g(builder.build());
+  BFC_VALIDATE(g);
+  return g;
 }
 
 BipartiteGraph load_mtx(const std::string& path) {

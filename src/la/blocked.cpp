@@ -4,6 +4,8 @@
 #include <bit>
 #include <vector>
 
+#include "chk/validate.hpp"
+#include "chk/tsan_fence.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -110,6 +112,7 @@ count_t panel_update(const sparse::CsrPattern& lines, vidx_t b0, vidx_t b1,
 count_t count_blocked(const sparse::CsrPattern& lines, Direction direction,
                       PeerSide peer, vidx_t block_size) {
   require(block_size >= 1, "count_blocked: block_size must be >= 1");
+  BFC_VALIDATE(lines);
   const vidx_t b = std::min(block_size, kMaxPanel);
   const vidx_t n = lines.rows();
   PanelScratch scratch(lines.cols());
@@ -135,10 +138,12 @@ count_t count_blocked_parallel(const sparse::CsrPattern& lines,
                                Direction direction, PeerSide peer,
                                vidx_t block_size) {
   require(block_size >= 1, "count_blocked_parallel: block_size must be >= 1");
+  BFC_VALIDATE(lines);
   const vidx_t b = std::min(block_size, kMaxPanel);
   const vidx_t n = lines.rows();
   const std::int64_t panels = n == 0 ? 0 : (n + b - 1) / b;
   count_t total = 0;
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -154,7 +159,9 @@ count_t count_blocked_parallel(const sparse::CsrPattern& lines,
       const vidx_t peer_hi = peer == PeerSide::kBefore ? b0 : n;
       total += panel_update(lines, b0, b1, peer_lo, peer_hi, scratch);
     }
+    fence.thread_done();
   }
+  fence.join();
   return total;
 }
 

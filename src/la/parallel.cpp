@@ -1,5 +1,7 @@
 #include <omp.h>
 
+#include "chk/validate.hpp"
+#include "chk/tsan_fence.hpp"
 #include "la/kernels.hpp"
 #include "la/partition.hpp"
 #include "obs/metrics.hpp"
@@ -20,9 +22,11 @@ inline count_t line_overlap(const sparse::CsrPattern& lines, vidx_t c,
 count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
                                  Direction direction, PeerSide peer,
                                  UpdateForm form) {
+  BFC_VALIDATE(lines);
   const auto steps = traversal_steps(lines.rows(), direction, peer);
   const auto n_steps = static_cast<std::int64_t>(steps.size());
   count_t total = 0;
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -87,7 +91,9 @@ count_t count_unblocked_parallel(const sparse::CsrPattern& lines,
       BFC_COUNT_ADD("la.nnz_scanned", my_nnz);
       BFC_HIST_OBSERVE("la.thread_lines", my_lines);
     }
+    fence.thread_done();
   }
+  fence.join();
   return total;
 }
 
@@ -96,10 +102,12 @@ count_t count_wedge_parallel(const sparse::CsrPattern& lines,
                              Direction direction, PeerSide peer) {
   require(lines_t.rows() == lines.cols() && lines_t.cols() == lines.rows(),
           "count_wedge_parallel: lines_t is not the transpose of lines");
+  if constexpr (chk::kCheckedEnabled) chk::validate_mirror(lines, lines_t);
   const auto steps = traversal_steps(lines.rows(), direction, peer);
   const auto n_steps = static_cast<std::int64_t>(steps.size());
   const vidx_t n = lines.rows();
   count_t total = 0;
+  chk::TsanOmpFence fence;
 
 #pragma omp parallel
   {
@@ -133,7 +141,9 @@ count_t count_wedge_parallel(const sparse::CsrPattern& lines,
       BFC_COUNT_ADD("la.wedges", my_wedges);
       BFC_HIST_OBSERVE("la.thread_lines", my_lines);
     }
+    fence.thread_done();
   }
+  fence.join();
   return total;
 }
 

@@ -1,3 +1,4 @@
+#include "chk/validate.hpp"
 #include "la/kernels.hpp"
 #include "la/partition.hpp"
 #include "obs/metrics.hpp"
@@ -17,6 +18,7 @@ inline count_t line_overlap(const sparse::CsrPattern& lines, vidx_t c,
 
 count_t count_unblocked(const sparse::CsrPattern& lines, Direction direction,
                         PeerSide peer, UpdateForm form) {
+  BFC_VALIDATE(lines);
   const vidx_t n = lines.rows();
   std::vector<std::uint8_t> marked(static_cast<std::size_t>(lines.cols()), 0);
   count_t total = 0;
@@ -82,6 +84,7 @@ count_t count_unblocked(const sparse::CsrPattern& lines, Direction direction,
 
 count_t count_mismatched(const sparse::CsrPattern& other, Direction direction,
                          PeerSide peer) {
+  BFC_VALIDATE(other);
   // `other` stores the non-partitioned dimension as rows (e.g. the CSR of A
   // while running a column-family traversal). The pivot line a₁ is not
   // directly addressable, so each step rebuilds it by binary-searching the

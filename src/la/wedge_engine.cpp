@@ -1,3 +1,4 @@
+#include "chk/validate.hpp"
 #include "la/kernels.hpp"
 #include "la/partition.hpp"
 #include "obs/metrics.hpp"
@@ -9,6 +10,7 @@ count_t count_wedge(const sparse::CsrPattern& lines,
                     PeerSide peer) {
   require(lines_t.rows() == lines.cols() && lines_t.cols() == lines.rows(),
           "count_wedge: lines_t is not the transpose of lines");
+  if constexpr (chk::kCheckedEnabled) chk::validate_mirror(lines, lines_t);
   const vidx_t n = lines.rows();
   std::vector<count_t> acc(static_cast<std::size_t>(n), 0);
   std::vector<vidx_t> touched;

@@ -21,6 +21,12 @@ class CooBuilder {
   /// Number of entries recorded so far (before dedup).
   [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
 
+  /// Pending entries in insertion order (chk::validate and tests).
+  [[nodiscard]] const std::vector<std::pair<vidx_t, vidx_t>>& entries()
+      const noexcept {
+    return entries_;
+  }
+
   void reserve(std::size_t n) { entries_.reserve(n); }
 
   [[nodiscard]] vidx_t rows() const noexcept { return rows_; }

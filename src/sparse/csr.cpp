@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chk/validate.hpp"
 #include "dense/dense_matrix.hpp"
 
 namespace bfc::sparse {
@@ -13,24 +14,10 @@ CsrPattern::CsrPattern(vidx_t rows, vidx_t cols,
       cols_(cols),
       row_ptr_(std::move(row_ptr)),
       col_idx_(std::move(col_idx)) {
-  require(rows >= 0 && cols >= 0, "CsrPattern: negative dimension");
-  require(row_ptr_.size() == static_cast<std::size_t>(rows) + 1,
-          "CsrPattern: row_ptr size != rows + 1");
-  require(row_ptr_.front() == 0, "CsrPattern: row_ptr[0] != 0");
-  require(row_ptr_.back() == static_cast<offset_t>(col_idx_.size()),
-          "CsrPattern: row_ptr back != nnz");
-  for (vidx_t r = 0; r < rows; ++r) {
-    const auto lo = row_ptr_[static_cast<std::size_t>(r)];
-    const auto hi = row_ptr_[static_cast<std::size_t>(r) + 1];
-    require(lo <= hi, "CsrPattern: row_ptr not monotone");
-    for (offset_t k = lo; k < hi; ++k) {
-      const vidx_t c = col_idx_[static_cast<std::size_t>(k)];
-      require(c >= 0 && c < cols, "CsrPattern: column index out of range");
-      if (k > lo)
-        require(col_idx_[static_cast<std::size_t>(k) - 1] < c,
-                "CsrPattern: row not sorted/unique");
-    }
-  }
+  // Construction is an API boundary, so the shape check stays unconditional
+  // (chk::CheckError derives from std::invalid_argument); the checked build
+  // re-runs the same validator on objects mid-flight via BFC_VALIDATE.
+  chk::validate_csr_arrays(rows_, cols_, row_ptr_, col_idx_);
 }
 
 CsrPattern CsrPattern::empty(vidx_t rows, vidx_t cols) {

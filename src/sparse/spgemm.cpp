@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "chk/checked_math.hpp"
 #include "obs/metrics.hpp"
 
 namespace bfc::sparse {
@@ -64,7 +65,8 @@ count_t gram_pairwise_butterflies(const CsrPattern& a, const CsrPattern& at) {
     for (const vidx_t j : touched) {
       if constexpr (obs::kMetricsEnabled)
         obs_wedges += acc[static_cast<std::size_t>(j)];
-      total += choose2(acc[static_cast<std::size_t>(j)]);
+      total = chk::checked_add(
+          total, chk::checked_choose2(acc[static_cast<std::size_t>(j)]));
       acc[static_cast<std::size_t>(j)] = 0;
     }
   }

@@ -3,6 +3,7 @@
 #include <memory>
 #include <utility>
 
+#include "chk/validate.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 
@@ -59,6 +60,16 @@ PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
   snap->butterflies = counter_.butterflies();
   snap->edges = counter_.edge_count();
   result.epoch = snap->epoch;
+
+  // Checked build: the batch just mutated the counter, so re-verify its
+  // internal structure, the snapshot it materialised (including a recount
+  // of the incremental butterfly total), and the epoch transition before
+  // any reader can pin the new head.
+  if constexpr (chk::kCheckedEnabled) {
+    chk::validate(counter_);
+    chk::validate(*snap);
+    chk::validate_epoch_transition(*head_load(), *snap);
+  }
 
   head_store(std::move(snap));
   BFC_COUNT_ADD("svc.epochs_published", 1);

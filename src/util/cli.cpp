@@ -52,6 +52,17 @@ std::int64_t Cli::get_int(const std::string& name,
   return std::stoll(it->second);
 }
 
+std::int64_t Cli::get_int_at_least(const std::string& name,
+                                   std::int64_t fallback,
+                                   std::int64_t min_value) const {
+  const std::int64_t v = get_int(name, fallback);
+  if (v < min_value)
+    throw std::invalid_argument("Cli: --" + name + " must be at least " +
+                                std::to_string(min_value) + ", got " +
+                                std::to_string(v));
+  return v;
+}
+
 double Cli::get_double(const std::string& name, double fallback) const {
   const auto it = options_.find(name);
   if (it == options_.end() || it->second.empty()) return fallback;

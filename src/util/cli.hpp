@@ -21,6 +21,13 @@ class Cli {
                                 const std::string& fallback) const;
   [[nodiscard]] std::int64_t get_int(const std::string& name,
                                      std::int64_t fallback) const;
+  /// get_int plus a lower bound: a parsed value below min_value throws
+  /// std::invalid_argument naming the flag. The sizes and counts the bench
+  /// and example binaries accept would otherwise wrap through static_casts
+  /// to narrower or unsigned types before any library require() sees them.
+  [[nodiscard]] std::int64_t get_int_at_least(const std::string& name,
+                                              std::int64_t fallback,
+                                              std::int64_t min_value) const;
   [[nodiscard]] double get_double(const std::string& name,
                                   double fallback) const;
   [[nodiscard]] bool get_bool(const std::string& name, bool fallback) const;

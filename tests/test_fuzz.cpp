@@ -4,7 +4,9 @@
 // implementations fails, without needing the dense oracle's O(m²n) cost.
 #include <gtest/gtest.h>
 
+#include "chk/validate.hpp"
 #include "count/baselines.hpp"
+#include "count/dynamic.hpp"
 #include "count/bounded_memory.hpp"
 #include "count/local_counts.hpp"
 #include "count/parallel_counts.hpp"
@@ -83,6 +85,38 @@ TEST_P(DifferentialFuzz, LocalCountsConsistent) {
   EXPECT_EQ(peel::support_family(g, la::Invariant::kInv3), support);
   EXPECT_EQ(peel::support_family(g, la::Invariant::kInv8), support);
   EXPECT_EQ(gb::wing_support(g), support);
+}
+
+// Structural fuzz: every randomized graph passes the deep validators, and a
+// dynamic counter replaying its edges stays internally consistent after
+// every single mutation (each validate() includes a from-scratch recount,
+// so this cross-checks the incremental maintenance at every step).
+TEST_P(DifferentialFuzz, ValidatorsHoldThroughEveryMutation) {
+  const auto g = make_case(GetParam());
+  ASSERT_NO_THROW(chk::validate(g));
+  ASSERT_NO_THROW(chk::validate_mirror(g.csr(), g.csc()));
+
+  std::vector<std::pair<vidx_t, vidx_t>> edges;
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    for (const vidx_t v : g.neighbors_of_v1(u)) edges.push_back({u, v});
+
+  // Validating after every mutation is O(recount) each time; cap the replay
+  // so the sweep stays fast while still covering inserts and removes.
+  constexpr std::size_t kMaxMutations = 48;
+  if (edges.size() > kMaxMutations) edges.resize(kMaxMutations);
+
+  count::DynamicButterflyCounter c(g.n1(), g.n2());
+  for (const auto& [u, v] : edges) {
+    c.insert(u, v);
+    ASSERT_NO_THROW(chk::validate(c)) << "after insert (" << u << "," << v
+                                      << ")";
+  }
+  for (std::size_t i = 0; i < edges.size(); i += 3) {
+    c.remove(edges[i].first, edges[i].second);
+    ASSERT_NO_THROW(chk::validate(c))
+        << "after remove (" << edges[i].first << "," << edges[i].second
+        << ")";
+  }
 }
 
 std::vector<FuzzCase> fuzz_cases() {

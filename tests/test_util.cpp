@@ -170,6 +170,15 @@ TEST(Cli, OptionValueThatLooksNumeric) {
   EXPECT_EQ(cli.get_int("n", 0), -5);
 }
 
+TEST(Cli, GetIntAtLeastRejectsBelowBound) {
+  const char* argv[] = {"prog", "--n", "-5", "--k", "3"};
+  Cli cli(5, argv);
+  EXPECT_EQ(cli.get_int_at_least("k", 0, 1), 3);
+  EXPECT_EQ(cli.get_int_at_least("missing", 7, 1), 7);
+  EXPECT_THROW(cli.get_int_at_least("n", 0, 0), std::invalid_argument);
+  EXPECT_THROW(cli.get_int_at_least("k", 0, 4), std::invalid_argument);
+}
+
 TEST(Table, FormatsNumbersWithSeparators) {
   EXPECT_EQ(Table::num(0), "0");
   EXPECT_EQ(Table::num(999), "999");
