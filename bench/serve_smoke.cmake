@@ -1,19 +1,38 @@
-# Test driver for the `serve-smoke` ctest: runs bench/serving at tiny scale
-# with --json, relying on the bench's built-in acceptance checks (zero count
+# Test driver for the serve-smoke ctest family: runs bench/serving with
+# --json, relying on the bench's built-in acceptance checks (zero count
 # drift vs. a from-scratch recount; nonzero cache hits and coalesced batches
-# when metrics are compiled in), then validates the RunReport artifact with
-# report_lint. Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>.
+# in normal mode; nonzero shed/rejected/expired work in overload mode), then
+# validates the RunReport artifact with report_lint.
+# Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>; optional -DMODE=
+#   full      (default) the standard smoke load
+#   light     reduced load for the sanitizer lanes, where slowdown makes the
+#             full config's wall-clock latency numbers flaky
+#   overload  undersized pool + bounded queue: proves admission control
+#             sheds, answers degrade, and the count still reconciles
 file(MAKE_DIRECTORY "${OUT}")
 set(report "${OUT}/serving_report.json")
 
+if(NOT DEFINED MODE)
+  set(MODE full)
+endif()
+if(MODE STREQUAL "light")
+  set(load --scale 0.02 --readers 2 --epochs 2 --batch 40 --queries 40
+           --pool 2)
+elseif(MODE STREQUAL "overload")
+  set(load --overload --scale 0.02 --readers 6 --epochs 3 --batch 60
+           --queries 120 --pool 1 --max-queue 2)
+else()
+  set(load --scale 0.02 --readers 3 --epochs 4 --batch 60 --queries 80
+           --pool 3)
+endif()
+
 execute_process(
-  COMMAND "${BENCH}" --scale 0.02 --readers 3 --epochs 4 --batch 60
-          --queries 80 --pool 3 --json "${report}"
+  COMMAND "${BENCH}" ${load} --json "${report}"
   RESULT_VARIABLE rc
   OUTPUT_VARIABLE out
   ERROR_VARIABLE err)
 if(NOT rc EQUAL 0)
-  message(FATAL_ERROR "serving bench failed (rc=${rc}):\n${out}\n${err}")
+  message(FATAL_ERROR "serving bench (${MODE}) failed (rc=${rc}):\n${out}\n${err}")
 endif()
 
 execute_process(

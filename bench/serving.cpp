@@ -10,12 +10,22 @@
 //             [--pool 4] [--mix tip:6,global:2,edge:1,top:1]
 //             [--scale 0.05] [--seed 42] [--json out.json] [--trace t.json]
 //
+// Overload mode exercises the fault-tolerance path: a small bounded queue,
+// per-query deadlines and the degradation ladder. The run then also fails
+// unless the admission layer actually shed work — the whole point of the
+// exercise — while the drift check still must pass (shedding queries must
+// never corrupt the maintained count).
+//
+//   ./serving --overload [--max-queue 8] [--policy drop-oldest|reject|deadline]
+//             [--deadline-ms 5] [--degrade-depth 4]
+//
 // The run fails (exit 1) if the incrementally maintained count at the final
 // epoch drifts from a from-scratch recount, or — when kernel metrics are
 // compiled in — if the run produced no cache hits or no coalesced batches
-// (both are load-bearing properties of the serving design, not incidental).
+// (normal mode), or no shed/rejected work (overload mode).
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <string>
@@ -73,6 +83,15 @@ const MixEntry& pick(const std::vector<MixEntry>& mix, Rng& rng, int total) {
   return mix.back();
 }
 
+svc::ShedPolicy parse_policy(const std::string& name) {
+  if (name == "reject") return svc::ShedPolicy::kRejectNew;
+  if (name == "drop-oldest") return svc::ShedPolicy::kDropOldest;
+  if (name == "deadline") return svc::ShedPolicy::kDeadlineAware;
+  require(false, "--policy must be reject|drop-oldest|deadline, got '" +
+                     name + "'");
+  return svc::ShedPolicy::kRejectNew;  // unreachable
+}
+
 /// Uniform present edge of the pinned snapshot via the CSR row pointers.
 std::pair<vidx_t, vidx_t> random_edge(const svc::SnapshotPtr& snap, Rng& rng) {
   const sparse::CsrPattern& a = snap->graph.csr();
@@ -102,7 +121,9 @@ int kind_index(const std::string& name) {
 int main(int argc, char** argv) {
   using bfc::bench::BenchConfig;
   const BenchConfig cfg = bfc::bench::parse_config(
-      argc, argv, {"readers", "epochs", "batch", "queries", "pool", "mix"});
+      argc, argv,
+      {"readers", "epochs", "batch", "queries", "pool", "mix", "overload",
+       "max-queue", "policy", "deadline-ms", "degrade-depth"});
   const Cli cli(argc, argv);
   const int readers = static_cast<int>(cli.get_int("readers", 4));
   const int epochs = static_cast<int>(cli.get_int("epochs", 8));
@@ -117,6 +138,23 @@ int main(int argc, char** argv) {
   int mix_total = 0;
   for (const MixEntry& m : mix) mix_total += m.weight;
 
+  // Overload mode: bounded queue sized to saturate under the reader load,
+  // tight deadlines, degraded-mode threshold at half the bound.
+  const bool overload = cli.get_bool("overload", false);
+  const auto max_queue = static_cast<std::size_t>(cli.get_int_at_least(
+      "max-queue", overload ? 2 * static_cast<std::int64_t>(pool) : 0, 0));
+  const svc::ShedPolicy policy =
+      parse_policy(cli.get("policy", overload ? "drop-oldest" : "reject"));
+  const double deadline_ms =
+      cli.get_double("deadline-ms", overload ? 5.0 : 0.0);
+  const auto degrade_depth = static_cast<std::size_t>(cli.get_int_at_least(
+      "degrade-depth",
+      overload ? std::max<std::int64_t>(
+                     1, static_cast<std::int64_t>(max_queue) / 2)
+               : 0,
+      0));
+  require(!overload || max_queue > 0, "--overload needs --max-queue >= 1");
+
   bfc::bench::print_header("serving: concurrent query load generator", cfg);
 
   // Initial graph: the arXiv cond-mat stand-in at --scale, loaded as the
@@ -126,7 +164,11 @@ int main(int argc, char** argv) {
       gen::make_konect_like(preset, cfg.scale, cfg.seed);
   const vidx_t n1 = initial.n1(), n2 = initial.n2();
 
-  svc::ButterflyService service(n1, n2, {.threads = pool});
+  svc::ButterflyService service(n1, n2,
+                                {.threads = pool,
+                                 .max_queue = max_queue,
+                                 .shed_policy = policy,
+                                 .degrade_queue_depth = degrade_depth});
   {
     std::vector<svc::EdgeUpdate> load;
     for (const auto& [u, v] : sparse::edges(initial.csr()))
@@ -137,7 +179,13 @@ int main(int argc, char** argv) {
             << " |E|=" << service.snapshot()->edges << "  readers=" << readers
             << " pool=" << pool << " epochs=" << epochs
             << " batch=" << batch_size << " queries/reader="
-            << queries_per_reader << "\n\n";
+            << queries_per_reader << "\n";
+  if (overload)
+    std::cout << "overload: max-queue=" << max_queue << " policy="
+              << svc::shed_policy_name(policy) << " deadline="
+              << Table::fixed(deadline_ms, 1) << " ms degrade-depth="
+              << degrade_depth << "\n";
+  std::cout << "\n";
 
   // A small hot set makes key popularity skewed (as real traffic is) so the
   // result cache sees repeats within an epoch.
@@ -145,6 +193,8 @@ int main(int argc, char** argv) {
   const std::int64_t total_queries =
       static_cast<std::int64_t>(readers) * queries_per_reader;
   std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> degraded_answers{0};
+  std::atomic<std::int64_t> overload_errors{0};
   std::vector<std::vector<KindStats>> per_reader(
       static_cast<std::size_t>(readers));
 
@@ -183,33 +233,51 @@ int main(int argc, char** argv) {
         Rng rng(cfg.seed + 100 + static_cast<std::uint64_t>(r));
         for (int q = 0; q < queries_per_reader; ++q) {
           const svc::SnapshotPtr snap = service.snapshot();
+          // Fresh deadline per request: the budget is relative to *now*.
+          const svc::Deadline deadline =
+              deadline_ms > 0.0
+                  ? svc::Deadline::after(std::chrono::duration_cast<
+                                         svc::Deadline::Clock::duration>(
+                        std::chrono::duration<double, std::milli>(
+                            deadline_ms)))
+                  : svc::Deadline{};
+          const svc::Request req(snap, deadline);
           const MixEntry& kind = pick(mix, rng, mix_total);
+          bool degraded = false;
+          bool shed = false;
           Timer timer;
-          if (kind.name == "tip") {
-            const bool hot = rng.bernoulli(0.3);
-            if (rng.bernoulli(0.5)) {
-              const auto u = static_cast<vidx_t>(rng.bounded(
-                  static_cast<std::uint64_t>(hot ? std::min(kHotSet, n1)
-                                                 : n1)));
-              (void)service.vertex_tip_v1(u, snap).get();
-            } else {
-              const auto v = static_cast<vidx_t>(rng.bounded(
-                  static_cast<std::uint64_t>(hot ? std::min(kHotSet, n2)
-                                                 : n2)));
-              (void)service.vertex_tip_v2(v, snap).get();
+          try {
+            if (kind.name == "tip") {
+              const bool hot = rng.bernoulli(0.3);
+              if (rng.bernoulli(0.5)) {
+                const auto u = static_cast<vidx_t>(rng.bounded(
+                    static_cast<std::uint64_t>(hot ? std::min(kHotSet, n1)
+                                                   : n1)));
+                degraded = service.vertex_tip_v1(u, req).get().degraded();
+              } else {
+                const auto v = static_cast<vidx_t>(rng.bounded(
+                    static_cast<std::uint64_t>(hot ? std::min(kHotSet, n2)
+                                                   : n2)));
+                degraded = service.vertex_tip_v2(v, req).get().degraded();
+              }
+            } else if (kind.name == "global") {
+              (void)service.global_count(req).get();
+            } else if (kind.name == "edge") {
+              if (snap->edges > 0) {
+                const auto [u, v] = random_edge(snap, rng);
+                degraded = service.edge_support(u, v, req).get().degraded();
+              }
+            } else {  // top
+              degraded = service.top_pairs(8, req).get().degraded();
             }
-          } else if (kind.name == "global") {
-            (void)service.global_count(snap).get();
-          } else if (kind.name == "edge") {
-            if (snap->edges > 0) {
-              const auto [u, v] = random_edge(snap, rng);
-              (void)service.edge_support(u, v, snap).get();
-            }
-          } else {  // top
-            (void)service.top_pairs(8, snap).get();
+          } catch (const svc::OverloadError&) {
+            shed = true;  // no answer at any fidelity; the caller retries
           }
-          stats[static_cast<std::size_t>(kind_index(kind.name))].latency.add(
-              timer.seconds());
+          if (!shed)
+            stats[static_cast<std::size_t>(kind_index(kind.name))].latency.add(
+                timer.seconds());
+          if (degraded) degraded_answers.fetch_add(1, std::memory_order_relaxed);
+          if (shed) overload_errors.fetch_add(1, std::memory_order_relaxed);
           completed.fetch_add(1, std::memory_order_relaxed);
         }
       });
@@ -238,11 +306,13 @@ int main(int argc, char** argv) {
     report.add_sample(std::string("latency.") + kKinds[k], merged);
   }
   table.print(std::cout);
-  std::cout << "\n" << answered << " queries in " << Table::fixed(elapsed, 3)
-            << " s (" << Table::fixed(static_cast<double>(answered) / elapsed,
-                                      1)
-            << " qps aggregate) across "
-            << service.snapshot()->epoch << " published epochs\n";
+  std::cout << "\n" << answered << " answered of " << total_queries
+            << " issued in " << Table::fixed(elapsed, 3) << " s ("
+            << Table::fixed(static_cast<double>(answered) / elapsed, 1)
+            << " qps aggregate) across " << service.snapshot()->epoch
+            << " published epochs\n";
+  std::cout << "degraded answers: " << degraded_answers.load()
+            << "  shed without answer: " << overload_errors.load() << "\n";
 
   report.set_config("readers", static_cast<std::int64_t>(readers));
   report.set_config("epochs", static_cast<std::int64_t>(epochs));
@@ -250,9 +320,14 @@ int main(int argc, char** argv) {
   report.set_config("queries_per_reader",
                     static_cast<std::int64_t>(queries_per_reader));
   report.set_config("pool", static_cast<std::int64_t>(pool));
+  report.set_config("overload", static_cast<std::int64_t>(overload ? 1 : 0));
+  report.set_config("max_queue", static_cast<std::int64_t>(max_queue));
+  report.set_config("degraded_answers", degraded_answers.load());
+  report.set_config("overload_errors", overload_errors.load());
 
   // Zero-drift acceptance: the incrementally maintained count at the final
-  // epoch must equal a from-scratch recount of the materialised snapshot.
+  // epoch must equal a from-scratch recount of the materialised snapshot —
+  // shedding and degrading reads must never have touched the write path.
   const svc::SnapshotPtr fin = service.snapshot();
   const count_t recount = count::wedge_reference(fin->graph);
   if (fin->butterflies != recount) {
@@ -273,7 +348,23 @@ int main(int argc, char** argv) {
               << "  misses: " << counter("svc.cache_misses")
               << "  coalesced batches: " << coalesced
               << "  tip passes: " << counter("svc.tip_passes") << '\n';
-    if (hits <= 0 || coalesced <= 0) {
+    const std::int64_t shed = counter("svc.shed");
+    const std::int64_t rejected = counter("svc.rejected");
+    const std::int64_t expired = counter("svc.deadline_expired");
+    std::cout << "shed: " << shed << "  rejected: " << rejected
+              << "  deadline expired: " << expired
+              << "  stale answers: " << counter("svc.stale_answers")
+              << "  approx fallbacks: " << counter("svc.approx_fallbacks")
+              << "  inline answers: " << counter("svc.inline_answers")
+              << '\n';
+    if (overload) {
+      // The overload run is meaningless if admission never pushed back.
+      if (shed + rejected + expired <= 0) {
+        std::cerr << "FATAL: overload run shed no work (queue never "
+                     "saturated?); raise --readers or lower --max-queue\n";
+        return 1;
+      }
+    } else if (hits <= 0 || coalesced <= 0) {
       std::cerr << "FATAL: serving run produced no cache hits or no "
                    "coalesced batches\n";
       return 1;

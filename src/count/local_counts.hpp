@@ -2,10 +2,17 @@
 // Eq. 19) and butterflies per edge (the wing support matrix of Eq. 25),
 // computed sparsely in O(Σ wedges) / O(Σ_{(u,v)} deg v) — the inputs to the
 // peeling algorithms of §IV.
+//
+// Each kernel has an overload taking a CancelToken: the serving layer runs
+// these passes on behalf of deadline-bearing queries, and a checkpoint per
+// outer-loop row lets an expired request abandon the scan (CancelledError)
+// instead of finishing work nobody is waiting for. The token-free overloads
+// pass an unarmed token and behave exactly as before.
 #pragma once
 
 #include "graph/bipartite_graph.hpp"
 #include "sparse/csr.hpp"
+#include "util/cancel.hpp"
 #include "util/common.hpp"
 
 namespace bfc::count {
@@ -13,15 +20,21 @@ namespace bfc::count {
 /// Butterflies containing each V1 vertex: b_i = Σ_{j≠i} C(|N(i)∩N(j)|, 2).
 [[nodiscard]] std::vector<count_t> butterflies_per_v1(
     const graph::BipartiteGraph& g);
+[[nodiscard]] std::vector<count_t> butterflies_per_v1(
+    const graph::BipartiteGraph& g, const CancelToken& cancel);
 
 /// Butterflies containing each V2 vertex.
 [[nodiscard]] std::vector<count_t> butterflies_per_v2(
     const graph::BipartiteGraph& g);
+[[nodiscard]] std::vector<count_t> butterflies_per_v2(
+    const graph::BipartiteGraph& g, const CancelToken& cancel);
 
 /// Per-edge support in CSR order of g.csr(): entry k is the number of
 /// butterflies containing the k-th edge — the sparse evaluation of Eq. (25):
 /// support(u,v) = Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1.
 [[nodiscard]] std::vector<count_t> support_per_edge(
     const graph::BipartiteGraph& g);
+[[nodiscard]] std::vector<count_t> support_per_edge(
+    const graph::BipartiteGraph& g, const CancelToken& cancel);
 
 }  // namespace bfc::count

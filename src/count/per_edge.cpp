@@ -4,6 +4,11 @@
 namespace bfc::count {
 
 std::vector<count_t> support_per_edge(const graph::BipartiteGraph& g) {
+  return support_per_edge(g, CancelToken{});
+}
+
+std::vector<count_t> support_per_edge(const graph::BipartiteGraph& g,
+                                      const CancelToken& cancel) {
   const auto& a = g.csr();
   const auto& at = g.csc();
   std::vector<count_t> support(static_cast<std::size_t>(a.nnz()), 0);
@@ -15,6 +20,10 @@ std::vector<count_t> support_per_edge(const graph::BipartiteGraph& g) {
 
   offset_t edge_id = 0;
   for (vidx_t u = 0; u < a.rows(); ++u) {
+    // Per-row cancellation point (the wing pass of deadline-bearing
+    // queries); acc is cleared below before the next row, so abandoning
+    // here leaks no partial state.
+    cancel.checkpoint("support_per_edge");
     touched.clear();
     for (const vidx_t k : a.row(u)) {
       for (const vidx_t w : at.row(k)) {

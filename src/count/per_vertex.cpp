@@ -6,13 +6,17 @@ namespace {
 
 /// b_i for every "line" i of `lines` (rows of the given pattern), where
 /// `lines_t` is its transpose: expand wedges i -> k -> j (j ≠ i) and sum
-/// C(w_ij, 2) per i. O(Σ wedges) with a dense accumulator.
+/// C(w_ij, 2) per i. O(Σ wedges) with a dense accumulator. One cancellation
+/// checkpoint per line: the dense accumulator is fully cleared between
+/// lines, so abandoning there leaks no partial state.
 std::vector<count_t> per_line(const sparse::CsrPattern& lines,
-                              const sparse::CsrPattern& lines_t) {
+                              const sparse::CsrPattern& lines_t,
+                              const CancelToken& cancel, const char* where) {
   std::vector<count_t> out(static_cast<std::size_t>(lines.rows()), 0);
   std::vector<count_t> acc(static_cast<std::size_t>(lines.rows()), 0);
   std::vector<vidx_t> touched;
   for (vidx_t i = 0; i < lines.rows(); ++i) {
+    cancel.checkpoint(where);
     touched.clear();
     for (const vidx_t k : lines.row(i)) {
       for (const vidx_t j : lines_t.row(k)) {
@@ -35,11 +39,21 @@ std::vector<count_t> per_line(const sparse::CsrPattern& lines,
 }  // namespace
 
 std::vector<count_t> butterflies_per_v1(const graph::BipartiteGraph& g) {
-  return per_line(g.csr(), g.csc());
+  return butterflies_per_v1(g, CancelToken{});
+}
+
+std::vector<count_t> butterflies_per_v1(const graph::BipartiteGraph& g,
+                                        const CancelToken& cancel) {
+  return per_line(g.csr(), g.csc(), cancel, "butterflies_per_v1");
 }
 
 std::vector<count_t> butterflies_per_v2(const graph::BipartiteGraph& g) {
-  return per_line(g.csc(), g.csr());
+  return butterflies_per_v2(g, CancelToken{});
+}
+
+std::vector<count_t> butterflies_per_v2(const graph::BipartiteGraph& g,
+                                        const CancelToken& cancel) {
+  return per_line(g.csc(), g.csr(), cancel, "butterflies_per_v2");
 }
 
 }  // namespace bfc::count

@@ -1,16 +1,62 @@
 #include "graph/io_binary.hpp"
 
 #include <array>
+#include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <stdexcept>
+#include <vector>
 
 #include "chk/validate.hpp"
+#include "util/crc32.hpp"
 
 namespace bfc::graph {
 namespace {
 
-constexpr std::array<char, 8> kMagic = {'B', 'F', 'C', '1', 0, 0, 0, 0};
+constexpr std::array<char, 8> kMagic = {'B', 'F', 'C', '2', 0, 0, 0, 0};
+constexpr std::array<char, 4> kLegacyMagic = {'B', 'F', 'C', '1'};
+
+/// Reader with enough context (source name, running byte offset) to make
+/// every failure message actionable.
+struct Reader {
+  std::istream& in;
+  const std::string& source;
+  std::uint64_t offset = 0;
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("binary graph " + source + ": " + what +
+                             " at byte offset " + std::to_string(offset));
+  }
+
+  void bytes(void* dst, std::size_t n, const char* what) {
+    in.read(static_cast<char*>(dst), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(in.gcount()) != n)
+      fail(std::string("truncated ") + what + " (wanted " +
+           std::to_string(n) + " bytes, got " +
+           std::to_string(in.gcount()) + ")");
+    offset += n;
+  }
+
+  template <typename T>
+  T pod(const char* what) {
+    T value{};
+    bytes(&value, sizeof value, what);
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> checked_section(std::size_t n, const char* what) {
+    const std::uint32_t stored = pod<std::uint32_t>(what);
+    std::vector<T> v(n);
+    bytes(v.data(), n * sizeof(T), what);
+    const std::uint32_t actual = crc32(v.data(), n * sizeof(T));
+    if (actual != stored)
+      fail(std::string(what) + " CRC mismatch (stored " +
+           std::to_string(stored) + ", computed " + std::to_string(actual) +
+           ")");
+    return v;
+  }
+};
 
 template <typename T>
 void write_pod(std::ostream& out, const T& value) {
@@ -18,58 +64,92 @@ void write_pod(std::ostream& out, const T& value) {
 }
 
 template <typename T>
-T read_pod(std::istream& in) {
-  T value{};
-  in.read(reinterpret_cast<char*>(&value), sizeof value);
-  if (!in) throw std::runtime_error("binary graph: truncated stream");
-  return value;
-}
-
-template <typename T>
-void write_vec(std::ostream& out, const std::vector<T>& v) {
+void write_checked_section(std::ostream& out, const std::vector<T>& v) {
+  write_pod(out, crc32(v.data(), v.size() * sizeof(T)));
   out.write(reinterpret_cast<const char*>(v.data()),
             static_cast<std::streamsize>(v.size() * sizeof(T)));
-}
-
-template <typename T>
-std::vector<T> read_vec(std::istream& in, std::size_t n) {
-  std::vector<T> v(n);
-  in.read(reinterpret_cast<char*>(v.data()),
-          static_cast<std::streamsize>(n * sizeof(T)));
-  if (!in) throw std::runtime_error("binary graph: truncated array");
-  return v;
 }
 
 }  // namespace
 
 void write_binary(std::ostream& out, const BipartiteGraph& g) {
   out.write(kMagic.data(), kMagic.size());
-  write_pod(out, g.n1());
-  write_pod(out, g.n2());
-  write_pod(out, g.edge_count());
-  write_vec(out, g.csr().row_ptr());
-  write_vec(out, g.csr().col_idx());
+  write_pod(out, kBinaryFormatVersion);
+
+  struct Dims {
+    vidx_t n1;
+    vidx_t n2;
+    offset_t nnz;
+  } const dims{g.n1(), g.n2(), g.edge_count()};
+  static_assert(sizeof(Dims) == 16, "dimension header must pack to 16 bytes");
+  write_pod(out, crc32(&dims, sizeof dims));
+  write_pod(out, dims);
+
+  write_checked_section(out, g.csr().row_ptr());
+  write_checked_section(out, g.csr().col_idx());
 }
 
 void save_binary(const std::string& path, const BipartiteGraph& g) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw std::runtime_error("cannot write binary graph: " + path);
-  write_binary(out, g);
+  // Write-then-rename: the target path either keeps its previous content
+  // or atomically becomes the complete new snapshot — never a torn mix.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out)
+      throw std::runtime_error("cannot write binary graph: " + tmp);
+    write_binary(out, g);
+    out.flush();
+    if (!out)
+      throw std::runtime_error("write failed for binary graph: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot publish binary graph (rename " + tmp +
+                             " -> " + path + " failed)");
+  }
 }
 
-BipartiteGraph read_binary(std::istream& in) {
+BipartiteGraph read_binary(std::istream& in, const std::string& source) {
+  Reader r{in, source};
+
   std::array<char, 8> magic{};
-  in.read(magic.data(), magic.size());
-  if (!in || std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
-    throw std::runtime_error("binary graph: bad magic");
-  const auto n1 = read_pod<vidx_t>(in);
-  const auto n2 = read_pod<vidx_t>(in);
-  const auto nnz = read_pod<offset_t>(in);
-  require(n1 >= 0 && n2 >= 0 && nnz >= 0, "binary graph: negative header");
-  auto row_ptr = read_vec<offset_t>(in, static_cast<std::size_t>(n1) + 1);
-  auto col_idx = read_vec<vidx_t>(in, static_cast<std::size_t>(nnz));
-  BipartiteGraph g(
-      sparse::CsrPattern(n1, n2, std::move(row_ptr), std::move(col_idx)));
+  r.bytes(magic.data(), magic.size(), "magic");
+  if (std::memcmp(magic.data(), kLegacyMagic.data(), kLegacyMagic.size()) ==
+      0)
+    throw std::runtime_error(
+        "binary graph " + source +
+        ": legacy BFC1 format (no checksums) is no longer readable; "
+        "regenerate the cache to get the checksummed BFC2 layout");
+  if (std::memcmp(magic.data(), kMagic.data(), kMagic.size()) != 0)
+    throw std::runtime_error("binary graph " + source + ": bad magic");
+
+  const auto version = r.pod<std::uint32_t>("version");
+  if (version != kBinaryFormatVersion)
+    throw std::runtime_error("binary graph " + source +
+                             ": unsupported format version " +
+                             std::to_string(version) + " (expected " +
+                             std::to_string(kBinaryFormatVersion) + ")");
+
+  const auto dims_crc = r.pod<std::uint32_t>("header CRC");
+  struct Dims {
+    vidx_t n1;
+    vidx_t n2;
+    offset_t nnz;
+  };
+  const auto dims = r.pod<Dims>("dimension header");
+  if (crc32(&dims, sizeof dims) != dims_crc)
+    throw std::runtime_error("binary graph " + source +
+                             ": dimension header CRC mismatch");
+  if (dims.n1 < 0 || dims.n2 < 0 || dims.nnz < 0)
+    throw std::runtime_error("binary graph " + source +
+                             ": negative dimension in header");
+
+  auto row_ptr = r.checked_section<offset_t>(
+      static_cast<std::size_t>(dims.n1) + 1, "row_ptr section");
+  auto col_idx = r.checked_section<vidx_t>(
+      static_cast<std::size_t>(dims.nnz), "col_idx section");
+  BipartiteGraph g(sparse::CsrPattern(dims.n1, dims.n2, std::move(row_ptr),
+                                      std::move(col_idx)));
   BFC_VALIDATE(g);
   return g;
 }
@@ -77,7 +157,7 @@ BipartiteGraph read_binary(std::istream& in) {
 BipartiteGraph load_binary(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw std::runtime_error("cannot open binary graph: " + path);
-  return read_binary(in);
+  return read_binary(in, path);
 }
 
 }  // namespace bfc::graph

@@ -1,10 +1,26 @@
-// Compact binary snapshot format ("BFC1") so the bench harness can cache
-// generated datasets between runs instead of regenerating them. Layout:
-// 8-byte magic, then n1, n2 (int32), nnz (int64), row_ptr, col_idx —
-// all little-endian host order (the format is a local cache, not an
-// interchange format).
+// Compact binary snapshot format ("BFC2") so the bench harness can cache
+// generated datasets between runs and the serving layer can persist
+// published epochs for warm restarts. Layout (little-endian host order —
+// a local cache/persistence format, not an interchange format):
+//
+//   offset  0  magic "BFC2" + 4 zero bytes
+//   offset  8  u32 format version (currently 2)
+//   offset 12  u32 CRC-32 of the 16-byte dimension header
+//   offset 16  i32 n1, i32 n2, i64 nnz
+//   offset 32  u32 CRC-32 of the row_ptr section, then row_ptr[(n1+1)·8]
+//          …   u32 CRC-32 of the col_idx section, then col_idx[nnz·4]
+//
+// Every section is independently checksummed, so a single flipped bit is
+// caught before the CSR pattern is even constructed, and truncation at any
+// section boundary reports the exact byte offset. save_binary is atomic:
+// it writes `<path>.tmp` and renames over the target only after a clean
+// flush, so a crash mid-write can never tear an existing snapshot.
+//
+// Version history: "BFC1" (no version field, no checksums) is detected and
+// rejected with a regenerate hint rather than misparsed.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -12,10 +28,19 @@
 
 namespace bfc::graph {
 
+inline constexpr std::uint32_t kBinaryFormatVersion = 2;
+
 void write_binary(std::ostream& out, const BipartiteGraph& g);
+
+/// Atomic: writes `path + ".tmp"`, flushes, then renames onto `path`.
 void save_binary(const std::string& path, const BipartiteGraph& g);
 
-[[nodiscard]] BipartiteGraph read_binary(std::istream& in);
+/// `source` names the stream in error messages ("<stream>" by default;
+/// load_binary passes the file path) so a bad magic / CRC mismatch /
+/// truncation says *which* file died and at what byte offset.
+[[nodiscard]] BipartiteGraph read_binary(std::istream& in,
+                                         const std::string& source =
+                                             "<stream>");
 [[nodiscard]] BipartiteGraph load_binary(const std::string& path);
 
 }  // namespace bfc::graph

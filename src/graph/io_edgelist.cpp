@@ -14,7 +14,8 @@
 
 namespace bfc::graph {
 
-BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
+BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2,
+                             const std::string& source) {
   BFC_TRACE_SCOPE("graph.read_edgelist");
   const Timer parse_timer;
   std::vector<std::pair<vidx_t, vidx_t>> edges;
@@ -23,6 +24,10 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
 
   std::string line;
   std::size_t lineno = 0;
+  const auto fail = [&](const std::string& what) {
+    return std::runtime_error("edgelist " + source + ":" +
+                              std::to_string(lineno) + ": " + what);
+  };
   while (std::getline(in, line)) {
     ++lineno;
     const auto first = line.find_first_not_of(" \t\r");
@@ -31,12 +36,8 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
 
     std::istringstream fields(line);
     long long u = 0, v = 0;
-    if (!(fields >> u >> v))
-      throw std::runtime_error("edgelist: malformed line " +
-                               std::to_string(lineno) + ": " + line);
-    if (u < 1 || v < 1)
-      throw std::runtime_error("edgelist: ids must be 1-based positive, line " +
-                               std::to_string(lineno));
+    if (!(fields >> u >> v)) throw fail("malformed line: " + line);
+    if (u < 1 || v < 1) throw fail("ids must be 1-based positive");
     const auto u0 = static_cast<vidx_t>(u - 1);
     const auto v0 = static_cast<vidx_t>(v - 1);
     max_u = std::max(max_u, static_cast<vidx_t>(u0 + 1));
@@ -47,7 +48,7 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
   const vidx_t rows = n1 > 0 ? n1 : max_u;
   const vidx_t cols = n2 > 0 ? n2 : max_v;
   require(rows >= max_u && cols >= max_v,
-          "edgelist: forced dimensions smaller than ids present");
+          "edgelist " + source + ": forced dimensions smaller than ids present");
   BFC_COUNT_ADD("graph.io.lines_read", static_cast<std::int64_t>(lineno));
   BFC_COUNT_ADD("graph.io.edges_read", static_cast<std::int64_t>(edges.size()));
   BFC_GAUGE_SET("graph.io.parse_seconds", parse_timer.seconds());
@@ -59,7 +60,7 @@ BipartiteGraph read_edgelist(std::istream& in, vidx_t n1, vidx_t n2) {
 BipartiteGraph load_edgelist(const std::string& path, vidx_t n1, vidx_t n2) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open edge list: " + path);
-  return read_edgelist(in, n1, n2);
+  return read_edgelist(in, n1, n2, path);
 }
 
 void write_edgelist(std::ostream& out, const BipartiteGraph& g) {

@@ -13,9 +13,13 @@
 namespace bfc::graph {
 
 /// Parses a KONECT-style stream. Vertex-set sizes are inferred from the
-/// maximum ids seen unless forced via n1/n2 (pass 0 to infer).
+/// maximum ids seen unless forced via n1/n2 (pass 0 to infer). `source`
+/// names the stream in parse errors (load_edgelist passes the file path),
+/// so "malformed line 341" also says which file it came from.
 [[nodiscard]] BipartiteGraph read_edgelist(std::istream& in, vidx_t n1 = 0,
-                                           vidx_t n2 = 0);
+                                           vidx_t n2 = 0,
+                                           const std::string& source =
+                                               "<stream>");
 
 /// Loads from a file path; throws std::runtime_error if unreadable.
 [[nodiscard]] BipartiteGraph load_edgelist(const std::string& path,

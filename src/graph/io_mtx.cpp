@@ -24,49 +24,56 @@ std::string lowercase(std::string s) {
 
 }  // namespace
 
-BipartiteGraph read_mtx(std::istream& in) {
+BipartiteGraph read_mtx(std::istream& in, const std::string& source) {
   BFC_TRACE_SCOPE("graph.read_mtx");
   const Timer parse_timer;
+  const auto fail = [&source](const std::string& what) {
+    return std::runtime_error("mtx " + source + ": " + what);
+  };
   std::string line;
-  if (!std::getline(in, line))
-    throw std::runtime_error("mtx: empty stream");
+  if (!std::getline(in, line)) throw fail("empty stream");
 
   std::istringstream banner(lowercase(line));
   std::string tag, object, format, field, symmetry;
   banner >> tag >> object >> format >> field >> symmetry;
   if (tag != "%%matrixmarket" || object != "matrix")
-    throw std::runtime_error("mtx: missing %%MatrixMarket matrix banner");
+    throw fail("missing %%MatrixMarket matrix banner");
   if (format != "coordinate")
-    throw std::runtime_error("mtx: only coordinate format supported");
+    throw fail("only coordinate format supported");
   if (field != "pattern" && field != "integer" && field != "real")
-    throw std::runtime_error("mtx: unsupported field: " + field);
+    throw fail("unsupported field: " + field);
   if (symmetry != "general")
-    throw std::runtime_error(
-        "mtx: biadjacency matrices are rectangular; symmetry must be general");
+    throw fail(
+        "biadjacency matrices are rectangular; symmetry must be general");
   const bool has_value = field != "pattern";
 
   // Skip comments up to the size line.
   do {
-    if (!std::getline(in, line)) throw std::runtime_error("mtx: no size line");
+    if (!std::getline(in, line)) throw fail("no size line");
   } while (!line.empty() && line[0] == '%');
 
   std::istringstream size_line(line);
   long long rows = 0, cols = 0, entries = 0;
   if (!(size_line >> rows >> cols >> entries) || rows < 0 || cols < 0 ||
       entries < 0)
-    throw std::runtime_error("mtx: malformed size line: " + line);
+    throw fail("malformed size line: " + line);
 
   sparse::CooBuilder builder(static_cast<vidx_t>(rows),
                              static_cast<vidx_t>(cols));
   builder.reserve(static_cast<std::size_t>(entries));
   for (long long k = 0; k < entries; ++k) {
+    // The entry section is free-form whitespace, so errors report the
+    // 1-based entry index rather than a line number.
+    const auto at_entry = [&](const std::string& what) {
+      return fail("entry " + std::to_string(k + 1) + " of " +
+                  std::to_string(entries) + ": " + what);
+    };
     long long r = 0, c = 0;
     double value = 1.0;
-    if (!(in >> r >> c)) throw std::runtime_error("mtx: truncated entries");
-    if (has_value && !(in >> value))
-      throw std::runtime_error("mtx: entry missing value");
+    if (!(in >> r >> c)) throw at_entry("truncated entries");
+    if (has_value && !(in >> value)) throw at_entry("entry missing value");
     if (r < 1 || r > rows || c < 1 || c > cols)
-      throw std::runtime_error("mtx: entry out of range");
+      throw at_entry("entry out of range");
     if (value != 0.0)
       builder.add(static_cast<vidx_t>(r - 1), static_cast<vidx_t>(c - 1));
   }
@@ -80,7 +87,7 @@ BipartiteGraph read_mtx(std::istream& in) {
 BipartiteGraph load_mtx(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open mtx file: " + path);
-  return read_mtx(in);
+  return read_mtx(in, path);
 }
 
 void write_mtx(std::ostream& out, const BipartiteGraph& g) {

@@ -11,7 +11,10 @@
 
 namespace bfc::graph {
 
-[[nodiscard]] BipartiteGraph read_mtx(std::istream& in);
+/// `source` names the stream in parse errors (load_mtx passes the file
+/// path) alongside the offending line or entry index.
+[[nodiscard]] BipartiteGraph read_mtx(std::istream& in,
+                                      const std::string& source = "<stream>");
 [[nodiscard]] BipartiteGraph load_mtx(const std::string& path);
 
 void write_mtx(std::ostream& out, const BipartiteGraph& g);

@@ -1,21 +1,30 @@
 #include "svc/executor.hpp"
 
+#include <algorithm>
+#include <chrono>
+
 #include "obs/metrics.hpp"
+#include "svc/fault.hpp"
 
 namespace bfc::svc {
 
-Executor::Executor(int threads) {
-  require(threads >= 1, "Executor: threads must be >= 1");
-  workers_.reserve(static_cast<std::size_t>(threads));
-  for (int t = 0; t < threads; ++t)
+Executor::Executor(const ExecutorOptions& options)
+    : max_queue_(options.max_queue), policy_(options.policy) {
+  require(options.threads >= 1, "Executor: threads must be >= 1");
+  workers_.reserve(static_cast<std::size_t>(options.threads));
+  for (int t = 0; t < options.threads; ++t)
     workers_.emplace_back(
         [this](const std::stop_token& stop) { worker_loop(stop); });
 }
 
 Executor::~Executor() {
   // jthread destructors request_stop() and join; the stop_token wakes any
-  // worker parked in the condition-variable wait below.
+  // worker parked in the condition-variable wait below. Tasks still queued
+  // after the workers exit are abandoned through their fallbacks.
   for (std::jthread& w : workers_) w.request_stop();
+  for (std::jthread& w : workers_) w.join();
+  for (Task& task : queue_) task.abandon(OverloadError::Reason::kShed);
+  queue_.clear();
 }
 
 std::size_t Executor::queue_depth() const {
@@ -23,18 +32,77 @@ std::size_t Executor::queue_depth() const {
   return queue_.size();
 }
 
-void Executor::enqueue(std::function<void()> task) {
+bool Executor::admit(Task task) {
+  Task victim;
+  bool have_victim = false;
   {
     const std::scoped_lock lock(mu_);
+    bool full = max_queue_ != 0 && queue_.size() >= max_queue_;
+    if (fault::fires(fault::Point::kQueueSaturation)) full = true;
+    if (full && !queue_.empty()) {
+      switch (policy_) {
+        case ShedPolicy::kRejectNew:
+          BFC_COUNT_ADD("svc.rejected", 1);
+          return false;
+        case ShedPolicy::kDropOldest:
+          victim = std::move(queue_.front());
+          queue_.pop_front();
+          have_victim = true;
+          break;
+        case ShedPolicy::kDeadlineAware: {
+          // Shed the task least likely to make its deadline: an already
+          // expired one if any, else the one closest to expiry (tasks
+          // without a deadline never lose to one that still has time).
+          // When the incoming task's own deadline is the soonest of all,
+          // it is the doomed one — refuse it instead of evicting work
+          // that could still finish.
+          auto expired = std::find_if(
+              queue_.begin(), queue_.end(),
+              [](const Task& t) { return t.deadline.expired(); });
+          auto it = expired != queue_.end()
+                        ? expired
+                        : std::min_element(
+                              queue_.begin(), queue_.end(),
+                              [](const Task& a, const Task& b) {
+                                if (a.deadline.armed() != b.deadline.armed())
+                                  return a.deadline.armed();
+                                if (!a.deadline.armed()) return false;
+                                return a.deadline.time() < b.deadline.time();
+                              });
+          const bool incoming_sooner =
+              expired == queue_.end() && task.deadline.armed() &&
+              (!it->deadline.armed() ||
+               task.deadline.time() < it->deadline.time());
+          if (incoming_sooner) {
+            BFC_COUNT_ADD("svc.rejected", 1);
+            return false;
+          }
+          victim = std::move(*it);
+          queue_.erase(it);
+          have_victim = true;
+          break;
+        }
+      }
+      BFC_COUNT_ADD("svc.shed", 1);
+    } else if (full) {
+      // Queue forced "full" while actually empty (fault injection with
+      // max_queue 0 workers idle): there is nothing to evict, so every
+      // policy degenerates to reject-new.
+      BFC_COUNT_ADD("svc.rejected", 1);
+      return false;
+    }
     queue_.push_back(std::move(task));
     BFC_GAUGE_SET("svc.queue_depth", queue_.size());
   }
   cv_.notify_one();
+  // The victim's fallback may do real (if bounded) work — never under mu_.
+  if (have_victim) victim.abandon(OverloadError::Reason::kShed);
+  return true;
 }
 
 void Executor::worker_loop(const std::stop_token& stop) {
   for (;;) {
-    std::function<void()> task;
+    Task task;
     {
       std::unique_lock lock(mu_);
       // Returns false only when stop was requested with the queue empty.
@@ -43,7 +111,15 @@ void Executor::worker_loop(const std::stop_token& stop) {
       queue_.pop_front();
       BFC_GAUGE_SET("svc.queue_depth", queue_.size());
     }
-    task();
+    // Deadline-abandon checkpoint: work that expired while queued is not
+    // worth starting — resolve it degraded (or with OverloadError) and
+    // move straight to the next task.
+    if (task.deadline.expired()) {
+      BFC_COUNT_ADD("svc.deadline_expired", 1);
+      task.abandon(OverloadError::Reason::kDeadline);
+      continue;
+    }
+    task.run();
   }
 }
 

@@ -1,0 +1,100 @@
+#include "svc/fault.hpp"
+
+#if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED
+
+#include <array>
+#include <mutex>
+
+#include "obs/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace bfc::svc::fault {
+namespace {
+
+struct PointState {
+  bool armed = false;
+  bool random = false;
+  std::uint64_t skip = 0;
+  std::uint64_t times = 0;
+  std::uint64_t parameter = 0;
+  std::uint64_t invocations = 0;
+  std::uint64_t fired = 0;
+  double prob = 0.0;
+  Rng rng{0};
+};
+
+// One mutex for all points: fault checks sit on seams (admission, publish,
+// persist) that are far from per-wedge hot loops, and the checked build
+// already trades speed for determinism.
+std::mutex g_mu;
+std::array<PointState, kPoints> g_points;
+
+PointState& state_of(Point p) {
+  return g_points[static_cast<std::size_t>(p)];
+}
+
+}  // namespace
+
+void arm(Point p, std::uint64_t skip, std::uint64_t times,
+         std::uint64_t param) {
+  const std::scoped_lock lock(g_mu);
+  PointState& s = state_of(p);
+  s = PointState{};
+  s.armed = true;
+  s.skip = skip;
+  s.times = times;
+  s.parameter = param;
+}
+
+void arm_random(Point p, double prob, std::uint64_t seed,
+                std::uint64_t param) {
+  require(prob >= 0.0 && prob <= 1.0,
+          "fault::arm_random: prob must be in [0, 1]");
+  const std::scoped_lock lock(g_mu);
+  PointState& s = state_of(p);
+  s = PointState{};
+  s.armed = true;
+  s.random = true;
+  s.prob = prob;
+  s.rng = Rng(seed);
+  s.parameter = param;
+}
+
+void disarm(Point p) {
+  const std::scoped_lock lock(g_mu);
+  state_of(p) = PointState{};
+}
+
+void reset() {
+  const std::scoped_lock lock(g_mu);
+  for (PointState& s : g_points) s = PointState{};
+}
+
+bool fires(Point p) {
+  const std::scoped_lock lock(g_mu);
+  PointState& s = state_of(p);
+  if (!s.armed) return false;
+  ++s.invocations;
+  const bool fire = s.random
+                        ? s.rng.uniform() < s.prob
+                        : s.invocations > s.skip && s.fired < s.times;
+  if (fire) {
+    ++s.fired;
+    BFC_COUNT_ADD("svc.faults_injected", 1);
+  }
+  return fire;
+}
+
+std::uint64_t param(Point p) {
+  const std::scoped_lock lock(g_mu);
+  return state_of(p).parameter;
+}
+
+std::uint64_t fired_count(Point p) {
+  const std::scoped_lock lock(g_mu);
+  return state_of(p).fired;
+}
+
+}  // namespace bfc::svc::fault
+
+#endif  // BFC_CHECKED_ENABLED

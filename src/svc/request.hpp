@@ -1,12 +1,21 @@
 // Query vocabulary of the serving layer: the request shapes the counting
 // stack answers in production (Shi & Shun's and Wang et al.'s workhorse
 // statistics) — the global count, per-vertex tip numbers, per-edge wing
-// support, and top-k wedge pairs.
+// support, and top-k wedge pairs — plus the fault-tolerance vocabulary
+// every query carries: a per-request Deadline, the Request envelope
+// (pinned snapshot + deadline), the QueryResult fidelity tag that makes
+// degraded-mode answers explicit, and OverloadError, the one exception a
+// caller sees when the admission queue sheds its work outright.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
+#include <utility>
 
+#include "svc/snapshot.hpp"
+#include "util/cancel.hpp"
 #include "util/common.hpp"
 
 namespace bfc::svc {
@@ -32,5 +41,120 @@ inline constexpr int kQueryKinds = 5;
   }
   return "unknown";
 }
+
+/// Wall-clock budget of one request. Unarmed (the default) means "no
+/// deadline". Carried through the Executor queue — tasks whose deadline
+/// passes before a worker picks them up are abandoned, not run — and into
+/// the tip/wing kernels as a CancelToken so an in-flight scan gives up
+/// cooperatively instead of finishing work nobody is waiting for.
+class Deadline {
+ public:
+  using Clock = CancelToken::Clock;
+
+  Deadline() = default;  // no deadline
+
+  [[nodiscard]] static Deadline at(Clock::time_point t) noexcept {
+    Deadline d;
+    d.at_ = t;
+    d.armed_ = true;
+    return d;
+  }
+
+  /// Deadline `budget` from now, e.g. Deadline::after(5ms).
+  [[nodiscard]] static Deadline after(Clock::duration budget) noexcept {
+    return at(Clock::now() + budget);
+  }
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+  [[nodiscard]] bool expired() const noexcept {
+    return armed_ && Clock::now() >= at_;
+  }
+  [[nodiscard]] Clock::time_point time() const noexcept { return at_; }
+
+  /// The kernel-side view of this deadline (unarmed -> never-firing token).
+  [[nodiscard]] CancelToken token() const noexcept {
+    return armed_ ? CancelToken(at_) : CancelToken();
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool armed_ = false;
+};
+
+/// Per-query envelope: which epoch to answer against (empty = pin the
+/// latest at submission) and how long the caller is willing to wait.
+/// Implicitly constructible from a SnapshotPtr so the common
+/// `service.vertex_tip_v1(u, snap)` call sites read naturally.
+struct Request {
+  SnapshotPtr snap{};
+  Deadline deadline{};
+
+  Request() = default;
+  // NOLINTNEXTLINE(google-explicit-constructor): a bare pinned snapshot IS
+  // a request; forcing Request{snap, {}} on every call site buys nothing.
+  Request(SnapshotPtr s) : snap(std::move(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor)
+  Request(Deadline d) : deadline(d) {}
+  Request(SnapshotPtr s, Deadline d) : snap(std::move(s)), deadline(d) {}
+};
+
+/// How trustworthy a query answer is. Anything other than kExact means the
+/// service degraded under pressure rather than shedding the request.
+enum class Fidelity : std::uint8_t {
+  kExact = 0,  // exact value at the result's epoch
+  kStale,      // exact value, but from an older (already retired) epoch
+  kApprox,     // sampled estimate (Sanei-Mehri et al. style) at the epoch
+};
+
+[[nodiscard]] inline const char* fidelity_name(Fidelity f) noexcept {
+  switch (f) {
+    case Fidelity::kExact: return "exact";
+    case Fidelity::kStale: return "stale";
+    case Fidelity::kApprox: return "approx";
+  }
+  return "unknown";
+}
+
+/// Every service query resolves to one of these: the value, the epoch it
+/// actually reflects (== the pinned epoch unless fidelity is kStale), and
+/// the explicit degradation tag.
+template <typename T>
+struct QueryResult {
+  T value{};
+  std::uint64_t epoch = 0;
+  Fidelity fidelity = Fidelity::kExact;
+
+  [[nodiscard]] bool degraded() const noexcept {
+    return fidelity != Fidelity::kExact;
+  }
+};
+
+/// Raised through a query future when the request was shed and no degraded
+/// answer could be produced: refused at admission (kRejected), evicted
+/// from the queue by a shedding policy (kShed), or abandoned because its
+/// deadline passed before a worker picked it up (kDeadline).
+class OverloadError : public std::runtime_error {
+ public:
+  enum class Reason : std::uint8_t { kRejected = 0, kShed, kDeadline };
+
+  explicit OverloadError(Reason reason)
+      : std::runtime_error(std::string("query shed under overload: ") +
+                           reason_name(reason)),
+        reason_(reason) {}
+
+  [[nodiscard]] Reason reason() const noexcept { return reason_; }
+
+  [[nodiscard]] static const char* reason_name(Reason r) noexcept {
+    switch (r) {
+      case Reason::kRejected: return "rejected at admission";
+      case Reason::kShed: return "evicted from the queue";
+      case Reason::kDeadline: return "deadline expired before start";
+    }
+    return "unknown";
+  }
+
+ private:
+  Reason reason_;
+};
 
 }  // namespace bfc::svc

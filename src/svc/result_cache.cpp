@@ -12,11 +12,19 @@ std::optional<CacheValue> ResultCache::get(const CacheKey& key) {
   const std::scoped_lock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
+    ++misses_;
     BFC_COUNT_ADD("svc.cache_misses", 1);
+    BFC_GAUGE_SET("svc.cache_hit_rate",
+                  static_cast<double>(hits_) /
+                      static_cast<double>(hits_ + misses_));
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
   BFC_COUNT_ADD("svc.cache_hits", 1);
+  BFC_GAUGE_SET("svc.cache_hit_rate",
+                static_cast<double>(hits_) /
+                    static_cast<double>(hits_ + misses_));
   return it->second->second;
 }
 
@@ -41,7 +49,44 @@ void ResultCache::invalidate_all() {
   const std::scoped_lock lock(mu_);
   map_.clear();
   lru_.clear();
+  // New generation: the hit-rate gauge must describe post-invalidation
+  // traffic only, not the mixture with the epoch that just died.
+  hits_ = 0;
+  misses_ = 0;
+  BFC_GAUGE_SET("svc.cache_hit_rate", 0.0);
   BFC_COUNT_ADD("svc.cache_invalidations", 1);
+}
+
+void ResultCache::invalidate_older_than(std::uint64_t min_epoch) {
+  const std::scoped_lock lock(mu_);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->first.epoch < min_epoch) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  hits_ = 0;
+  misses_ = 0;
+  BFC_GAUGE_SET("svc.cache_hit_rate", 0.0);
+  BFC_COUNT_ADD("svc.cache_invalidations", 1);
+}
+
+std::int64_t ResultCache::hits() const {
+  const std::scoped_lock lock(mu_);
+  return hits_;
+}
+
+std::int64_t ResultCache::misses() const {
+  const std::scoped_lock lock(mu_);
+  return misses_;
+}
+
+double ResultCache::hit_rate() const {
+  const std::scoped_lock lock(mu_);
+  if (hits_ + misses_ == 0) return 0.0;
+  return static_cast<double>(hits_) / static_cast<double>(hits_ + misses_);
 }
 
 std::size_t ResultCache::size() const {

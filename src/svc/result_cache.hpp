@@ -1,9 +1,16 @@
 // Bounded LRU cache over query results, keyed by (epoch, kind, argument).
 // Because the key includes the epoch and snapshots are immutable, a cached
-// entry can never be stale — entries for old epochs are merely useless once
-// every reader has moved on, so the service invalidates the cache wholesale
-// on each publish rather than tracking per-entry liveness. Hits and misses
-// are exported through the obs registry (svc.cache_hits / svc.cache_misses).
+// entry can never serve a *wrong* answer — entries for old epochs are merely
+// old. The service exploits that for graceful degradation: on publish it
+// calls invalidate_older_than(epoch - 1), keeping exactly the just-retired
+// epoch's entries as the stale-answer tier of the degradation ladder while
+// dropping everything older.
+//
+// Counters: cumulative hits/misses go to the obs registry (svc.cache_hits /
+// svc.cache_misses). The cache additionally keeps *generation-scoped*
+// hit/miss counts that reset on every invalidation, so the post-publish
+// hit-rate gauge (svc.cache_hit_rate) reflects the current epoch only and
+// is not polluted by traffic against snapshots that no longer exist.
 #pragma once
 
 #include <cstdint>
@@ -63,8 +70,19 @@ class ResultCache {
   /// Inserts or refreshes; evicts the least-recently-used entry when full.
   void put(const CacheKey& key, CacheValue value);
 
-  /// Drops every entry (epoch publish). Counters are left running.
+  /// Drops every entry and resets the generation-scoped hit/miss stats.
   void invalidate_all();
+
+  /// Drops entries with key.epoch < min_epoch (the publish path passes
+  /// new_epoch - 1, retaining one trailing epoch as the stale-answer tier)
+  /// and resets the generation-scoped hit/miss stats.
+  void invalidate_older_than(std::uint64_t min_epoch);
+
+  /// Hits / misses since the last invalidation (not since construction).
+  [[nodiscard]] std::int64_t hits() const;
+  [[nodiscard]] std::int64_t misses() const;
+  /// hits / (hits + misses) of the current generation; 0 when untouched.
+  [[nodiscard]] double hit_rate() const;
 
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
@@ -76,6 +94,8 @@ class ResultCache {
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recently used
   std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
+  std::int64_t hits_ = 0;    // generation-scoped; reset on invalidation
+  std::int64_t misses_ = 0;  // generation-scoped; reset on invalidation
 };
 
 }  // namespace bfc::svc

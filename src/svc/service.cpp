@@ -1,11 +1,17 @@
 #include "svc/service.hpp"
 
+#include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <exception>
+#include <thread>
 
+#include "count/approx.hpp"
 #include "count/local_counts.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "sparse/ops.hpp"
+#include "svc/fault.hpp"
 #include "util/timer.hpp"
 
 namespace bfc::svc {
@@ -15,6 +21,13 @@ template <typename T>
 std::future<T> ready_future(T value) {
   std::promise<T> p;
   p.set_value(std::move(value));
+  return p.get_future();
+}
+
+template <typename T>
+std::future<T> overload_future(OverloadError::Reason reason) {
+  std::promise<T> p;
+  p.set_exception(std::make_exception_ptr(OverloadError(reason)));
   return p.get_future();
 }
 
@@ -37,18 +50,23 @@ ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
     : store_(n1, n2),
       cache_(options.cache_capacity),
       memo_keep_epochs_(options.memo_keep_epochs),
-      pool_(options.threads) {
+      degrade_queue_depth_(options.degrade_queue_depth),
+      degrade_p95_us_(options.degrade_p95_us),
+      approx_samples_(options.approx_samples),
+      pool_(ExecutorOptions{options.threads, options.max_queue,
+                            options.shed_policy}) {
   require(options.memo_keep_epochs >= 1,
           "ButterflyService: memo_keep_epochs must be >= 1");
+  require(options.approx_samples >= 1,
+          "ButterflyService: approx_samples must be >= 1");
 }
 
 PublishResult ButterflyService::apply_updates(
     std::span<const EdgeUpdate> batch) {
   const PublishResult result = store_.apply_batch(batch);
-  // Wholesale invalidation: entries are epoch-keyed so none could serve a
-  // wrong answer, but readers move to the new epoch immediately and stale
-  // entries would only crowd out live ones.
-  cache_.invalidate_all();
+  // Entries are epoch-keyed so none could serve a wrong answer; keep the
+  // just-retired epoch as the stale-answer tier and drop everything older.
+  cache_.invalidate_older_than(result.epoch == 0 ? 0 : result.epoch - 1);
   {
     const std::scoped_lock lock(memo_mu_);
     std::erase_if(tip_memo_, [&](const auto& entry) {
@@ -58,95 +76,288 @@ PublishResult ButterflyService::apply_updates(
   return result;
 }
 
-std::future<count_t> ButterflyService::global_count(SnapshotPtr snap) {
-  if (!snap) snap = store_.current();
+void ButterflyService::restore(const std::string& path) {
+  store_.restore(path);  // throws on corruption, store unchanged
+  // The epoch sequence restarted: every cached/memoised answer is keyed by
+  // epochs that no longer mean anything.
+  cache_.invalidate_all();
+  const std::scoped_lock lock(memo_mu_);
+  tip_memo_.clear();
+}
+
+std::future<QueryResult<count_t>> ButterflyService::global_count(Request req) {
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
   // Maintained incrementally by the writer: answering is one field read.
   BFC_HIST_OBSERVE("svc.latency_us.global", 0);
-  return ready_future(snap->butterflies);
+  observe_latency(0.0);
+  return ready_future(
+      QueryResult<count_t>{snap->butterflies, snap->epoch, Fidelity::kExact});
 }
 
-std::future<count_t> ButterflyService::vertex_tip_v1(vidx_t u,
-                                                     SnapshotPtr snap) {
+std::future<QueryResult<count_t>> ButterflyService::vertex_tip_v1(
+    vidx_t u, Request req) {
   require(u >= 0 && u < store_.n1(), "vertex_tip_v1: vertex out of range");
-  if (!snap) snap = store_.current();
-  BFC_COUNT_ADD("svc.queries", 1);
-  const CacheKey key{snap->epoch, QueryKind::kVertexTipV1, u, 0};
-  if (const auto hit = cache_.get(key)) {
-    BFC_HIST_OBSERVE("svc.latency_us.tip_v1", 0);
-    return ready_future(std::get<count_t>(*hit));
-  }
-  return pool_.submit([this, snap = std::move(snap), key, u, timer = Timer()] {
-    const TipVector tips = tips_for(snap, /*v1_side=*/true);
-    const count_t value = (*tips)[static_cast<std::size_t>(u)];
-    cache_.put(key, value);
-    BFC_HIST_OBSERVE("svc.latency_us.tip_v1", timer.seconds() * 1e6);
-    return value;
-  });
+  return vertex_tip(u, /*v1_side=*/true, std::move(req));
 }
 
-std::future<count_t> ButterflyService::vertex_tip_v2(vidx_t v,
-                                                     SnapshotPtr snap) {
+std::future<QueryResult<count_t>> ButterflyService::vertex_tip_v2(
+    vidx_t v, Request req) {
   require(v >= 0 && v < store_.n2(), "vertex_tip_v2: vertex out of range");
-  if (!snap) snap = store_.current();
-  BFC_COUNT_ADD("svc.queries", 1);
-  const CacheKey key{snap->epoch, QueryKind::kVertexTipV2, v, 0};
-  if (const auto hit = cache_.get(key)) {
-    BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
-    return ready_future(std::get<count_t>(*hit));
-  }
-  return pool_.submit([this, snap = std::move(snap), key, v, timer = Timer()] {
-    const TipVector tips = tips_for(snap, /*v1_side=*/false);
-    const count_t value = (*tips)[static_cast<std::size_t>(v)];
-    cache_.put(key, value);
-    BFC_HIST_OBSERVE("svc.latency_us.tip_v2", timer.seconds() * 1e6);
-    return value;
-  });
+  return vertex_tip(v, /*v1_side=*/false, std::move(req));
 }
 
-std::future<count_t> ButterflyService::edge_support(vidx_t u, vidx_t v,
-                                                    SnapshotPtr snap) {
+std::future<QueryResult<count_t>> ButterflyService::vertex_tip(vidx_t vertex,
+                                                               bool v1_side,
+                                                               Request req) {
+  const QueryKind kind =
+      v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
+  BFC_COUNT_ADD("svc.queries", 1);
+  const CacheKey key{snap->epoch, kind, vertex, 0};
+  if (const auto hit = cache_.get(key)) {
+    if (v1_side)
+      BFC_HIST_OBSERVE("svc.latency_us.tip_v1", 0);
+    else
+      BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
+    observe_latency(0.0);
+    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
+                                             snap->epoch, Fidelity::kExact});
+  }
+  // Rung 0 of the ladder: already drowning — answer degraded right now
+  // instead of queueing exact work nobody can afford.
+  if (overloaded()) {
+    if (auto d = degraded_tip(snap, vertex, v1_side))
+      return ready_future(std::move(*d));
+  }
+  auto fallback = [this, snap, vertex, v1_side] {
+    return degraded_tip(snap, vertex, v1_side);
+  };
+  auto exact = [this, snap, key, vertex, v1_side, deadline = req.deadline,
+                timer = Timer()] {
+    try {
+      const TipVector tips = tips_for(snap, v1_side, deadline.token());
+      const count_t value = (*tips)[static_cast<std::size_t>(vertex)];
+      cache_.put(key, value);
+      const double us = timer.seconds() * 1e6;
+      if (v1_side)
+        BFC_HIST_OBSERVE("svc.latency_us.tip_v1", us);
+      else
+        BFC_HIST_OBSERVE("svc.latency_us.tip_v2", us);
+      observe_latency(us);
+      return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
+    } catch (const CancelledError&) {
+      // The deadline fired mid-pass; the kernel gave up cooperatively.
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      if (auto d = degraded_tip(snap, vertex, v1_side)) return std::move(*d);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    }
+  };
+  if (auto fut =
+          pool_.try_submit(std::move(exact), req.deadline, std::move(fallback)))
+    return std::move(*fut);
+  // Refused at admission: degrade on the caller's thread.
+  if (auto d = degraded_tip(snap, vertex, v1_side))
+    return ready_future(std::move(*d));
+  return overload_future<QueryResult<count_t>>(
+      OverloadError::Reason::kRejected);
+}
+
+std::future<QueryResult<count_t>> ButterflyService::edge_support(vidx_t u,
+                                                                 vidx_t v,
+                                                                 Request req) {
   require(u >= 0 && u < store_.n1() && v >= 0 && v < store_.n2(),
           "edge_support: vertex out of range");
-  if (!snap) snap = store_.current();
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
   const CacheKey key{snap->epoch, QueryKind::kEdgeSupport, u, v};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.edge", 0);
-    return ready_future(std::get<count_t>(*hit));
+    observe_latency(0.0);
+    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
+                                             snap->epoch, Fidelity::kExact});
   }
-  return pool_.submit(
-      [this, snap = std::move(snap), key, u, v, timer = Timer()] {
-        const count_t value = snap->graph.has_edge(u, v)
-                                  ? support_of_edge(snap->graph, u, v)
-                                  : 0;
-        cache_.put(key, value);
-        BFC_HIST_OBSERVE("svc.latency_us.edge", timer.seconds() * 1e6);
-        return value;
-      });
+  // Shed/overload path: previous epoch's cached support, else the exact
+  // one-edge computation inline — it is one row scan, cheap enough to run
+  // on the shedding thread rather than give up fidelity.
+  auto inline_answer = [this, snap, key, u,
+                        v]() -> std::optional<QueryResult<count_t>> {
+    if (auto stale = stale_scalar(snap, QueryKind::kEdgeSupport, u, v)) {
+      BFC_COUNT_ADD("svc.degraded", 1);
+      BFC_COUNT_ADD("svc.stale_answers", 1);
+      return stale;
+    }
+    const count_t value =
+        snap->graph.has_edge(u, v) ? support_of_edge(snap->graph, u, v) : 0;
+    cache_.put(key, value);
+    BFC_COUNT_ADD("svc.inline_answers", 1);
+    return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
+  };
+  if (overloaded()) return ready_future(std::move(*inline_answer()));
+  auto exact = [this, snap, key, u, v, timer = Timer()] {
+    const count_t value =
+        snap->graph.has_edge(u, v) ? support_of_edge(snap->graph, u, v) : 0;
+    cache_.put(key, value);
+    const double us = timer.seconds() * 1e6;
+    BFC_HIST_OBSERVE("svc.latency_us.edge", us);
+    observe_latency(us);
+    return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
+  };
+  if (auto fut =
+          pool_.try_submit(std::move(exact), req.deadline, inline_answer))
+    return std::move(*fut);
+  return ready_future(std::move(*inline_answer()));
 }
 
-std::future<TopPairsPtr> ButterflyService::top_pairs(std::size_t k,
-                                                     SnapshotPtr snap) {
-  if (!snap) snap = store_.current();
+std::future<QueryResult<TopPairsPtr>> ButterflyService::top_pairs(
+    std::size_t k, Request req) {
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
   const CacheKey key{snap->epoch, QueryKind::kTopPairs,
                      static_cast<std::int64_t>(k), 0};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.top_pairs", 0);
-    return ready_future(std::get<TopPairsPtr>(*hit));
+    observe_latency(0.0);
+    return ready_future(QueryResult<TopPairsPtr>{
+        std::get<TopPairsPtr>(*hit), snap->epoch, Fidelity::kExact});
   }
-  return pool_.submit([this, snap = std::move(snap), key, k, timer = Timer()] {
+  // Only stale rung: there is no cheap sampled substitute for an exact
+  // top-k list, so with no previous-epoch list the query is shed outright.
+  auto stale_pairs = [this, snap,
+                      k]() -> std::optional<QueryResult<TopPairsPtr>> {
+    if (snap->epoch == 0) return std::nullopt;
+    const CacheKey prev{snap->epoch - 1, QueryKind::kTopPairs,
+                        static_cast<std::int64_t>(k), 0};
+    const auto hit = cache_.get(prev);
+    if (!hit) return std::nullopt;
+    BFC_COUNT_ADD("svc.degraded", 1);
+    BFC_COUNT_ADD("svc.stale_answers", 1);
+    return QueryResult<TopPairsPtr>{std::get<TopPairsPtr>(*hit),
+                                    snap->epoch - 1, Fidelity::kStale};
+  };
+  if (overloaded()) {
+    if (auto d = stale_pairs()) return ready_future(std::move(*d));
+  }
+  auto exact = [this, snap, key, k, timer = Timer()] {
     auto pairs = std::make_shared<const std::vector<count::VertexPair>>(
         count::top_wedge_pairs_v1(snap->graph, k));
     cache_.put(key, CacheValue{pairs});
-    BFC_HIST_OBSERVE("svc.latency_us.top_pairs", timer.seconds() * 1e6);
-    return TopPairsPtr(pairs);
-  });
+    const double us = timer.seconds() * 1e6;
+    BFC_HIST_OBSERVE("svc.latency_us.top_pairs", us);
+    observe_latency(us);
+    return QueryResult<TopPairsPtr>{TopPairsPtr(pairs), snap->epoch,
+                                    Fidelity::kExact};
+  };
+  if (auto fut =
+          pool_.try_submit(std::move(exact), req.deadline, stale_pairs))
+    return std::move(*fut);
+  if (auto d = stale_pairs()) return ready_future(std::move(*d));
+  return overload_future<QueryResult<TopPairsPtr>>(
+      OverloadError::Reason::kRejected);
 }
 
-ButterflyService::TipVector ButterflyService::tips_for(const SnapshotPtr& snap,
-                                                       bool v1_side) {
+std::optional<QueryResult<count_t>> ButterflyService::degraded_tip(
+    const SnapshotPtr& snap, vidx_t vertex, bool v1_side) {
+  const QueryKind kind =
+      v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
+  // Rung 1: the previous epoch's cached answer (kept on publish precisely
+  // for this).
+  if (auto stale = stale_scalar(snap, kind, vertex, 0)) {
+    BFC_COUNT_ADD("svc.degraded", 1);
+    BFC_COUNT_ADD("svc.stale_answers", 1);
+    return stale;
+  }
+  // Rung 2: a retained full tip pass from a recent epoch.
+  if (auto pass = stale_tips(snap->epoch, v1_side)) {
+    BFC_COUNT_ADD("svc.degraded", 1);
+    BFC_COUNT_ADD("svc.stale_answers", 1);
+    return QueryResult<count_t>{
+        (*pass->second)[static_cast<std::size_t>(vertex)], pass->first,
+        Fidelity::kStale};
+  }
+  // Rung 3: sampled estimate on the requested snapshot — O(samples · deg)
+  // regardless of graph size, affordable even under overload.
+  count::ApproxOptions opt;
+  opt.samples = approx_samples_;
+  opt.seed = 0x5eedULL ^ (snap->epoch * 0x9e3779b97f4a7c15ULL) ^
+             static_cast<std::uint64_t>(vertex);
+  const count::ApproxResult est =
+      v1_side ? count::approx_tip_v1(snap->graph, vertex, opt)
+              : count::approx_tip_v2(snap->graph, vertex, opt);
+  BFC_COUNT_ADD("svc.degraded", 1);
+  BFC_COUNT_ADD("svc.approx_fallbacks", 1);
+  const count_t value = std::max<count_t>(0, std::llround(est.estimate));
+  return QueryResult<count_t>{value, snap->epoch, Fidelity::kApprox};
+}
+
+std::optional<QueryResult<count_t>> ButterflyService::stale_scalar(
+    const SnapshotPtr& snap, QueryKind kind, std::int64_t a, std::int64_t b) {
+  if (snap->epoch == 0) return std::nullopt;
+  const CacheKey key{snap->epoch - 1, kind, a, b};
+  if (const auto hit = cache_.get(key))
+    return QueryResult<count_t>{std::get<count_t>(*hit), snap->epoch - 1,
+                                Fidelity::kStale};
+  return std::nullopt;
+}
+
+std::optional<std::pair<std::uint64_t, ButterflyService::TipVector>>
+ButterflyService::stale_tips(std::uint64_t before_epoch, bool v1_side) {
+  std::shared_future<TipVector> best;
+  std::uint64_t best_epoch = 0;
+  {
+    const std::scoped_lock lock(memo_mu_);
+    for (const auto& [key, pass] : tip_memo_) {
+      if (key.second != v1_side || key.first >= before_epoch) continue;
+      if (pass.result.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready)
+        continue;  // a degraded answer must not block on an in-flight pass
+      if (!best.valid() || key.first > best_epoch) {
+        best = pass.result;
+        best_epoch = key.first;
+      }
+    }
+  }
+  if (!best.valid()) return std::nullopt;
+  try {
+    return std::make_pair(best_epoch, best.get());
+  } catch (...) {
+    return std::nullopt;  // that pass failed; not a usable stale tier
+  }
+}
+
+bool ButterflyService::overloaded() const {
+  if (degrade_queue_depth_ != 0 && pool_.queue_depth() >= degrade_queue_depth_)
+    return true;
+  return degrade_p95_us_ > 0.0 && latency_p95_us() > degrade_p95_us_;
+}
+
+void ButterflyService::observe_latency(double us) {
+  const std::scoped_lock lock(lat_mu_);
+  lat_ring_[lat_next_] = us;
+  lat_next_ = (lat_next_ + 1) % lat_ring_.size();
+  if (lat_count_ < lat_ring_.size()) ++lat_count_;
+}
+
+double ButterflyService::latency_p95_us() const {
+  std::array<double, kLatencyWindow> window;  // NOLINT(*-member-init)
+  std::size_t n = 0;
+  {
+    const std::scoped_lock lock(lat_mu_);
+    n = lat_count_;
+    std::copy_n(lat_ring_.begin(), n, window.begin());
+  }
+  if (n == 0) return 0.0;
+  std::size_t idx = (n * 95) / 100;
+  if (idx >= n) idx = n - 1;
+  const auto nth = window.begin() + static_cast<std::ptrdiff_t>(idx);
+  std::nth_element(window.begin(), nth,
+                   window.begin() + static_cast<std::ptrdiff_t>(n));
+  BFC_GAUGE_SET("svc.latency_p95_us", *nth);
+  return *nth;
+}
+
+ButterflyService::TipVector ButterflyService::tips_for(
+    const SnapshotPtr& snap, bool v1_side, const CancelToken& cancel) {
   const std::pair<std::uint64_t, bool> key{snap->epoch, v1_side};
   std::promise<TipVector> mine;
   std::shared_future<TipVector> pass;
@@ -171,13 +382,18 @@ ButterflyService::TipVector ButterflyService::tips_for(const SnapshotPtr& snap,
     BFC_TRACE_SCOPE(v1_side ? "svc.tip_pass_v1" : "svc.tip_pass_v2");
     BFC_COUNT_ADD("svc.tip_passes", 1);
     try {
+      // Checked builds can inject latency here to force deadline expiry
+      // mid-pass (fault::Point::kSlowKernel, param = milliseconds).
+      if (fault::fires(fault::Point::kSlowKernel))
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(fault::param(fault::Point::kSlowKernel)));
       auto tips = std::make_shared<const std::vector<count_t>>(
-          v1_side ? count::butterflies_per_v1(snap->graph)
-                  : count::butterflies_per_v2(snap->graph));
+          v1_side ? count::butterflies_per_v1(snap->graph, cancel)
+                  : count::butterflies_per_v2(snap->graph, cancel));
       mine.set_value(std::move(tips));
     } catch (...) {
       // Drop the memo so a later query can retry, then propagate to every
-      // request already coalesced onto this pass.
+      // request already coalesced onto this pass (each degrades on its own).
       {
         const std::scoped_lock lock(memo_mu_);
         tip_memo_.erase(key);

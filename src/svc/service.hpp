@@ -6,26 +6,53 @@
 //                         epoch (the caller's pinned snapshot, or the
 //                         latest at submission time);
 //   2. LRU result cache   (epoch, kind, argument) -> answer, so repeated
-//                         queries on an unchanged snapshot are O(1); the
-//                         cache is invalidated wholesale on publish;
+//                         queries on an unchanged snapshot are O(1); on
+//                         publish, entries older than the just-retired
+//                         epoch are dropped — the retired epoch itself is
+//                         kept as the stale-answer tier;
 //   3. request coalescing per-vertex tip queries for the same (epoch,
 //                         side) share ONE pass over count::local_counts —
 //                         the first request computes the full tip vector,
 //                         concurrent and later requests block on (or read)
 //                         the same shared future instead of re-scanning.
 //
+// Fault tolerance (the robustness layer on top):
+//
+//   - admission control   the query pool's queue is bounded
+//                         (ServiceOptions::max_queue) with a pluggable shed
+//                         policy; a request refused at admission degrades
+//                         on the caller's thread instead of queueing;
+//   - deadlines           Request carries an optional Deadline; expired
+//                         tasks are abandoned at dequeue, and an in-flight
+//                         tip pass checks a CancelToken per row so it can
+//                         give up mid-scan;
+//   - degraded answers    every query resolves to QueryResult{value,
+//                         epoch, fidelity}: under overload (queue depth or
+//                         p95 latency past the configured thresholds) the
+//                         service walks a ladder — previous-epoch cached
+//                         answer (kStale), retained tip-pass memo
+//                         (kStale), sampled estimate via count::approx_tip
+//                         (kApprox) — and only throws OverloadError when
+//                         no rung produces a value.
+//
 // Everything is wired into the obs registry: svc.queries, svc.cache_hits /
-// svc.cache_misses, svc.tip_passes, svc.coalesced_queries /
-// svc.coalesced_batches, svc.queue_depth, svc.epochs_published and one
-// latency histogram per query kind (svc.latency_us.<kind>).
+// svc.cache_misses / svc.cache_hit_rate, svc.tip_passes,
+// svc.coalesced_queries / svc.coalesced_batches, svc.queue_depth,
+// svc.epochs_published, svc.shed / svc.rejected / svc.deadline_expired,
+// svc.degraded / svc.stale_answers / svc.approx_fallbacks /
+// svc.inline_answers, and one latency histogram per query kind
+// (svc.latency_us.<kind>).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <span>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,9 +66,17 @@
 namespace bfc::svc {
 
 struct ServiceOptions {
-  int threads = 4;                    // query-pool workers
+  int threads = 4;                     // query-pool workers
   std::size_t cache_capacity = 1 << 16;
   std::uint64_t memo_keep_epochs = 4;  // trailing epochs whose tip passes stay
+  // ---- robustness knobs --------------------------------------------------
+  std::size_t max_queue = 0;  // bound on the admission queue; 0 = unbounded
+  ShedPolicy shed_policy = ShedPolicy::kRejectNew;
+  std::size_t degrade_queue_depth = 0;  // queue depth that trips degraded
+                                        // mode; 0 = never trip on depth
+  double degrade_p95_us = 0.0;          // p95 latency (µs) that trips
+                                        // degraded mode; 0 = never
+  std::int64_t approx_samples = 256;    // budget of the sampled fallback
 };
 
 using TopPairsPtr = std::shared_ptr<const std::vector<count::VertexPair>>;
@@ -52,13 +87,24 @@ class ButterflyService {
 
   // ---- writer side -------------------------------------------------------
 
-  /// Applies the batch and publishes the next epoch; invalidates the result
-  /// cache and retires tip-pass memos older than memo_keep_epochs.
+  /// Applies the batch and publishes the next epoch; drops cache entries
+  /// older than the just-retired epoch (which stays as the stale tier) and
+  /// retires tip-pass memos older than memo_keep_epochs.
   PublishResult apply_updates(std::span<const EdgeUpdate> batch);
   PublishResult apply_updates(std::initializer_list<EdgeUpdate> batch) {
     return apply_updates(
         std::span<const EdgeUpdate>(batch.begin(), batch.end()));
   }
+
+  /// Crash-safe checkpoint of the latest published epoch (write-then-rename
+  /// via SnapshotStore::persist). Never blocks readers or the writer.
+  void persist(const std::string& path) const { store_.persist(path); }
+
+  /// Warm restart from a persisted checkpoint: replaces the store's state
+  /// and flushes every cache/memo tier (they are keyed by the old epoch
+  /// sequence). Throws std::runtime_error on a corrupted file, leaving the
+  /// service unchanged.
+  void restore(const std::string& path);
 
   // ---- reader side -------------------------------------------------------
 
@@ -68,39 +114,81 @@ class ButterflyService {
   [[nodiscard]] SnapshotPtr snapshot() const { return store_.current(); }
 
   /// Ξ_G of the pinned epoch. O(1): maintained incrementally by the writer.
-  [[nodiscard]] std::future<count_t> global_count(SnapshotPtr snap = {});
+  /// Never queued, never degraded.
+  [[nodiscard]] std::future<QueryResult<count_t>> global_count(
+      Request req = {});
 
   /// Butterflies containing V1 vertex u (tip number). Coalesced: concurrent
-  /// same-epoch tip queries share one butterflies_per_v1 pass.
-  [[nodiscard]] std::future<count_t> vertex_tip_v1(vidx_t u,
-                                                   SnapshotPtr snap = {});
-  [[nodiscard]] std::future<count_t> vertex_tip_v2(vidx_t v,
-                                                   SnapshotPtr snap = {});
+  /// same-epoch tip queries share one butterflies_per_v1 pass. Under
+  /// overload the answer may be kStale (previous epoch) or kApprox
+  /// (sampled); the fidelity tag says which.
+  [[nodiscard]] std::future<QueryResult<count_t>> vertex_tip_v1(
+      vidx_t u, Request req = {});
+  [[nodiscard]] std::future<QueryResult<count_t>> vertex_tip_v2(
+      vidx_t v, Request req = {});
 
   /// Butterflies containing edge (u, v); 0 when the edge is absent at the
-  /// pinned epoch. O(Σ_{w∈N(v)} min(deg u, deg w)), no global pass.
-  [[nodiscard]] std::future<count_t> edge_support(vidx_t u, vidx_t v,
-                                                  SnapshotPtr snap = {});
+  /// pinned epoch. O(Σ_{w∈N(v)} min(deg u, deg w)), no global pass — cheap
+  /// enough that shedding answers it inline (exact) rather than degrading.
+  [[nodiscard]] std::future<QueryResult<count_t>> edge_support(
+      vidx_t u, vidx_t v, Request req = {});
 
-  /// The k V1-pairs with the most wedges at the pinned epoch.
-  [[nodiscard]] std::future<TopPairsPtr> top_pairs(std::size_t k,
-                                                   SnapshotPtr snap = {});
+  /// The k V1-pairs with the most wedges at the pinned epoch. Degrades to
+  /// the previous epoch's cached list; with no stale list the future
+  /// carries OverloadError.
+  [[nodiscard]] std::future<QueryResult<TopPairsPtr>> top_pairs(
+      std::size_t k, Request req = {});
 
   // ---- introspection -----------------------------------------------------
 
   [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
   [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
+  [[nodiscard]] const Executor& pool() const noexcept { return pool_; }
   [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
   [[nodiscard]] int thread_count() const noexcept {
     return pool_.thread_count();
   }
+  /// p95 of the last kLatencyWindow observed query latencies (µs).
+  [[nodiscard]] double latency_p95_us() const;
+  /// True when the degradation thresholds are currently crossed.
+  [[nodiscard]] bool overloaded() const;
+
+  static constexpr std::size_t kLatencyWindow = 256;
 
  private:
   using TipVector = std::shared_ptr<const std::vector<count_t>>;
 
+  std::future<QueryResult<count_t>> vertex_tip(vidx_t vertex, bool v1_side,
+                                               Request req);
+
   /// The coalescing point: returns the full tip vector for (snap->epoch,
-  /// side), computing it at most once per epoch and side.
-  TipVector tips_for(const SnapshotPtr& snap, bool v1_side);
+  /// side), computing it at most once per epoch and side. The token belongs
+  /// to the request that ends up computing; CancelledError propagates to
+  /// every coalesced waiter (each degrades independently).
+  TipVector tips_for(const SnapshotPtr& snap, bool v1_side,
+                     const CancelToken& cancel);
+
+  /// Degradation ladder for a tip query: previous-epoch cache entry, then
+  /// a retained tip-pass memo from an earlier epoch, then the sampled
+  /// estimator on the requested snapshot. Engaged in practice — the approx
+  /// rung always produces — but optional so a future rung can refuse.
+  std::optional<QueryResult<count_t>> degraded_tip(const SnapshotPtr& snap,
+                                                   vidx_t vertex,
+                                                   bool v1_side);
+
+  /// Previous-epoch scalar cache probe (the kStale rung shared by tip and
+  /// edge-support queries).
+  std::optional<QueryResult<count_t>> stale_scalar(const SnapshotPtr& snap,
+                                                   QueryKind kind,
+                                                   std::int64_t a,
+                                                   std::int64_t b);
+
+  /// Most recent completed tip pass for `side` strictly before
+  /// `before_epoch`, if any memo survives.
+  std::optional<std::pair<std::uint64_t, TipVector>> stale_tips(
+      std::uint64_t before_epoch, bool v1_side);
+
+  void observe_latency(double us);
 
   struct TipPass {
     std::shared_future<TipVector> result;
@@ -110,8 +198,15 @@ class ButterflyService {
   SnapshotStore store_;
   ResultCache cache_;
   std::uint64_t memo_keep_epochs_;
+  std::size_t degrade_queue_depth_;
+  double degrade_p95_us_;
+  std::int64_t approx_samples_;
   std::mutex memo_mu_;
   std::map<std::pair<std::uint64_t, bool>, TipPass> tip_memo_;
+  mutable std::mutex lat_mu_;
+  std::array<double, kLatencyWindow> lat_ring_{};
+  std::size_t lat_next_ = 0;   // guarded by lat_mu_
+  std::size_t lat_count_ = 0;  // guarded by lat_mu_
   Executor pool_;  // last: workers stop before the layers they use die
 };
 

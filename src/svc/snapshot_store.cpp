@@ -1,13 +1,53 @@
 #include "svc/snapshot_store.hpp"
 
+#include <array>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "chk/validate.hpp"
+#include "graph/io_binary.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "sparse/ops.hpp"
+#include "svc/fault.hpp"
+#include "util/crc32.hpp"
 
 namespace bfc::svc {
+namespace {
+
+// Snapshot-file envelope around the BFC2 graph blob: magic, version, then
+// a CRC-checked epoch/count/edges trailer the graph format knows nothing
+// about. The embedded graph sections carry their own per-section CRCs.
+constexpr std::array<char, 8> kSnapMagic = {'B', 'F', 'C', 'S',
+                                            'N', 'P', '0', '1'};
+
+struct SnapMeta {
+  std::uint64_t epoch;
+  count_t butterflies;
+  offset_t edges;
+};
+static_assert(sizeof(SnapMeta) == 24, "snapshot meta must pack to 24 bytes");
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T>
+T read_pod(std::istream& in, const std::string& path, const char* what) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (static_cast<std::size_t>(in.gcount()) != sizeof value)
+    throw std::runtime_error("snapshot " + path + ": truncated " + what);
+  return value;
+}
+
+}  // namespace
 
 SnapshotStore::SnapshotStore(vidx_t n1, vidx_t n2)
     : n1_(n1), n2_(n2), counter_(n1, n2) {
@@ -80,5 +120,120 @@ PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
 SnapshotPtr SnapshotStore::current() const { return head_load(); }
 
 std::uint64_t SnapshotStore::epoch() const { return head_load()->epoch; }
+
+void SnapshotStore::persist(const std::string& path) const {
+  BFC_TRACE_SCOPE("svc.persist");
+  // Pin once: everything below reads the immutable snapshot, so the writer
+  // keeps publishing and readers keep answering while we serialise.
+  const SnapshotPtr snap = head_load();
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw std::runtime_error("cannot write snapshot: " + tmp);
+    out.write(kSnapMagic.data(), kSnapMagic.size());
+    write_pod(out, graph::kBinaryFormatVersion);
+    const SnapMeta meta{snap->epoch, snap->butterflies, snap->edges};
+    write_pod(out, crc32(&meta, sizeof meta));
+    write_pod(out, meta);
+    graph::write_binary(out, snap->graph);
+    out.flush();
+    if (!out) throw std::runtime_error("write failed for snapshot: " + tmp);
+  }
+
+  // Fault injection (checked builds): manufacture the crash modes the
+  // restore path must reject or survive.
+  if (fault::fires(fault::Point::kPersistTruncate)) {
+    const auto full = std::filesystem::file_size(tmp);
+    const std::uint64_t keep = fault::param(fault::Point::kPersistTruncate);
+    std::filesystem::resize_file(tmp, keep != 0 ? keep : full / 2);
+  }
+  if (fault::fires(fault::Point::kPersistCorrupt)) {
+    std::fstream f(tmp, std::ios::binary | std::ios::in | std::ios::out);
+    const auto size =
+        static_cast<std::uint64_t>(std::filesystem::file_size(tmp));
+    const std::uint64_t at = fault::param(fault::Point::kPersistCorrupt) %
+                             (size != 0 ? size : 1);
+    f.seekg(static_cast<std::streamoff>(at));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x20);
+    f.seekp(static_cast<std::streamoff>(at));
+    f.write(&byte, 1);
+  }
+  if (fault::fires(fault::Point::kPersistNoRename)) {
+    // Simulated crash between flush and rename: the tmp file is torn off
+    // mid-publish and the previously persisted snapshot stays authoritative.
+    return;
+  }
+
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("cannot publish snapshot (rename " + tmp +
+                             " -> " + path + " failed)");
+  }
+  BFC_COUNT_ADD("svc.snapshots_persisted", 1);
+  BFC_GAUGE_SET("svc.persisted_epoch", snap->epoch);
+}
+
+void SnapshotStore::restore(const std::string& path) {
+  BFC_TRACE_SCOPE("svc.restore");
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot open snapshot: " + path);
+
+  std::array<char, 8> magic{};
+  in.read(magic.data(), magic.size());
+  if (static_cast<std::size_t>(in.gcount()) != magic.size() ||
+      std::memcmp(magic.data(), kSnapMagic.data(), kSnapMagic.size()) != 0)
+    throw std::runtime_error("snapshot " + path + ": bad magic");
+  const auto version = read_pod<std::uint32_t>(in, path, "version");
+  if (version != graph::kBinaryFormatVersion)
+    throw std::runtime_error("snapshot " + path +
+                             ": unsupported format version " +
+                             std::to_string(version));
+  const auto meta_crc = read_pod<std::uint32_t>(in, path, "meta CRC");
+  const auto meta = read_pod<SnapMeta>(in, path, "meta section");
+  if (crc32(&meta, sizeof meta) != meta_crc)
+    throw std::runtime_error("snapshot " + path + ": meta CRC mismatch");
+
+  // The graph blob carries its own per-section CRCs; read_binary reports
+  // the path and byte offset on any truncation or mismatch.
+  graph::BipartiteGraph g = graph::read_binary(in, path);
+  if (g.edge_count() != meta.edges)
+    throw std::runtime_error(
+        "snapshot " + path + ": edge count mismatch (meta says " +
+        std::to_string(meta.edges) + ", graph has " +
+        std::to_string(g.edge_count()) + ")");
+
+  // Rebuild the incremental counter from the persisted edges. The rebuild
+  // recomputes the butterfly count from scratch, so a file whose sections
+  // all pass CRC but disagree with the recorded count is still rejected —
+  // the count in RAM after restore is never taken on faith.
+  count::DynamicButterflyCounter counter(g.n1(), g.n2());
+  for (const auto& [u, v] : sparse::edges(g.csr())) counter.insert(u, v);
+  if (counter.butterflies() != meta.butterflies)
+    throw std::runtime_error(
+        "snapshot " + path + ": butterfly count mismatch (meta says " +
+        std::to_string(meta.butterflies) + ", recount gives " +
+        std::to_string(counter.butterflies()) + ")");
+
+  auto snap = std::make_shared<GraphSnapshot>();
+  snap->epoch = meta.epoch;
+  snap->graph = std::move(g);
+  snap->butterflies = meta.butterflies;
+  snap->edges = meta.edges;
+  if constexpr (chk::kCheckedEnabled) {
+    chk::validate(counter);
+    chk::validate(*snap);
+  }
+
+  // All validation passed — only now touch the store's state.
+  const std::scoped_lock lock(writer_mu_);
+  n1_ = snap->graph.n1();
+  n2_ = snap->graph.n2();
+  counter_ = std::move(counter);
+  next_epoch_ = meta.epoch + 1;
+  head_store(std::move(snap));
+  BFC_COUNT_ADD("svc.snapshots_restored", 1);
+}
 
 }  // namespace bfc::svc

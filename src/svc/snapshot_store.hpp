@@ -5,12 +5,22 @@
 // the writer and the writer never blocks readers: current() is one atomic
 // shared_ptr load, and a pinned snapshot stays alive (and bit-identical)
 // for as long as the reader holds it.
+//
+// Crash safety: persist() serialises the latest published epoch (epoch
+// number, exact count, and the checksummed BFC2 graph blob) to disk with
+// write-then-rename, and restore() warm-starts a store from that file —
+// rebuilding the incremental counter from the persisted edges and
+// cross-checking its recomputed butterfly total against the persisted one,
+// so a corrupted-but-CRC-colliding file still cannot smuggle in a wrong
+// count. A process kill between persist() and restore() loses at most the
+// epochs published after the last persist, never the file's integrity.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <span>
+#include <string>
 
 #include "count/dynamic.hpp"
 #include "svc/snapshot.hpp"
@@ -49,6 +59,17 @@ class SnapshotStore {
   /// Epoch of the latest published snapshot.
   [[nodiscard]] std::uint64_t epoch() const;
 
+  /// Atomically writes the latest published snapshot to `path` (tmp file +
+  /// rename): epoch, exact count, and the checksummed graph sections.
+  /// Readers and the writer are never blocked — the snapshot is immutable.
+  void persist(const std::string& path) const;
+
+  /// Warm-start: replaces this store's entire state (graph, incremental
+  /// counter, epoch sequence) with the persisted snapshot, so the next
+  /// apply_batch publishes persisted_epoch + 1. Throws std::runtime_error
+  /// on a missing/truncated/corrupted file — the store is left unchanged.
+  void restore(const std::string& path);
+
   [[nodiscard]] vidx_t n1() const noexcept { return n1_; }
   [[nodiscard]] vidx_t n2() const noexcept { return n2_; }
 
@@ -58,7 +79,7 @@ class SnapshotStore {
 
   vidx_t n1_;
   vidx_t n2_;
-  std::mutex writer_mu_;                    // serialises apply_batch
+  mutable std::mutex writer_mu_;            // serialises apply_batch/restore
   std::uint64_t next_epoch_ = 1;            // guarded by writer_mu_
   count::DynamicButterflyCounter counter_;  // writer-side mutable state
 #if defined(__SANITIZE_THREAD__)

@@ -1,0 +1,64 @@
+// Cooperative cancellation for long-running kernels. A CancelToken carries
+// an optional wall-clock deadline; kernels that may scan millions of rows
+// call checkpoint() once per outer-loop row and abandon the pass with
+// CancelledError when the deadline has passed. The clock is only consulted
+// every 64th checkpoint, so the common (unarmed or not-yet-expired) path
+// costs one branch and one increment per row.
+//
+// This lives in util/ rather than svc/ because the counting kernels
+// (count::butterflies_per_v1, count::support_per_edge) take the token
+// directly and must not depend on the serving layer; svc::Deadline converts
+// itself into a token at submission time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace bfc {
+
+/// Thrown by CancelToken::checkpoint when the deadline has passed; the
+/// serving layer catches it and degrades the answer instead of finishing
+/// a scan whose requester has already given up.
+class CancelledError : public std::runtime_error {
+ public:
+  explicit CancelledError(const std::string& where)
+      : std::runtime_error("cancelled: deadline exceeded in " + where) {}
+};
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unarmed token: checkpoint() never fires. This is the default every
+  /// kernel overload without an explicit token uses.
+  CancelToken() = default;
+
+  /// Token that fires once `deadline` has passed.
+  explicit CancelToken(Clock::time_point deadline) noexcept
+      : at_(deadline), armed_(true) {}
+
+  [[nodiscard]] bool armed() const noexcept { return armed_; }
+
+  /// Immediate (non-strided) deadline test.
+  [[nodiscard]] bool expired() const noexcept {
+    return armed_ && Clock::now() >= at_;
+  }
+
+  /// Row-granularity cancellation point: cheap when unarmed, consults the
+  /// clock on the first call and then every 64th, throws CancelledError
+  /// (naming `where`) once the deadline has passed.
+  void checkpoint(const char* where) const {
+    if (!armed_) return;
+    if ((ticks_++ & 63u) != 0) return;
+    if (Clock::now() >= at_) throw CancelledError(where);
+  }
+
+ private:
+  Clock::time_point at_{};
+  bool armed_ = false;
+  mutable std::uint32_t ticks_ = 0;
+};
+
+}  // namespace bfc

@@ -81,7 +81,10 @@ TEST(SnapshotStore, EpochIsolation) {
   EXPECT_EQ(pinned->epoch, 1u);
   EXPECT_EQ(pinned->edges, pinned_edges);
   EXPECT_FALSE(pinned->graph.has_edge(5, 5) && pinned->graph.has_edge(5, 4));
-  EXPECT_EQ(service.global_count(pinned).get(), pinned_count);
+  const QueryResult<count_t> answer = service.global_count(pinned).get();
+  EXPECT_EQ(answer.value, pinned_count);
+  EXPECT_EQ(answer.epoch, 1u);
+  EXPECT_FALSE(answer.degraded());
   EXPECT_EQ(pinned->butterflies, count::wedge_reference(pinned->graph));
 }
 
@@ -102,15 +105,17 @@ TEST(Service, QueriesMatchBatchCountersAtEveryEpoch) {
     const SnapshotPtr snap = service.snapshot();
     ASSERT_EQ(snap->epoch, static_cast<std::uint64_t>(epoch));
     EXPECT_EQ(snap->butterflies, count::wedge_reference(snap->graph));
-    EXPECT_EQ(service.global_count(snap).get(), snap->butterflies);
+    EXPECT_EQ(service.global_count(snap).get().value, snap->butterflies);
 
     const std::vector<count_t> tips_v1 = count::butterflies_per_v1(snap->graph);
     const std::vector<count_t> tips_v2 = count::butterflies_per_v2(snap->graph);
-    for (vidx_t u = 0; u < 12; ++u)
-      EXPECT_EQ(service.vertex_tip_v1(u, snap).get(),
-                tips_v1[static_cast<std::size_t>(u)]);
+    for (vidx_t u = 0; u < 12; ++u) {
+      const QueryResult<count_t> r = service.vertex_tip_v1(u, snap).get();
+      EXPECT_EQ(r.value, tips_v1[static_cast<std::size_t>(u)]);
+      EXPECT_FALSE(r.degraded());  // no overload: every answer is exact
+    }
     for (vidx_t v = 0; v < 10; ++v)
-      EXPECT_EQ(service.vertex_tip_v2(v, snap).get(),
+      EXPECT_EQ(service.vertex_tip_v2(v, snap).get().value,
                 tips_v2[static_cast<std::size_t>(v)]);
 
     const std::vector<count_t> support = count::support_per_edge(snap->graph);
@@ -118,7 +123,8 @@ TEST(Service, QueriesMatchBatchCountersAtEveryEpoch) {
     for (std::size_t k = 0; k < edge_list.size(); ++k)
       EXPECT_EQ(
           service.edge_support(edge_list[k].first, edge_list[k].second, snap)
-              .get(),
+              .get()
+              .value,
           support[k]);
   }
 }
@@ -127,18 +133,18 @@ TEST(Service, AbsentEdgeHasZeroSupport) {
   ButterflyService service(3, 3, {.threads = 1});
   service.apply_updates({EdgeUpdate::add(0, 0), EdgeUpdate::add(0, 1),
                          EdgeUpdate::add(1, 0), EdgeUpdate::add(1, 1)});
-  EXPECT_EQ(service.edge_support(2, 2).get(), 0);
-  EXPECT_EQ(service.edge_support(0, 0).get(), 1);
+  EXPECT_EQ(service.edge_support(2, 2).get().value, 0);
+  EXPECT_EQ(service.edge_support(0, 0).get().value, 1);
 }
 
 TEST(Service, TopPairsMatchesDirectComputation) {
   ButterflyService service(10, 8, {.threads = 2});
   service.apply_updates(inserts_of(random_graph(10, 8, 0.4, 3)));
   const SnapshotPtr snap = service.snapshot();
-  const TopPairsPtr got = service.top_pairs(4, snap).get();
+  const TopPairsPtr got = service.top_pairs(4, snap).get().value;
   EXPECT_EQ(*got, count::top_wedge_pairs_v1(snap->graph, 4));
   // The repeat comes out of the LRU cache: same shared vector.
-  EXPECT_EQ(service.top_pairs(4, snap).get().get(), got.get());
+  EXPECT_EQ(service.top_pairs(4, snap).get().value.get(), got.get());
 }
 
 TEST(Service, OutOfRangeQueriesThrow) {
@@ -148,12 +154,13 @@ TEST(Service, OutOfRangeQueriesThrow) {
   EXPECT_THROW(service.edge_support(-1, 0), std::invalid_argument);
 }
 
-TEST(Service, CacheInvalidatedWholesaleOnPublish) {
+TEST(Service, CachePrunedToStaleTierOnPublish) {
   ButterflyService service(8, 8, {.threads = 2});
   service.apply_updates(inserts_of(random_graph(8, 8, 0.5, 5)));
   (void)service.edge_support(0, 0).get();
   (void)service.vertex_tip_v1(1).get();
-  EXPECT_GT(service.cache().size(), 0u);
+  const std::size_t at_epoch1 = service.cache().size();
+  EXPECT_GT(at_epoch1, 0u);
 
   if (obs::kMetricsEnabled) {
     const std::int64_t hits0 = counter_value("svc.cache_hits");
@@ -161,14 +168,25 @@ TEST(Service, CacheInvalidatedWholesaleOnPublish) {
     EXPECT_EQ(counter_value("svc.cache_hits"), hits0 + 1);
   }
 
+  // Publishing epoch 2 keeps epoch-1 entries (the stale-answer tier) but
+  // resets the generation-scoped hit/miss stats.
   service.apply_updates({EdgeUpdate::add(7, 7)});
-  EXPECT_EQ(service.cache().size(), 0u);
+  EXPECT_EQ(service.cache().size(), at_epoch1);
+  EXPECT_EQ(service.cache().hits(), 0);
+  EXPECT_EQ(service.cache().misses(), 0);
 
   if (obs::kMetricsEnabled) {
     const std::int64_t misses0 = counter_value("svc.cache_misses");
     (void)service.edge_support(0, 0).get();  // new epoch: must recompute
     EXPECT_EQ(counter_value("svc.cache_misses"), misses0 + 1);
+  } else {
+    (void)service.edge_support(0, 0).get();
   }
+
+  // Publishing epoch 3 retires the epoch-1 entries; only the epoch-2 entry
+  // (now itself the stale tier) survives.
+  service.apply_updates({EdgeUpdate::del(7, 7)});
+  EXPECT_EQ(service.cache().size(), 1u);
 }
 
 TEST(Service, ConcurrentTipQueriesCoalesceIntoOnePass) {
@@ -186,12 +204,12 @@ TEST(Service, ConcurrentTipQueriesCoalesceIntoOnePass) {
   // M concurrent per-vertex queries, all distinct vertices (so none can be
   // answered by the LRU cache), all for the same epoch and side.
   constexpr vidx_t kM = 24;
-  std::vector<std::future<count_t>> futures;
+  std::vector<std::future<QueryResult<count_t>>> futures;
   futures.reserve(kM);
   for (vidx_t u = 0; u < kM; ++u)
     futures.push_back(service.vertex_tip_v1(u, snap));
   for (vidx_t u = 0; u < kM; ++u)
-    EXPECT_EQ(futures[static_cast<std::size_t>(u)].get(),
+    EXPECT_EQ(futures[static_cast<std::size_t>(u)].get().value,
               expect[static_cast<std::size_t>(u)]);
 
   // One underlying pass over count::local_counts served all kM requests.
@@ -256,17 +274,17 @@ TEST(Service, StressReadersVsWriterPublishing) {
         const SnapshotPtr snap = service.snapshot();
         const auto pick = rng.bounded(4);
         if (pick == 0) {
-          ASSERT_EQ(service.global_count(snap).get(), snap->butterflies);
+          ASSERT_EQ(service.global_count(snap).get().value, snap->butterflies);
         } else if (pick == 1) {
           const auto u = static_cast<vidx_t>(rng.bounded(kN1));
-          ASSERT_GE(service.vertex_tip_v1(u, snap).get(), 0);
+          ASSERT_GE(service.vertex_tip_v1(u, snap).get().value, 0);
         } else if (pick == 2) {
           const auto v = static_cast<vidx_t>(rng.bounded(kN2));
-          ASSERT_GE(service.vertex_tip_v2(v, snap).get(), 0);
+          ASSERT_GE(service.vertex_tip_v2(v, snap).get().value, 0);
         } else {
           const auto u = static_cast<vidx_t>(rng.bounded(kN1));
           const auto v = static_cast<vidx_t>(rng.bounded(kN2));
-          ASSERT_GE(service.edge_support(u, v, snap).get(), 0);
+          ASSERT_GE(service.edge_support(u, v, snap).get().value, 0);
         }
         queries.fetch_add(1, std::memory_order_relaxed);
       }
