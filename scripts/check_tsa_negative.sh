@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Negative-compile smoke for the Thread Safety Analysis annotations: proves
+# the BFC_* attribute macros actually *do* something under clang by checking
+# that (a) a well-locked translation unit compiles under
+# -Werror=thread-safety and (b) the same unit with the lock removed does
+# NOT. Run by the clang-tsa CI job; skips with a notice when no clang++ is
+# on PATH (the attributes compile to nothing elsewhere, so there is nothing
+# to smoke-test).
+#
+#   scripts/check_tsa_negative.sh [clang++-binary]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+cxx="${1:-clang++}"
+if ! command -v "$cxx" >/dev/null 2>&1; then
+  echo "check_tsa_negative: SKIP — '$cxx' not found (TSA is clang-only)"
+  exit 0
+fi
+if ! "$cxx" --version 2>/dev/null | grep -qi clang; then
+  echo "check_tsa_negative: SKIP — '$cxx' is not clang (TSA is clang-only)"
+  exit 0
+fi
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+
+flags=(-std=c++20 -fsyntax-only -Isrc -Werror=thread-safety
+       -Werror=thread-safety-beta)
+
+# --- positive control: correctly locked code must compile -------------------
+cat > "$tmpdir/good.cpp" <<'EOF'
+#include "util/sync.hpp"
+struct Guarded {
+  bfc::Mutex mu{"tsa.smoke"};
+  int value BFC_GUARDED_BY(mu) = 0;
+  void bump() {
+    const bfc::MutexLock lock(mu);
+    ++value;
+  }
+  void bump_locked() BFC_REQUIRES(mu) { ++value; }
+};
+EOF
+if ! "$cxx" "${flags[@]}" "$tmpdir/good.cpp"; then
+  echo "check_tsa_negative: FAIL — correctly locked code rejected" >&2
+  exit 1
+fi
+
+# --- negative control: an unlocked guarded access must NOT compile ----------
+cat > "$tmpdir/bad.cpp" <<'EOF'
+#include "util/sync.hpp"
+struct Guarded {
+  bfc::Mutex mu{"tsa.smoke"};
+  int value BFC_GUARDED_BY(mu) = 0;
+  void bump_unlocked() { ++value; }  // no lock: -Werror=thread-safety error
+};
+EOF
+if "$cxx" "${flags[@]}" "$tmpdir/bad.cpp" 2>"$tmpdir/bad.err"; then
+  echo "check_tsa_negative: FAIL — unlocked guarded access compiled" >&2
+  exit 1
+fi
+if ! grep -q "thread-safety" "$tmpdir/bad.err"; then
+  echo "check_tsa_negative: FAIL — rejected for the wrong reason:" >&2
+  cat "$tmpdir/bad.err" >&2
+  exit 1
+fi
+
+# --- negative control: calling a REQUIRES function without the lock ---------
+cat > "$tmpdir/bad_requires.cpp" <<'EOF'
+#include "util/sync.hpp"
+struct Guarded {
+  bfc::Mutex mu{"tsa.smoke"};
+  int value BFC_GUARDED_BY(mu) = 0;
+  void bump_locked() BFC_REQUIRES(mu) { ++value; }
+  void caller() { bump_locked(); }  // lock not held: error
+};
+EOF
+if "$cxx" "${flags[@]}" "$tmpdir/bad_requires.cpp" 2>/dev/null; then
+  echo "check_tsa_negative: FAIL — REQUIRES call without lock compiled" >&2
+  exit 1
+fi
+
+echo "check_tsa_negative: OK (annotations enforce locking under $cxx)"

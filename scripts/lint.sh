@@ -14,6 +14,22 @@
 #   A trace span with no counters renders as a bare timing bar in the run
 #   report, with nothing to correlate the time against.
 #
+# Rule C — no raw std synchronization primitives (std::mutex,
+#   std::shared_mutex, std::condition_variable[_any], std::scoped_lock,
+#   std::lock_guard, std::unique_lock, std::shared_lock) anywhere in src/
+#   outside util/sync.hpp. Raw primitives bypass both the Clang Thread
+#   Safety Analysis annotations and the checked-build lock-order checker;
+#   bfc::Mutex / bfc::SharedMutex / bfc::CondVar and their guards are the
+#   only sanctioned spellings. Lines that genuinely must touch the std
+#   types (the wrapper internals, the lock-order checker's own untracked
+#   mutex) carry a `// bfc-lint: raw-sync-ok` comment.
+#
+# Rule D — every std::atomic operation in src/obs/ and src/svc/ must name
+#   its memory order explicitly (the argument may sit on the next line);
+#   a deliberate seq_cst needs a `// seq_cst: <why>` justification. The
+#   default-seq_cst spelling hides the ordering decision exactly where the
+#   concurrent layers need it visible.
+#
 # clang-tidy — runs over src/*.cpp with the repo .clang-tidy profile when
 #   clang-tidy and build/compile_commands.json exist. Skipped with a warning
 #   otherwise (the dev container ships only g++); pass --require-clang-tidy
@@ -58,6 +74,56 @@ if ((${#unpaired[@]})); then
   fail=1
 else
   echo "lint: rule B ok (every trace scope file publishes a metric)"
+fi
+
+# --- Rule C: raw std sync primitives only inside the sync wrapper -----------
+raw_sync='std::(mutex|shared_mutex|condition_variable|condition_variable_any|scoped_lock|lock_guard|unique_lock|shared_lock)[[:space:]<{(;]'
+if matches=$(grep -rnE "$raw_sync" src 2>/dev/null \
+               | grep -v 'bfc-lint: raw-sync-ok'); then
+  echo "lint: FAIL rule C — raw std sync primitive outside util/sync.hpp:" >&2
+  echo "$matches" >&2
+  echo "  (use bfc::Mutex/SharedMutex/CondVar + MutexLock/WriterLock/SharedLock" >&2
+  echo "   from util/sync.hpp, or annotate wrapper internals with" >&2
+  echo "   '// bfc-lint: raw-sync-ok')" >&2
+  fail=1
+else
+  echo "lint: rule C ok (no raw sync primitives outside util/sync.hpp)"
+fi
+
+# --- Rule D: explicit memory orders on obs/svc atomics ----------------------
+# Join each atomic op with its continuation line so a memory_order argument
+# wrapped by clang-format still counts, then flag ops with neither an
+# explicit order nor a '// seq_cst: <why>' justification.
+atomic_violations=$(
+  find src/obs src/svc -name '*.hpp' -o -name '*.cpp' | sort | while IFS= read -r f; do
+    awk -v file="$f" '
+      {
+        line = $0
+        if (prev_pending) {
+          joined = prev " " line
+          if (joined !~ /memory_order/ && joined !~ /\/\/ seq_cst:/)
+            printf "%s:%d: %s\n", file, prev_nr, prev
+          prev_pending = 0
+        }
+        if (line ~ /\.(load|store|fetch_add|fetch_sub|exchange|compare_exchange_weak|compare_exchange_strong)\(/) {
+          if (line ~ /memory_order/ || line ~ /\/\/ seq_cst:/) next
+          prev = line; prev_nr = NR; prev_pending = 1
+        }
+      }
+      END {
+        if (prev_pending) printf "%s:%d: %s\n", file, prev_nr, prev
+      }
+    ' "$f"
+  done
+)
+if [[ -n "$atomic_violations" ]]; then
+  echo "lint: FAIL rule D — atomic op without explicit memory order:" >&2
+  echo "$atomic_violations" >&2
+  echo "  (name the order — relaxed for counters, acquire/release for" >&2
+  echo "   publication — or justify seq_cst with '// seq_cst: <why>')" >&2
+  fail=1
+else
+  echo "lint: rule D ok (obs/svc atomics name their memory orders)"
 fi
 
 # --- clang-tidy over the library ------------------------------------------

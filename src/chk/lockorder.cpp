@@ -1,0 +1,162 @@
+#include "chk/lockorder.hpp"
+
+#if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED
+
+#include <array>
+#include <bitset>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+
+namespace bfc::chk::lockorder {
+namespace {
+
+// Upper bound on distinct construction sites. The library defines ~10; the
+// headroom is for tests and future subsystems. Hitting the bound is a
+// checked-build error, not silent truncation.
+constexpr std::size_t kMaxSites = 128;
+
+struct Graph {
+  // The checker sits *below* the annotated layer (bfc::Mutex's hooks call
+  // into it while the user's lock is held), so its own guard must be a
+  // primitive mutex: a bfc::Mutex here would re-enter the hooks.
+  std::mutex mu;  // bfc-lint: raw-sync-ok
+  std::array<const char*, kMaxSites> names{};
+  std::size_t site_count = 0;
+  // edge[a][b] set = "b was acquired while a was held" has been observed.
+  std::array<std::bitset<kMaxSites>, kMaxSites> edge{};
+  std::uint64_t acquisitions = 0;
+  std::uint64_t edges = 0;
+  // The metrics registry's own lock: acquisitions of it are tracked in the
+  // graph and in stats(), but NOT published to the registry inline — the
+  // publication would have to reacquire the very lock being recorded,
+  // self-deadlocking on the non-recursive std primitive underneath.
+  SiteId registry_site = kMaxSites;
+};
+
+Graph& graph() {
+  static Graph* g = new Graph;  // leaked: hooks may run during static dtors
+  return *g;
+}
+
+std::vector<SiteId>& held_stack() {
+  thread_local std::vector<SiteId> stack;
+  return stack;
+}
+
+// Reentrancy latch: while a hook publishes its metrics, the registry's own
+// bfc-wrapped mutex would call back into on_acquire/on_release; those inner
+// invocations must be invisible (and are symmetric, so the held stack stays
+// consistent).
+thread_local bool t_in_hook = false;
+
+struct HookScope {
+  HookScope() noexcept { t_in_hook = true; }
+  ~HookScope() noexcept { t_in_hook = false; }
+  HookScope(const HookScope&) = delete;
+  HookScope& operator=(const HookScope&) = delete;
+};
+
+[[noreturn]] void fail_order(const char* held_name, const char* acq_name) {
+  throw CheckError(std::string("LockOrderViolation: acquiring mutex \"") +
+                   acq_name + "\" while holding \"" + held_name +
+                   "\", but the opposite order (\"" + held_name +
+                   "\" acquired while \"" + acq_name +
+                   "\" was held) was observed earlier — the two sites can "
+                   "deadlock if both orders ever run concurrently");
+}
+
+}  // namespace
+
+SiteId register_site(const char* name) {
+  if (name == nullptr) name = "<unnamed>";
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mu);  // bfc-lint: raw-sync-ok
+  for (std::size_t i = 0; i < g.site_count; ++i)
+    if (std::strcmp(g.names[i], name) == 0) return static_cast<SiteId>(i);
+  enforce(g.site_count < kMaxSites,
+          "lockorder: too many distinct mutex sites (raise kMaxSites)");
+  g.names[g.site_count] = name;
+  const auto id = static_cast<SiteId>(g.site_count++);
+  if (std::strcmp(name, "obs.registry") == 0) g.registry_site = id;
+  return id;
+}
+
+void on_acquire(SiteId id) {
+  if (t_in_hook) return;
+  const HookScope scope;
+  std::uint64_t new_edges = 0;
+  bool publish = false;
+  {
+    Graph& g = graph();
+    const std::lock_guard<std::mutex> lock(g.mu);  // bfc-lint: raw-sync-ok
+    for (const SiteId held : held_stack()) {
+      if (held == id) continue;  // same-site nesting carries no order info
+      if (g.edge[held][id]) continue;
+      if (g.edge[id][held]) fail_order(g.names[held], g.names[id]);
+      g.edge[held][id] = true;
+      ++g.edges;
+      ++new_edges;
+    }
+    held_stack().push_back(id);
+    ++g.acquisitions;
+    publish = id != g.registry_site;
+  }
+  // Metrics outside the graph lock (and inside the reentrancy latch, so the
+  // registry's own lock acquisition does not recurse into the checker) —
+  // except for the registry's own lock, whose acquisition this thread still
+  // holds: publishing would self-deadlock reacquiring it (Graph's comment).
+  if (publish) {
+    BFC_COUNT_ADD("chk.lock_acquisitions", 1);
+    if (new_edges != 0) BFC_COUNT_ADD("chk.lock_order_edges", new_edges);
+  }
+}
+
+void on_try_acquire(SiteId id) {
+  if (t_in_hook) return;
+  const HookScope scope;
+  bool publish = false;
+  {
+    Graph& g = graph();
+    const std::lock_guard<std::mutex> lock(g.mu);  // bfc-lint: raw-sync-ok
+    held_stack().push_back(id);
+    ++g.acquisitions;
+    publish = id != g.registry_site;
+  }
+  if (publish) BFC_COUNT_ADD("chk.lock_acquisitions", 1);
+}
+
+void on_release(SiteId id) {
+  if (t_in_hook) return;
+  const HookScope scope;
+  std::vector<SiteId>& stack = held_stack();
+  for (std::size_t i = stack.size(); i > 0; --i) {
+    if (stack[i - 1] == id) {
+      stack.erase(stack.begin() + static_cast<std::ptrdiff_t>(i - 1));
+      return;
+    }
+  }
+  // Not found: the acquisition predated a reset(), or the matching
+  // on_acquire threw before pushing. Either way there is nothing to pop.
+}
+
+void reset() {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mu);  // bfc-lint: raw-sync-ok
+  for (auto& row : g.edge) row.reset();
+  g.edges = 0;
+  held_stack().clear();
+}
+
+Stats stats() {
+  Graph& g = graph();
+  const std::lock_guard<std::mutex> lock(g.mu);  // bfc-lint: raw-sync-ok
+  return Stats{g.acquisitions, g.edges};
+}
+
+}  // namespace bfc::chk::lockorder
+
+#endif  // BFC_CHECKED_ENABLED

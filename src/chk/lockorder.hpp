@@ -1,0 +1,95 @@
+// Checked-build lock-order deadlock detection — the dynamic counterpart to
+// the compile-time thread-safety annotations in util/sync.hpp. Every
+// bfc::Mutex / bfc::SharedMutex carries a *site id* (registered from the
+// name given at its construction site); under -DBFC_CHECKED=ON each
+// blocking acquisition records, for every lock already held by the thread,
+// a directed edge held-site -> acquired-site into one global acquisition-
+// order graph. The moment any two sites are ever taken in both orders —
+// on any threads, at any time, whether or not they actually deadlocked —
+// the acquisition throws chk::CheckError with a LockOrderViolation report
+// naming both conflicting sites. This is a *potential*-deadlock detector:
+// it fails on the first inconsistent ordering, not on an actual deadlock,
+// so a race that would hang once in a thousand runs fails deterministically
+// on the first run that exercises both orders.
+//
+// Design notes:
+//   - try_lock acquisitions are pushed onto the held stack (locks acquired
+//     later while they are held do get edges FROM them) but record no edge
+//     themselves: a non-blocking acquisition cannot participate in a
+//     deadlock cycle as the blocked party.
+//   - shared (reader) acquisitions are tracked exactly like exclusive ones.
+//     That is conservative — a cycle of pure readers cannot deadlock — but
+//     any such cycle becomes a real deadlock as soon as a writer joins it,
+//     so the checker flags the ordering itself.
+//   - the checker's own bookkeeping runs under one primitive (untracked)
+//     mutex, and a thread-local reentrancy latch keeps the metrics
+//     registry's bfc-wrapped lock (which the hooks themselves touch when
+//     publishing chk.lock_acquisitions / chk.lock_order_edges) from
+//     recursing back into the checker. Acquisitions of the registry's own
+//     lock are tracked in the graph and in stats() but not published
+//     inline: the publication would reacquire the very lock just recorded.
+//
+// Everything compiles to no-op inlines unless -DBFC_CHECKED=ON, so release
+// builds pay nothing beyond one unused 4-byte site id per mutex.
+#pragma once
+
+#include <cstdint>
+
+#include "chk/check.hpp"
+
+namespace bfc::chk::lockorder {
+
+/// Index into the global site registry; sites with the same name (several
+/// instances constructed through one code path) share one id.
+using SiteId = std::uint32_t;
+
+#if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED
+
+/// Interns `name` (a stable string literal naming the construction site,
+/// e.g. "svc.executor") and returns its id. Thread-safe; called once per
+/// mutex construction.
+[[nodiscard]] SiteId register_site(const char* name);
+
+/// Records a blocking acquisition: adds held->acquired edges for every lock
+/// this thread already holds, throws chk::CheckError on the first edge whose
+/// reverse was ever observed, then pushes the site onto the thread's held
+/// stack. Called with the underlying lock already held.
+void on_acquire(SiteId id);
+
+/// Records a successful try_lock: pushes onto the held stack without adding
+/// order edges (a non-blocking acquisition cannot be the blocked party).
+void on_try_acquire(SiteId id);
+
+/// Pops the most recent occurrence of `id` from the thread's held stack.
+/// Out-of-order release (lock a, lock b, unlock a) is legal and handled.
+void on_release(SiteId id);
+
+/// Clears the global order graph and the *calling thread's* held stack.
+/// Test-fixture use only: call with no locks held on any thread, or edges
+/// recorded by still-running threads are silently forgotten.
+void reset();
+
+struct Stats {
+  std::uint64_t acquisitions = 0;  // tracked lock/lock_shared/try successes
+  std::uint64_t edges = 0;         // distinct order edges in the graph
+};
+[[nodiscard]] Stats stats();
+
+#else  // checker compiled out: zero-cost stubs
+
+[[nodiscard]] inline constexpr SiteId register_site(const char*) noexcept {
+  return 0;
+}
+inline void on_acquire(SiteId) noexcept {}
+inline void on_try_acquire(SiteId) noexcept {}
+inline void on_release(SiteId) noexcept {}
+inline void reset() noexcept {}
+struct Stats {
+  std::uint64_t acquisitions = 0;
+  std::uint64_t edges = 0;
+};
+[[nodiscard]] inline constexpr Stats stats() noexcept { return {}; }
+
+#endif
+
+}  // namespace bfc::chk::lockorder

@@ -68,28 +68,29 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const WriterLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const WriterLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& Registry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const WriterLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 std::vector<MetricSnapshot> Registry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  // Reader side: only the maps need the lock; the instruments are atomic.
+  const SharedLock lock(mu_);
   std::vector<MetricSnapshot> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& [name, c] : counters_) {
@@ -128,7 +129,9 @@ std::vector<MetricSnapshot> Registry::snapshot() const {
 }
 
 void Registry::reset() {
-  const std::lock_guard<std::mutex> lock(mu_);
+  // Reader side: map topology is untouched; each instrument zeroes itself
+  // with its own atomics.
+  const SharedLock lock(mu_);
   for (const auto& [name, c] : counters_) c->reset();
   for (const auto& [name, g] : gauges_) g->reset();
   for (const auto& [name, h] : histograms_) h->reset();

@@ -17,10 +17,11 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 namespace bfc::obs {
 
@@ -125,9 +126,12 @@ struct MetricSnapshot {
   std::vector<std::pair<std::int64_t, std::int64_t>> hist_buckets;
 };
 
-/// Process-wide instrument registry. Lookup is mutex-guarded and intended
-/// to happen once per call site (the macros below cache the reference in a
-/// function-local static); the instruments themselves are lock-free.
+/// Process-wide instrument registry. Lookup is guarded by a reader/writer
+/// lock and intended to happen once per call site (the macros below cache
+/// the reference in a function-local static); the instruments themselves
+/// are lock-free. Registration (possible map mutation) takes the writer
+/// side; snapshot()/reset() only read the maps — the instruments they touch
+/// are atomics — so they share the reader side and can overlap each other.
 class Registry {
  public:
   static Registry& instance();
@@ -145,10 +149,11 @@ class Registry {
 
  private:
   Registry() = default;
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable SharedMutex mu_{"obs.registry"};
+  std::map<std::string, std::unique_ptr<Counter>> counters_ BFC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ BFC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      BFC_GUARDED_BY(mu_);
 };
 
 }  // namespace bfc::obs

@@ -2,11 +2,11 @@
 
 #include <chrono>
 #include <fstream>
-#include <mutex>
 #include <stdexcept>
 
 #include "obs/json.hpp"
 #include "util/parallel.hpp"
+#include "util/sync.hpp"
 
 namespace bfc::obs {
 namespace {
@@ -18,14 +18,17 @@ Clock::time_point trace_epoch() {
   return epoch;
 }
 
-std::mutex& events_mutex() {
-  static std::mutex mu;
-  return mu;
-}
+// Mutex and guarded vector live in one struct so the analysis can relate
+// them through the single reference `log()` returns; two independent
+// function-local statics would look like unrelated objects to TSA.
+struct EventLog {
+  Mutex mu{"obs.trace"};
+  std::vector<TraceEvent> events BFC_GUARDED_BY(mu);
+};
 
-std::vector<TraceEvent>& events_store() {
-  static std::vector<TraceEvent> store;
-  return store;
+EventLog& log() {
+  static EventLog log;
+  return log;
 }
 
 }  // namespace
@@ -48,18 +51,21 @@ void Tracer::record(std::string name, std::int64_t ts_us,
   ev.ts_us = ts_us;
   ev.dur_us = dur_us;
   ev.tid = thread_id();
-  const std::lock_guard<std::mutex> lock(events_mutex());
-  events_store().push_back(std::move(ev));
+  EventLog& l = log();
+  const MutexLock lock(l.mu);
+  l.events.push_back(std::move(ev));
 }
 
 std::vector<TraceEvent> Tracer::events() {
-  const std::lock_guard<std::mutex> lock(events_mutex());
-  return events_store();
+  EventLog& l = log();
+  const MutexLock lock(l.mu);
+  return l.events;
 }
 
 void Tracer::clear() {
-  const std::lock_guard<std::mutex> lock(events_mutex());
-  events_store().clear();
+  EventLog& l = log();
+  const MutexLock lock(l.mu);
+  l.events.clear();
 }
 
 void Tracer::write_chrome_json(const std::string& path) {

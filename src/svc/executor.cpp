@@ -13,22 +13,35 @@ Executor::Executor(const ExecutorOptions& options)
   require(options.threads >= 1, "Executor: threads must be >= 1");
   workers_.reserve(static_cast<std::size_t>(options.threads));
   for (int t = 0; t < options.threads; ++t)
-    workers_.emplace_back(
-        [this](const std::stop_token& stop) { worker_loop(stop); });
+    workers_.emplace_back([this] { worker_loop(); });
 }
 
 Executor::~Executor() {
-  // jthread destructors request_stop() and join; the stop_token wakes any
-  // worker parked in the condition-variable wait below. Tasks still queued
-  // after the workers exit are abandoned through their fallbacks.
-  for (std::jthread& w : workers_) w.request_stop();
-  for (std::jthread& w : workers_) w.join();
-  for (Task& task : queue_) task.abandon(OverloadError::Reason::kShed);
-  queue_.clear();
+  // Flag the shutdown, wake every parked worker, and join. Workers exit
+  // without draining — this is the documented contract (pending tasks are
+  // abandoned, running tasks finish first); the pre-stopping_ implementation
+  // let workers drain the whole queue after the stop request, which made
+  // destruction latency proportional to the backlog and the abandon loop
+  // below dead code.
+  {
+    const MutexLock lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  std::deque<Task> leftovers;
+  {
+    // All workers have exited, but take the lock anyway: it is uncontended,
+    // and the analysis then proves the access instead of trusting a comment.
+    const MutexLock lock(mu_);
+    leftovers.swap(queue_);
+  }
+  // Abandon callbacks may do real (if bounded) work — never under mu_.
+  for (Task& task : leftovers) task.abandon(OverloadError::Reason::kShed);
 }
 
 std::size_t Executor::queue_depth() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return queue_.size();
 }
 
@@ -36,7 +49,7 @@ bool Executor::admit(Task task) {
   Task victim;
   bool have_victim = false;
   {
-    const std::scoped_lock lock(mu_);
+    const MutexLock lock(mu_);
     bool full = max_queue_ != 0 && queue_.size() >= max_queue_;
     if (fault::fires(fault::Point::kQueueSaturation)) full = true;
     if (full && !queue_.empty()) {
@@ -100,26 +113,25 @@ bool Executor::admit(Task task) {
   return true;
 }
 
-void Executor::worker_loop(const std::stop_token& stop) {
+void Executor::worker_loop() {
+  MutexLock lock(mu_);
   for (;;) {
-    Task task;
-    {
-      std::unique_lock lock(mu_);
-      // Returns false only when stop was requested with the queue empty.
-      if (!cv_.wait(lock, stop, [this] { return !queue_.empty(); })) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-      BFC_GAUGE_SET("svc.queue_depth", queue_.size());
-    }
+    while (queue_.empty() && !stopping_) cv_.wait(lock);
+    if (stopping_) return;  // ~Executor abandons whatever is still queued
+    Task task = std::move(queue_.front());
+    queue_.pop_front();
+    BFC_GAUGE_SET("svc.queue_depth", queue_.size());
+    lock.unlock();
     // Deadline-abandon checkpoint: work that expired while queued is not
     // worth starting — resolve it degraded (or with OverloadError) and
     // move straight to the next task.
     if (task.deadline.expired()) {
       BFC_COUNT_ADD("svc.deadline_expired", 1);
       task.abandon(OverloadError::Reason::kDeadline);
-      continue;
+    } else {
+      task.run();
     }
-    task.run();
+    lock.lock();
   }
 }
 

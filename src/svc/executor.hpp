@@ -1,5 +1,5 @@
-// Thread-pool executor for query requests: a fixed set of std::jthread
-// workers draining one FIFO of type-erased tasks. Deliberately independent
+// Thread-pool executor for query requests: a fixed set of worker threads
+// draining one FIFO of type-erased tasks. Deliberately independent
 // of the OpenMP compute lanes — OpenMP parallelises *inside* one batch
 // kernel, while this pool multiplexes *many small queries* across cores;
 // mixing the two schedulers would let a single heavyweight query starve
@@ -24,13 +24,11 @@
 // svc.deadline_expired.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <thread>
 #include <type_traits>
@@ -39,6 +37,7 @@
 
 #include "svc/request.hpp"
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace bfc::svc {
 
@@ -162,14 +161,17 @@ class Executor {
   /// Applies the admission policy; returns false when the incoming task is
   /// refused. May evict a queued task (abandoned outside the lock).
   bool admit(Task task);
-  void worker_loop(const std::stop_token& stop);
+  void worker_loop();
 
   std::size_t max_queue_;
   ShedPolicy policy_;
-  mutable std::mutex mu_;
-  std::condition_variable_any cv_;
-  std::deque<Task> queue_;
-  std::vector<std::jthread> workers_;  // last member: joins before the rest die
+  mutable Mutex mu_{"svc.executor"};
+  CondVar cv_;
+  std::deque<Task> queue_ BFC_GUARDED_BY(mu_);
+  // Set once by ~Executor; workers exit without draining, honouring the
+  // documented abandon-pending contract.
+  bool stopping_ BFC_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;
 };
 
 }  // namespace bfc::svc

@@ -3,10 +3,10 @@
 #if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED
 
 #include <array>
-#include <mutex>
 
 #include "obs/metrics.hpp"
 #include "util/rng.hpp"
+#include "util/sync.hpp"
 
 namespace bfc::svc::fault {
 namespace {
@@ -26,10 +26,10 @@ struct PointState {
 // One mutex for all points: fault checks sit on seams (admission, publish,
 // persist) that are far from per-wedge hot loops, and the checked build
 // already trades speed for determinism.
-std::mutex g_mu;
-std::array<PointState, kPoints> g_points;
+Mutex g_mu{"svc.fault"};
+std::array<PointState, kPoints> g_points BFC_GUARDED_BY(g_mu);
 
-PointState& state_of(Point p) {
+PointState& state_of(Point p) BFC_REQUIRES(g_mu) {
   return g_points[static_cast<std::size_t>(p)];
 }
 
@@ -37,7 +37,7 @@ PointState& state_of(Point p) {
 
 void arm(Point p, std::uint64_t skip, std::uint64_t times,
          std::uint64_t param) {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   PointState& s = state_of(p);
   s = PointState{};
   s.armed = true;
@@ -50,7 +50,7 @@ void arm_random(Point p, double prob, std::uint64_t seed,
                 std::uint64_t param) {
   require(prob >= 0.0 && prob <= 1.0,
           "fault::arm_random: prob must be in [0, 1]");
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   PointState& s = state_of(p);
   s = PointState{};
   s.armed = true;
@@ -61,17 +61,17 @@ void arm_random(Point p, double prob, std::uint64_t seed,
 }
 
 void disarm(Point p) {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   state_of(p) = PointState{};
 }
 
 void reset() {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   for (PointState& s : g_points) s = PointState{};
 }
 
 bool fires(Point p) {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   PointState& s = state_of(p);
   if (!s.armed) return false;
   ++s.invocations;
@@ -86,12 +86,12 @@ bool fires(Point p) {
 }
 
 std::uint64_t param(Point p) {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   return state_of(p).parameter;
 }
 
 std::uint64_t fired_count(Point p) {
-  const std::scoped_lock lock(g_mu);
+  const MutexLock lock(g_mu);
   return state_of(p).fired;
 }
 

@@ -9,7 +9,7 @@ ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
 }
 
 std::optional<CacheValue> ResultCache::get(const CacheKey& key) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it == map_.end()) {
     ++misses_;
@@ -29,7 +29,7 @@ std::optional<CacheValue> ResultCache::get(const CacheKey& key) {
 }
 
 void ResultCache::put(const CacheKey& key, CacheValue value) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   const auto it = map_.find(key);
   if (it != map_.end()) {
     it->second->second = std::move(value);
@@ -46,7 +46,7 @@ void ResultCache::put(const CacheKey& key, CacheValue value) {
 }
 
 void ResultCache::invalidate_all() {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
   // New generation: the hit-rate gauge must describe post-invalidation
@@ -58,7 +58,7 @@ void ResultCache::invalidate_all() {
 }
 
 void ResultCache::invalidate_older_than(std::uint64_t min_epoch) {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->first.epoch < min_epoch) {
       map_.erase(it->first);
@@ -74,23 +74,23 @@ void ResultCache::invalidate_older_than(std::uint64_t min_epoch) {
 }
 
 std::int64_t ResultCache::hits() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return hits_;
 }
 
 std::int64_t ResultCache::misses() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return misses_;
 }
 
 double ResultCache::hit_rate() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   if (hits_ + misses_ == 0) return 0.0;
   return static_cast<double>(hits_) / static_cast<double>(hits_ + misses_);
 }
 
 std::size_t ResultCache::size() const {
-  const std::scoped_lock lock(mu_);
+  const MutexLock lock(mu_);
   return map_.size();
 }
 

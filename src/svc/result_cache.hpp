@@ -16,7 +16,6 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 #include <utility>
@@ -26,6 +25,7 @@
 #include "count/top_pairs.hpp"
 #include "svc/request.hpp"
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace bfc::svc {
 
@@ -91,11 +91,14 @@ class ResultCache {
   using Entry = std::pair<CacheKey, CacheValue>;
 
   std::size_t capacity_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  // front = most recently used
-  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_;
-  std::int64_t hits_ = 0;    // generation-scoped; reset on invalidation
-  std::int64_t misses_ = 0;  // generation-scoped; reset on invalidation
+  mutable Mutex mu_{"svc.result_cache"};
+  // front = most recently used
+  std::list<Entry> lru_ BFC_GUARDED_BY(mu_);
+  std::unordered_map<CacheKey, std::list<Entry>::iterator, CacheKeyHash> map_
+      BFC_GUARDED_BY(mu_);
+  // Generation-scoped; reset on invalidation.
+  std::int64_t hits_ BFC_GUARDED_BY(mu_) = 0;
+  std::int64_t misses_ BFC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bfc::svc

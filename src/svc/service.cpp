@@ -68,7 +68,7 @@ PublishResult ButterflyService::apply_updates(
   // just-retired epoch as the stale-answer tier and drop everything older.
   cache_.invalidate_older_than(result.epoch == 0 ? 0 : result.epoch - 1);
   {
-    const std::scoped_lock lock(memo_mu_);
+    const MutexLock lock(memo_mu_);
     std::erase_if(tip_memo_, [&](const auto& entry) {
       return entry.first.first + memo_keep_epochs_ <= result.epoch;
     });
@@ -81,7 +81,7 @@ void ButterflyService::restore(const std::string& path) {
   // The epoch sequence restarted: every cached/memoised answer is keyed by
   // epochs that no longer mean anything.
   cache_.invalidate_all();
-  const std::scoped_lock lock(memo_mu_);
+  const MutexLock lock(memo_mu_);
   tip_memo_.clear();
 }
 
@@ -305,7 +305,7 @@ ButterflyService::stale_tips(std::uint64_t before_epoch, bool v1_side) {
   std::shared_future<TipVector> best;
   std::uint64_t best_epoch = 0;
   {
-    const std::scoped_lock lock(memo_mu_);
+    const MutexLock lock(memo_mu_);
     for (const auto& [key, pass] : tip_memo_) {
       if (key.second != v1_side || key.first >= before_epoch) continue;
       if (pass.result.wait_for(std::chrono::seconds(0)) !=
@@ -332,7 +332,7 @@ bool ButterflyService::overloaded() const {
 }
 
 void ButterflyService::observe_latency(double us) {
-  const std::scoped_lock lock(lat_mu_);
+  const MutexLock lock(lat_mu_);
   lat_ring_[lat_next_] = us;
   lat_next_ = (lat_next_ + 1) % lat_ring_.size();
   if (lat_count_ < lat_ring_.size()) ++lat_count_;
@@ -342,7 +342,7 @@ double ButterflyService::latency_p95_us() const {
   std::array<double, kLatencyWindow> window;  // NOLINT(*-member-init)
   std::size_t n = 0;
   {
-    const std::scoped_lock lock(lat_mu_);
+    const MutexLock lock(lat_mu_);
     n = lat_count_;
     std::copy_n(lat_ring_.begin(), n, window.begin());
   }
@@ -363,7 +363,7 @@ ButterflyService::TipVector ButterflyService::tips_for(
   std::shared_future<TipVector> pass;
   bool compute = false;
   {
-    const std::scoped_lock lock(memo_mu_);
+    const MutexLock lock(memo_mu_);
     const auto it = tip_memo_.find(key);
     if (it == tip_memo_.end()) {
       pass = mine.get_future().share();
@@ -395,7 +395,7 @@ ButterflyService::TipVector ButterflyService::tips_for(
       // Drop the memo so a later query can retry, then propagate to every
       // request already coalesced onto this pass (each degrades on its own).
       {
-        const std::scoped_lock lock(memo_mu_);
+        const MutexLock lock(memo_mu_);
         tip_memo_.erase(key);
       }
       mine.set_exception(std::current_exception());

@@ -49,12 +49,13 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "util/sync.hpp"
 
 #include "count/top_pairs.hpp"
 #include "svc/executor.hpp"
@@ -201,12 +202,13 @@ class ButterflyService {
   std::size_t degrade_queue_depth_;
   double degrade_p95_us_;
   std::int64_t approx_samples_;
-  std::mutex memo_mu_;
-  std::map<std::pair<std::uint64_t, bool>, TipPass> tip_memo_;
-  mutable std::mutex lat_mu_;
-  std::array<double, kLatencyWindow> lat_ring_{};
-  std::size_t lat_next_ = 0;   // guarded by lat_mu_
-  std::size_t lat_count_ = 0;  // guarded by lat_mu_
+  Mutex memo_mu_{"svc.service.memo"};
+  std::map<std::pair<std::uint64_t, bool>, TipPass> tip_memo_
+      BFC_GUARDED_BY(memo_mu_);
+  mutable Mutex lat_mu_{"svc.service.latency"};
+  std::array<double, kLatencyWindow> lat_ring_ BFC_GUARDED_BY(lat_mu_){};
+  std::size_t lat_next_ BFC_GUARDED_BY(lat_mu_) = 0;
+  std::size_t lat_count_ BFC_GUARDED_BY(lat_mu_) = 0;
   Executor pool_;  // last: workers stop before the layers they use die
 };
 

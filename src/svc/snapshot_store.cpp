@@ -61,25 +61,28 @@ SnapshotStore::SnapshotStore(vidx_t n1, vidx_t n2)
 
 SnapshotPtr SnapshotStore::head_load() const {
 #if defined(__SANITIZE_THREAD__)
-  const std::scoped_lock lock(head_mu_);
+  const MutexLock lock(head_mu_);
   return head_;
 #else
+  // acquire: pairs with the release store in head_store so a pinned
+  // snapshot's contents are fully visible to the reader.
   return head_.load(std::memory_order_acquire);
 #endif
 }
 
 void SnapshotStore::head_store(SnapshotPtr snap) {
 #if defined(__SANITIZE_THREAD__)
-  const std::scoped_lock lock(head_mu_);
+  const MutexLock lock(head_mu_);
   head_ = std::move(snap);
 #else
+  // release: publishes the fully constructed snapshot (see head_load).
   head_.store(std::move(snap), std::memory_order_release);
 #endif
 }
 
 PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
   BFC_TRACE_SCOPE("svc.publish");
-  const std::scoped_lock lock(writer_mu_);
+  const MutexLock lock(writer_mu_);
 
   PublishResult result;
   for (const EdgeUpdate& up : batch) {
@@ -227,9 +230,10 @@ void SnapshotStore::restore(const std::string& path) {
   }
 
   // All validation passed — only now touch the store's state.
-  const std::scoped_lock lock(writer_mu_);
-  n1_ = snap->graph.n1();
-  n2_ = snap->graph.n2();
+  const MutexLock lock(writer_mu_);
+  // relaxed: see the n1()/n2() accessors — dimension reads are independent.
+  n1_.store(snap->graph.n1(), std::memory_order_relaxed);
+  n2_.store(snap->graph.n2(), std::memory_order_relaxed);
   counter_ = std::move(counter);
   next_epoch_ = meta.epoch + 1;
   head_store(std::move(snap));

@@ -18,13 +18,13 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <span>
 #include <string>
 
 #include "count/dynamic.hpp"
 #include "svc/snapshot.hpp"
 #include "util/common.hpp"
+#include "util/sync.hpp"
 
 namespace bfc::svc {
 
@@ -70,25 +70,36 @@ class SnapshotStore {
   /// on a missing/truncated/corrupted file — the store is left unchanged.
   void restore(const std::string& path);
 
-  [[nodiscard]] vidx_t n1() const noexcept { return n1_; }
-  [[nodiscard]] vidx_t n2() const noexcept { return n2_; }
+  [[nodiscard]] vidx_t n1() const noexcept {
+    // relaxed: an independent scalar, overwritten only by restore(); readers
+    // needing dimensions coherent with a graph take them from a pinned
+    // snapshot, not from here.
+    return n1_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] vidx_t n2() const noexcept {
+    return n2_.load(std::memory_order_relaxed);  // see n1()
+  }
 
  private:
   [[nodiscard]] SnapshotPtr head_load() const;
   void head_store(SnapshotPtr snap);
 
-  vidx_t n1_;
-  vidx_t n2_;
-  mutable std::mutex writer_mu_;            // serialises apply_batch/restore
-  std::uint64_t next_epoch_ = 1;            // guarded by writer_mu_
-  count::DynamicButterflyCounter counter_;  // writer-side mutable state
+  // Atomic because restore() rewrites the dimensions while concurrent
+  // readers may call n1()/n2() without any lock (previously a plain-int
+  // data race the annotations surfaced).
+  std::atomic<vidx_t> n1_;
+  std::atomic<vidx_t> n2_;
+  mutable Mutex writer_mu_{"svc.store.writer"};  // apply_batch/restore
+  std::uint64_t next_epoch_ BFC_GUARDED_BY(writer_mu_) = 1;
+  // Writer-side mutable state.
+  count::DynamicButterflyCounter counter_ BFC_GUARDED_BY(writer_mu_);
 #if defined(__SANITIZE_THREAD__)
   // libstdc++'s atomic<shared_ptr> embeds a spin lock in the control word
   // that TSan cannot see through, so it reports the publish/pin pair as a
   // data race. Under TSan only, publish through a mutex it models exactly;
   // the production build keeps the atomic fast path.
-  mutable std::mutex head_mu_;
-  SnapshotPtr head_;
+  mutable Mutex head_mu_{"svc.store.head"};
+  SnapshotPtr head_ BFC_GUARDED_BY(head_mu_);
 #else
   std::atomic<SnapshotPtr> head_;  // latest published snapshot
 #endif

@@ -355,6 +355,33 @@ TEST(ExecutorRobustness, ExpiredTaskIsAbandonedAtDequeue) {
   gate.join();
 }
 
+TEST(ExecutorRobustness, DestructionAbandonsQueuedTasks) {
+  // ~Executor's contract: running tasks finish, queued tasks that never ran
+  // are abandoned (not drained). The gate pins the only worker inside a
+  // running task while a queued task waits behind it; the releaser opens
+  // the gate well after the destructor has flagged the shutdown, so the
+  // worker's next loop iteration sees it and leaves the queued task for the
+  // destructor to abandon.
+  using namespace std::chrono_literals;
+  std::future<int> doomed;
+  std::optional<WorkerGate> gate;
+  std::thread releaser;
+  {
+    svc::Executor pool(
+        svc::ExecutorOptions{1, 0, svc::ShedPolicy::kRejectNew});
+    gate.emplace(pool);
+    doomed = pool.submit([] { return 7; });
+    ASSERT_EQ(pool.queue_depth(), 1u);
+    releaser = std::thread([&gate] {
+      std::this_thread::sleep_for(50ms);
+      gate->release();
+    });
+  }  // ~Executor runs here, long before the gate opens
+  releaser.join();
+  gate->join();  // the running task itself completed normally
+  EXPECT_EQ(shed_reason(doomed), svc::OverloadError::Reason::kShed);
+}
+
 // ---------------------------------------------------------------------------
 // Kernel-level cooperative cancellation
 // ---------------------------------------------------------------------------
