@@ -1,17 +1,22 @@
 // report_lint: validates the machine-readable artifacts the benches emit.
 //
-//   report_lint --report out.json   check a RunReport (--json output)
-//   report_lint --trace  out.json   check a chrome://tracing file (--trace)
+//   report_lint --report      out.json  check a RunReport (--json output)
+//   report_lint --trace       out.json  check a chrome://tracing file
+//   report_lint --openmetrics out.txt   check an OpenMetrics text dump
+//                                       (--metrics-file / /metrics output)
 //
-// Exits 0 when the file parses as JSON and has the documented shape, 1 with
-// a diagnostic otherwise. The `validate-report` ctest runs a bench at tiny
-// scale and pipes its artifacts through this linter, so a PR that breaks
-// the report schema fails CI rather than downstream tooling.
+// Exits 0 when the file parses and has the documented shape, 1 with a
+// diagnostic otherwise. The `validate-report` and `telemetry-smoke` ctests
+// run a bench at tiny scale and pipe its artifacts through this linter, so
+// a PR that breaks an artifact schema fails CI rather than downstream
+// tooling (Prometheus scrapers included).
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "obs/json.hpp"
 #include "util/cli.hpp"
@@ -75,20 +80,206 @@ void lint_trace(const Json& doc) {
   std::cout << "trace ok: " << events.size() << " events\n";
 }
 
+// ---- OpenMetrics text format ---------------------------------------------
+
+bool valid_metric_name(const std::string& name) {
+  if (name.empty()) return false;
+  for (std::size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+    const bool digit = c >= '0' && c <= '9';
+    if (!(alpha || c == '_' || c == ':' || (i > 0 && digit))) return false;
+  }
+  return true;
+}
+
+/// Per-family state accumulated while scanning sample lines.
+struct Family {
+  std::string type;  // counter | gauge | histogram
+  bool saw_help = false;
+  int samples = 0;
+  // Histogram bookkeeping.
+  long long prev_le = -1;          // last finite bucket threshold
+  long long prev_cumulative = -1;  // bucket counts must be non-decreasing
+  long long inf_bucket = -1;       // le="+Inf" sample value
+  long long count = -1;            // _count sample value
+  bool saw_sum = false;
+};
+
+long long parse_int(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const long long v = std::stoll(s, &used);
+    check(used == s.size(), what + ": not an integer: '" + s + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error(what + ": not an integer: '" + s + "'");
+  }
+}
+
+double parse_double(const std::string& s, const std::string& what) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(s, &used);
+    check(used == s.size(), what + ": not a number: '" + s + "'");
+    return v;
+  } catch (const std::logic_error&) {
+    throw std::runtime_error(what + ": not a number: '" + s + "'");
+  }
+}
+
+void lint_openmetrics(const std::string& path) {
+  std::ifstream in(path);
+  check(static_cast<bool>(in), "cannot open " + path);
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  check(!lines.empty() && lines.back() == "# EOF",
+        "last line must be '# EOF'");
+  lines.pop_back();
+
+  std::map<std::string, Family> families;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const std::string where = "line " + std::to_string(i + 1);
+    check(!line.empty(), where + ": blank line");
+    if (line.rfind("# TYPE ", 0) == 0 || line.rfind("# HELP ", 0) == 0) {
+      const bool is_type = line[2] == 'T';
+      const std::string rest = line.substr(7);
+      const std::size_t sp = rest.find(' ');
+      check(sp != std::string::npos, where + ": metadata without a value");
+      const std::string name = rest.substr(0, sp);
+      check(valid_metric_name(name), where + ": bad metric name '" + name +
+                                         '\'');
+      if (is_type) {
+        const std::string type = rest.substr(sp + 1);
+        check(type == "counter" || type == "gauge" || type == "histogram",
+              where + ": unknown type '" + type + '\'');
+        check(families.find(name) == families.end(),
+              where + ": duplicate TYPE for '" + name + '\'');
+        families[name].type = type;
+      } else {
+        const auto it = families.find(name);
+        check(it != families.end(),
+              where + ": HELP for '" + name + "' precedes its TYPE");
+        it->second.saw_help = true;
+      }
+      continue;
+    }
+    check(line[0] != '#', where + ": unexpected comment");
+
+    // Sample line: <name>[{le="<threshold>"}] <value>
+    const std::size_t sp = line.rfind(' ');
+    check(sp != std::string::npos && sp + 1 < line.size(),
+          where + ": sample without a value");
+    const std::string value = line.substr(sp + 1);
+    std::string metric = line.substr(0, sp);
+    std::string le;
+    const std::size_t brace = metric.find('{');
+    if (brace != std::string::npos) {
+      const std::string labels = metric.substr(brace);
+      metric.resize(brace);
+      check(labels.rfind("{le=\"", 0) == 0 && labels.back() == '}' &&
+                labels.size() > 7,
+            where + ": malformed label set " + labels);
+      le = labels.substr(5, labels.size() - 7);
+    }
+    check(valid_metric_name(metric),
+          where + ": bad sample name '" + metric + '\'');
+
+    // Resolve the sample to its family via the suffix conventions, then
+    // enforce the family's shape. TYPE must precede every sample.
+    const auto strip = [&metric](const char* suffix) {
+      const std::string s(suffix);
+      if (metric.size() <= s.size() ||
+          metric.compare(metric.size() - s.size(), s.size(), s) != 0)
+        return std::string();
+      return metric.substr(0, metric.size() - s.size());
+    };
+    const auto family_of = [&](const std::string& base) -> Family* {
+      if (base.empty()) return nullptr;
+      const auto it = families.find(base);
+      return it == families.end() ? nullptr : &it->second;
+    };
+    if (Family* fam = family_of(strip("_total")); fam != nullptr) {
+      check(fam->type == "counter",
+            where + ": _total sample on non-counter '" + metric + '\'');
+      check(le.empty(), where + ": counter sample with labels");
+      check(parse_int(value, where) >= 0, where + ": negative counter");
+      ++fam->samples;
+    } else if (Family* fam = family_of(strip("_bucket")); fam != nullptr) {
+      check(fam->type == "histogram",
+            where + ": _bucket sample on non-histogram '" + metric + '\'');
+      check(!le.empty(), where + ": bucket without an le label");
+      const long long cumulative = parse_int(value, where);
+      check(cumulative >= 0 && cumulative >= fam->prev_cumulative,
+            where + ": bucket counts must be cumulative (non-decreasing)");
+      fam->prev_cumulative = cumulative;
+      if (le == "+Inf") {
+        check(fam->inf_bucket < 0, where + ": duplicate +Inf bucket");
+        fam->inf_bucket = cumulative;
+      } else {
+        check(fam->inf_bucket < 0,
+              where + ": finite bucket after the +Inf bucket");
+        const long long threshold = parse_int(le, where + " (le)");
+        check(threshold > fam->prev_le,
+              where + ": bucket thresholds must increase");
+        fam->prev_le = threshold;
+      }
+      ++fam->samples;
+    } else if (Family* fam = family_of(strip("_sum")); fam != nullptr) {
+      check(fam->type == "histogram",
+            where + ": _sum sample on non-histogram '" + metric + '\'');
+      fam->saw_sum = true;
+      ++fam->samples;
+    } else if (Family* fam = family_of(strip("_count")); fam != nullptr) {
+      check(fam->type == "histogram",
+            where + ": _count sample on non-histogram '" + metric + '\'');
+      fam->count = parse_int(value, where);
+      ++fam->samples;
+    } else if (Family* fam = family_of(metric); fam != nullptr) {
+      check(fam->type == "gauge",
+            where + ": bare sample on non-gauge '" + metric + '\'');
+      check(le.empty(), where + ": gauge sample with labels");
+      (void)parse_double(value, where + " (gauge value)");
+      ++fam->samples;
+    } else {
+      check(false, where + ": sample '" + metric +
+                       "' matches no declared family (TYPE missing or after "
+                       "the sample?)");
+    }
+  }
+
+  for (const auto& [name, fam] : families) {
+    check(fam.saw_help, "family '" + name + "' has no HELP line");
+    check(fam.samples > 0, "family '" + name + "' has no samples");
+    if (fam.type == "histogram") {
+      check(fam.inf_bucket >= 0, "histogram '" + name + "' has no +Inf bucket");
+      check(fam.saw_sum, "histogram '" + name + "' has no _sum sample");
+      check(fam.count == fam.inf_bucket,
+            "histogram '" + name + "': _count " + std::to_string(fam.count) +
+                " != +Inf bucket " + std::to_string(fam.inf_bucket));
+    }
+  }
+  std::cout << "openmetrics ok: " << families.size() << " metric families, "
+            << lines.size() << " lines\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const bfc::Cli cli(argc, argv);
   const std::string report_path = cli.get("report", "");
   const std::string trace_path = cli.get("trace", "");
-  if (report_path.empty() && trace_path.empty()) {
+  const std::string metrics_path = cli.get("openmetrics", "");
+  if (report_path.empty() && trace_path.empty() && metrics_path.empty()) {
     std::cerr << "usage: report_lint --report <run.json> | --trace "
-                 "<trace.json>\n";
+                 "<trace.json> | --openmetrics <metrics.txt>\n";
     return 2;
   }
   try {
     if (!report_path.empty()) lint_report(load(report_path));
     if (!trace_path.empty()) lint_trace(load(trace_path));
+    if (!metrics_path.empty()) lint_openmetrics(metrics_path);
   } catch (const std::exception& e) {
     std::cerr << "report_lint: " << e.what() << '\n';
     return 1;

@@ -9,6 +9,11 @@
 #             full config's wall-clock latency numbers flaky
 #   overload  undersized pool + bounded queue: proves admission control
 #             sheds, answers degrade, and the count still reconciles
+#   telemetry overload load with the whole telemetry plane armed: the
+#             OpenMetrics dump must lint clean (svc.slo.* included), the
+#             span tree must show degraded and shed requests (the bench
+#             self-checks that), and the folded profile must attribute
+#             samples to a la/ kernel
 file(MAKE_DIRECTORY "${OUT}")
 set(report "${OUT}/serving_report.json")
 
@@ -21,6 +26,13 @@ if(MODE STREQUAL "light")
 elseif(MODE STREQUAL "overload")
   set(load --overload --scale 0.02 --readers 6 --epochs 3 --batch 60
            --queries 120 --pool 1 --max-queue 2)
+elseif(MODE STREQUAL "telemetry")
+  set(load --overload --scale 0.05 --readers 6 --epochs 3 --batch 60
+           --queries 150 --pool 1 --max-queue 2 --slo-ms 5
+           --metrics-file "${OUT}/metrics.txt"
+           --spans-out "${OUT}/spans.json"
+           --profile-hz 250 --profile-out "${OUT}/profile.folded"
+           --flight-out "${OUT}/flight.json")
 else()
   set(load --scale 0.02 --readers 3 --epochs 4 --batch 60 --queries 80
            --pool 3)
@@ -44,3 +56,40 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "report_lint failed (rc=${rc}):\n${out}\n${err}")
 endif()
 message(STATUS "${out}")
+
+if(MODE STREQUAL "telemetry")
+  # The OpenMetrics dump must lint clean and carry the SLO instruments.
+  execute_process(
+    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "openmetrics lint failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "${out}")
+  file(READ "${OUT}/metrics.txt" metrics_text)
+  if(NOT metrics_text MATCHES "svc_slo_")
+    message(FATAL_ERROR "OpenMetrics dump has no svc_slo_* instruments")
+  endif()
+
+  # The folded profile must be non-empty and attribute samples to the
+  # linear-algebra counting kernels (the bench repeats the la/ recount
+  # inside the sampling window for exactly this reason).
+  file(READ "${OUT}/profile.folded" folded_text)
+  if(folded_text STREQUAL "")
+    message(FATAL_ERROR "folded profile is empty")
+  endif()
+  if(NOT folded_text MATCHES "bfc::la::")
+    message(FATAL_ERROR "folded profile attributes no samples to la/ kernels")
+  endif()
+
+  # Span tree and flight ring were self-checked by the bench; they must have
+  # materialised on disk as non-empty JSON.
+  foreach(artifact spans.json flight.json)
+    file(READ "${OUT}/${artifact}" text)
+    if(text STREQUAL "")
+      message(FATAL_ERROR "${artifact} is empty")
+    endif()
+  endforeach()
+endif()

@@ -19,6 +19,26 @@
 //   ./serving --overload [--max-queue 8] [--policy drop-oldest|reject|deadline]
 //             [--deadline-ms 5] [--degrade-depth 4]
 //
+// Telemetry plane (all optional, see docs/telemetry.md):
+//
+//   --metrics-port N   serve the OpenMetrics rendering on 127.0.0.1:N
+//                      (0 = ephemeral; the bound port is printed)
+//   --metrics-file F   dump the OpenMetrics rendering to F after every
+//                      published epoch and at the end of the run
+//   --spans-out F      enable request-scoped span collection and write the
+//                      span tree as JSON; also arms span self-checks
+//                      (every query produced a span; overload runs show
+//                      degraded and shed outcomes with intact parent links)
+//   --trace-sample N   head-based sampling: root (and therefore trace) only
+//                      1 in N requests (default 1 = every request)
+//   --profile-hz N     sample call stacks at N Hz for the whole run
+//   --profile-out F    write the folded stacks (flamegraph.pl input)
+//   --flight-out F     arm the flight recorder's fault dump at F and write
+//                      the final ring there on success too
+//   --slo-ms X         arm an X-millisecond latency objective on every
+//                      query kind (svc.slo.* instruments, SLO-driven
+//                      degradation); --slo-objective sets the fraction
+//
 // The run fails (exit 1) if the incrementally maintained count at the final
 // epoch drifts from a from-scratch recount, or — when kernel metrics are
 // compiled in — if the run produced no cache hits or no coalesced batches
@@ -28,13 +48,21 @@
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
+#include <set>
+#include <string_view>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_common.hpp"
 #include "count/baselines.hpp"
+#include "la/count.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/spans.hpp"
 #include "sparse/ops.hpp"
 #include "svc/service.hpp"
 #include "util/rng.hpp"
@@ -116,6 +144,51 @@ int kind_index(const std::string& name) {
   return 0;
 }
 
+// One latency histogram per QueryKind, reset at every epoch boundary so each
+// phase's distribution is observable on its own (docs/telemetry.md).
+constexpr const char* kLatencyHistograms[] = {
+    "svc.latency_us.global", "svc.latency_us.tip_v1", "svc.latency_us.tip_v2",
+    "svc.latency_us.edge", "svc.latency_us.top_pairs"};
+
+/// Span-plane self-checks plus the JSON dump. The log must be non-empty with
+/// intact parent links (unless the bounded log dropped spans, which can
+/// orphan survivors legitimately); an overload run must additionally show at
+/// least one degraded answer and one shed/cancelled request in the tree.
+bool check_spans(const std::string& path, bool overload) {
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  if (spans.empty()) {
+    std::cerr << "FATAL: --spans-out is set but the span log is empty\n";
+    return false;
+  }
+  std::set<std::uint64_t> ids;
+  for (const obs::SpanRecord& s : spans) ids.insert(s.span_id);
+  std::size_t broken = 0;
+  std::int64_t degraded = 0;
+  std::int64_t shed = 0;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.parent_id != 0 && ids.count(s.parent_id) == 0) ++broken;
+    const std::string_view outcome = s.tag("outcome");
+    if (outcome == "stale" || outcome == "approx") ++degraded;
+    if (outcome == "shed" || outcome == "cancelled" ||
+        s.tag("rejected") == "true")
+      ++shed;
+  }
+  if (obs::SpanLog::dropped() == 0 && broken > 0) {
+    std::cerr << "FATAL: " << broken << " span(s) have dangling parent ids\n";
+    return false;
+  }
+  if (overload && (degraded == 0 || shed == 0)) {
+    std::cerr << "FATAL: overload span tree shows degraded=" << degraded
+              << " shed=" << shed << "; expected both > 0\n";
+    return false;
+  }
+  obs::SpanLog::write_json(path);
+  std::cout << "spans: " << spans.size() << " recorded ("
+            << obs::SpanLog::dropped() << " dropped), " << degraded
+            << " degraded, " << shed << " shed/cancelled\n";
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -123,7 +196,9 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = bfc::bench::parse_config(
       argc, argv,
       {"readers", "epochs", "batch", "queries", "pool", "mix", "overload",
-       "max-queue", "policy", "deadline-ms", "degrade-depth"});
+       "max-queue", "policy", "deadline-ms", "degrade-depth", "metrics-port",
+       "metrics-file", "spans-out", "trace-sample", "profile-hz",
+       "profile-out", "flight-out", "slo-ms", "slo-objective"});
   const Cli cli(argc, argv);
   const int readers = static_cast<int>(cli.get_int("readers", 4));
   const int epochs = static_cast<int>(cli.get_int("epochs", 8));
@@ -155,7 +230,35 @@ int main(int argc, char** argv) {
       0));
   require(!overload || max_queue > 0, "--overload needs --max-queue >= 1");
 
+  // ---- telemetry plane ----------------------------------------------------
+  const bool has_metrics_port = cli.has("metrics-port");
+  const int metrics_port =
+      static_cast<int>(cli.get_int_at_least("metrics-port", 0, 0));
+  const std::string metrics_file = cli.get("metrics-file", "");
+  const std::string spans_out = cli.get("spans-out", "");
+  const int profile_hz =
+      static_cast<int>(cli.get_int_at_least("profile-hz", 0, 0));
+  const std::string profile_out = cli.get("profile-out", "");
+  const std::string flight_out = cli.get("flight-out", "");
+  const double slo_ms = cli.get_double("slo-ms", 0.0);
+  const double slo_objective = cli.get_double("slo-objective", 0.99);
+  require(slo_objective > 0.0 && slo_objective <= 1.0,
+          "--slo-objective must be in (0, 1]");
+  const auto trace_sample = static_cast<std::uint64_t>(
+      cli.get_int_at_least("trace-sample", 1, 1));
+  if (!spans_out.empty()) {
+    obs::SpanLog::set_sample_period(trace_sample);
+    obs::SpanLog::set_enabled(true);
+  }
+  if (!flight_out.empty()) obs::FlightRecorder::set_dump_path(flight_out);
+  std::unique_ptr<obs::MetricsHttpServer> exporter;
+  if (has_metrics_port)
+    exporter = std::make_unique<obs::MetricsHttpServer>(metrics_port);
+
   bfc::bench::print_header("serving: concurrent query load generator", cfg);
+  if (exporter)
+    std::cout << "metrics exporter: http://127.0.0.1:" << exporter->port()
+              << "/metrics\n";
 
   // Initial graph: the arXiv cond-mat stand-in at --scale, loaded as the
   // first published epoch.
@@ -164,11 +267,15 @@ int main(int argc, char** argv) {
       gen::make_konect_like(preset, cfg.scale, cfg.seed);
   const vidx_t n1 = initial.n1(), n2 = initial.n2();
 
-  svc::ButterflyService service(n1, n2,
-                                {.threads = pool,
-                                 .max_queue = max_queue,
-                                 .shed_policy = policy,
-                                 .degrade_queue_depth = degrade_depth});
+  svc::ServiceOptions service_options{.threads = pool,
+                                      .max_queue = max_queue,
+                                      .shed_policy = policy,
+                                      .degrade_queue_depth = degrade_depth};
+  if (slo_ms > 0.0) {
+    service_options.slo_target_us.fill(slo_ms * 1e3);
+    service_options.slo_objective = slo_objective;
+  }
+  svc::ButterflyService service(n1, n2, service_options);
   {
     std::vector<svc::EdgeUpdate> load;
     for (const auto& [u, v] : sparse::edges(initial.csr()))
@@ -193,8 +300,13 @@ int main(int argc, char** argv) {
   const std::int64_t total_queries =
       static_cast<std::int64_t>(readers) * queries_per_reader;
   std::atomic<std::int64_t> completed{0};
+  std::atomic<std::int64_t> completed_at_reset{0};
   std::atomic<std::int64_t> degraded_answers{0};
   std::atomic<std::int64_t> overload_errors{0};
+
+  if (profile_hz > 0)
+    require(obs::Profiler::start(profile_hz),
+            "--profile-hz: cannot arm the sampling profiler");
   std::vector<std::vector<KindStats>> per_reader(
       static_cast<std::size_t>(readers));
 
@@ -219,6 +331,16 @@ int main(int argc, char** argv) {
                                static_cast<std::uint64_t>(n2))),
                            rng.bernoulli(0.7)});
         service.apply_updates(batch);
+        // Epoch boundary: dump the metrics rendering with this phase's
+        // latency distributions still intact, then reset the per-kind
+        // histograms so the next phase's shape is observable on its own.
+        if (!metrics_file.empty()) obs::write_openmetrics_file(metrics_file);
+        if constexpr (obs::kMetricsEnabled) {
+          for (const char* name : kLatencyHistograms)
+            obs::Registry::instance().histogram(name).reset();
+          completed_at_reset.store(completed.load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+        }
         const std::int64_t target = std::min(
             total_queries, completed.load(std::memory_order_relaxed) + quota);
         while (completed.load(std::memory_order_relaxed) < target)
@@ -328,15 +450,57 @@ int main(int argc, char** argv) {
   // Zero-drift acceptance: the incrementally maintained count at the final
   // epoch must equal a from-scratch recount of the materialised snapshot —
   // shedding and degrading reads must never have touched the write path.
+  // Two independent engines recount (wedge reference and the linear-algebra
+  // dispatch); running the la/ kernel here also keeps it inside the
+  // profiler's sampling window, so folded profiles attribute time to it.
   const svc::SnapshotPtr fin = service.snapshot();
   const count_t recount = count::wedge_reference(fin->graph);
-  if (fin->butterflies != recount) {
+  const count_t la_recount = la::count_butterflies(fin->graph);
+  if (profile_hz > 0) {
+    // A profiled run repeats the la/ recount for ~0.2 s of kernel CPU so the
+    // sampler (capped near the kernel tick rate) lands enough stacks inside
+    // it to attribute; every repetition must agree with the first.
+    for (Timer t; t.seconds() < 0.2;) {
+      if (la::count_butterflies(fin->graph) != la_recount) {
+        std::cerr << "FATAL: la recount is not deterministic\n";
+        return 1;
+      }
+    }
+  }
+  if (fin->butterflies != recount || fin->butterflies != la_recount) {
     std::cerr << "FATAL: count drift at epoch " << fin->epoch << ": serving "
-              << fin->butterflies << " != recount " << recount << '\n';
+              << fin->butterflies << " != recount " << recount << " (wedge) / "
+              << la_recount << " (la)\n";
     return 1;
   }
   std::cout << "drift check: epoch " << fin->epoch << " count "
-            << fin->butterflies << " == from-scratch recount\n";
+            << fin->butterflies << " == from-scratch recount (both engines)\n";
+
+  // ---- telemetry teardown -------------------------------------------------
+  if (profile_hz > 0) {
+    obs::Profiler::stop();
+    std::cout << "profiler: " << obs::Profiler::samples_captured()
+              << " samples captured, " << obs::Profiler::samples_dropped()
+              << " dropped, at " << profile_hz << " Hz\n";
+    if (!profile_out.empty()) obs::Profiler::write_folded(profile_out);
+  }
+  if (!metrics_file.empty()) obs::write_openmetrics_file(metrics_file);
+  if (!flight_out.empty() &&
+      !obs::FlightRecorder::dump(flight_out, "end of run")) {
+    std::cerr << "FATAL: cannot write flight-recorder dump to " << flight_out
+              << '\n';
+    return 1;
+  }
+  if (exporter)
+    std::cout << "metrics exporter served " << exporter->requests_served()
+              << " request(s) on port " << exporter->port() << "\n";
+  if (!spans_out.empty()) {
+    if constexpr (obs::kMetricsEnabled) {
+      if (!check_spans(spans_out, overload)) return 1;
+    } else {
+      std::cout << "spans: collection compiled out (BFC_METRICS=OFF)\n";
+    }
+  }
 
   if constexpr (obs::kMetricsEnabled) {
     const auto counter = [](const char* name) {
@@ -369,6 +533,29 @@ int main(int argc, char** argv) {
                    "coalesced batches\n";
       return 1;
     }
+
+    // The per-kind latency histograms are reset at every epoch boundary, so
+    // the surviving counts must cover only the tail of the run: queries that
+    // finished after the last published epoch, plus at most one in-flight
+    // query per reader straddling the reset.
+    std::int64_t hist_total = 0;
+    for (const char* name : kLatencyHistograms)
+      hist_total += obs::Registry::instance().histogram(name).count();
+    const std::int64_t tail =
+        total_queries - completed_at_reset.load(std::memory_order_relaxed);
+    if (hist_total > tail + readers) {
+      std::cerr << "FATAL: latency histograms hold " << hist_total
+                << " observations but only " << tail
+                << " queries finished after the last epoch reset\n";
+      return 1;
+    }
+    if (!overload && hist_total <= 0 && tail > readers) {
+      std::cerr << "FATAL: latency histograms empty despite a " << tail
+                << "-query tail after the final epoch reset\n";
+      return 1;
+    }
+    std::cout << "epoch-scoped latency histograms: " << hist_total
+              << " observations across a " << tail << "-query tail\n";
   }
 
   bfc::bench::write_reports(cfg);

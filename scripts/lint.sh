@@ -30,6 +30,12 @@
 #   default-seq_cst spelling hides the ordering decision exactly where the
 #   concurrent layers need it visible.
 #
+# Rule E — every svc./obs./chk. metric name registered in src/ (via the
+#   BFC_* macros or a direct Registry counter()/gauge()/histogram() call)
+#   must appear somewhere under docs/. The metric catalog in
+#   docs/telemetry.md is what dashboards and alerts are built against; an
+#   undocumented instrument is a catalog that has silently rotted.
+#
 # clang-tidy — runs over src/*.cpp with the repo .clang-tidy profile when
 #   clang-tidy and build/compile_commands.json exist. Skipped with a warning
 #   otherwise (the dev container ships only g++); pass --require-clang-tidy
@@ -124,6 +130,38 @@ if [[ -n "$atomic_violations" ]]; then
   fail=1
 else
   echo "lint: rule D ok (obs/svc atomics name their memory orders)"
+fi
+
+# --- Rule E: every registered metric name is documented ---------------------
+# Names are extracted only from metric-publishing contexts (the macros and
+# direct Registry registrations), so mutex site names and span names don't
+# count. Dynamically suffixed families (svc.slo.violations.<kind>) appear in
+# source as a prefix literal ending in '.'; the trailing dot is stripped and
+# the docs must mention the family prefix.
+metric_names=$(
+  {
+    grep -rhoE 'BFC_(COUNT_ADD|GAUGE_SET|HIST_OBSERVE)\("[^"]+"' src \
+        --include='*.cpp' --include='*.hpp'
+    grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"' src \
+        --include='*.cpp' --include='*.hpp'
+  } | sed -E 's/.*\("([^"]+)".*/\1/' \
+    | grep -E '^(svc|obs|chk)\.' | sed -E 's/\.$//' | sort -u
+)
+undocumented=()
+while IFS= read -r name; do
+  [[ -z "$name" ]] && continue
+  if ! grep -rqF "$name" docs; then
+    undocumented+=("$name")
+  fi
+done <<<"$metric_names"
+
+if ((${#undocumented[@]})); then
+  echo "lint: FAIL rule E — metric registered in src/ but absent from docs/:" >&2
+  printf '  %s\n' "${undocumented[@]}" >&2
+  echo "  (add it to the catalog in docs/telemetry.md)" >&2
+  fail=1
+else
+  echo "lint: rule E ok ($(wc -l <<<"$metric_names") metric names all documented)"
 fi
 
 # --- clang-tidy over the library ------------------------------------------

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "chk/checked_math.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 
 namespace bfc::chk {
@@ -13,6 +14,10 @@ void check_fail(const char* expr, const char* file, int line,
   std::ostringstream out;
   out << file << ':' << line << ": check failed: " << expr;
   if (!msg.empty()) out << " (" << msg << ')';
+  // A failed invariant is exactly what the flight recorder exists for:
+  // preserve the recent event history before unwinding destroys it.
+  obs::FlightRecorder::record("check_fail", expr, line);
+  obs::FlightRecorder::dump_on_fault("CheckError");
   throw CheckError(out.str());
 }
 
@@ -21,6 +26,8 @@ void overflow_fail(const char* op, long long a, long long b) {
   std::ostringstream out;
   out << "checked_" << op << ": signed 64-bit overflow on " << a << ' ' << op
       << ' ' << b << " — wedge/butterfly accumulator exceeded count_t";
+  obs::FlightRecorder::record("overflow", op, a, b);
+  obs::FlightRecorder::dump_on_fault("overflow");
   throw CheckError(out.str());
 }
 

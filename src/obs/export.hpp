@@ -1,0 +1,68 @@
+// OpenMetrics / Prometheus text exposition of the obs::Registry. The
+// renderer serializes the live Counter/Gauge/Histogram instruments on
+// demand — metric names are mangled to the OpenMetrics charset ('.' -> '_'),
+// counters gain the mandated `_total` sample suffix, and the base-2
+// histograms expose their buckets as the standard cumulative
+// `_bucket{le="..."}` series. Two transports sit on top:
+//
+//   MetricsHttpServer  a deliberately minimal single-threaded HTTP/1.1
+//                      listener (loopback by default) answering every GET
+//                      with the current rendering — enough for a Prometheus
+//                      scrape or `curl localhost:PORT/metrics`, with no
+//                      routing, TLS, or keep-alive;
+//   write_openmetrics_file  one atomic (write-then-rename) dump for
+//                      no-network environments; bench/serving re-dumps it
+//                      periodically behind --metrics-file.
+//
+// Rendering works in every build; under BFC_METRICS=OFF the registry is
+// simply empty and the output is just the `# EOF` terminator.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <thread>
+
+namespace bfc::obs {
+
+/// OpenMetrics-safe name: '.' and any other disallowed character becomes
+/// '_'; a leading digit gains a '_' prefix.
+[[nodiscard]] std::string openmetrics_name(const std::string& name);
+
+/// The full exposition: one TYPE/HELP header plus samples per instrument,
+/// terminated by "# EOF\n".
+[[nodiscard]] std::string render_openmetrics();
+
+/// Writes render_openmetrics() to `path` via write-then-rename so scrapers
+/// never observe a torn file; throws std::runtime_error on I/O failure.
+void write_openmetrics_file(const std::string& path);
+
+/// Minimal single-threaded exporter endpoint. Binds at construction (port 0
+/// picks an ephemeral port), serves every request from one background
+/// thread, unbinds at destruction. Intended for benches and sidecar
+/// scrapes, not as a hardened ingress.
+class MetricsHttpServer {
+ public:
+  /// Binds 127.0.0.1:`port` and starts serving; throws std::runtime_error
+  /// when the socket cannot be bound.
+  explicit MetricsHttpServer(int port);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// The bound port (resolves an ephemeral request).
+  [[nodiscard]] int port() const noexcept { return port_; }
+
+  /// Requests answered so far.
+  [[nodiscard]] std::int64_t requests_served() const noexcept;
+
+ private:
+  void serve_loop(const std::stop_token& stop);
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<std::int64_t> served_{0};
+  std::jthread loop_;  // last: joins before the fd closes underneath it
+};
+
+}  // namespace bfc::obs

@@ -1,0 +1,239 @@
+#include "obs/profiler.hpp"
+
+#include <cxxabi.h>
+#include <dlfcn.h>
+#include <execinfo.h>
+#include <signal.h>  // NOLINT(*-deprecated-headers): sigaction needs the C header
+#include <sys/time.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "util/sync.hpp"
+
+namespace bfc::obs {
+namespace {
+
+constexpr std::uint32_t kRingCapacity = 4096;  // samples per thread
+constexpr std::size_t kMaxThreads = 64;        // profiled-thread slots
+
+struct RawSample {
+  void* pc[Profiler::kMaxFrames];
+  std::int32_t depth;
+};
+
+/// Single-producer (the owning thread, inside its signal handler — SIGPROF
+/// is blocked during delivery so handlers never nest on one thread) /
+/// single-consumer (folded()/stop(), reading `used` with acquire) ring.
+struct ThreadRing {
+  std::atomic<std::uint32_t> used{0};
+  std::atomic<std::int64_t> dropped{0};
+  RawSample slots[kRingCapacity];
+};
+
+// Static storage: the handler may fire on a thread that has never touched
+// the profiler, so ring acquisition must not allocate. Pages of untouched
+// rings are never faulted in.
+ThreadRing g_rings[kMaxThreads];
+std::atomic<int> g_next_ring{0};
+std::atomic<std::int64_t> g_no_slot_dropped{0};
+thread_local ThreadRing* tls_ring = nullptr;
+
+std::atomic<bool> g_running{false};
+struct sigaction g_previous_action;
+
+void profiler_signal_handler(int /*signum*/) {
+  const int saved_errno = errno;
+  ThreadRing* ring = tls_ring;
+  if (ring == nullptr) {
+    const int idx = g_next_ring.fetch_add(1, std::memory_order_relaxed);
+    if (idx < static_cast<int>(kMaxThreads)) {
+      ring = &g_rings[idx];
+      tls_ring = ring;
+    } else {
+      g_no_slot_dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (ring != nullptr) {
+    const std::uint32_t n = ring->used.load(std::memory_order_relaxed);
+    if (n < kRingCapacity) {
+      RawSample& s = ring->slots[n];
+      s.depth = ::backtrace(s.pc, Profiler::kMaxFrames);
+      // Release so a consumer that observes the new count also observes
+      // the frames written above.
+      ring->used.store(n + 1, std::memory_order_release);
+    } else {
+      ring->dropped.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  errno = saved_errno;
+}
+
+/// Best-effort symbol for one return address; cached by the caller.
+std::string symbolize(void* pc) {
+  Dl_info info{};
+  if (dladdr(pc, &info) != 0 && info.dli_sname != nullptr) {
+    int status = 0;
+    char* demangled =
+        abi::__cxa_demangle(info.dli_sname, nullptr, nullptr, &status);
+    if (status == 0 && demangled != nullptr) {
+      std::string out(demangled);
+      std::free(demangled);  // NOLINT(*-no-malloc): __cxa_demangle contract
+      // Drop the argument list — folded-stack frames read better short, and
+      // flamegraph tooling treats ';' or spaces inside frames poorly.
+      const std::size_t paren = out.find('(');
+      if (paren != std::string::npos) out.resize(paren);
+      return out;
+    }
+    return info.dli_sname;
+  }
+  if (info.dli_fname != nullptr) {
+    const char* base = std::strrchr(info.dli_fname, '/');
+    std::string out(base != nullptr ? base + 1 : info.dli_fname);
+    char addr[32];
+    std::snprintf(addr, sizeof(addr), "+%p", pc);
+    return out + addr;
+  }
+  char addr[32];
+  std::snprintf(addr, sizeof(addr), "%p", pc);
+  return addr;
+}
+
+bool is_handler_frame(const std::string& sym) {
+  return sym.find("profiler_signal_handler") != std::string::npos ||
+         sym.find("__restore_rt") != std::string::npos ||
+         sym.find("killpg") != std::string::npos;
+}
+
+Mutex& control_mu() {
+  static Mutex mu{"obs.profiler"};
+  return mu;
+}
+
+/// Zeroes every ring's counters. Ring ownership (tls pointers into
+/// g_rings) is deliberately kept: a cleared ring still belongs to its
+/// thread for the next run.
+void clear_rings() {
+  for (ThreadRing& ring : g_rings) {
+    ring.used.store(0, std::memory_order_relaxed);
+    ring.dropped.store(0, std::memory_order_relaxed);
+  }
+  g_no_slot_dropped.store(0, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool Profiler::running() noexcept {
+  return g_running.load(std::memory_order_relaxed);
+}
+
+bool Profiler::start(int hz) {
+  if (hz < 1 || hz > 1000) return false;
+  const MutexLock lock(control_mu());
+  if (running()) return false;
+  clear_rings();
+
+  // glibc's backtrace lazily loads libgcc on first use (it allocates); do
+  // that here, outside the handler, so the handler never malloc()s.
+  void* warmup[4];
+  (void)::backtrace(warmup, 4);
+
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = profiler_signal_handler;
+  sa.sa_flags = SA_RESTART;
+  sigemptyset(&sa.sa_mask);
+  if (sigaction(SIGPROF, &sa, &g_previous_action) != 0) return false;
+
+  itimerval timer{};
+  const long usec = 1000000L / hz;
+  timer.it_interval.tv_sec = usec / 1000000L;
+  timer.it_interval.tv_usec = usec % 1000000L;
+  timer.it_value = timer.it_interval;
+  if (setitimer(ITIMER_PROF, &timer, nullptr) != 0) {
+    sigaction(SIGPROF, &g_previous_action, nullptr);
+    return false;
+  }
+  g_running.store(true, std::memory_order_release);
+  return true;
+}
+
+void Profiler::stop() {
+  const MutexLock lock(control_mu());
+  if (!running()) return;
+  itimerval disarm{};
+  setitimer(ITIMER_PROF, &disarm, nullptr);
+  sigaction(SIGPROF, &g_previous_action, nullptr);
+  g_running.store(false, std::memory_order_release);
+  if constexpr (kMetricsEnabled) {
+    BFC_GAUGE_SET("obs.profiler.samples", samples_captured());
+    BFC_GAUGE_SET("obs.profiler.dropped", samples_dropped());
+  }
+}
+
+std::int64_t Profiler::samples_captured() {
+  std::int64_t total = 0;
+  for (const ThreadRing& ring : g_rings)
+    total += ring.used.load(std::memory_order_acquire);
+  return total;
+}
+
+std::int64_t Profiler::samples_dropped() {
+  std::int64_t total = g_no_slot_dropped.load(std::memory_order_relaxed);
+  for (const ThreadRing& ring : g_rings)
+    total += ring.dropped.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::map<std::string, std::int64_t> Profiler::folded() {
+  std::map<std::string, std::int64_t> out;
+  std::unordered_map<void*, std::string> symbols;
+  const auto symbol_of = [&symbols](void* pc) -> const std::string& {
+    auto [it, inserted] = symbols.try_emplace(pc);
+    if (inserted) it->second = symbolize(pc);
+    return it->second;
+  };
+  for (const ThreadRing& ring : g_rings) {
+    const std::uint32_t used = ring.used.load(std::memory_order_acquire);
+    for (std::uint32_t i = 0; i < used; ++i) {
+      const RawSample& s = ring.slots[i];
+      // Frames run leaf-first; the shallowest few are the handler and the
+      // kernel's signal trampoline — skip them so stacks start at the
+      // interrupted frame. Fold root-first, ';'-joined, as flamegraph
+      // tooling expects.
+      int leaf = 0;
+      while (leaf < s.depth && is_handler_frame(symbol_of(s.pc[leaf])))
+        ++leaf;
+      if (leaf >= s.depth) continue;
+      std::string stack;
+      for (int f = s.depth - 1; f >= leaf; --f) {
+        if (!stack.empty()) stack += ';';
+        stack += symbol_of(s.pc[f]);
+      }
+      ++out[stack];
+    }
+  }
+  return out;
+}
+
+void Profiler::write_folded(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write folded profile: " + path);
+  for (const auto& [stack, count] : folded())
+    out << stack << ' ' << count << '\n';
+}
+
+void Profiler::clear() {
+  const MutexLock lock(control_mu());
+  clear_rings();
+}
+
+}  // namespace bfc::obs

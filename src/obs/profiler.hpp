@@ -1,0 +1,56 @@
+// Always-on sampling profiler: a SIGPROF timer (ITIMER_PROF, i.e. process
+// CPU time) fires at a configurable rate; the signal handler captures the
+// interrupted thread's call stack into that thread's own lock-free ring, so
+// sampling is safe no matter where the signal lands — inside an OpenMP
+// region, a pool worker, or the writer. Nothing in the handler allocates,
+// locks, or touches shared mutable state beyond relaxed/release atomics on
+// the per-thread ring.
+//
+// Collection produces *folded stacks* ("frameA;frameB;frameC 42", root
+// first), the input format of Brendan Gregg's flamegraph.pl and of every
+// modern flame-graph viewer (speedscope, firefox profiler). Symbolization
+// happens at fold time via dladdr — link the binary with -rdynamic (the
+// build does this for the bench binaries) so static-library kernels resolve
+// to names instead of raw addresses.
+//
+// The profiler is compiled in every build; start() is the only cost gate.
+// With BFC_METRICS=ON the sample totals are mirrored into the registry as
+// obs.profiler.samples / obs.profiler.dropped.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace bfc::obs {
+
+class Profiler {
+ public:
+  static constexpr int kMaxFrames = 24;
+
+  /// Starts sampling at `hz` samples per second of process CPU time
+  /// (1..1000). Clears previously collected samples. Returns false when a
+  /// profile is already running or the timer cannot be armed.
+  static bool start(int hz);
+
+  /// Disarms the timer and restores the previous SIGPROF disposition.
+  /// Collected samples stay available until the next start() or clear().
+  static void stop();
+
+  [[nodiscard]] static bool running() noexcept;
+
+  /// Stacks captured / discarded (ring full or more threads than slots).
+  [[nodiscard]] static std::int64_t samples_captured();
+  [[nodiscard]] static std::int64_t samples_dropped();
+
+  /// Aggregates the captured stacks: "root;...;leaf" -> sample count.
+  [[nodiscard]] static std::map<std::string, std::int64_t> folded();
+
+  /// Writes folded() one "stack count" line at a time (flamegraph.pl
+  /// input); throws std::runtime_error on I/O failure.
+  static void write_folded(const std::string& path);
+
+  static void clear();
+};
+
+}  // namespace bfc::obs

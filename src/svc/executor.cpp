@@ -3,10 +3,26 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "svc/fault.hpp"
+#include "util/parallel.hpp"
 
 namespace bfc::svc {
+
+void Executor::close_queue_span(const Task& task, const char* outcome) {
+  if (!obs::SpanLog::enabled() || !task.trace.active()) return;
+  obs::SpanRecord rec;
+  rec.trace_id = task.trace.trace_id;
+  rec.parent_id = task.trace.span_id;
+  rec.span_id = obs::SpanLog::next_id();
+  rec.name = "svc.queue";
+  rec.ts_us = task.enqueue_ts_us;
+  rec.dur_us = obs::Tracer::now_us() - task.enqueue_ts_us;
+  rec.tid = thread_id();
+  rec.add_tag("outcome", outcome);
+  obs::SpanLog::record(std::move(rec));
+}
 
 Executor::Executor(const ExecutorOptions& options)
     : max_queue_(options.max_queue), policy_(options.policy) {
@@ -37,7 +53,10 @@ Executor::~Executor() {
     leftovers.swap(queue_);
   }
   // Abandon callbacks may do real (if bounded) work — never under mu_.
-  for (Task& task : leftovers) task.abandon(OverloadError::Reason::kShed);
+  for (Task& task : leftovers) {
+    close_queue_span(task, "shed");
+    task.abandon(OverloadError::Reason::kShed);
+  }
 }
 
 std::size_t Executor::queue_depth() const {
@@ -56,6 +75,10 @@ bool Executor::admit(Task task) {
       switch (policy_) {
         case ShedPolicy::kRejectNew:
           BFC_COUNT_ADD("svc.rejected", 1);
+          obs::FlightRecorder::record(
+              "reject", shed_policy_name(policy_),
+              static_cast<std::int64_t>(queue_.size()), 0,
+              task.trace.trace_id);
           return false;
         case ShedPolicy::kDropOldest:
           victim = std::move(queue_.front());
@@ -88,6 +111,10 @@ bool Executor::admit(Task task) {
                task.deadline.time() < it->deadline.time());
           if (incoming_sooner) {
             BFC_COUNT_ADD("svc.rejected", 1);
+            obs::FlightRecorder::record(
+                "reject", "deadline-aware-incoming",
+                static_cast<std::int64_t>(queue_.size()), 0,
+                task.trace.trace_id);
             return false;
           }
           victim = std::move(*it);
@@ -102,6 +129,8 @@ bool Executor::admit(Task task) {
       // max_queue 0 workers idle): there is nothing to evict, so every
       // policy degenerates to reject-new.
       BFC_COUNT_ADD("svc.rejected", 1);
+      obs::FlightRecorder::record("reject", "queue-empty-full", 0, 0,
+                                  task.trace.trace_id);
       return false;
     }
     queue_.push_back(std::move(task));
@@ -109,7 +138,12 @@ bool Executor::admit(Task task) {
   }
   cv_.notify_one();
   // The victim's fallback may do real (if bounded) work — never under mu_.
-  if (have_victim) victim.abandon(OverloadError::Reason::kShed);
+  if (have_victim) {
+    close_queue_span(victim, "shed");
+    obs::FlightRecorder::record("shed", shed_policy_name(policy_), 0, 0,
+                                victim.trace.trace_id);
+    victim.abandon(OverloadError::Reason::kShed);
+  }
   return true;
 }
 
@@ -127,8 +161,12 @@ void Executor::worker_loop() {
     // move straight to the next task.
     if (task.deadline.expired()) {
       BFC_COUNT_ADD("svc.deadline_expired", 1);
+      close_queue_span(task, "deadline");
+      obs::FlightRecorder::record("deadline", "expired-in-queue", 0, 0,
+                                  task.trace.trace_id);
       task.abandon(OverloadError::Reason::kDeadline);
     } else {
+      close_queue_span(task, "run");
       task.run();
     }
     lock.lock();

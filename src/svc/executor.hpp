@@ -22,6 +22,13 @@
 // or, failing that, with OverloadError. Queue depth is exported as a gauge
 // (svc.queue_depth); shedding increments svc.shed / svc.rejected /
 // svc.deadline_expired.
+//
+// Telemetry: a task admitted under an active obs::TraceContext gets one
+// "svc.queue" span covering its time in the queue, closed on the thread
+// that resolved it and tagged with how it left — outcome=run (a worker
+// picked it up), shed (evicted by a policy or at shutdown), or deadline
+// (expired while queued). Sheds and expiries also land in the flight
+// recorder.
 #pragma once
 
 #include <cstddef>
@@ -35,6 +42,8 @@
 #include <utility>
 #include <vector>
 
+#include "obs/spans.hpp"
+#include "obs/trace.hpp"
 #include "svc/request.hpp"
 #include "util/common.hpp"
 #include "util/sync.hpp"
@@ -93,13 +102,18 @@ class Executor {
   /// exceptions propagate through the future.
   template <typename Fn>
   [[nodiscard]] auto try_submit(Fn&& fn, Deadline deadline = {},
-                                FallbackOf<Fn> fallback = nullptr)
+                                FallbackOf<Fn> fallback = nullptr,
+                                obs::TraceContext trace = {})
       -> std::optional<std::future<ResultOf<Fn>>> {
     using R = ResultOf<Fn>;
     auto prom = std::make_shared<std::promise<R>>();
     std::future<R> future = prom->get_future();
     Task task;
     task.deadline = deadline;
+    if (obs::SpanLog::enabled() && trace.active()) {
+      task.trace = trace;
+      task.enqueue_ts_us = obs::Tracer::now_us();
+    }
     // std::function requires copyable callables, so the packaged state
     // lives behind the shared promise pointer.
     task.run = [prom, fn = std::forward<Fn>(fn)]() mutable {
@@ -156,7 +170,12 @@ class Executor {
     std::function<void()> run;
     std::function<void(OverloadError::Reason)> abandon;
     Deadline deadline;
+    obs::TraceContext trace;         // active -> queue-wait span on resolve
+    std::int64_t enqueue_ts_us = 0;  // Tracer clock at admission
   };
+
+  /// Closes the task's queue-wait span (no-op for untraced tasks).
+  static void close_queue_span(const Task& task, const char* outcome);
 
   /// Applies the admission policy; returns false when the incoming task is
   /// refused. May evict a queued task (abandoned outside the lock).

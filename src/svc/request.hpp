@@ -14,6 +14,7 @@
 #include <string>
 #include <utility>
 
+#include "obs/spans.hpp"
 #include "svc/snapshot.hpp"
 #include "util/cancel.hpp"
 #include "util/common.hpp"
@@ -88,6 +89,11 @@ class Deadline {
 struct Request {
   SnapshotPtr snap{};
   Deadline deadline{};
+  /// Telemetry identity. Inactive (the default) makes the service root a
+  /// fresh trace when span collection is on; a caller that owns a wider
+  /// trace (one bench iteration, one RPC) passes its own context so the
+  /// query's spans parent into it.
+  obs::TraceContext trace{};
 
   Request() = default;
   // NOLINTNEXTLINE(google-explicit-constructor): a bare pinned snapshot IS

@@ -8,7 +8,9 @@
 
 #include "count/approx.hpp"
 #include "count/local_counts.hpp"
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "sparse/ops.hpp"
 #include "svc/fault.hpp"
@@ -43,6 +45,38 @@ count_t support_of_edge(const graph::BipartiteGraph& g, vidx_t u, vidx_t v) {
          static_cast<count_t>(nv.size()) + 1;
 }
 
+// Request spans outlive the submitting frame (the exact lambda runs on a
+// pool worker, the fallback possibly on a third thread), so they live
+// behind a shared_ptr — allocated only when collection is actually on, so
+// the disabled path stays allocation-free. Exactly one of the capturing
+// closures runs; Span::close() is idempotent and tags on a closed span are
+// dropped, so the helpers need no coordination.
+using SpanPtr = std::shared_ptr<obs::Span>;
+
+SpanPtr open_span(const obs::TraceContext& ctx, const char* name) {
+  if (!obs::SpanLog::enabled() || !ctx.active()) return nullptr;
+  return std::make_shared<obs::Span>(ctx, name);
+}
+
+void span_tag(const SpanPtr& span, const char* key, std::string_view value) {
+  if (span) span->tag(key, value);
+}
+
+obs::TraceContext span_ctx(const SpanPtr& span) {
+  return span ? span->context() : obs::TraceContext{};
+}
+
+void span_close(const SpanPtr& span) {
+  if (span) span->close();
+}
+
+std::array<SloPolicy, kQueryKinds> slo_policies(const ServiceOptions& o) {
+  std::array<SloPolicy, kQueryKinds> policies;
+  for (std::size_t k = 0; k < kQueryKinds; ++k)
+    policies[k] = SloPolicy{o.slo_target_us[k], o.slo_objective};
+  return policies;
+}
+
 }  // namespace
 
 ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
@@ -53,6 +87,7 @@ ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
       degrade_queue_depth_(options.degrade_queue_depth),
       degrade_p95_us_(options.degrade_p95_us),
       approx_samples_(options.approx_samples),
+      slo_(slo_policies(options), kLatencyWindow),
       pool_(ExecutorOptions{options.threads, options.max_queue,
                             options.shed_policy}) {
   require(options.memo_keep_epochs >= 1,
@@ -64,6 +99,9 @@ ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
 PublishResult ButterflyService::apply_updates(
     std::span<const EdgeUpdate> batch) {
   const PublishResult result = store_.apply_batch(batch);
+  obs::FlightRecorder::record("publish", "",
+                              static_cast<std::int64_t>(result.epoch),
+                              static_cast<std::int64_t>(result.applied));
   // Entries are epoch-keyed so none could serve a wrong answer; keep the
   // just-retired epoch as the stale-answer tier and drop everything older.
   cache_.invalidate_older_than(result.epoch == 0 ? 0 : result.epoch - 1);
@@ -76,8 +114,26 @@ PublishResult ButterflyService::apply_updates(
   return result;
 }
 
+void ButterflyService::persist(const std::string& path) const {
+  try {
+    store_.persist(path);
+  } catch (...) {
+    obs::FlightRecorder::dump_on_fault("persist failed");
+    throw;
+  }
+  obs::FlightRecorder::record("persist", path.c_str(),
+                              static_cast<std::int64_t>(store_.epoch()));
+}
+
 void ButterflyService::restore(const std::string& path) {
-  store_.restore(path);  // throws on corruption, store unchanged
+  try {
+    store_.restore(path);  // throws on corruption, store unchanged
+  } catch (...) {
+    obs::FlightRecorder::dump_on_fault("restore failed");
+    throw;
+  }
+  obs::FlightRecorder::record("restore", path.c_str(),
+                              static_cast<std::int64_t>(store_.epoch()));
   // The epoch sequence restarted: every cached/memoised answer is keyed by
   // epochs that no longer mean anything.
   cache_.invalidate_all();
@@ -86,11 +142,14 @@ void ButterflyService::restore(const std::string& path) {
 }
 
 std::future<QueryResult<count_t>> ButterflyService::global_count(Request req) {
+  obs::Span span(root_context(req), "svc.query.global");
   SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
   // Maintained incrementally by the writer: answering is one field read.
   BFC_HIST_OBSERVE("svc.latency_us.global", 0);
-  observe_latency(0.0);
+  observe_latency(QueryKind::kGlobalCount, 0.0);
+  span.tag("epoch", std::to_string(snap->epoch));
+  span.tag("outcome", "exact");
   return ready_future(
       QueryResult<count_t>{snap->butterflies, snap->epoch, Fidelity::kExact});
 }
@@ -114,29 +173,42 @@ std::future<QueryResult<count_t>> ButterflyService::vertex_tip(vidx_t vertex,
       v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
   SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
+  const SpanPtr span = open_span(
+      root_context(req), v1_side ? "svc.query.tip_v1" : "svc.query.tip_v2");
+  span_tag(span, "epoch", std::to_string(snap->epoch));
   const CacheKey key{snap->epoch, kind, vertex, 0};
   if (const auto hit = cache_.get(key)) {
     if (v1_side)
       BFC_HIST_OBSERVE("svc.latency_us.tip_v1", 0);
     else
       BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
-    observe_latency(0.0);
+    observe_latency(kind, 0.0);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
     return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
                                              snap->epoch, Fidelity::kExact});
   }
+  span_tag(span, "cache", "miss");
   // Rung 0 of the ladder: already drowning — answer degraded right now
   // instead of queueing exact work nobody can afford.
   if (overloaded()) {
-    if (auto d = degraded_tip(snap, vertex, v1_side))
+    if (auto d = degraded_tip(snap, vertex, v1_side)) {
+      span_tag(span, "degrade", "admission");
+      span_tag(span, "outcome", fidelity_name(d->fidelity));
       return ready_future(std::move(*d));
+    }
   }
-  auto fallback = [this, snap, vertex, v1_side] {
-    return degraded_tip(snap, vertex, v1_side);
+  auto fallback = [this, snap, vertex, v1_side, span] {
+    auto d = degraded_tip(snap, vertex, v1_side);
+    span_tag(span, "degrade", "abandoned");
+    span_tag(span, "outcome", d ? fidelity_name(d->fidelity) : "shed");
+    span_close(span);
+    return d;
   };
   auto exact = [this, snap, key, vertex, v1_side, deadline = req.deadline,
-                timer = Timer()] {
+                span, trace = span_ctx(span), timer = Timer()] {
     try {
-      const TipVector tips = tips_for(snap, v1_side, deadline.token());
+      const TipVector tips = tips_for(snap, v1_side, deadline.token(), trace);
       const count_t value = (*tips)[static_cast<std::size_t>(vertex)];
       cache_.put(key, value);
       const double us = timer.seconds() * 1e6;
@@ -144,21 +216,36 @@ std::future<QueryResult<count_t>> ButterflyService::vertex_tip(vidx_t vertex,
         BFC_HIST_OBSERVE("svc.latency_us.tip_v1", us);
       else
         BFC_HIST_OBSERVE("svc.latency_us.tip_v2", us);
-      observe_latency(us);
+      observe_latency(v1_side ? QueryKind::kVertexTipV1
+                              : QueryKind::kVertexTipV2,
+                      us);
+      span_tag(span, "outcome", "exact");
+      span_close(span);
       return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
     } catch (const CancelledError&) {
       // The deadline fired mid-pass; the kernel gave up cooperatively.
       BFC_COUNT_ADD("svc.kernels_cancelled", 1);
-      if (auto d = degraded_tip(snap, vertex, v1_side)) return std::move(*d);
+      span_tag(span, "cancelled", "true");
+      if (auto d = degraded_tip(snap, vertex, v1_side)) {
+        span_tag(span, "outcome", fidelity_name(d->fidelity));
+        span_close(span);
+        return std::move(*d);
+      }
+      span_tag(span, "outcome", "shed");
+      span_close(span);
       throw OverloadError(OverloadError::Reason::kDeadline);
     }
   };
-  if (auto fut =
-          pool_.try_submit(std::move(exact), req.deadline, std::move(fallback)))
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
+                                  std::move(fallback), span_ctx(span)))
     return std::move(*fut);
   // Refused at admission: degrade on the caller's thread.
-  if (auto d = degraded_tip(snap, vertex, v1_side))
+  span_tag(span, "rejected", "true");
+  if (auto d = degraded_tip(snap, vertex, v1_side)) {
+    span_tag(span, "outcome", fidelity_name(d->fidelity));
     return ready_future(std::move(*d));
+  }
+  span_tag(span, "outcome", "shed");
   return overload_future<QueryResult<count_t>>(
       OverloadError::Reason::kRejected);
 }
@@ -170,42 +257,58 @@ std::future<QueryResult<count_t>> ButterflyService::edge_support(vidx_t u,
           "edge_support: vertex out of range");
   SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
+  const SpanPtr span = open_span(root_context(req), "svc.query.edge");
+  span_tag(span, "epoch", std::to_string(snap->epoch));
   const CacheKey key{snap->epoch, QueryKind::kEdgeSupport, u, v};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.edge", 0);
-    observe_latency(0.0);
+    observe_latency(QueryKind::kEdgeSupport, 0.0);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
     return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
                                              snap->epoch, Fidelity::kExact});
   }
+  span_tag(span, "cache", "miss");
   // Shed/overload path: previous epoch's cached support, else the exact
   // one-edge computation inline — it is one row scan, cheap enough to run
   // on the shedding thread rather than give up fidelity.
-  auto inline_answer = [this, snap, key, u,
-                        v]() -> std::optional<QueryResult<count_t>> {
+  auto inline_answer = [this, snap, key, u, v,
+                        span]() -> std::optional<QueryResult<count_t>> {
     if (auto stale = stale_scalar(snap, QueryKind::kEdgeSupport, u, v)) {
       BFC_COUNT_ADD("svc.degraded", 1);
       BFC_COUNT_ADD("svc.stale_answers", 1);
+      span_tag(span, "outcome", "stale");
+      span_close(span);
       return stale;
     }
     const count_t value =
         snap->graph.has_edge(u, v) ? support_of_edge(snap->graph, u, v) : 0;
     cache_.put(key, value);
     BFC_COUNT_ADD("svc.inline_answers", 1);
+    span_tag(span, "inline", "true");
+    span_tag(span, "outcome", "exact");
+    span_close(span);
     return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
   };
-  if (overloaded()) return ready_future(std::move(*inline_answer()));
-  auto exact = [this, snap, key, u, v, timer = Timer()] {
+  if (overloaded()) {
+    span_tag(span, "degrade", "admission");
+    return ready_future(std::move(*inline_answer()));
+  }
+  auto exact = [this, snap, key, u, v, span, timer = Timer()] {
     const count_t value =
         snap->graph.has_edge(u, v) ? support_of_edge(snap->graph, u, v) : 0;
     cache_.put(key, value);
     const double us = timer.seconds() * 1e6;
     BFC_HIST_OBSERVE("svc.latency_us.edge", us);
-    observe_latency(us);
+    observe_latency(QueryKind::kEdgeSupport, us);
+    span_tag(span, "outcome", "exact");
+    span_close(span);
     return QueryResult<count_t>{value, snap->epoch, Fidelity::kExact};
   };
-  if (auto fut =
-          pool_.try_submit(std::move(exact), req.deadline, inline_answer))
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
+                                  inline_answer, span_ctx(span)))
     return std::move(*fut);
+  span_tag(span, "rejected", "true");
   return ready_future(std::move(*inline_answer()));
 }
 
@@ -213,18 +316,23 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::top_pairs(
     std::size_t k, Request req) {
   SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
   BFC_COUNT_ADD("svc.queries", 1);
+  const SpanPtr span = open_span(root_context(req), "svc.query.top_pairs");
+  span_tag(span, "epoch", std::to_string(snap->epoch));
   const CacheKey key{snap->epoch, QueryKind::kTopPairs,
                      static_cast<std::int64_t>(k), 0};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.top_pairs", 0);
-    observe_latency(0.0);
+    observe_latency(QueryKind::kTopPairs, 0.0);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
     return ready_future(QueryResult<TopPairsPtr>{
         std::get<TopPairsPtr>(*hit), snap->epoch, Fidelity::kExact});
   }
+  span_tag(span, "cache", "miss");
   // Only stale rung: there is no cheap sampled substitute for an exact
   // top-k list, so with no previous-epoch list the query is shed outright.
-  auto stale_pairs = [this, snap,
-                      k]() -> std::optional<QueryResult<TopPairsPtr>> {
+  auto stale_pairs = [this, snap, k,
+                      span]() -> std::optional<QueryResult<TopPairsPtr>> {
     if (snap->epoch == 0) return std::nullopt;
     const CacheKey prev{snap->epoch - 1, QueryKind::kTopPairs,
                         static_cast<std::int64_t>(k), 0};
@@ -232,26 +340,35 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::top_pairs(
     if (!hit) return std::nullopt;
     BFC_COUNT_ADD("svc.degraded", 1);
     BFC_COUNT_ADD("svc.stale_answers", 1);
+    span_tag(span, "outcome", "stale");
+    span_close(span);
     return QueryResult<TopPairsPtr>{std::get<TopPairsPtr>(*hit),
                                     snap->epoch - 1, Fidelity::kStale};
   };
   if (overloaded()) {
-    if (auto d = stale_pairs()) return ready_future(std::move(*d));
+    if (auto d = stale_pairs()) {
+      span_tag(span, "degrade", "admission");
+      return ready_future(std::move(*d));
+    }
   }
-  auto exact = [this, snap, key, k, timer = Timer()] {
+  auto exact = [this, snap, key, k, span, timer = Timer()] {
     auto pairs = std::make_shared<const std::vector<count::VertexPair>>(
         count::top_wedge_pairs_v1(snap->graph, k));
     cache_.put(key, CacheValue{pairs});
     const double us = timer.seconds() * 1e6;
     BFC_HIST_OBSERVE("svc.latency_us.top_pairs", us);
-    observe_latency(us);
+    observe_latency(QueryKind::kTopPairs, us);
+    span_tag(span, "outcome", "exact");
+    span_close(span);
     return QueryResult<TopPairsPtr>{TopPairsPtr(pairs), snap->epoch,
                                     Fidelity::kExact};
   };
-  if (auto fut =
-          pool_.try_submit(std::move(exact), req.deadline, stale_pairs))
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline, stale_pairs,
+                                  span_ctx(span)))
     return std::move(*fut);
+  span_tag(span, "rejected", "true");
   if (auto d = stale_pairs()) return ready_future(std::move(*d));
+  span_tag(span, "outcome", "shed");
   return overload_future<QueryResult<TopPairsPtr>>(
       OverloadError::Reason::kRejected);
 }
@@ -265,12 +382,18 @@ std::optional<QueryResult<count_t>> ButterflyService::degraded_tip(
   if (auto stale = stale_scalar(snap, kind, vertex, 0)) {
     BFC_COUNT_ADD("svc.degraded", 1);
     BFC_COUNT_ADD("svc.stale_answers", 1);
+    obs::FlightRecorder::record("degrade", "stale_scalar",
+                                static_cast<std::int64_t>(snap->epoch),
+                                vertex);
     return stale;
   }
   // Rung 2: a retained full tip pass from a recent epoch.
   if (auto pass = stale_tips(snap->epoch, v1_side)) {
     BFC_COUNT_ADD("svc.degraded", 1);
     BFC_COUNT_ADD("svc.stale_answers", 1);
+    obs::FlightRecorder::record("degrade", "stale_tips",
+                                static_cast<std::int64_t>(pass->first),
+                                vertex);
     return QueryResult<count_t>{
         (*pass->second)[static_cast<std::size_t>(vertex)], pass->first,
         Fidelity::kStale};
@@ -286,6 +409,8 @@ std::optional<QueryResult<count_t>> ButterflyService::degraded_tip(
               : count::approx_tip_v2(snap->graph, vertex, opt);
   BFC_COUNT_ADD("svc.degraded", 1);
   BFC_COUNT_ADD("svc.approx_fallbacks", 1);
+  obs::FlightRecorder::record("degrade", "approx",
+                              static_cast<std::int64_t>(snap->epoch), vertex);
   const count_t value = std::max<count_t>(0, std::llround(est.estimate));
   return QueryResult<count_t>{value, snap->epoch, Fidelity::kApprox};
 }
@@ -328,10 +453,15 @@ ButterflyService::stale_tips(std::uint64_t before_epoch, bool v1_side) {
 bool ButterflyService::overloaded() const {
   if (degrade_queue_depth_ != 0 && pool_.queue_depth() >= degrade_queue_depth_)
     return true;
-  return degrade_p95_us_ > 0.0 && latency_p95_us() > degrade_p95_us_;
+  if (degrade_p95_us_ > 0.0 && latency_p95_us() > degrade_p95_us_)
+    return true;
+  // SLO-driven degradation: burning error budget faster than the objective
+  // allows means exact answers now cost answers later — degrade first.
+  return slo_.budget_exhausted();
 }
 
-void ButterflyService::observe_latency(double us) {
+void ButterflyService::observe_latency(QueryKind kind, double us) {
+  slo_.observe(kind, us);
   const MutexLock lock(lat_mu_);
   lat_ring_[lat_next_] = us;
   lat_next_ = (lat_next_ + 1) % lat_ring_.size();
@@ -357,7 +487,8 @@ double ButterflyService::latency_p95_us() const {
 }
 
 ButterflyService::TipVector ButterflyService::tips_for(
-    const SnapshotPtr& snap, bool v1_side, const CancelToken& cancel) {
+    const SnapshotPtr& snap, bool v1_side, const CancelToken& cancel,
+    const obs::TraceContext& trace) {
   const std::pair<std::uint64_t, bool> key{snap->epoch, v1_side};
   std::promise<TipVector> mine;
   std::shared_future<TipVector> pass;
@@ -381,6 +512,11 @@ ButterflyService::TipVector ButterflyService::tips_for(
   if (compute) {
     BFC_TRACE_SCOPE(v1_side ? "svc.tip_pass_v1" : "svc.tip_pass_v2");
     BFC_COUNT_ADD("svc.tip_passes", 1);
+    // The kernel span belongs to the request that computes; every coalesced
+    // waiter's own query span references the same pass only through timing.
+    obs::Span kernel_span(
+        trace, v1_side ? "svc.kernel.tip_v1" : "svc.kernel.tip_v2");
+    kernel_span.tag("epoch", std::to_string(snap->epoch));
     try {
       // Checked builds can inject latency here to force deadline expiry
       // mid-pass (fault::Point::kSlowKernel, param = milliseconds).
@@ -390,10 +526,23 @@ ButterflyService::TipVector ButterflyService::tips_for(
       auto tips = std::make_shared<const std::vector<count_t>>(
           v1_side ? count::butterflies_per_v1(snap->graph, cancel)
                   : count::butterflies_per_v2(snap->graph, cancel));
+      kernel_span.tag("outcome", "ok");
       mine.set_value(std::move(tips));
+    } catch (const CancelledError&) {
+      // A cancelled kernel still closes its span — tagged, not dropped —
+      // so the trace tree shows where the deadline landed.
+      kernel_span.tag("cancelled", "true");
+      kernel_span.tag("outcome", "cancelled");
+      kernel_span.close();
+      {
+        const MutexLock lock(memo_mu_);
+        tip_memo_.erase(key);
+      }
+      mine.set_exception(std::current_exception());
     } catch (...) {
       // Drop the memo so a later query can retry, then propagate to every
       // request already coalesced onto this pass (each degrades on its own).
+      kernel_span.tag("outcome", "error");
       {
         const MutexLock lock(memo_mu_);
         tip_memo_.erase(key);

@@ -42,6 +42,16 @@
 // svc.degraded / svc.stale_answers / svc.approx_fallbacks /
 // svc.inline_answers, and one latency histogram per query kind
 // (svc.latency_us.<kind>).
+//
+// Telemetry (obs/spans.hpp): when span collection is enabled, every query
+// runs under one "svc.query.<kind>" span — rooted fresh, or parented into
+// the Request's TraceContext — with child spans for the queue wait
+// (svc.queue, recorded by the Executor) and the coalesced kernel pass
+// (svc.kernel.tip_v1/v2). Tags record the decisions: cache=hit|miss,
+// outcome=exact|stale|approx|shed, rejected/cancelled flags, and the rung
+// the degrade ladder stopped at. SLO accounting (svc/slo.hpp) rides the
+// same latency stream: ServiceOptions::slo_target_us arms per-kind
+// objectives whose error-budget burn feeds overloaded().
 #pragma once
 
 #include <array>
@@ -61,6 +71,7 @@
 #include "svc/executor.hpp"
 #include "svc/request.hpp"
 #include "svc/result_cache.hpp"
+#include "svc/slo.hpp"
 #include "svc/snapshot_store.hpp"
 #include "util/common.hpp"
 
@@ -78,6 +89,13 @@ struct ServiceOptions {
   double degrade_p95_us = 0.0;          // p95 latency (µs) that trips
                                         // degraded mode; 0 = never
   std::int64_t approx_samples = 256;    // budget of the sampled fallback
+  // ---- SLO knobs ---------------------------------------------------------
+  // Per-kind latency targets (µs), indexed by QueryKind; 0 = no objective
+  // for that kind. When any target is armed, a windowed error-budget burn
+  // rate > 1 also trips overloaded(), so degradation engages while the
+  // objective can still be saved.
+  std::array<double, kQueryKinds> slo_target_us{};
+  double slo_objective = 0.99;  // fraction of requests that must hit target
 };
 
 using TopPairsPtr = std::shared_ptr<const std::vector<count::VertexPair>>;
@@ -98,8 +116,9 @@ class ButterflyService {
   }
 
   /// Crash-safe checkpoint of the latest published epoch (write-then-rename
-  /// via SnapshotStore::persist). Never blocks readers or the writer.
-  void persist(const std::string& path) const { store_.persist(path); }
+  /// via SnapshotStore::persist). Never blocks readers or the writer. A
+  /// persist failure triggers a flight-recorder dump before rethrowing.
+  void persist(const std::string& path) const;
 
   /// Warm restart from a persisted checkpoint: replaces the store's state
   /// and flushes every cache/memo tier (they are keyed by the old epoch
@@ -151,8 +170,12 @@ class ButterflyService {
   }
   /// p95 of the last kLatencyWindow observed query latencies (µs).
   [[nodiscard]] double latency_p95_us() const;
-  /// True when the degradation thresholds are currently crossed.
+  /// True when the degradation thresholds are currently crossed — queue
+  /// depth, p95 latency, or an SLO error budget burning faster than its
+  /// objective allows.
   [[nodiscard]] bool overloaded() const;
+  /// SLO accounting over the observed latency stream.
+  [[nodiscard]] const SloTracker& slo() const noexcept { return slo_; }
 
   static constexpr std::size_t kLatencyWindow = 256;
 
@@ -165,9 +188,12 @@ class ButterflyService {
   /// The coalescing point: returns the full tip vector for (snap->epoch,
   /// side), computing it at most once per epoch and side. The token belongs
   /// to the request that ends up computing; CancelledError propagates to
-  /// every coalesced waiter (each degrades independently).
+  /// every coalesced waiter (each degrades independently). The computing
+  /// request's trace context parents the kernel span (svc.kernel.tip_*),
+  /// which closes tagged cancelled=true when the token fires mid-pass.
   TipVector tips_for(const SnapshotPtr& snap, bool v1_side,
-                     const CancelToken& cancel);
+                     const CancelToken& cancel,
+                     const obs::TraceContext& trace = {});
 
   /// Degradation ladder for a tip query: previous-epoch cache entry, then
   /// a retained tip-pass memo from an earlier epoch, then the sampled
@@ -189,7 +215,18 @@ class ButterflyService {
   std::optional<std::pair<std::uint64_t, TipVector>> stale_tips(
       std::uint64_t before_epoch, bool v1_side);
 
-  void observe_latency(double us);
+  /// Feeds the p95 ring and the SLO tracker with one completed request.
+  void observe_latency(QueryKind kind, double us);
+
+  /// The request's own context when it carries one, else a fresh root when
+  /// span collection is on and the head-based sampler picks this request,
+  /// else an inactive context (all spans inert).
+  [[nodiscard]] static obs::TraceContext root_context(const Request& req) {
+    if (req.trace.active()) return req.trace;
+    if (obs::SpanLog::enabled() && obs::SpanLog::sample())
+      return obs::TraceContext::root();
+    return {};
+  }
 
   struct TipPass {
     std::shared_future<TipVector> result;
@@ -209,6 +246,7 @@ class ButterflyService {
   std::array<double, kLatencyWindow> lat_ring_ BFC_GUARDED_BY(lat_mu_){};
   std::size_t lat_next_ BFC_GUARDED_BY(lat_mu_) = 0;
   std::size_t lat_count_ BFC_GUARDED_BY(lat_mu_) = 0;
+  SloTracker slo_;
   Executor pool_;  // last: workers stop before the layers they use die
 };
 

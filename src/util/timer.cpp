@@ -32,10 +32,19 @@ double Samples::mean() const {
 double Samples::stddev() const {
   check_nonempty(values_.size());
   if (values_.size() < 2) return 0.0;
-  const double m = mean();
-  double ss = 0.0;
-  for (const double v : values_) ss += (v - m) * (v - m);
-  return std::sqrt(ss / static_cast<double>(values_.size() - 1));
+  // Welford's online update: single pass, and M2 accumulates centered
+  // squared deviations, so samples near 1e9 with tiny spread don't lose the
+  // spread to catastrophic cancellation the way sum-of-squares formulas do.
+  double mean = 0.0;
+  double m2 = 0.0;
+  double n = 0.0;
+  for (const double v : values_) {
+    n += 1.0;
+    const double delta = v - mean;
+    mean += delta / n;
+    m2 += delta * (v - mean);
+  }
+  return std::sqrt(m2 / (n - 1.0));
 }
 
 double Samples::percentile(double p) const {

@@ -2,6 +2,10 @@
 // OpenMP, histogram bucketing, the JSON value tree, scoped tracing, and the
 // RunReport — plus an end-to-end check that the kernel counters recorded
 // during a counting run agree with the dense wedge specification.
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -13,9 +17,13 @@
 
 #include "dense/spec.hpp"
 #include "la/count.hpp"
+#include "obs/export.hpp"
+#include "obs/flight.hpp"
 #include "obs/json.hpp"
 #include "obs/metrics.hpp"
+#include "obs/profiler.hpp"
 #include "obs/report.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "test_helpers.hpp"
 #include "util/parallel.hpp"
@@ -310,6 +318,325 @@ TEST(ObsKernels, CountersPresentInSnapshotAfterRandomRun) {
   }
   EXPECT_TRUE(saw_wedges);
   obs::Registry::instance().reset();
+}
+
+// ---------------------------------------------------------------- Samples
+
+TEST(ObsSamples, StddevIsStableForLargeOffsets) {
+  // Sum-of-squares stddev loses the spread of {1e9, 1e9+1, 1e9+2} to
+  // catastrophic cancellation (1e18-scale squares, unit-scale variance);
+  // the Welford implementation must return exactly sqrt(1).
+  Samples s;
+  s.add(1e9);
+  s.add(1e9 + 1.0);
+  s.add(1e9 + 2.0);
+  EXPECT_NEAR(s.stddev(), 1.0, 1e-9);
+
+  Samples tight;  // 1e9-scale values with 1e-3-scale spread
+  for (const double d : {0.0, 1e-3, 2e-3, 1e-3, 0.0}) tight.add(4e9 + d);
+  EXPECT_NEAR(tight.stddev(), 8.3666e-4, 1e-7);
+}
+
+// ------------------------------------------------------------------ Spans
+
+TEST(ObsSpans, RootContextsAreUniqueAndActive) {
+  const obs::TraceContext a = obs::TraceContext::root();
+  const obs::TraceContext b = obs::TraceContext::root();
+  EXPECT_TRUE(a.active());
+  EXPECT_TRUE(b.active());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(a.span_id, 0u);
+  EXPECT_FALSE(obs::TraceContext{}.active());
+}
+
+TEST(ObsSpans, InertUnlessEnabledAndRooted) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(false);
+  {
+    obs::Span span(obs::TraceContext::root(), "disabled");
+    EXPECT_FALSE(span.armed());
+  }
+  obs::SpanLog::set_enabled(true);
+  {
+    obs::Span span(obs::TraceContext{}, "unrooted");  // inactive parent
+    EXPECT_FALSE(span.armed());
+  }
+  EXPECT_TRUE(obs::SpanLog::snapshot().empty());
+  obs::SpanLog::set_enabled(false);
+}
+
+TEST(ObsSpans, RecordsParentageTagsAndIdempotentClose) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  const obs::TraceContext root = obs::TraceContext::root();
+  {
+    obs::Span parent(root, "parent");
+    parent.tag("k", "v");
+    {
+      obs::Span child(parent.context(), "child");
+      child.close();
+      child.close();                  // idempotent
+      child.tag("late", "dropped");   // after close: dropped
+    }
+  }  // parent closes via RAII
+  obs::SpanLog::set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // completion order: child first
+  const obs::SpanRecord& child = spans[0];
+  const obs::SpanRecord& parent = spans[1];
+  EXPECT_EQ(parent.name, "parent");
+  EXPECT_EQ(parent.trace_id, root.trace_id);
+  EXPECT_EQ(parent.parent_id, 0u);
+  EXPECT_EQ(parent.tag("k"), "v");
+  EXPECT_EQ(child.name, "child");
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_id, parent.span_id);
+  EXPECT_TRUE(child.tag("late").empty());
+  obs::SpanLog::clear();
+}
+
+TEST(ObsSpans, BoundedLogDropsOldestAndCounts) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::SpanLog::clear();
+  obs::SpanLog::set_capacity(4);
+  obs::SpanLog::set_enabled(true);
+  const obs::TraceContext root = obs::TraceContext::root();
+  // Span names must outlive the log, so the test names are literals.
+  static constexpr const char* kNames[] = {"s0", "s1", "s2", "s3",
+                                           "s4", "s5", "s6"};
+  for (const char* name : kNames) obs::Span(root, name).close();
+  obs::SpanLog::set_enabled(false);
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(spans.front().name, "s3");  // 0..2 dropped
+  EXPECT_EQ(spans.back().name, "s6");
+  EXPECT_EQ(obs::SpanLog::dropped(), 3);
+  obs::SpanLog::clear();
+  obs::SpanLog::set_capacity(obs::SpanLog::kDefaultCapacity);
+}
+
+TEST(ObsSpans, WriteJsonRoundTrips) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  {
+    obs::Span span(obs::TraceContext::root(), "io");
+    span.tag("outcome", "exact");
+  }
+  obs::SpanLog::set_enabled(false);
+  const std::string path =
+      ::testing::TempDir() + "bfc_spans_roundtrip.json";
+  obs::SpanLog::write_json(path);
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(buf.str());
+  ASSERT_TRUE(doc.has("spans"));
+  ASSERT_EQ(doc.at("spans").size(), 1u);
+  const obs::Json& span = doc.at("spans").at(0);
+  EXPECT_EQ(span.at("name").as_string(), "io");
+  EXPECT_EQ(span.at("parent").as_int(), 0);
+  EXPECT_EQ(span.at("tags").at("outcome").as_string(), "exact");
+  std::remove(path.c_str());
+  obs::SpanLog::clear();
+}
+
+// ------------------------------------------------------------ OpenMetrics
+
+TEST(ObsExport, NameManglingFollowsTheCharset) {
+  EXPECT_EQ(obs::openmetrics_name("svc.latency_us.tip_v1"),
+            "svc_latency_us_tip_v1");
+  EXPECT_EQ(obs::openmetrics_name("chk.failures"), "chk_failures");
+  EXPECT_EQ(obs::openmetrics_name("9lives"), "_9lives");  // leading digit
+  EXPECT_EQ(obs::openmetrics_name(""), "_");
+}
+
+TEST(ObsExport, RenderContainsEveryInstrumentKind) {
+  obs::Registry::instance().reset();
+  obs::Registry::instance().counter("test.export.counter").add(7);
+  obs::Registry::instance().gauge("test.export.gauge").set(2.5);
+  obs::Histogram& h = obs::Registry::instance().histogram("test.export.hist");
+  h.observe(1);
+  h.observe(100);
+  const std::string text = obs::render_openmetrics();
+
+  EXPECT_NE(text.find("# TYPE test_export_counter counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_counter_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_export_gauge gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("test_export_gauge 2.5\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_export_hist histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_hist_bucket{le=\"+Inf\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_export_hist_sum 101\n"), std::string::npos);
+  EXPECT_NE(text.find("test_export_hist_count 2\n"), std::string::npos);
+  // # EOF terminates the exposition and nothing follows it.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  obs::Registry::instance().reset();
+}
+
+TEST(ObsExport, WriteFileIsAtomicAndTerminated) {
+  obs::Registry::instance().counter("test.export.file").add(1);
+  const std::string path = ::testing::TempDir() + "bfc_openmetrics_test.txt";
+  obs::write_openmetrics_file(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::string last;
+  bool saw_sample = false;
+  while (std::getline(in, line)) {
+    if (line.rfind("test_export_file_total ", 0) == 0) saw_sample = true;
+    last = line;
+  }
+  EXPECT_TRUE(saw_sample);
+  EXPECT_EQ(last, "# EOF");
+  std::remove(path.c_str());
+  obs::Registry::instance().reset();
+}
+
+TEST(ObsExport, HttpServerServesOpenMetrics) {
+  std::unique_ptr<obs::MetricsHttpServer> server;
+  try {
+    server = std::make_unique<obs::MetricsHttpServer>(0);  // ephemeral port
+  } catch (const std::runtime_error& e) {
+    GTEST_SKIP() << "cannot bind a loopback socket: " << e.what();
+  }
+  ASSERT_GT(server->port(), 0);
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<std::uint16_t>(server->port()));
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  const std::string request = "GET /metrics HTTP/1.1\r\n\r\n";
+  ASSERT_EQ(::write(fd, request.data(), request.size()),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  for (ssize_t n = 0; (n = ::read(fd, buf, sizeof(buf))) > 0;)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+
+  EXPECT_NE(response.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("application/openmetrics-text"), std::string::npos);
+  EXPECT_NE(response.find("# EOF\n"), std::string::npos);
+  EXPECT_EQ(server->requests_served(), 1);
+}
+
+// --------------------------------------------------------------- Profiler
+
+TEST(ObsProfiler, StartStopAndFoldedStacks) {
+  ASSERT_TRUE(obs::Profiler::start(200));
+  EXPECT_TRUE(obs::Profiler::running());
+  EXPECT_FALSE(obs::Profiler::start(200));  // already running
+  // Burn CPU so ITIMER_PROF has something to charge against. The effective
+  // rate is capped by the kernel tick, so only assert non-negativity plus
+  // internal consistency, not a sample count.
+  volatile double sink = 0.0;
+  const Timer t;
+  while (t.seconds() < 0.2) {
+    for (int i = 1; i < 2000; ++i) sink = sink + 1.0 / i;
+  }
+  obs::Profiler::stop();
+  EXPECT_FALSE(obs::Profiler::running());
+
+  const std::int64_t captured = obs::Profiler::samples_captured();
+  EXPECT_GE(captured, 0);
+  EXPECT_GE(obs::Profiler::samples_dropped(), 0);
+  std::int64_t folded_total = 0;
+  for (const auto& [stack, count] : obs::Profiler::folded()) {
+    EXPECT_FALSE(stack.empty());
+    folded_total += count;
+  }
+  EXPECT_EQ(folded_total, captured);
+  if (captured > 0) {
+    const std::string path = ::testing::TempDir() + "bfc_folded_test.txt";
+    obs::Profiler::write_folded(path);
+    std::ifstream in(path);
+    std::string first;
+    ASSERT_TRUE(std::getline(in, first));
+    EXPECT_NE(first.find(' '), std::string::npos);  // "stack count"
+    std::remove(path.c_str());
+  }
+  obs::Profiler::clear();
+  EXPECT_EQ(obs::Profiler::samples_captured(), 0);
+}
+
+// -------------------------------------------------------- Flight recorder
+
+TEST(ObsFlight, RecordsSnapshotInOrder) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::FlightRecorder::clear();
+  obs::FlightRecorder::record("publish", "epoch", 3, 0, 0);
+  obs::FlightRecorder::record("degrade", "approx", 3, 17, 42);
+  const std::vector<obs::FlightEvent> events =
+      obs::FlightRecorder::snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].kind, "publish");
+  EXPECT_STREQ(events[0].detail, "epoch");
+  EXPECT_EQ(events[0].a, 3);
+  EXPECT_STREQ(events[1].kind, "degrade");
+  EXPECT_EQ(events[1].b, 17);
+  EXPECT_EQ(events[1].trace_id, 42u);
+  EXPECT_EQ(obs::FlightRecorder::recorded(), 2);
+  obs::FlightRecorder::clear();
+}
+
+TEST(ObsFlight, RingWrapsKeepingTheNewest) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::FlightRecorder::clear();
+  const int total = static_cast<int>(obs::FlightRecorder::kCapacity) + 50;
+  for (int i = 0; i < total; ++i)
+    obs::FlightRecorder::record("tick", "", i, 0, 0);
+  const std::vector<obs::FlightEvent> events =
+      obs::FlightRecorder::snapshot();
+  ASSERT_EQ(events.size(), obs::FlightRecorder::kCapacity);
+  EXPECT_EQ(events.front().a, 50);  // the oldest 50 were overwritten
+  EXPECT_EQ(events.back().a, total - 1);
+  EXPECT_EQ(obs::FlightRecorder::recorded(), total);
+  obs::FlightRecorder::clear();
+}
+
+TEST(ObsFlight, DumpWritesParseableJson) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  obs::FlightRecorder::clear();
+  obs::FlightRecorder::record("check_fail", "x > 0 \"quoted\"", 9, 0, 0);
+  const std::string path = ::testing::TempDir() + "bfc_flight_test.json";
+  ASSERT_TRUE(obs::FlightRecorder::dump(path, "unit test"));
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const obs::Json doc = obs::Json::parse(buf.str());
+  EXPECT_EQ(doc.at("reason").as_string(), "unit test");
+  EXPECT_EQ(doc.at("recorded").as_int(), 1);
+  ASSERT_EQ(doc.at("events").size(), 1u);
+  EXPECT_EQ(doc.at("events").at(0).at("kind").as_string(), "check_fail");
+  EXPECT_EQ(doc.at("events").at(0).at("a").as_int(), 9);
+  std::remove(path.c_str());
+  obs::FlightRecorder::clear();
 }
 
 }  // namespace

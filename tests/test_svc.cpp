@@ -9,12 +9,16 @@
 #include <thread>
 #include <vector>
 
+#include "chk/check.hpp"
 #include "count/baselines.hpp"
 #include "count/local_counts.hpp"
 #include "count/top_pairs.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "sparse/ops.hpp"
+#include "svc/fault.hpp"
 #include "svc/service.hpp"
+#include "svc/slo.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
 
@@ -315,6 +319,164 @@ TEST(Service, StressReadersVsWriterPublishing) {
   const SnapshotPtr fin = service.snapshot();
   EXPECT_EQ(fin->epoch, 13u);
   EXPECT_EQ(fin->butterflies, count::wedge_reference(fin->graph));
+}
+
+// -------------------------------------------------------------------- SLO
+
+TEST(Slo, BurnRateIsWindowedErrorBudgetArithmetic) {
+  std::array<SloPolicy, kQueryKinds> policies{};
+  policies[static_cast<std::size_t>(QueryKind::kGlobalCount)] = {
+      /*target_us=*/1000.0, /*objective=*/0.9};
+  SloTracker tracker(policies, /*window=*/10);
+  EXPECT_TRUE(tracker.enabled());
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(QueryKind::kGlobalCount), 0.0);
+
+  for (int i = 0; i < 10; ++i)
+    tracker.observe(QueryKind::kGlobalCount, 10.0);  // all within target
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(QueryKind::kGlobalCount), 0.0);
+  EXPECT_FALSE(tracker.budget_exhausted());
+
+  // Two violations in a 10-wide window at a 90% objective: bad fraction
+  // 0.2 against an allowance of 0.1 — burn rate exactly 2.
+  tracker.observe(QueryKind::kGlobalCount, 5000.0);
+  tracker.observe(QueryKind::kGlobalCount, 5000.0);
+  EXPECT_NEAR(tracker.burn_rate(QueryKind::kGlobalCount), 2.0, 1e-12);
+  EXPECT_TRUE(tracker.budget_exhausted());
+  EXPECT_EQ(tracker.violations(QueryKind::kGlobalCount), 2);
+
+  // Untracked kinds ignore observations entirely.
+  tracker.observe(QueryKind::kEdgeSupport, 1e9);
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(QueryKind::kEdgeSupport), 0.0);
+  EXPECT_EQ(tracker.violations(QueryKind::kEdgeSupport), 0);
+
+  // The window forgets: a full window of good observations drains the burn.
+  for (int i = 0; i < 10; ++i)
+    tracker.observe(QueryKind::kGlobalCount, 1.0);
+  EXPECT_DOUBLE_EQ(tracker.burn_rate(QueryKind::kGlobalCount), 0.0);
+  EXPECT_FALSE(tracker.budget_exhausted());
+  EXPECT_EQ(tracker.violations(QueryKind::kGlobalCount), 2);  // cumulative
+}
+
+TEST(Slo, UntrackedPoliciesDisableTheTracker) {
+  SloTracker tracker({}, /*window=*/8);
+  EXPECT_FALSE(tracker.enabled());
+  tracker.observe(QueryKind::kGlobalCount, 1e9);
+  EXPECT_FALSE(tracker.budget_exhausted());
+}
+
+TEST(Service, SloBudgetExhaustionTripsOverloadedAndDegrades) {
+  const graph::BipartiteGraph g = random_graph(40, 40, 0.25, 19);
+  ServiceOptions opt;
+  opt.threads = 1;
+  // An objective no real kernel can meet: half of all tip queries under a
+  // nanosecond. The budget exhausts after a handful of exact answers.
+  opt.slo_target_us.fill(1e-3);
+  opt.slo_objective = 0.5;
+  ButterflyService service(40, 40, opt);
+  service.apply_updates(inserts_of(g));
+  EXPECT_FALSE(service.overloaded());  // no observations yet
+
+  // Distinct vertices: cache hits observe ~0µs and would stay under even
+  // this target, so each query must reach the (slow, exact) kernel path.
+  for (vidx_t v = 0; v < 8; ++v)
+    (void)service.vertex_tip_v1(v, {}).get();
+  EXPECT_TRUE(service.slo().budget_exhausted());
+  EXPECT_GT(service.slo().burn_rate(QueryKind::kVertexTipV1), 1.0);
+  EXPECT_TRUE(service.overloaded());
+
+  // With the budget exhausted the admission rung answers degraded.
+  const QueryResult<count_t> degraded =
+      service.vertex_tip_v1(20, {}).get();
+  EXPECT_TRUE(degraded.degraded());
+}
+
+// ------------------------------------------------------------- Span trees
+
+TEST(Service, QuerySpanTreeLinksQueueAndKernel) {
+  if constexpr (!obs::kMetricsEnabled) {
+    GTEST_SKIP() << "built with BFC_METRICS=OFF";
+  }
+  const graph::BipartiteGraph g = random_graph(30, 30, 0.2, 23);
+  ButterflyService service(30, 30, {.threads = 1});
+  service.apply_updates(inserts_of(g));
+
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  (void)service.vertex_tip_v1(5, {}).get();
+  obs::SpanLog::set_enabled(false);
+
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  const obs::SpanRecord* query = nullptr;
+  const obs::SpanRecord* queue = nullptr;
+  const obs::SpanRecord* kernel = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "svc.query.tip_v1") query = &s;
+    if (s.name == "svc.queue") queue = &s;
+    if (s.name == "svc.kernel.tip_v1") kernel = &s;
+  }
+  ASSERT_NE(query, nullptr);
+  ASSERT_NE(queue, nullptr);
+  ASSERT_NE(kernel, nullptr);
+  // One causal tree: both children parent to the query span, same trace.
+  EXPECT_EQ(query->parent_id, 0u);
+  EXPECT_EQ(queue->trace_id, query->trace_id);
+  EXPECT_EQ(queue->parent_id, query->span_id);
+  EXPECT_EQ(queue->tag("outcome"), "run");
+  EXPECT_EQ(kernel->trace_id, query->trace_id);
+  EXPECT_EQ(kernel->parent_id, query->span_id);
+  EXPECT_EQ(kernel->tag("outcome"), "ok");
+  EXPECT_EQ(query->tag("cache"), "miss");
+  EXPECT_EQ(query->tag("outcome"), "exact");
+  obs::SpanLog::clear();
+}
+
+TEST(Service, CancelledKernelStillClosesItsSpanTagged) {
+  if constexpr (!obs::kMetricsEnabled || !chk::kCheckedEnabled) {
+    GTEST_SKIP() << "needs BFC_METRICS=ON and BFC_CHECKED=ON (fault "
+                    "injection drives the cancellation)";
+  }
+  const graph::BipartiteGraph g = random_graph(40, 40, 0.25, 29);
+  ButterflyService service(40, 40, {.threads = 1});
+  service.apply_updates(inserts_of(g));
+  const std::int64_t cancelled_before = counter_value("svc.kernels_cancelled");
+
+  obs::SpanLog::clear();
+  obs::SpanLog::set_enabled(true);
+  {
+    // The tip pass sleeps 250 ms while the request's deadline expires after
+    // 50 ms, so the kernel observes its cancel token mid-pass and gives up.
+    const fault::Scoped slow(fault::Point::kSlowKernel, 0, 1, /*ms=*/250);
+    const Request req(service.snapshot(),
+                      Deadline::after(std::chrono::milliseconds(50)));
+    try {
+      const QueryResult<count_t> r = service.vertex_tip_v1(3, req).get();
+      EXPECT_TRUE(r.degraded());  // fell down the ladder, never exact
+    } catch (const OverloadError&) {
+      // Acceptable: no degraded tier could answer either.
+    }
+    EXPECT_EQ(fault::fired_count(fault::Point::kSlowKernel), 1u);
+  }
+  obs::SpanLog::set_enabled(false);
+
+  EXPECT_EQ(counter_value("svc.kernels_cancelled"), cancelled_before + 1);
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  const obs::SpanRecord* kernel = nullptr;
+  const obs::SpanRecord* query = nullptr;
+  for (const obs::SpanRecord& s : spans) {
+    if (s.name == "svc.kernel.tip_v1") kernel = &s;
+    if (s.name == "svc.query.tip_v1") query = &s;
+  }
+  // The cancelled kernel's span is closed and tagged, not dropped.
+  ASSERT_NE(kernel, nullptr);
+  EXPECT_EQ(kernel->tag("cancelled"), "true");
+  EXPECT_EQ(kernel->tag("outcome"), "cancelled");
+  EXPECT_GT(kernel->dur_us, 0);
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->tag("cancelled"), "true");
+  EXPECT_NE(query->tag("outcome"), "exact");
+  EXPECT_FALSE(query->tag("outcome").empty());
+  EXPECT_EQ(kernel->parent_id, query->span_id);
+  obs::SpanLog::clear();
 }
 
 }  // namespace
