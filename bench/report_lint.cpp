@@ -10,6 +10,7 @@
 // run a bench at tiny scale and pipe its artifacts through this linter, so
 // a PR that breaks an artifact schema fails CI rather than downstream
 // tooling (Prometheus scrapers included).
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
@@ -47,6 +48,25 @@ void lint_report(const Json& doc) {
   for (const char* key :
        {"compiler", "omp_max_threads", "metrics_enabled", "timestamp_utc"})
     check(env.has(key), std::string("environment missing \"") + key + '"');
+
+  // Sharded runs publish one cache-tier stat triple per shard into the
+  // config block; a missing shard index means the bench's per-shard
+  // accounting silently dropped a store.
+  const Json& config = doc.at("config");
+  if (config.has("shards") && config.at("shards").as_int() > 1) {
+    const auto shards = config.at("shards").as_int();
+    for (std::int64_t k = 0; k < shards; ++k) {
+      const std::string prefix = "shard_" + std::to_string(k) + "_";
+      for (const char* stat : {"hits", "misses", "hit_rate"})
+        check(config.has(prefix + stat),
+              "sharded config missing \"" + prefix + stat + '"');
+      const double rate = config.at(prefix + "hit_rate").as_double();
+      check(rate >= 0.0 && rate <= 1.0,
+            prefix + "hit_rate out of [0, 1]: " + std::to_string(rate));
+    }
+    check(config.has("view_tier_hit_rate"),
+          "sharded config missing \"view_tier_hit_rate\"");
+  }
 
   const Json& samples = doc.at("samples");
   check(samples.is_array(), "\"samples\" is not an array");
@@ -247,6 +267,34 @@ void lint_openmetrics(const std::string& path) {
                        "' matches no declared family (TYPE missing or after "
                        "the sample?)");
     }
+  }
+
+  // Per-shard instrument families (svc_shard_<k>_<stat>) must form a dense
+  // 0..N-1 index range per stat: the sharded service binds one instrument
+  // per shard at construction, so a gap means some shard's plane never
+  // registered (or a rendering bug dropped it).
+  std::map<std::string, std::vector<long long>> shard_stats;
+  for (const auto& [name, fam] : families) {
+    const std::string prefix = "svc_shard_";
+    if (name.rfind(prefix, 0) != 0) continue;
+    std::size_t digits_end = prefix.size();
+    while (digits_end < name.size() && name[digits_end] >= '0' &&
+           name[digits_end] <= '9')
+      ++digits_end;
+    if (digits_end == prefix.size() || digits_end + 1 >= name.size() ||
+        name[digits_end] != '_')
+      continue;  // not the per-shard shape; the generic checks still apply
+    shard_stats[name.substr(digits_end + 1)].push_back(
+        parse_int(name.substr(prefix.size(), digits_end - prefix.size()),
+                  "shard index of '" + name + '\''));
+  }
+  for (auto& [stat, indices] : shard_stats) {
+    std::sort(indices.begin(), indices.end());
+    for (std::size_t i = 0; i < indices.size(); ++i)
+      check(indices[i] == static_cast<long long>(i),
+            "per-shard family svc_shard_*_" + stat + " has a gap: shard " +
+                std::to_string(i) + " missing (have " +
+                std::to_string(indices.size()) + " shards)");
   }
 
   for (const auto& [name, fam] : families) {

@@ -14,6 +14,11 @@
 #             span tree must show degraded and shed requests (the bench
 #             self-checks that), and the folded profile must attribute
 #             samples to a la/ kernel
+#   shard     4 range-partitioned stores with one concurrent writer per
+#             shard, under overload + Zipf key skew. The bench self-checks
+#             zero count drift against a sequential --shards 1 replay and
+#             overlapping per-shard publish spans; the OpenMetrics dump must
+#             then lint clean with dense svc_shard_<k>_* families
 file(MAKE_DIRECTORY "${OUT}")
 set(report "${OUT}/serving_report.json")
 
@@ -24,11 +29,29 @@ if(MODE STREQUAL "light")
   set(load --scale 0.02 --readers 2 --epochs 2 --batch 40 --queries 40
            --pool 2)
 elseif(MODE STREQUAL "overload")
+  # --degrade-depth above the queue bound: with the depth-1 default the
+  # service degrades preemptively instead of submitting, so queue overflow
+  # (the shed evidence this mode exists to witness) only happens when reader
+  # submissions race — which a single-core runner misses ~1 run in 7. A
+  # deep degrade threshold keeps the exact rung submitting, making eviction
+  # structural; degraded answers still appear via eviction fallbacks.
   set(load --overload --scale 0.02 --readers 6 --epochs 3 --batch 60
-           --queries 120 --pool 1 --max-queue 2)
+           --queries 120 --pool 1 --max-queue 2 --degrade-depth 64)
+elseif(MODE STREQUAL "shard")
+  # --degrade-depth above the queue bound keeps the exact rung submitting
+  # instead of degrading preemptively, so queue overflow (and therefore the
+  # shed evidence the span check demands) is structural rather than a race —
+  # on a single-core runner the depth-1 default sheds only when reader
+  # submissions happen to interleave, which misses ~1 run in 8.
+  set(load --shards 4 --zipf 0.9 --overload --scale 0.02 --readers 6
+           --epochs 3 --batch 60 --queries 120 --pool 1 --max-queue 2
+           --degrade-depth 64
+           --metrics-file "${OUT}/metrics.txt"
+           --spans-out "${OUT}/spans.json")
 elseif(MODE STREQUAL "telemetry")
+  # --degrade-depth 64 for the same structural-shed reason as MODE=overload.
   set(load --overload --scale 0.05 --readers 6 --epochs 3 --batch 60
-           --queries 150 --pool 1 --max-queue 2 --slo-ms 5
+           --queries 150 --pool 1 --max-queue 2 --degrade-depth 64 --slo-ms 5
            --metrics-file "${OUT}/metrics.txt"
            --spans-out "${OUT}/spans.json"
            --profile-hz 250 --profile-out "${OUT}/profile.folded"
@@ -56,6 +79,32 @@ if(NOT rc EQUAL 0)
   message(FATAL_ERROR "report_lint failed (rc=${rc}):\n${out}\n${err}")
 endif()
 message(STATUS "${out}")
+
+if(MODE STREQUAL "shard")
+  # The OpenMetrics dump must lint clean (report_lint additionally enforces
+  # that per-shard svc_shard_<k>_* families form a dense 0..N-1 range) and
+  # actually carry the per-shard plane.
+  execute_process(
+    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "openmetrics lint failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "${out}")
+  file(READ "${OUT}/metrics.txt" metrics_text)
+  if(NOT metrics_text MATCHES "svc_shard_")
+    message(FATAL_ERROR "OpenMetrics dump has no svc_shard_* instruments")
+  endif()
+
+  # The span tree (overlap of per-shard publishes was self-checked by the
+  # bench) must have materialised on disk as non-empty JSON.
+  file(READ "${OUT}/spans.json" spans_text)
+  if(spans_text STREQUAL "")
+    message(FATAL_ERROR "spans.json is empty")
+  endif()
+endif()
 
 if(MODE STREQUAL "telemetry")
   # The OpenMetrics dump must lint clean and carry the SLO instruments.

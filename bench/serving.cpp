@@ -19,6 +19,17 @@
 //   ./serving --overload [--max-queue 8] [--policy drop-oldest|reject|deadline]
 //             [--deadline-ms 5] [--degrade-depth 4]
 //
+// Sharded mode partitions the V1 range across N independent stores and
+// exercises the scatter-gather query plane: one writer per shard publishes
+// disjoint-range batches with rounds aligned on a barrier (so the per-shard
+// publish spans genuinely race), readers pin shard views instead of
+// materialised snapshots, and the run fails unless the sharded count matches
+// both a from-scratch recount and a sequential --shards 1 replay of the same
+// scripted batches. --zipf theta (YCSB skew, rank 0 hottest) concentrates
+// keys on the low shards so the per-shard cache hit-rate spread is visible.
+//
+//   ./serving --shards 4 [--zipf 0.9]
+//
 // Telemetry plane (all optional, see docs/telemetry.md):
 //
 //   --metrics-port N   serve the OpenMetrics rendering on 127.0.0.1:N
@@ -45,10 +56,12 @@
 // (normal mode), or no shed/rejected work (overload mode).
 #include <algorithm>
 #include <atomic>
+#include <barrier>
 #include <chrono>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string_view>
 #include <string>
@@ -63,6 +76,7 @@
 #include "obs/metrics.hpp"
 #include "obs/profiler.hpp"
 #include "obs/spans.hpp"
+#include "shard/partition.hpp"
 #include "sparse/ops.hpp"
 #include "svc/service.hpp"
 #include "util/rng.hpp"
@@ -131,6 +145,62 @@ std::pair<vidx_t, vidx_t> random_edge(const svc::SnapshotPtr& snap, Rng& rng) {
   return {u, a.col_idx()[static_cast<std::size_t>(k)]};
 }
 
+/// Uniform present neighbour of `u` in the pinned shard snapshot; when u
+/// currently has no edges, a uniform (possibly absent) partner — support of
+/// an absent edge is a legal query answering 0.
+std::pair<vidx_t, vidx_t> random_edge_at(const svc::SnapshotPtr& snap,
+                                         vidx_t u, vidx_t n2, Rng& rng) {
+  const sparse::CsrPattern& a = snap->graph.csr();
+  const offset_t b = a.row_ptr()[static_cast<std::size_t>(u)];
+  const offset_t e = a.row_ptr()[static_cast<std::size_t>(u) + 1];
+  if (e > b) {
+    const auto k = b + static_cast<offset_t>(
+                           rng.bounded(static_cast<std::uint64_t>(e - b)));
+    return {u, a.col_idx()[static_cast<std::size_t>(k)]};
+  }
+  return {u, static_cast<vidx_t>(rng.bounded(static_cast<std::uint64_t>(n2)))};
+}
+
+/// Sharded acceptance: the per-shard writers publish through independent
+/// stores, so their root "svc.shard.publish" spans must actually overlap in
+/// time — serialised publishes would mean the shard layer still funnels
+/// every write through one lock. Only enforced with >= 2 hardware threads;
+/// a single-core box can legitimately never overlap two CPU-bound sections.
+bool check_publish_overlap() {
+  const std::vector<obs::SpanRecord> spans = obs::SpanLog::snapshot();
+  struct Pub {
+    std::string_view shard;
+    std::int64_t begin, end;
+  };
+  std::vector<Pub> pubs;
+  for (const obs::SpanRecord& s : spans)
+    if (s.name == std::string_view("svc.shard.publish"))
+      pubs.push_back({s.tag("shard"), s.ts_us,
+                      s.ts_us + std::max<std::int64_t>(s.dur_us, 1)});
+  if (pubs.size() < 2) {
+    std::cerr << "FATAL: sharded run recorded " << pubs.size()
+              << " svc.shard.publish span(s); expected one per shard epoch\n";
+    return false;
+  }
+  for (std::size_t i = 0; i < pubs.size(); ++i)
+    for (std::size_t j = i + 1; j < pubs.size(); ++j)
+      if (pubs[i].shard != pubs[j].shard && pubs[i].begin < pubs[j].end &&
+          pubs[j].begin < pubs[i].end) {
+        std::cout << "publish overlap: shards " << pubs[i].shard << " and "
+                  << pubs[j].shard << " published concurrently ("
+                  << pubs.size() << " publish spans total)\n";
+        return true;
+      }
+  if (std::thread::hardware_concurrency() < 2) {
+    std::cout << "publish overlap: skipped (single hardware thread)\n";
+    return true;
+  }
+  std::cerr << "FATAL: no two svc.shard.publish spans from different shards "
+               "overlap across "
+            << pubs.size() << " publishes; shard writers appear serialised\n";
+  return false;
+}
+
 struct KindStats {
   Samples latency;  // seconds per completed query
 };
@@ -195,10 +265,11 @@ int main(int argc, char** argv) {
   using bfc::bench::BenchConfig;
   const BenchConfig cfg = bfc::bench::parse_config(
       argc, argv,
-      {"readers", "epochs", "batch", "queries", "pool", "mix", "overload",
-       "max-queue", "policy", "deadline-ms", "degrade-depth", "metrics-port",
-       "metrics-file", "spans-out", "trace-sample", "profile-hz",
-       "profile-out", "flight-out", "slo-ms", "slo-objective"});
+      {"readers", "epochs", "batch", "queries", "pool", "mix", "shards",
+       "zipf", "overload", "max-queue", "policy", "deadline-ms",
+       "degrade-depth", "metrics-port", "metrics-file", "spans-out",
+       "trace-sample", "profile-hz", "profile-out", "flight-out", "slo-ms",
+       "slo-objective"});
   const Cli cli(argc, argv);
   const int readers = static_cast<int>(cli.get_int("readers", 4));
   const int epochs = static_cast<int>(cli.get_int("epochs", 8));
@@ -212,6 +283,12 @@ int main(int argc, char** argv) {
           "--readers/--epochs/--batch/--queries/--pool must be >= 1");
   int mix_total = 0;
   for (const MixEntry& m : mix) mix_total += m.weight;
+
+  const int shards = static_cast<int>(cli.get_int_at_least("shards", 1, 1));
+  const bool sharded = shards > 1;
+  const double zipf_theta = cli.get_double("zipf", 0.0);
+  require(zipf_theta >= 0.0 && zipf_theta < 1.0,
+          "--zipf must be in [0, 1): 0 disables, YCSB theta otherwise");
 
   // Overload mode: bounded queue sized to saturate under the reader load,
   // tight deadlines, degraded-mode threshold at half the bound.
@@ -268,6 +345,7 @@ int main(int argc, char** argv) {
   const vidx_t n1 = initial.n1(), n2 = initial.n2();
 
   svc::ServiceOptions service_options{.threads = pool,
+                                      .shards = shards,
                                       .max_queue = max_queue,
                                       .shed_policy = policy,
                                       .degrade_queue_depth = degrade_depth};
@@ -292,17 +370,115 @@ int main(int argc, char** argv) {
               << svc::shed_policy_name(policy) << " deadline="
               << Table::fixed(deadline_ms, 1) << " ms degrade-depth="
               << degrade_depth << "\n";
+  const shard::RangePartition part = service.shard_store().partition();
+  if (sharded) {
+    std::cout << "sharded: " << shards << " range-partitioned stores, "
+              << shards << " concurrent writers (V1 ranges";
+    for (int k = 0; k < shards; ++k)
+      std::cout << (k == 0 ? " " : ", ") << "[" << part.begin(k) << ","
+                << part.end(k) << ")";
+    std::cout << ")\n";
+  }
+  if (zipf_theta > 0.0)
+    std::cout << "zipf: theta=" << Table::fixed(zipf_theta, 2)
+              << " (rank 0 hottest; low ranks land in shard 0)\n";
   std::cout << "\n";
 
-  // A small hot set makes key popularity skewed (as real traffic is) so the
-  // result cache sees repeats within an epoch.
+  // Key popularity: --zipf draws ranks from the YCSB Zipf generator (rank 0
+  // hottest, and under the range partition low ranks live in shard 0, so the
+  // skew shows up as a per-shard hit-rate spread in the report). Without
+  // --zipf, a small uniform hot set supplies the cache repeats as before.
   constexpr int kHotSet = 16;
+  std::optional<Zipf> zipf_v1, zipf_v2;
+  if (zipf_theta > 0.0) {
+    zipf_v1.emplace(static_cast<std::uint64_t>(n1), zipf_theta);
+    zipf_v2.emplace(static_cast<std::uint64_t>(n2), zipf_theta);
+  }
+  const auto pick_v1 = [&](Rng& rng) {
+    if (zipf_v1) return static_cast<vidx_t>(zipf_v1->next(rng));
+    const bool hot = rng.bernoulli(0.3);
+    return static_cast<vidx_t>(rng.bounded(
+        static_cast<std::uint64_t>(hot ? std::min(kHotSet, n1) : n1)));
+  };
+  const auto pick_v2 = [&](Rng& rng) {
+    if (zipf_v2) return static_cast<vidx_t>(zipf_v2->next(rng));
+    const bool hot = rng.bernoulli(0.3);
+    return static_cast<vidx_t>(rng.bounded(
+        static_cast<std::uint64_t>(hot ? std::min(kHotSet, n2) : n2)));
+  };
+
   const std::int64_t total_queries =
       static_cast<std::int64_t>(readers) * queries_per_reader;
   std::atomic<std::int64_t> completed{0};
   std::atomic<std::int64_t> completed_at_reset{0};
   std::atomic<std::int64_t> degraded_answers{0};
   std::atomic<std::int64_t> overload_errors{0};
+
+  // Sharded writers replay a pre-generated script: shard k's round-e batch
+  // only touches V1 vertices in [begin(k), end(k)), so the N writers can
+  // publish concurrently, and the exact same batches can be replayed
+  // sequentially into a --shards 1 service for the zero-drift check.
+  std::vector<std::vector<std::vector<svc::EdgeUpdate>>> script;
+  if (sharded) {
+    const int per_shard = std::max(1, batch_size / shards);
+    script.resize(static_cast<std::size_t>(shards));
+    for (int k = 0; k < shards; ++k) {
+      Rng wrng(cfg.seed + 1 + static_cast<std::uint64_t>(k));
+      const vidx_t lo = part.begin(k), hi = part.end(k);
+      auto& rounds = script[static_cast<std::size_t>(k)];
+      rounds.resize(static_cast<std::size_t>(epochs));
+      for (auto& round : rounds) {
+        round.reserve(static_cast<std::size_t>(per_shard));
+        for (int i = 0; i < per_shard && hi > lo; ++i)
+          round.push_back(
+              {lo + static_cast<vidx_t>(wrng.bounded(
+                        static_cast<std::uint64_t>(hi - lo))),
+               static_cast<vidx_t>(
+                   wrng.bounded(static_cast<std::uint64_t>(n2))),
+               wrng.bernoulli(0.7)});
+      }
+    }
+  }
+
+  // Epoch boundary, shared by both writer modes: dump the metrics rendering
+  // with this phase's latency distributions still intact, reset the per-kind
+  // histograms so the next phase's shape is observable on its own, and pace
+  // the next round against reader progress so the epochs spread across the
+  // whole run. Sharded, this runs as the barrier's completion step — on one
+  // writer thread while the rest are parked at the barrier.
+  const std::int64_t quota =
+      std::max<std::int64_t>(1, total_queries / (epochs + 1));
+  // The cache's per-tier hit/miss counts are generation-scoped: a publish on
+  // shard k resets tier k's stats (result_cache.hpp). To report per-shard
+  // hit rates over the whole run, each boundary — after pacing has let a
+  // quota of queries run against the fresh generation — folds the tier
+  // stats into these cumulative sums before the next publish resets them.
+  std::vector<std::int64_t> shard_gen_hits, shard_gen_misses;
+  if (sharded) {
+    shard_gen_hits.assign(static_cast<std::size_t>(shards) + 1, 0);
+    shard_gen_misses.assign(static_cast<std::size_t>(shards) + 1, 0);
+  }
+  const auto epoch_boundary = [&]() noexcept {
+    if (!metrics_file.empty()) obs::write_openmetrics_file(metrics_file);
+    if constexpr (obs::kMetricsEnabled) {
+      for (const char* name : kLatencyHistograms)
+        obs::Registry::instance().histogram(name).reset();
+      completed_at_reset.store(completed.load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+    }
+    const std::int64_t target = std::min(
+        total_queries, completed.load(std::memory_order_relaxed) + quota);
+    while (completed.load(std::memory_order_relaxed) < target)
+      std::this_thread::yield();
+    if (sharded)
+      for (int k = 0; k <= shards; ++k) {
+        shard_gen_hits[static_cast<std::size_t>(k)] +=
+            service.cache().hits(k);
+        shard_gen_misses[static_cast<std::size_t>(k)] +=
+            service.cache().misses(k);
+      }
+  };
+  std::barrier round_barrier(std::max(shards, 1), epoch_boundary);
 
   if (profile_hz > 0)
     require(obs::Profiler::start(profile_hz),
@@ -315,38 +491,40 @@ int main(int argc, char** argv) {
     std::vector<std::jthread> threads;
     threads.reserve(static_cast<std::size_t>(readers) + 1);
 
-    // Writer: publishes `epochs` update batches, paced against reader
-    // progress so the epochs are spread across the whole run.
-    threads.emplace_back([&] {
-      Rng rng(cfg.seed + 1);
-      const std::int64_t quota =
-          std::max<std::int64_t>(1, total_queries / (epochs + 1));
-      for (int e = 0; e < epochs; ++e) {
-        std::vector<svc::EdgeUpdate> batch;
-        batch.reserve(static_cast<std::size_t>(batch_size));
-        for (int i = 0; i < batch_size; ++i)
-          batch.push_back({static_cast<vidx_t>(rng.bounded(
-                               static_cast<std::uint64_t>(n1))),
-                           static_cast<vidx_t>(rng.bounded(
-                               static_cast<std::uint64_t>(n2))),
-                           rng.bernoulli(0.7)});
-        service.apply_updates(batch);
-        // Epoch boundary: dump the metrics rendering with this phase's
-        // latency distributions still intact, then reset the per-kind
-        // histograms so the next phase's shape is observable on its own.
-        if (!metrics_file.empty()) obs::write_openmetrics_file(metrics_file);
-        if constexpr (obs::kMetricsEnabled) {
-          for (const char* name : kLatencyHistograms)
-            obs::Registry::instance().histogram(name).reset();
-          completed_at_reset.store(completed.load(std::memory_order_relaxed),
-                                   std::memory_order_relaxed);
+    // Writer(s): publishes `epochs` update batches, paced against reader
+    // progress so the epochs are spread across the whole run. shards==1
+    // keeps the classic single writer; sharded runs start one writer per
+    // shard over its pre-scripted disjoint-range batches, with rounds
+    // aligned on the barrier so the per-shard publishes genuinely race (the
+    // epoch boundary then runs as the barrier's completion step, on one
+    // writer thread while the rest are parked).
+    if (!sharded) {
+      threads.emplace_back([&] {
+        Rng rng(cfg.seed + 1);
+        for (int e = 0; e < epochs; ++e) {
+          std::vector<svc::EdgeUpdate> batch;
+          batch.reserve(static_cast<std::size_t>(batch_size));
+          for (int i = 0; i < batch_size; ++i)
+            batch.push_back({static_cast<vidx_t>(rng.bounded(
+                                 static_cast<std::uint64_t>(n1))),
+                             static_cast<vidx_t>(rng.bounded(
+                                 static_cast<std::uint64_t>(n2))),
+                             rng.bernoulli(0.7)});
+          service.apply_updates(batch);
+          epoch_boundary();
         }
-        const std::int64_t target = std::min(
-            total_queries, completed.load(std::memory_order_relaxed) + quota);
-        while (completed.load(std::memory_order_relaxed) < target)
-          std::this_thread::yield();
-      }
-    });
+      });
+    } else {
+      for (int k = 0; k < shards; ++k)
+        threads.emplace_back([&, k] {
+          for (int e = 0; e < epochs; ++e) {
+            service.apply_updates_shard(
+                k, script[static_cast<std::size_t>(k)]
+                         [static_cast<std::size_t>(e)]);
+            round_barrier.arrive_and_wait();
+          }
+        });
+    }
 
     for (int r = 0; r < readers; ++r) {
       per_reader[static_cast<std::size_t>(r)].resize(kKindCount);
@@ -354,7 +532,11 @@ int main(int argc, char** argv) {
         std::vector<KindStats>& stats = per_reader[static_cast<std::size_t>(r)];
         Rng rng(cfg.seed + 100 + static_cast<std::uint64_t>(r));
         for (int q = 0; q < queries_per_reader; ++q) {
-          const svc::SnapshotPtr snap = service.snapshot();
+          // Pin the consistency unit once per query: a materialised snapshot
+          // in single-shard mode, a shard view (one pointer per shard) when
+          // sharded — materialising the union per query would be O(|E|).
+          const svc::SnapshotPtr snap = sharded ? nullptr : service.snapshot();
+          const shard::ShardViewPtr view = sharded ? service.view() : nullptr;
           // Fresh deadline per request: the budget is relative to *now*.
           const svc::Deadline deadline =
               deadline_ms > 0.0
@@ -363,29 +545,31 @@ int main(int argc, char** argv) {
                         std::chrono::duration<double, std::milli>(
                             deadline_ms)))
                   : svc::Deadline{};
-          const svc::Request req(snap, deadline);
+          const svc::Request req = sharded ? svc::Request(view, deadline)
+                                           : svc::Request(snap, deadline);
           const MixEntry& kind = pick(mix, rng, mix_total);
           bool degraded = false;
           bool shed = false;
           Timer timer;
           try {
             if (kind.name == "tip") {
-              const bool hot = rng.bernoulli(0.3);
               if (rng.bernoulli(0.5)) {
-                const auto u = static_cast<vidx_t>(rng.bounded(
-                    static_cast<std::uint64_t>(hot ? std::min(kHotSet, n1)
-                                                   : n1)));
-                degraded = service.vertex_tip_v1(u, req).get().degraded();
+                degraded =
+                    service.vertex_tip_v1(pick_v1(rng), req).get().degraded();
               } else {
-                const auto v = static_cast<vidx_t>(rng.bounded(
-                    static_cast<std::uint64_t>(hot ? std::min(kHotSet, n2)
-                                                   : n2)));
-                degraded = service.vertex_tip_v2(v, req).get().degraded();
+                degraded =
+                    service.vertex_tip_v2(pick_v2(rng), req).get().degraded();
               }
             } else if (kind.name == "global") {
               (void)service.global_count(req).get();
             } else if (kind.name == "edge") {
-              if (snap->edges > 0) {
+              if (sharded) {
+                const vidx_t u = pick_v1(rng);
+                const svc::SnapshotPtr& owner =
+                    view->shards[static_cast<std::size_t>(part.owner(u))];
+                const auto [eu, ev] = random_edge_at(owner, u, n2, rng);
+                degraded = service.edge_support(eu, ev, req).get().degraded();
+              } else if (snap->edges > 0) {
                 const auto [u, v] = random_edge(snap, rng);
                 degraded = service.edge_support(u, v, req).get().degraded();
               }
@@ -435,6 +619,28 @@ int main(int argc, char** argv) {
             << " published epochs\n";
   std::cout << "degraded answers: " << degraded_answers.load()
             << "  shed without answer: " << overload_errors.load() << "\n";
+  const auto gen_rate = [&](int k) {
+    const std::int64_t total = shard_gen_hits[static_cast<std::size_t>(k)] +
+                               shard_gen_misses[static_cast<std::size_t>(k)];
+    return total == 0 ? 0.0
+                      : static_cast<double>(
+                            shard_gen_hits[static_cast<std::size_t>(k)]) /
+                            static_cast<double>(total);
+  };
+  if (sharded) {
+    // Tiers 0..N-1 hold shard-local components keyed by shard epoch; tier N
+    // holds answers composed per view signature. Zipf skew shows up here as
+    // a hit-rate (and traffic) spread across the shard tiers.
+    std::cout << "per-shard cache tiers:";
+    for (int k = 0; k < shards; ++k)
+      std::cout << "  s" << k << "=" << Table::fixed(gen_rate(k) * 100.0, 1)
+                << "% ("
+                << shard_gen_hits[static_cast<std::size_t>(k)] +
+                       shard_gen_misses[static_cast<std::size_t>(k)]
+                << " lookups)";
+    std::cout << "  view=" << Table::fixed(gen_rate(shards) * 100.0, 1)
+              << "%\n";
+  }
 
   report.set_config("readers", static_cast<std::int64_t>(readers));
   report.set_config("epochs", static_cast<std::int64_t>(epochs));
@@ -446,6 +652,19 @@ int main(int argc, char** argv) {
   report.set_config("max_queue", static_cast<std::int64_t>(max_queue));
   report.set_config("degraded_answers", degraded_answers.load());
   report.set_config("overload_errors", overload_errors.load());
+  report.set_config("shards", static_cast<std::int64_t>(shards));
+  report.set_config("zipf", zipf_theta);
+  if (sharded) {
+    for (int k = 0; k < shards; ++k) {
+      const std::string prefix = "shard_" + std::to_string(k) + "_";
+      report.set_config(prefix + "hits",
+                        shard_gen_hits[static_cast<std::size_t>(k)]);
+      report.set_config(prefix + "misses",
+                        shard_gen_misses[static_cast<std::size_t>(k)]);
+      report.set_config(prefix + "hit_rate", gen_rate(k));
+    }
+    report.set_config("view_tier_hit_rate", gen_rate(shards));
+  }
 
   // Zero-drift acceptance: the incrementally maintained count at the final
   // epoch must equal a from-scratch recount of the materialised snapshot —
@@ -476,6 +695,34 @@ int main(int argc, char** argv) {
   std::cout << "drift check: epoch " << fin->epoch << " count "
             << fin->butterflies << " == from-scratch recount (both engines)\n";
 
+  // Sharded zero-drift acceptance: the same scripted batches, replayed
+  // sequentially into a --shards 1 service, must land on exactly the same
+  // count — concurrent disjoint-range publishes may not lose or duplicate a
+  // single butterfly relative to the serial single-store execution.
+  if (sharded) {
+    svc::ButterflyService replay(n1, n2, svc::ServiceOptions{.threads = 1});
+    std::vector<svc::EdgeUpdate> load;
+    for (const auto& [u, v] : sparse::edges(initial.csr()))
+      load.push_back(svc::EdgeUpdate::add(u, v));
+    replay.apply_updates(load);
+    for (int e = 0; e < epochs; ++e)
+      for (int k = 0; k < shards; ++k)
+        replay.apply_updates(script[static_cast<std::size_t>(k)]
+                                   [static_cast<std::size_t>(e)]);
+    const svc::SnapshotPtr single = replay.snapshot();
+    if (single->butterflies != fin->butterflies ||
+        single->edges != fin->edges) {
+      std::cerr << "FATAL: sharded count drift: --shards " << shards
+                << " finished with " << fin->butterflies << " butterflies / "
+                << fin->edges << " edges but the --shards 1 replay has "
+                << single->butterflies << " / " << single->edges << "\n";
+      return 1;
+    }
+    std::cout << "shard drift check: --shards " << shards
+              << " == --shards 1 sequential replay (" << single->butterflies
+              << " butterflies)\n";
+  }
+
   // ---- telemetry teardown -------------------------------------------------
   if (profile_hz > 0) {
     obs::Profiler::stop();
@@ -497,6 +744,7 @@ int main(int argc, char** argv) {
   if (!spans_out.empty()) {
     if constexpr (obs::kMetricsEnabled) {
       if (!check_spans(spans_out, overload)) return 1;
+      if (sharded && !check_publish_overlap()) return 1;
     } else {
       std::cout << "spans: collection compiled out (BFC_METRICS=OFF)\n";
     }

@@ -148,4 +148,19 @@ void validate_epoch_transition(const svc::GraphSnapshot& prev,
               std::to_string(prev.epoch) + ")");
 }
 
+void validate_shard_range(const graph::BipartiteGraph& g, vidx_t lo,
+                          vidx_t hi) {
+  BFC_COUNT_ADD("chk.validations", 1);
+  enforce(0 <= lo && lo <= hi && hi <= g.n1(),
+          "shard graph: owned range [" + std::to_string(lo) + ", " +
+              std::to_string(hi) + ") not inside [0, " +
+              std::to_string(g.n1()) + ")");
+  for (vidx_t u = 0; u < g.n1(); ++u) {
+    if (lo <= u && u < hi) continue;
+    enforce(g.csr().row_degree(u) == 0,
+            at_row("shard graph: edge on a V1 vertex outside the owned range",
+                   u));
+  }
+}
+
 }  // namespace bfc::chk

@@ -77,6 +77,12 @@ void validate(const svc::GraphSnapshot& s);
 void validate_epoch_transition(const svc::GraphSnapshot& prev,
                                const svc::GraphSnapshot& next);
 
+/// Shard-ownership check: a shard graph spans the full (n1, n2) dimensions
+/// but may only populate V1 rows inside its owned range [lo, hi) — every
+/// row outside must be empty. O(n1) over row_ptr, no edge walk.
+void validate_shard_range(const graph::BipartiteGraph& g, vidx_t lo,
+                          vidx_t hi);
+
 }  // namespace bfc::chk
 
 #if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED

@@ -16,9 +16,7 @@ std::vector<VertexPair> top_pairs(const sparse::CsrPattern& lines,
                                   std::size_t k) {
   if (k == 0) return {};
   auto better = [](const VertexPair& x, const VertexPair& y) {
-    if (x.wedges != y.wedges) return x.wedges > y.wedges;
-    if (x.a != y.a) return x.a < y.a;
-    return x.b < y.b;
+    return pair_order(x, y);
   };
   // Min-heap of the current best k under `better`.
   auto heap_cmp = [&](const VertexPair& x, const VertexPair& y) {

@@ -22,6 +22,17 @@ struct VertexPair {
   }
 };
 
+/// The strict order every top-pair query ranks by: wedges descending, ties
+/// by lexicographic (a, b). Exposed (rather than private to the kernel) so
+/// the sharded scatter-gather merge sorts its candidate union in exactly
+/// the order the single-store kernel would have produced.
+[[nodiscard]] constexpr bool pair_order(const VertexPair& x,
+                                        const VertexPair& y) noexcept {
+  if (x.wedges != y.wedges) return x.wedges > y.wedges;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
 /// The k V1-pairs with the largest common-neighbourhood size, descending
 /// (ties by lexicographic pair). Cost O(Σ wedges + P log k) where P is the
 /// number of connected pairs.

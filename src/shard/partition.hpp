@@ -1,0 +1,57 @@
+// Range partition of the V1 side across N shards. Shard k owns the
+// contiguous vertex interval [begin(k), end(k)); intervals are balanced to
+// within one vertex and cover [0, n1) exactly, so ownership is a two-ops
+// arithmetic question rather than a lookup table. Contiguity is what makes
+// the scatter-gather merge cheap: for any two shards i < j every owned
+// vertex of i precedes every owned vertex of j, so a cross-shard V1 pair
+// (u1, u2) with owner(u1) < owner(u2) already satisfies u1 < u2 — the
+// canonical pair order of count::VertexPair — with no per-pair min/max.
+#pragma once
+
+#include "util/common.hpp"
+
+namespace bfc::shard {
+
+class RangePartition {
+ public:
+  /// Partitions [0, n1) into `shards` balanced contiguous ranges. With
+  /// shards > n1 the trailing shards own empty ranges — legal, and exactly
+  /// what a 7-shard parity test over a 5-vertex side exercises.
+  RangePartition(vidx_t n1, int shards) : n1_(n1), shards_(shards) {
+    require(n1 >= 0, "RangePartition: n1 must be >= 0");
+    require(shards >= 1, "RangePartition: shards must be >= 1");
+    base_ = n1 / shards;
+    extra_ = n1 % shards;  // the first `extra_` shards own base_+1 vertices
+  }
+
+  [[nodiscard]] vidx_t n1() const noexcept { return n1_; }
+  [[nodiscard]] int shards() const noexcept { return shards_; }
+
+  /// First vertex owned by shard k.
+  [[nodiscard]] vidx_t begin(int k) const noexcept {
+    const auto kk = static_cast<vidx_t>(k);
+    return kk < extra_ ? kk * (base_ + 1) : extra_ * (base_ + 1) +
+                                                (kk - extra_) * base_;
+  }
+  /// One past the last vertex owned by shard k.
+  [[nodiscard]] vidx_t end(int k) const noexcept { return begin(k + 1); }
+
+  /// The shard owning V1 vertex u.
+  [[nodiscard]] int owner(vidx_t u) const noexcept {
+    const vidx_t split = extra_ * (base_ + 1);  // first vertex of the thin run
+    if (u < split) return static_cast<int>(u / (base_ + 1));
+    // base_ can be 0 only when u < split (every vertex is in the thick run),
+    // so the division below never sees a zero divisor for a valid u.
+    return static_cast<int>(extra_ + (u - split) / base_);
+  }
+
+  [[nodiscard]] bool operator==(const RangePartition&) const = default;
+
+ private:
+  vidx_t n1_;
+  int shards_;
+  vidx_t base_ = 0;   // vertices per shard, rounded down
+  vidx_t extra_ = 0;  // shards owning one extra vertex
+};
+
+}  // namespace bfc::shard

@@ -1,0 +1,63 @@
+// Query/update routing over the range partition. A query either routes to
+// ONE shard (everything keyed by a V1 vertex: its owner holds every edge of
+// that vertex, so tip and edge-support answers are shard-local modulo the
+// cross-shard correction) or it scatters across ALL shards (global count,
+// v2-side tips, top pairs — any answer that aggregates over V1 pairs that
+// may straddle shards). There is no query that touches "some" shards: the
+// partition is by V1 range and V2 vertices are replicated across every
+// shard's column space.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "shard/partition.hpp"
+#include "svc/request.hpp"
+#include "svc/snapshot.hpp"
+#include "util/common.hpp"
+
+namespace bfc::shard {
+
+class ShardRouter {
+ public:
+  explicit ShardRouter(const RangePartition& part) : part_(part) {}
+
+  /// The shard holding every edge of V1 vertex u — the single shard that
+  /// answers tip(u) and edge-support(u, v) queries (plus the cross term).
+  [[nodiscard]] int owner_shard(vidx_t u) const {
+    require(0 <= u && u < part_.n1(), "ShardRouter: V1 vertex out of range");
+    return part_.owner(u);
+  }
+
+  /// True when `kind` fans out over every shard instead of routing to one
+  /// owner. kVertexTipV1 and kEdgeSupport route; the rest scatter.
+  [[nodiscard]] static constexpr bool scatters(svc::QueryKind kind) noexcept {
+    return kind != svc::QueryKind::kVertexTipV1 &&
+           kind != svc::QueryKind::kEdgeSupport;
+  }
+
+  /// Splits a mixed batch into one sub-batch per shard, preserving the
+  /// batch's relative update order within each shard. Disjoint-range
+  /// updates commute across shards, so per-shard order is the only order
+  /// that matters for the final counts.
+  [[nodiscard]] std::vector<std::vector<svc::EdgeUpdate>> bucket(
+      std::span<const svc::EdgeUpdate> batch) const {
+    std::vector<std::vector<svc::EdgeUpdate>> out(
+        static_cast<std::size_t>(part_.shards()));
+    for (const svc::EdgeUpdate& up : batch) {
+      require(0 <= up.u && up.u < part_.n1(),
+              "ShardRouter: V1 vertex out of range");
+      out[static_cast<std::size_t>(part_.owner(up.u))].push_back(up);
+    }
+    return out;
+  }
+
+  [[nodiscard]] const RangePartition& partition() const noexcept {
+    return part_;
+  }
+
+ private:
+  RangePartition part_;
+};
+
+}  // namespace bfc::shard

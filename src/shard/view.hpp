@@ -1,0 +1,75 @@
+// A pinned cross-shard read view: one immutable snapshot per shard, taken
+// with one atomic load each. Shards publish independently, so a view is NOT
+// an atomic cut across shards — each per-shard snapshot is individually
+// consistent, and the view as a whole is "some recent epoch of every
+// shard". That is the same consistency a single-store reader gets across
+// two successive pins; queries that need a frozen multi-shard state pin one
+// view and answer everything against it.
+//
+// The signature is an order-sensitive hash of the per-shard epochs: two
+// views with equal signatures answer every query identically, which is what
+// lets the service key its composed-answer cache tier and the scatter-gather
+// planner key its cross-aggregate memo by signature instead of by any
+// single epoch.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "chk/checked_math.hpp"
+#include "svc/snapshot.hpp"
+#include "util/common.hpp"
+
+namespace bfc::shard {
+
+struct ShardView {
+  std::vector<svc::SnapshotPtr> shards;  // index = shard id, never null
+  std::uint64_t version = 0;    // global publish counter at pin time
+  std::uint64_t signature = 0;  // order-sensitive hash of per-shard epochs
+
+  [[nodiscard]] int shard_count() const noexcept {
+    return static_cast<int>(shards.size());
+  }
+
+  /// Σ over shards of the shard-local butterfly count: butterflies whose
+  /// V1 pair lives inside one shard. The cross-shard correction term comes
+  /// from shard::ScatterGather.
+  [[nodiscard]] count_t local_butterflies() const {
+    count_t total = 0;
+    for (const svc::SnapshotPtr& s : shards)
+      total = chk::checked_add(total, s->butterflies);
+    return total;
+  }
+
+  [[nodiscard]] offset_t edges() const noexcept {
+    offset_t total = 0;
+    for (const svc::SnapshotPtr& s : shards) total += s->edges;
+    return total;
+  }
+
+  [[nodiscard]] std::uint64_t max_epoch() const noexcept {
+    std::uint64_t m = 0;
+    for (const svc::SnapshotPtr& s : shards)
+      if (s->epoch > m) m = s->epoch;
+    return m;
+  }
+
+  /// splitmix64 chain over the per-shard epochs (order-sensitive).
+  [[nodiscard]] static std::uint64_t signature_of(
+      const std::vector<svc::SnapshotPtr>& shards) noexcept {
+    auto mix = [](std::uint64_t x) noexcept {
+      x += 0x9e3779b97f4a7c15ULL;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return x ^ (x >> 31);
+    };
+    std::uint64_t h = mix(shards.size());
+    for (const svc::SnapshotPtr& s : shards) h = mix(h ^ s->epoch);
+    return h;
+  }
+};
+
+using ShardViewPtr = std::shared_ptr<const ShardView>;
+
+}  // namespace bfc::shard

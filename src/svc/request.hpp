@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "obs/spans.hpp"
+#include "shard/view.hpp"
 #include "svc/snapshot.hpp"
 #include "util/cancel.hpp"
 #include "util/common.hpp"
@@ -88,6 +89,11 @@ class Deadline {
 /// `service.vertex_tip_v1(u, snap)` call sites read naturally.
 struct Request {
   SnapshotPtr snap{};
+  /// Sharded pinning: against a service running with more than one shard,
+  /// queries answer from this pinned ShardView (empty = pin the latest at
+  /// submission), and `snap` — a single-store concept with no cross-shard
+  /// meaning — is ignored. Single-shard services ignore `view` instead.
+  shard::ShardViewPtr view{};
   Deadline deadline{};
   /// Telemetry identity. Inactive (the default) makes the service root a
   /// fresh trace when span collection is on; a caller that owns a wider
@@ -99,9 +105,13 @@ struct Request {
   // NOLINTNEXTLINE(google-explicit-constructor): a bare pinned snapshot IS
   // a request; forcing Request{snap, {}} on every call site buys nothing.
   Request(SnapshotPtr s) : snap(std::move(s)) {}
+  // NOLINTNEXTLINE(google-explicit-constructor): same for a pinned view.
+  Request(shard::ShardViewPtr v) : view(std::move(v)) {}
   // NOLINTNEXTLINE(google-explicit-constructor)
   Request(Deadline d) : deadline(d) {}
   Request(SnapshotPtr s, Deadline d) : snap(std::move(s)), deadline(d) {}
+  Request(shard::ShardViewPtr v, Deadline d)
+      : view(std::move(v)), deadline(d) {}
 };
 
 /// How trustworthy a query answer is. Anything other than kExact means the

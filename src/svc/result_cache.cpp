@@ -1,30 +1,44 @@
 #include "svc/result_cache.hpp"
 
+#include <algorithm>
+
 #include "obs/metrics.hpp"
 
 namespace bfc::svc {
 
-ResultCache::ResultCache(std::size_t capacity) : capacity_(capacity) {
+ResultCache::ResultCache(std::size_t capacity, int tiers)
+    : capacity_(capacity) {
   require(capacity >= 1, "ResultCache: capacity must be >= 1");
+  require(tiers >= 1, "ResultCache: tiers must be >= 1");
+  hits_.assign(static_cast<std::size_t>(tiers), 0);
+  misses_.assign(static_cast<std::size_t>(tiers), 0);
+}
+
+double ResultCache::hit_rate_locked() const {
+  std::int64_t h = 0;
+  std::int64_t m = 0;
+  for (std::size_t t = 0; t < hits_.size(); ++t) {
+    h += hits_[t];
+    m += misses_[t];
+  }
+  return h + m == 0 ? 0.0
+                    : static_cast<double>(h) / static_cast<double>(h + m);
 }
 
 std::optional<CacheValue> ResultCache::get(const CacheKey& key) {
   const MutexLock lock(mu_);
+  const std::size_t t = tier_index(key.tier);
   const auto it = map_.find(key);
   if (it == map_.end()) {
-    ++misses_;
+    ++misses_[t];
     BFC_COUNT_ADD("svc.cache_misses", 1);
-    BFC_GAUGE_SET("svc.cache_hit_rate",
-                  static_cast<double>(hits_) /
-                      static_cast<double>(hits_ + misses_));
+    BFC_GAUGE_SET("svc.cache_hit_rate", hit_rate_locked());
     return std::nullopt;
   }
   lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
-  ++hits_;
+  ++hits_[t];
   BFC_COUNT_ADD("svc.cache_hits", 1);
-  BFC_GAUGE_SET("svc.cache_hit_rate",
-                static_cast<double>(hits_) /
-                    static_cast<double>(hits_ + misses_));
+  BFC_GAUGE_SET("svc.cache_hit_rate", hit_rate_locked());
   return it->second->second;
 }
 
@@ -49,10 +63,10 @@ void ResultCache::invalidate_all() {
   const MutexLock lock(mu_);
   map_.clear();
   lru_.clear();
-  // New generation: the hit-rate gauge must describe post-invalidation
-  // traffic only, not the mixture with the epoch that just died.
-  hits_ = 0;
-  misses_ = 0;
+  // New generation everywhere: the hit-rate gauge must describe
+  // post-invalidation traffic only, not the mixture with epochs that died.
+  std::fill(hits_.begin(), hits_.end(), 0);
+  std::fill(misses_.begin(), misses_.end(), 0);
   BFC_GAUGE_SET("svc.cache_hit_rate", 0.0);
   BFC_COUNT_ADD("svc.cache_invalidations", 1);
 }
@@ -67,26 +81,92 @@ void ResultCache::invalidate_older_than(std::uint64_t min_epoch) {
       ++it;
     }
   }
-  hits_ = 0;
-  misses_ = 0;
+  // The store-wide publish retires every tier's generation at once.
+  std::fill(hits_.begin(), hits_.end(), 0);
+  std::fill(misses_.begin(), misses_.end(), 0);
   BFC_GAUGE_SET("svc.cache_hit_rate", 0.0);
+  BFC_COUNT_ADD("svc.cache_invalidations", 1);
+}
+
+void ResultCache::invalidate_tier_older_than(int tier,
+                                             std::uint64_t min_epoch) {
+  const MutexLock lock(mu_);
+  const std::size_t t = tier_index(tier);
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (tier_index(it->first.tier) == t && it->first.epoch < min_epoch) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // THE point of tiers: only the published shard's generation resets; the
+  // other shards keep their entries AND their hit/miss streaks, so their
+  // post-publish hit rates stay meaningful.
+  hits_[t] = 0;
+  misses_[t] = 0;
+  BFC_GAUGE_SET("svc.cache_hit_rate", hit_rate_locked());
+  BFC_COUNT_ADD("svc.cache_invalidations", 1);
+}
+
+void ResultCache::invalidate_tier_keep(
+    int tier, std::span<const std::uint64_t> keep_epochs) {
+  const MutexLock lock(mu_);
+  const std::size_t t = tier_index(tier);
+  const auto kept = [&](std::uint64_t epoch) {
+    return std::find(keep_epochs.begin(), keep_epochs.end(), epoch) !=
+           keep_epochs.end();
+  };
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (tier_index(it->first.tier) == t && !kept(it->first.epoch)) {
+      map_.erase(it->first);
+      it = lru_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  hits_[t] = 0;
+  misses_[t] = 0;
+  BFC_GAUGE_SET("svc.cache_hit_rate", hit_rate_locked());
   BFC_COUNT_ADD("svc.cache_invalidations", 1);
 }
 
 std::int64_t ResultCache::hits() const {
   const MutexLock lock(mu_);
-  return hits_;
+  std::int64_t h = 0;
+  for (const std::int64_t t : hits_) h += t;
+  return h;
 }
 
 std::int64_t ResultCache::misses() const {
   const MutexLock lock(mu_);
-  return misses_;
+  std::int64_t m = 0;
+  for (const std::int64_t t : misses_) m += t;
+  return m;
 }
 
 double ResultCache::hit_rate() const {
   const MutexLock lock(mu_);
-  if (hits_ + misses_ == 0) return 0.0;
-  return static_cast<double>(hits_) / static_cast<double>(hits_ + misses_);
+  return hit_rate_locked();
+}
+
+std::int64_t ResultCache::hits(int tier) const {
+  const MutexLock lock(mu_);
+  return hits_[tier_index(tier)];
+}
+
+std::int64_t ResultCache::misses(int tier) const {
+  const MutexLock lock(mu_);
+  return misses_[tier_index(tier)];
+}
+
+double ResultCache::hit_rate(int tier) const {
+  const MutexLock lock(mu_);
+  const std::size_t t = tier_index(tier);
+  const std::int64_t total = hits_[t] + misses_[t];
+  return total == 0 ? 0.0
+                    : static_cast<double>(hits_[t]) /
+                          static_cast<double>(total);
 }
 
 std::size_t ResultCache::size() const {

@@ -6,12 +6,15 @@
 #include <exception>
 #include <thread>
 
+#include "chk/checked_math.hpp"
 #include "count/approx.hpp"
 #include "count/local_counts.hpp"
+#include "graph/bipartite_graph.hpp"
 #include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
+#include "shard/router.hpp"
 #include "sparse/ops.hpp"
 #include "svc/fault.hpp"
 #include "util/timer.hpp"
@@ -34,7 +37,10 @@ std::future<T> overload_future(OverloadError::Reason reason) {
 }
 
 /// Support of one present edge, Eq. (25) evaluated for a single (u, v):
-/// Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1. No global pass.
+/// Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1. No global pass. On a
+/// shard graph this is exactly the same-shard part of the support: every
+/// edge of u and of its same-shard wedge mates is local to the shard, so
+/// the formula is exact over wedge mates the shard owns.
 count_t support_of_edge(const graph::BipartiteGraph& g, vidx_t u, vidx_t v) {
   const std::span<const vidx_t> nu = g.neighbors_of_v1(u);
   const std::span<const vidx_t> nv = g.neighbors_of_v2(v);
@@ -81,8 +87,12 @@ std::array<SloPolicy, kQueryKinds> slo_policies(const ServiceOptions& o) {
 
 ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
                                    ServiceOptions options)
-    : store_(n1, n2),
-      cache_(options.cache_capacity),
+    : shards_(options.shards),
+      store_(n1, n2, options.shards),
+      // One tier per shard plus the composed-answer tier. Single-shard
+      // services only ever touch tier 0 (and invalidate across all tiers),
+      // so the extra empty tier changes nothing.
+      cache_(options.cache_capacity, options.shards + 1),
       memo_keep_epochs_(options.memo_keep_epochs),
       degrade_queue_depth_(options.degrade_queue_depth),
       degrade_p95_us_(options.degrade_p95_us),
@@ -94,24 +104,112 @@ ButterflyService::ButterflyService(vidx_t n1, vidx_t n2,
           "ButterflyService: memo_keep_epochs must be >= 1");
   require(options.approx_samples >= 1,
           "ButterflyService: approx_samples must be >= 1");
+  if (shards_ > 1) {
+    shard_slo_.reserve(static_cast<std::size_t>(shards_));
+    for (int k = 0; k < shards_; ++k)
+      shard_slo_.push_back(std::make_unique<SloTracker>(
+          slo_policies(options), kLatencyWindow, /*bind_metrics=*/false));
+    if constexpr (obs::kMetricsEnabled) {
+      auto& reg = obs::Registry::instance();
+      shard_hit_gauges_.assign(static_cast<std::size_t>(shards_), nullptr);
+      shard_degraded_.assign(static_cast<std::size_t>(shards_), nullptr);
+      for (int k = 0; k < shards_; ++k) {
+        const std::string prefix = "svc.shard." + std::to_string(k);
+        const auto kk = static_cast<std::size_t>(k);
+        shard_hit_gauges_[kk] = &reg.gauge(prefix + ".cache_hit_rate");
+        shard_degraded_[kk] = &reg.counter(prefix + ".degraded");
+      }
+    }
+  }
+  const shard::ShardViewPtr v = store_.view();
+  const MutexLock lock(view_mu_);
+  cur_sig_ = prev_sig_ = v->signature;
+  cur_version_ = prev_version_ = v->version;
 }
 
 PublishResult ButterflyService::apply_updates(
     std::span<const EdgeUpdate> batch) {
-  const PublishResult result = store_.apply_batch(batch);
+  if (shards_ == 1) {
+    // Straight to shard 0 so the returned epoch is the SHARD epoch — the
+    // pre-sharding contract (the global version can drift from it after a
+    // restore, which resets shard epochs but not the publish counter).
+    const PublishResult result = store_.apply_to_shard(0, batch);
+    obs::FlightRecorder::record("publish", "",
+                                static_cast<std::int64_t>(result.epoch),
+                                static_cast<std::int64_t>(result.applied));
+    // Entries are epoch-keyed so none could serve a wrong answer; keep the
+    // just-retired epoch as the stale-answer tier and drop everything older.
+    cache_.invalidate_older_than(result.epoch == 0 ? 0 : result.epoch - 1);
+    {
+      const MutexLock lock(memo_mu_);
+      std::erase_if(tip_memo_, [&](const auto& entry) {
+        return std::get<1>(entry.first) + memo_keep_epochs_ <= result.epoch;
+      });
+    }
+    return result;
+  }
+  // Route by V1 owner and publish shard by shard — the single-writer
+  // convenience path over the same machinery concurrent writers use.
+  const shard::ShardRouter router(store_.partition());
+  const auto buckets = router.bucket(batch);
+  PublishResult total{};
+  for (int k = 0; k < shards_; ++k) {
+    const auto& sub = buckets[static_cast<std::size_t>(k)];
+    if (sub.empty()) continue;  // untouched shards do not publish
+    const PublishResult r = apply_updates_shard(k, sub);
+    total.applied += r.applied;
+    total.ignored += r.ignored;
+    total.created = chk::checked_add(total.created, r.created);
+    total.destroyed = chk::checked_add(total.destroyed, r.destroyed);
+  }
+  // Per-shard epochs advance independently; the store's global version is
+  // the only scalar that means "after this whole batch".
+  total.epoch = store_.version();
+  return total;
+}
+
+PublishResult ButterflyService::apply_updates_shard(
+    int k, std::span<const EdgeUpdate> batch) {
+  require(k >= 0 && k < shards_, "apply_updates_shard: shard out of range");
+  if (shards_ == 1) return apply_updates(batch);
+  const PublishResult result = store_.apply_to_shard(k, batch);
   obs::FlightRecorder::record("publish", "",
                               static_cast<std::int64_t>(result.epoch),
                               static_cast<std::int64_t>(result.applied));
-  // Entries are epoch-keyed so none could serve a wrong answer; keep the
-  // just-retired epoch as the stale-answer tier and drop everything older.
-  cache_.invalidate_older_than(result.epoch == 0 ? 0 : result.epoch - 1);
+  // Only shard k's tier retires; the other shards' entries stay keyed by
+  // their own (unchanged) epochs with their hit streaks intact — the point
+  // of running one cache tier per shard.
+  cache_.invalidate_tier_older_than(k,
+                                    result.epoch == 0 ? 0 : result.epoch - 1);
+  publish_shard_gauge(k);
   {
     const MutexLock lock(memo_mu_);
     std::erase_if(tip_memo_, [&](const auto& entry) {
-      return entry.first.first + memo_keep_epochs_ <= result.epoch;
+      return std::get<0>(entry.first) == k &&
+             std::get<1>(entry.first) + memo_keep_epochs_ <= result.epoch;
     });
   }
+  refresh_view_generation();
   return result;
+}
+
+void ButterflyService::refresh_view_generation() {
+  const shard::ShardViewPtr v = store_.view();  // pin BEFORE locking
+  std::array<std::uint64_t, 2> keep{};
+  {
+    const MutexLock lock(view_mu_);
+    // A concurrent writer may have rolled the pair past this publish's
+    // signature already; the pair only ever needs to be "two recent
+    // signatures" (signature-keyed entries can never be wrong, only
+    // unreachable), so skipping is harmless.
+    if (v->signature == cur_sig_) return;
+    prev_sig_ = cur_sig_;
+    prev_version_ = cur_version_;
+    cur_sig_ = v->signature;
+    cur_version_ = v->version;
+    keep = {cur_sig_, prev_sig_};
+  }
+  cache_.invalidate_tier_keep(view_tier(), keep);
 }
 
 void ButterflyService::persist(const std::string& path) const {
@@ -137,13 +235,48 @@ void ButterflyService::restore(const std::string& path) {
   // The epoch sequence restarted: every cached/memoised answer is keyed by
   // epochs that no longer mean anything.
   cache_.invalidate_all();
-  const MutexLock lock(memo_mu_);
-  tip_memo_.clear();
+  {
+    const MutexLock lock(memo_mu_);
+    tip_memo_.clear();
+  }
+  const shard::ShardViewPtr v = store_.view();
+  const MutexLock lock(view_mu_);
+  // cur == prev: no previous generation — the stale-view rung stays empty
+  // until the first post-restore publish.
+  cur_sig_ = prev_sig_ = v->signature;
+  cur_version_ = prev_version_ = v->version;
+}
+
+SnapshotPtr ButterflyService::snapshot() const {
+  if (shards_ == 1) return store_.shard_snapshot(0);
+  // Materialise the union graph of one pinned view. Owned ranges are
+  // disjoint, so concatenating each shard's owned rows rebuilds the exact
+  // single-store edge set; the count is Σ locals + cross — the identity the
+  // drift checks verify.
+  const shard::ShardViewPtr view = store_.view();
+  const shard::RangePartition& part = store_.partition();
+  std::vector<std::pair<vidx_t, vidx_t>> edges;
+  edges.reserve(static_cast<std::size_t>(view->edges()));
+  for (int k = 0; k < view->shard_count(); ++k) {
+    const graph::BipartiteGraph& g =
+        view->shards[static_cast<std::size_t>(k)]->graph;
+    for (vidx_t u = part.begin(k); u < part.end(k); ++u)
+      for (const vidx_t v : g.neighbors_of_v1(u)) edges.emplace_back(u, v);
+  }
+  const shard::CrossAggregatePtr agg = scatter_.cross(view);
+  GraphSnapshot snap;
+  snap.epoch = view->version;
+  snap.graph =
+      graph::BipartiteGraph::from_edges(store_.n1(), store_.n2(), edges);
+  snap.butterflies = shard::ScatterGather::global_count(*view, *agg);
+  snap.edges = view->edges();
+  return std::make_shared<const GraphSnapshot>(std::move(snap));
 }
 
 std::future<QueryResult<count_t>> ButterflyService::global_count(Request req) {
+  if (shards_ > 1) return sharded_global(std::move(req));
   obs::Span span(root_context(req), "svc.query.global");
-  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.shard_snapshot(0);
   BFC_COUNT_ADD("svc.queries", 1);
   // Maintained incrementally by the writer: answering is one field read.
   BFC_HIST_OBSERVE("svc.latency_us.global", 0);
@@ -157,12 +290,14 @@ std::future<QueryResult<count_t>> ButterflyService::global_count(Request req) {
 std::future<QueryResult<count_t>> ButterflyService::vertex_tip_v1(
     vidx_t u, Request req) {
   require(u >= 0 && u < store_.n1(), "vertex_tip_v1: vertex out of range");
+  if (shards_ > 1) return sharded_tip(u, /*v1_side=*/true, std::move(req));
   return vertex_tip(u, /*v1_side=*/true, std::move(req));
 }
 
 std::future<QueryResult<count_t>> ButterflyService::vertex_tip_v2(
     vidx_t v, Request req) {
   require(v >= 0 && v < store_.n2(), "vertex_tip_v2: vertex out of range");
+  if (shards_ > 1) return sharded_tip(v, /*v1_side=*/false, std::move(req));
   return vertex_tip(v, /*v1_side=*/false, std::move(req));
 }
 
@@ -171,7 +306,7 @@ std::future<QueryResult<count_t>> ButterflyService::vertex_tip(vidx_t vertex,
                                                                Request req) {
   const QueryKind kind =
       v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
-  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.shard_snapshot(0);
   BFC_COUNT_ADD("svc.queries", 1);
   const SpanPtr span = open_span(
       root_context(req), v1_side ? "svc.query.tip_v1" : "svc.query.tip_v2");
@@ -208,7 +343,8 @@ std::future<QueryResult<count_t>> ButterflyService::vertex_tip(vidx_t vertex,
   auto exact = [this, snap, key, vertex, v1_side, deadline = req.deadline,
                 span, trace = span_ctx(span), timer = Timer()] {
     try {
-      const TipVector tips = tips_for(snap, v1_side, deadline.token(), trace);
+      const TipVector tips =
+          tips_for(0, snap, v1_side, deadline.token(), trace);
       const count_t value = (*tips)[static_cast<std::size_t>(vertex)];
       cache_.put(key, value);
       const double us = timer.seconds() * 1e6;
@@ -255,7 +391,8 @@ std::future<QueryResult<count_t>> ButterflyService::edge_support(vidx_t u,
                                                                  Request req) {
   require(u >= 0 && u < store_.n1() && v >= 0 && v < store_.n2(),
           "edge_support: vertex out of range");
-  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
+  if (shards_ > 1) return sharded_edge(u, v, std::move(req));
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.shard_snapshot(0);
   BFC_COUNT_ADD("svc.queries", 1);
   const SpanPtr span = open_span(root_context(req), "svc.query.edge");
   span_tag(span, "epoch", std::to_string(snap->epoch));
@@ -314,7 +451,8 @@ std::future<QueryResult<count_t>> ButterflyService::edge_support(vidx_t u,
 
 std::future<QueryResult<TopPairsPtr>> ButterflyService::top_pairs(
     std::size_t k, Request req) {
-  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.current();
+  if (shards_ > 1) return sharded_top_pairs(k, std::move(req));
+  SnapshotPtr snap = req.snap ? std::move(req.snap) : store_.shard_snapshot(0);
   BFC_COUNT_ADD("svc.queries", 1);
   const SpanPtr span = open_span(root_context(req), "svc.query.top_pairs");
   span_tag(span, "epoch", std::to_string(snap->epoch));
@@ -373,6 +511,491 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::top_pairs(
       OverloadError::Reason::kRejected);
 }
 
+// ---- sharded query paths ---------------------------------------------------
+
+std::future<QueryResult<count_t>> ButterflyService::sharded_global(
+    Request req) {
+  shard::ShardViewPtr view = resolve_view(req);
+  BFC_COUNT_ADD("svc.queries", 1);
+  BFC_COUNT_ADD("svc.scatter_queries", 1);
+  const SpanPtr span = open_span(root_context(req), "svc.query.global");
+  span_tag(span, "sig", std::to_string(view->signature));
+  const CacheKey key{view->signature, QueryKind::kGlobalCount, 0, 0,
+                     view_tier()};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.global", 0);
+    observe_latency(QueryKind::kGlobalCount, 0.0);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
+    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
+                                             view->version, Fidelity::kExact});
+  }
+  span_tag(span, "cache", "miss");
+  auto degraded = [this, view, span]() -> std::optional<QueryResult<count_t>> {
+    // Rung 1: the previous view generation's composed answer.
+    if (auto stale = stale_view_scalar(QueryKind::kGlobalCount, 0, 0)) {
+      BFC_COUNT_ADD("svc.degraded", 1);
+      BFC_COUNT_ADD("svc.stale_answers", 1);
+      span_tag(span, "outcome", "stale");
+      span_close(span);
+      return stale;
+    }
+    // Rung 2: the freshest COMPLETED cross aggregate of any signature plus
+    // the pinned locals — mixed freshness, honestly tagged stale.
+    if (auto agg = scatter_.latest_ready()) {
+      BFC_COUNT_ADD("svc.degraded", 1);
+      BFC_COUNT_ADD("svc.stale_answers", 1);
+      span_tag(span, "outcome", "stale");
+      span_close(span);
+      return QueryResult<count_t>{
+          chk::checked_add(view->local_butterflies(), (*agg)->butterflies),
+          view->version, Fidelity::kStale};
+    }
+    return std::nullopt;
+  };
+  if (overloaded()) {
+    if (auto d = degraded()) {
+      span_tag(span, "degrade", "admission");
+      return ready_future(std::move(*d));
+    }
+  }
+  auto fallback = [degraded, span] {
+    span_tag(span, "degrade", "abandoned");
+    auto d = degraded();
+    if (!d) {
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+    }
+    return d;
+  };
+  auto exact = [this, view, key, degraded, deadline = req.deadline, span,
+                trace = span_ctx(span), timer = Timer()] {
+    try {
+      const shard::CrossAggregatePtr agg =
+          scatter_.cross(view, deadline.token(), trace);
+      const count_t value = shard::ScatterGather::global_count(*view, *agg);
+      cache_.put(key, value);
+      const double us = timer.seconds() * 1e6;
+      BFC_HIST_OBSERVE("svc.latency_us.global", us);
+      observe_latency(QueryKind::kGlobalCount, us);
+      span_tag(span, "outcome", "exact");
+      span_close(span);
+      return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+    } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = degraded()) return std::move(*d);
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    }
+  };
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
+                                  std::move(fallback), span_ctx(span)))
+    return std::move(*fut);
+  span_tag(span, "rejected", "true");
+  if (auto d = degraded()) return ready_future(std::move(*d));
+  span_tag(span, "outcome", "shed");
+  return overload_future<QueryResult<count_t>>(
+      OverloadError::Reason::kRejected);
+}
+
+std::future<QueryResult<count_t>> ButterflyService::sharded_tip(
+    vidx_t vertex, bool v1_side, Request req) {
+  const QueryKind kind =
+      v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
+  shard::ShardViewPtr view = resolve_view(req);
+  // tip_v1 routes to the owner shard; tip_v2 scatters over all of them.
+  const int owner = v1_side ? store_.partition().owner(vertex) : -1;
+  BFC_COUNT_ADD("svc.queries", 1);
+  if (!v1_side) BFC_COUNT_ADD("svc.scatter_queries", 1);
+  const SpanPtr span = open_span(
+      root_context(req), v1_side ? "svc.query.tip_v1" : "svc.query.tip_v2");
+  span_tag(span, "sig", std::to_string(view->signature));
+  if (owner >= 0) span_tag(span, "shard", std::to_string(owner));
+  const CacheKey key{view->signature, kind, vertex, 0, view_tier()};
+  if (const auto hit = cache_.get(key)) {
+    if (v1_side)
+      BFC_HIST_OBSERVE("svc.latency_us.tip_v1", 0);
+    else
+      BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
+    observe_latency(kind, 0.0, owner);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
+    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
+                                             view->version, Fidelity::kExact});
+  }
+  span_tag(span, "cache", "miss");
+  auto degraded = [this, view, vertex, v1_side, owner, span] {
+    auto d = degraded_tip_sharded(view, vertex, v1_side, owner);
+    if (d) {
+      span_tag(span, "outcome", fidelity_name(d->fidelity));
+      span_close(span);
+    }
+    return d;
+  };
+  if (overloaded(owner)) {
+    if (auto d = degraded()) {
+      span_tag(span, "degrade", "admission");
+      return ready_future(std::move(*d));
+    }
+  }
+  auto fallback = [degraded, span] {
+    span_tag(span, "degrade", "abandoned");
+    auto d = degraded();
+    if (!d) {
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+    }
+    return d;
+  };
+  auto exact = [this, view, key, kind, vertex, v1_side, owner, degraded,
+                deadline = req.deadline, span, trace = span_ctx(span),
+                timer = Timer()] {
+    try {
+      const shard::CrossAggregatePtr agg =
+          scatter_.cross(view, deadline.token(), trace);
+      count_t value = v1_side ? agg->tip_v1(vertex) : agg->tip_v2(vertex);
+      if (v1_side) {
+        // Local part lives wholly on the owner shard.
+        const SnapshotPtr& snap =
+            view->shards[static_cast<std::size_t>(owner)];
+        const TipVector tips =
+            tips_for(owner, snap, true, deadline.token(), trace);
+        value = chk::checked_add(value,
+                                 (*tips)[static_cast<std::size_t>(vertex)]);
+      } else {
+        // Every shard sees some of v's butterflies; their tips sum.
+        for (int s = 0; s < view->shard_count(); ++s) {
+          const TipVector tips =
+              tips_for(s, view->shards[static_cast<std::size_t>(s)], false,
+                       deadline.token(), trace);
+          value = chk::checked_add(value,
+                                   (*tips)[static_cast<std::size_t>(vertex)]);
+        }
+      }
+      cache_.put(key, value);
+      const double us = timer.seconds() * 1e6;
+      if (v1_side)
+        BFC_HIST_OBSERVE("svc.latency_us.tip_v1", us);
+      else
+        BFC_HIST_OBSERVE("svc.latency_us.tip_v2", us);
+      observe_latency(kind, us, owner);
+      span_tag(span, "outcome", "exact");
+      span_close(span);
+      return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+    } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = degraded()) return std::move(*d);
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    }
+  };
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
+                                  std::move(fallback), span_ctx(span)))
+    return std::move(*fut);
+  span_tag(span, "rejected", "true");
+  if (auto d = degraded()) return ready_future(std::move(*d));
+  span_tag(span, "outcome", "shed");
+  return overload_future<QueryResult<count_t>>(
+      OverloadError::Reason::kRejected);
+}
+
+std::future<QueryResult<count_t>> ButterflyService::sharded_edge(
+    vidx_t u, vidx_t v, Request req) {
+  shard::ShardViewPtr view = resolve_view(req);
+  const int owner = store_.partition().owner(u);
+  BFC_COUNT_ADD("svc.queries", 1);
+  const SpanPtr span = open_span(root_context(req), "svc.query.edge");
+  span_tag(span, "sig", std::to_string(view->signature));
+  span_tag(span, "shard", std::to_string(owner));
+  const CacheKey key{view->signature, QueryKind::kEdgeSupport, u, v,
+                     view_tier()};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.edge", 0);
+    observe_latency(QueryKind::kEdgeSupport, 0.0, owner);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
+    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
+                                             view->version, Fidelity::kExact});
+  }
+  span_tag(span, "cache", "miss");
+  // Same contract as single-shard: support is one row scan per shard, cheap
+  // enough to answer inline (exact) when shedding.
+  auto inline_answer = [this, view, key, owner, u, v,
+                        span]() -> std::optional<QueryResult<count_t>> {
+    if (auto stale = stale_view_scalar(QueryKind::kEdgeSupport, u, v)) {
+      BFC_COUNT_ADD("svc.degraded", 1);
+      BFC_COUNT_ADD("svc.stale_answers", 1);
+      note_degraded(owner);
+      span_tag(span, "outcome", "stale");
+      span_close(span);
+      return stale;
+    }
+    const count_t value = sharded_support(*view, owner, u, v);
+    cache_.put(key, value);
+    BFC_COUNT_ADD("svc.inline_answers", 1);
+    span_tag(span, "inline", "true");
+    span_tag(span, "outcome", "exact");
+    span_close(span);
+    return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+  };
+  if (overloaded(owner)) {
+    span_tag(span, "degrade", "admission");
+    return ready_future(std::move(*inline_answer()));
+  }
+  auto exact = [this, view, key, owner, u, v, span, timer = Timer()] {
+    const count_t value = sharded_support(*view, owner, u, v);
+    cache_.put(key, value);
+    const double us = timer.seconds() * 1e6;
+    BFC_HIST_OBSERVE("svc.latency_us.edge", us);
+    observe_latency(QueryKind::kEdgeSupport, us, owner);
+    span_tag(span, "outcome", "exact");
+    span_close(span);
+    return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+  };
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
+                                  inline_answer, span_ctx(span)))
+    return std::move(*fut);
+  span_tag(span, "rejected", "true");
+  return ready_future(std::move(*inline_answer()));
+}
+
+std::future<QueryResult<TopPairsPtr>> ButterflyService::sharded_top_pairs(
+    std::size_t k, Request req) {
+  shard::ShardViewPtr view = resolve_view(req);
+  BFC_COUNT_ADD("svc.queries", 1);
+  BFC_COUNT_ADD("svc.scatter_queries", 1);
+  const SpanPtr span = open_span(root_context(req), "svc.query.top_pairs");
+  span_tag(span, "sig", std::to_string(view->signature));
+  const CacheKey key{view->signature, QueryKind::kTopPairs,
+                     static_cast<std::int64_t>(k), 0, view_tier()};
+  if (const auto hit = cache_.get(key)) {
+    BFC_HIST_OBSERVE("svc.latency_us.top_pairs", 0);
+    observe_latency(QueryKind::kTopPairs, 0.0);
+    span_tag(span, "cache", "hit");
+    span_tag(span, "outcome", "exact");
+    return ready_future(QueryResult<TopPairsPtr>{
+        std::get<TopPairsPtr>(*hit), view->version, Fidelity::kExact});
+  }
+  span_tag(span, "cache", "miss");
+  // Only stale rung, as in single-shard mode: no cheap sampled substitute
+  // exists for an exact merged top-k list.
+  auto stale_pairs = [this, k,
+                      span]() -> std::optional<QueryResult<TopPairsPtr>> {
+    auto d = stale_view_pairs(k);
+    if (!d) return std::nullopt;
+    BFC_COUNT_ADD("svc.degraded", 1);
+    BFC_COUNT_ADD("svc.stale_answers", 1);
+    span_tag(span, "outcome", "stale");
+    span_close(span);
+    return d;
+  };
+  if (overloaded()) {
+    if (auto d = stale_pairs()) {
+      span_tag(span, "degrade", "admission");
+      return ready_future(std::move(*d));
+    }
+  }
+  auto exact = [this, view, key, k, span, deadline = req.deadline,
+                trace = span_ctx(span), timer = Timer()] {
+    try {
+      const shard::CrossAggregatePtr agg =
+          scatter_.cross(view, deadline.token(), trace);
+      std::vector<std::vector<count::VertexPair>> per_shard;
+      per_shard.reserve(view->shards.size());
+      for (int s = 0; s < view->shard_count(); ++s)
+        per_shard.push_back(*shard_top_list(*view, s, k));
+      auto pairs = std::make_shared<const std::vector<count::VertexPair>>(
+          shard::ScatterGather::merge_top_pairs(per_shard, agg->pairs, k));
+      cache_.put(key, CacheValue{pairs});
+      const double us = timer.seconds() * 1e6;
+      BFC_HIST_OBSERVE("svc.latency_us.top_pairs", us);
+      observe_latency(QueryKind::kTopPairs, us);
+      span_tag(span, "outcome", "exact");
+      span_close(span);
+      return QueryResult<TopPairsPtr>{TopPairsPtr(pairs), view->version,
+                                      Fidelity::kExact};
+    } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = stale_view_pairs(k)) {
+        BFC_COUNT_ADD("svc.degraded", 1);
+        BFC_COUNT_ADD("svc.stale_answers", 1);
+        span_tag(span, "outcome", "stale");
+        span_close(span);
+        return std::move(*d);
+      }
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    }
+  };
+  if (auto fut = pool_.try_submit(std::move(exact), req.deadline, stale_pairs,
+                                  span_ctx(span)))
+    return std::move(*fut);
+  span_tag(span, "rejected", "true");
+  if (auto d = stale_pairs()) return ready_future(std::move(*d));
+  span_tag(span, "outcome", "shed");
+  return overload_future<QueryResult<TopPairsPtr>>(
+      OverloadError::Reason::kRejected);
+}
+
+count_t ButterflyService::sharded_support(const shard::ShardView& view,
+                                          int owner, vidx_t u, vidx_t v) {
+  const SnapshotPtr& snap = view.shards[static_cast<std::size_t>(owner)];
+  // All of u's edges live on its owner shard: absent there means absent.
+  if (!snap->graph.has_edge(u, v)) return 0;
+  // The same-shard component depends only on shard `owner`'s state, so it
+  // caches in that shard's tier keyed by the SHARD epoch — it survives
+  // publishes on every other shard.
+  const CacheKey local_key{snap->epoch, QueryKind::kEdgeSupport, u, v, owner};
+  count_t local = 0;
+  if (const auto hit = cache_.get(local_key)) {
+    local = std::get<count_t>(*hit);
+  } else {
+    local = support_of_edge(snap->graph, u, v);
+    cache_.put(local_key, local);
+  }
+  publish_shard_gauge(owner);
+  return chk::checked_add(
+      local, shard::ScatterGather::edge_support_cross(view, owner, u, v));
+}
+
+TopPairsPtr ButterflyService::shard_top_list(const shard::ShardView& view,
+                                             int s, std::size_t k) {
+  const SnapshotPtr& snap = view.shards[static_cast<std::size_t>(s)];
+  // Shard-local list: keyed by the shard epoch in the shard's own tier.
+  const CacheKey key{snap->epoch, QueryKind::kTopPairs,
+                     static_cast<std::int64_t>(k), 0, s};
+  if (const auto hit = cache_.get(key)) {
+    publish_shard_gauge(s);
+    return std::get<TopPairsPtr>(*hit);
+  }
+  auto list = std::make_shared<const std::vector<count::VertexPair>>(
+      count::top_wedge_pairs_v1(snap->graph, k));
+  cache_.put(key, CacheValue{list});
+  publish_shard_gauge(s);
+  return list;
+}
+
+std::optional<QueryResult<count_t>> ButterflyService::stale_view_scalar(
+    QueryKind kind, std::int64_t a, std::int64_t b) {
+  std::uint64_t sig = 0;
+  std::uint64_t ver = 0;
+  {
+    const MutexLock lock(view_mu_);
+    if (prev_sig_ == cur_sig_) return std::nullopt;  // no older generation
+    sig = prev_sig_;
+    ver = prev_version_;
+  }
+  const CacheKey key{sig, kind, a, b, view_tier()};
+  if (const auto hit = cache_.get(key))
+    return QueryResult<count_t>{std::get<count_t>(*hit), ver,
+                                Fidelity::kStale};
+  return std::nullopt;
+}
+
+std::optional<QueryResult<TopPairsPtr>> ButterflyService::stale_view_pairs(
+    std::size_t k) {
+  std::uint64_t sig = 0;
+  std::uint64_t ver = 0;
+  {
+    const MutexLock lock(view_mu_);
+    if (prev_sig_ == cur_sig_) return std::nullopt;
+    sig = prev_sig_;
+    ver = prev_version_;
+  }
+  const CacheKey key{sig, QueryKind::kTopPairs, static_cast<std::int64_t>(k),
+                     0, view_tier()};
+  const auto hit = cache_.get(key);
+  if (!hit) return std::nullopt;
+  return QueryResult<TopPairsPtr>{std::get<TopPairsPtr>(*hit), ver,
+                                  Fidelity::kStale};
+}
+
+std::optional<QueryResult<count_t>> ButterflyService::degraded_tip_sharded(
+    const shard::ShardViewPtr& view, vidx_t vertex, bool v1_side, int owner) {
+  const QueryKind kind =
+      v1_side ? QueryKind::kVertexTipV1 : QueryKind::kVertexTipV2;
+  // Rung 1: the previous view generation's composed answer.
+  if (auto stale = stale_view_scalar(kind, vertex, 0)) {
+    BFC_COUNT_ADD("svc.degraded", 1);
+    BFC_COUNT_ADD("svc.stale_answers", 1);
+    note_degraded(owner);
+    obs::FlightRecorder::record("degrade", "stale_view",
+                                static_cast<std::int64_t>(view->version),
+                                vertex);
+    return stale;
+  }
+  // Rung 2 (routed side only): a retained owner-shard pass plus the
+  // freshest completed cross aggregate. Without ANY cross aggregate the
+  // local pass alone would silently drop the correction — fall through to
+  // the estimator instead of answering provably low.
+  if (v1_side) {
+    const SnapshotPtr& snap = view->shards[static_cast<std::size_t>(owner)];
+    if (auto pass = stale_tips(owner, snap->epoch + 1, true)) {
+      std::optional<shard::CrossAggregatePtr> agg =
+          scatter_.cached(view->signature);
+      if (!agg) agg = scatter_.latest_ready();
+      if (agg) {
+        BFC_COUNT_ADD("svc.degraded", 1);
+        BFC_COUNT_ADD("svc.stale_answers", 1);
+        note_degraded(owner);
+        obs::FlightRecorder::record("degrade", "stale_tips",
+                                    static_cast<std::int64_t>(pass->first),
+                                    vertex);
+        const count_t local =
+            (*pass->second)[static_cast<std::size_t>(vertex)];
+        return QueryResult<count_t>{
+            chk::checked_add(local, (*agg)->tip_v1(vertex)), view->version,
+            Fidelity::kStale};
+      }
+    }
+  }
+  // Rung 3: sampled estimate on the shard graph(s), plus the freshest
+  // completed cross contribution when one exists (local-only and biased
+  // low otherwise — still an answer, and tagged kApprox either way).
+  count::ApproxOptions opt;
+  count_t value = 0;
+  if (v1_side) {
+    opt.samples = approx_samples_;
+    opt.seed = 0x5eedULL ^ (view->signature * 0x9e3779b97f4a7c15ULL) ^
+               static_cast<std::uint64_t>(vertex);
+    const count::ApproxResult est = count::approx_tip_v1(
+        view->shards[static_cast<std::size_t>(owner)]->graph, vertex, opt);
+    value = std::max<count_t>(0, std::llround(est.estimate));
+  } else {
+    // Split the sampling budget across the shards; each estimator sees only
+    // local butterflies, so the per-shard estimates sum.
+    opt.samples = std::max<std::int64_t>(
+        1, approx_samples_ / static_cast<std::int64_t>(view->shard_count()));
+    for (int s = 0; s < view->shard_count(); ++s) {
+      opt.seed = 0x5eedULL ^ (view->signature * 0x9e3779b97f4a7c15ULL) ^
+                 static_cast<std::uint64_t>(vertex) ^
+                 (static_cast<std::uint64_t>(s) << 48);
+      const count::ApproxResult est = count::approx_tip_v2(
+          view->shards[static_cast<std::size_t>(s)]->graph, vertex, opt);
+      value = chk::checked_add(
+          value, std::max<count_t>(0, std::llround(est.estimate)));
+    }
+  }
+  if (auto agg = scatter_.latest_ready())
+    value = chk::checked_add(
+        value, v1_side ? (*agg)->tip_v1(vertex) : (*agg)->tip_v2(vertex));
+  BFC_COUNT_ADD("svc.degraded", 1);
+  BFC_COUNT_ADD("svc.approx_fallbacks", 1);
+  note_degraded(owner);
+  obs::FlightRecorder::record("degrade", "approx",
+                              static_cast<std::int64_t>(view->version),
+                              vertex);
+  return QueryResult<count_t>{value, view->version, Fidelity::kApprox};
+}
+
+// ---- shared plumbing -------------------------------------------------------
+
 std::optional<QueryResult<count_t>> ButterflyService::degraded_tip(
     const SnapshotPtr& snap, vidx_t vertex, bool v1_side) {
   const QueryKind kind =
@@ -388,7 +1011,7 @@ std::optional<QueryResult<count_t>> ButterflyService::degraded_tip(
     return stale;
   }
   // Rung 2: a retained full tip pass from a recent epoch.
-  if (auto pass = stale_tips(snap->epoch, v1_side)) {
+  if (auto pass = stale_tips(0, snap->epoch, v1_side)) {
     BFC_COUNT_ADD("svc.degraded", 1);
     BFC_COUNT_ADD("svc.stale_answers", 1);
     obs::FlightRecorder::record("degrade", "stale_tips",
@@ -426,19 +1049,22 @@ std::optional<QueryResult<count_t>> ButterflyService::stale_scalar(
 }
 
 std::optional<std::pair<std::uint64_t, ButterflyService::TipVector>>
-ButterflyService::stale_tips(std::uint64_t before_epoch, bool v1_side) {
+ButterflyService::stale_tips(int shard, std::uint64_t before_epoch,
+                             bool v1_side) {
   std::shared_future<TipVector> best;
   std::uint64_t best_epoch = 0;
   {
     const MutexLock lock(memo_mu_);
     for (const auto& [key, pass] : tip_memo_) {
-      if (key.second != v1_side || key.first >= before_epoch) continue;
+      if (std::get<0>(key) != shard || std::get<2>(key) != v1_side ||
+          std::get<1>(key) >= before_epoch)
+        continue;
       if (pass.result.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready)
         continue;  // a degraded answer must not block on an in-flight pass
-      if (!best.valid() || key.first > best_epoch) {
+      if (!best.valid() || std::get<1>(key) > best_epoch) {
         best = pass.result;
-        best_epoch = key.first;
+        best_epoch = std::get<1>(key);
       }
     }
   }
@@ -460,12 +1086,33 @@ bool ButterflyService::overloaded() const {
   return slo_.budget_exhausted();
 }
 
-void ButterflyService::observe_latency(QueryKind kind, double us) {
+bool ButterflyService::overloaded(int shard) const {
+  if (overloaded()) return true;
+  if (shard < 0 || shard >= static_cast<int>(shard_slo_.size())) return false;
+  return shard_slo_[static_cast<std::size_t>(shard)]->budget_exhausted();
+}
+
+void ButterflyService::observe_latency(QueryKind kind, double us, int shard) {
   slo_.observe(kind, us);
+  if (shard >= 0 && shard < static_cast<int>(shard_slo_.size()))
+    shard_slo_[static_cast<std::size_t>(shard)]->observe(kind, us);
   const MutexLock lock(lat_mu_);
   lat_ring_[lat_next_] = us;
   lat_next_ = (lat_next_ + 1) % lat_ring_.size();
   if (lat_count_ < lat_ring_.size()) ++lat_count_;
+}
+
+void ButterflyService::note_degraded(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shard_degraded_.size())) return;
+  obs::Counter* c = shard_degraded_[static_cast<std::size_t>(shard)];
+  if (c != nullptr) c->increment();
+}
+
+void ButterflyService::publish_shard_gauge(int shard) {
+  if (shard < 0 || shard >= static_cast<int>(shard_hit_gauges_.size()))
+    return;
+  obs::Gauge* g = shard_hit_gauges_[static_cast<std::size_t>(shard)];
+  if (g != nullptr) g->set(cache_.hit_rate(shard));
 }
 
 double ButterflyService::latency_p95_us() const {
@@ -487,9 +1134,9 @@ double ButterflyService::latency_p95_us() const {
 }
 
 ButterflyService::TipVector ButterflyService::tips_for(
-    const SnapshotPtr& snap, bool v1_side, const CancelToken& cancel,
-    const obs::TraceContext& trace) {
-  const std::pair<std::uint64_t, bool> key{snap->epoch, v1_side};
+    int shard, const SnapshotPtr& snap, bool v1_side,
+    const CancelToken& cancel, const obs::TraceContext& trace) {
+  const TipKey key{shard, snap->epoch, v1_side};
   std::promise<TipVector> mine;
   std::shared_future<TipVector> pass;
   bool compute = false;
@@ -517,6 +1164,7 @@ ButterflyService::TipVector ButterflyService::tips_for(
     obs::Span kernel_span(
         trace, v1_side ? "svc.kernel.tip_v1" : "svc.kernel.tip_v2");
     kernel_span.tag("epoch", std::to_string(snap->epoch));
+    if (shards_ > 1) kernel_span.tag("shard", std::to_string(shard));
     try {
       // Checked builds can inject latency here to force deadline expiry
       // mid-pass (fault::Point::kSlowKernel, param = milliseconds).

@@ -16,6 +16,27 @@
 //                         concurrent and later requests block on (or read)
 //                         the same shared future instead of re-scanning.
 //
+// Sharded serving (ServiceOptions::shards > 1): the store becomes a
+// shard::ShardedSnapshotStore — the V1 side range-partitioned across N
+// independently-published shards — and the same three layers go per-shard:
+//
+//   - pinning       queries pin a ShardView (one snapshot per shard); a
+//                   Request may carry its own view, exactly as it may
+//                   carry a snapshot in single-shard mode;
+//   - routing       tip_v1 and edge_support route to the owning shard and
+//                   add the cross-shard correction (shard/scatter_gather);
+//                   global_count, tip_v2 and top_pairs scatter across all
+//                   shards and gather exact merged answers;
+//   - caching       the ResultCache runs shards + 1 tiers: tier k holds
+//                   shard-k components keyed by shard k's epoch (a publish
+//                   on shard j leaves them untouched), the last tier holds
+//                   composed answers keyed by the view signature;
+//   - coalescing    tip passes memoise per (shard, epoch, side); the
+//                   cross-shard aggregate memoises per view signature.
+//
+// With shards == 1 every path is the pre-sharding one: same cache keys,
+// same epochs, same persist format, byte-identical answers.
+//
 // Fault tolerance (the robustness layer on top):
 //
 //   - admission control   the query pool's queue is bounded
@@ -24,34 +45,40 @@
 //                         on the caller's thread instead of queueing;
 //   - deadlines           Request carries an optional Deadline; expired
 //                         tasks are abandoned at dequeue, and an in-flight
-//                         tip pass checks a CancelToken per row so it can
-//                         give up mid-scan;
+//                         tip or cross pass checks a CancelToken per row so
+//                         it can give up mid-scan;
 //   - degraded answers    every query resolves to QueryResult{value,
 //                         epoch, fidelity}: under overload (queue depth or
 //                         p95 latency past the configured thresholds) the
-//                         service walks a ladder — previous-epoch cached
-//                         answer (kStale), retained tip-pass memo
-//                         (kStale), sampled estimate via count::approx_tip
-//                         (kApprox) — and only throws OverloadError when
-//                         no rung produces a value.
+//                         service walks a ladder — previous-epoch (or
+//                         previous-view-generation) cached answer (kStale),
+//                         retained pass memos (kStale), sampled estimate
+//                         via count::approx_tip (kApprox) — and only throws
+//                         OverloadError when no rung produces a value.
+//                         Sharded mode keeps one SloTracker per shard, so
+//                         overload on one shard's traffic degrades only the
+//                         queries routed there.
 //
 // Everything is wired into the obs registry: svc.queries, svc.cache_hits /
 // svc.cache_misses / svc.cache_hit_rate, svc.tip_passes,
 // svc.coalesced_queries / svc.coalesced_batches, svc.queue_depth,
 // svc.epochs_published, svc.shed / svc.rejected / svc.deadline_expired,
 // svc.degraded / svc.stale_answers / svc.approx_fallbacks /
-// svc.inline_answers, and one latency histogram per query kind
-// (svc.latency_us.<kind>).
+// svc.inline_answers, one latency histogram per query kind
+// (svc.latency_us.<kind>), and — sharded — svc.scatter_queries plus the
+// per-shard family svc.shard.<k>.publishes / .cache_hit_rate / .degraded.
 //
 // Telemetry (obs/spans.hpp): when span collection is enabled, every query
 // runs under one "svc.query.<kind>" span — rooted fresh, or parented into
 // the Request's TraceContext — with child spans for the queue wait
-// (svc.queue, recorded by the Executor) and the coalesced kernel pass
-// (svc.kernel.tip_v1/v2). Tags record the decisions: cache=hit|miss,
-// outcome=exact|stale|approx|shed, rejected/cancelled flags, and the rung
-// the degrade ladder stopped at. SLO accounting (svc/slo.hpp) rides the
-// same latency stream: ServiceOptions::slo_target_us arms per-kind
-// objectives whose error-budget burn feeds overloaded().
+// (svc.queue, recorded by the Executor), the coalesced kernel pass
+// (svc.kernel.tip_v1/v2) and, sharded, the cross pass (svc.scatter /
+// svc.gather) and per-shard publishes (svc.shard.publish). Tags record the
+// decisions: cache=hit|miss, outcome=exact|stale|approx|shed,
+// rejected/cancelled flags, and the rung the degrade ladder stopped at.
+// SLO accounting (svc/slo.hpp) rides the same latency stream:
+// ServiceOptions::slo_target_us arms per-kind objectives whose
+// error-budget burn feeds overloaded().
 #pragma once
 
 #include <array>
@@ -62,12 +89,15 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <tuple>
 #include <utility>
 #include <vector>
 
 #include "util/sync.hpp"
 
 #include "count/top_pairs.hpp"
+#include "shard/scatter_gather.hpp"
+#include "shard/sharded_store.hpp"
 #include "svc/executor.hpp"
 #include "svc/request.hpp"
 #include "svc/result_cache.hpp"
@@ -75,12 +105,22 @@
 #include "svc/snapshot_store.hpp"
 #include "util/common.hpp"
 
+namespace bfc::obs {
+class Counter;
+class Gauge;
+}  // namespace bfc::obs
+
 namespace bfc::svc {
 
 struct ServiceOptions {
   int threads = 4;                     // query-pool workers
   std::size_t cache_capacity = 1 << 16;
   std::uint64_t memo_keep_epochs = 4;  // trailing epochs whose tip passes stay
+  // ---- sharding ----------------------------------------------------------
+  // Number of range-partitioned V1 shards. 1 (the default) is the classic
+  // single-store service; N > 1 turns on routed/scattered queries and lets
+  // writers on disjoint ranges publish concurrently (apply_updates_shard).
+  int shards = 1;
   // ---- robustness knobs --------------------------------------------------
   std::size_t max_queue = 0;  // bound on the admission queue; 0 = unbounded
   ShedPolicy shed_policy = ShedPolicy::kRejectNew;
@@ -106,18 +146,34 @@ class ButterflyService {
 
   // ---- writer side -------------------------------------------------------
 
-  /// Applies the batch and publishes the next epoch; drops cache entries
+  /// Applies the batch and publishes the next epoch(s); drops cache entries
   /// older than the just-retired epoch (which stays as the stale tier) and
-  /// retires tip-pass memos older than memo_keep_epochs.
+  /// retires tip-pass memos older than memo_keep_epochs. Sharded, the batch
+  /// is routed by V1 owner and each touched shard publishes independently;
+  /// the returned epoch is then the store's global version.
   PublishResult apply_updates(std::span<const EdgeUpdate> batch);
   PublishResult apply_updates(std::initializer_list<EdgeUpdate> batch) {
     return apply_updates(
         std::span<const EdgeUpdate>(batch.begin(), batch.end()));
   }
 
-  /// Crash-safe checkpoint of the latest published epoch (write-then-rename
-  /// via SnapshotStore::persist). Never blocks readers or the writer. A
-  /// persist failure triggers a flight-recorder dump before rethrowing.
+  /// Applies a batch wholly owned by shard k (every update's V1 endpoint in
+  /// that shard's range — the shard enforces it). THE concurrent-writer
+  /// entry point: writers on disjoint shards call this in parallel and
+  /// their publishes overlap in time; each invalidates only its own cache
+  /// tier. The returned epoch is shard k's new epoch.
+  PublishResult apply_updates_shard(int k, std::span<const EdgeUpdate> batch);
+  PublishResult apply_updates_shard(int k,
+                                    std::initializer_list<EdgeUpdate> batch) {
+    return apply_updates_shard(
+        k, std::span<const EdgeUpdate>(batch.begin(), batch.end()));
+  }
+
+  /// Crash-safe checkpoint of the latest published epoch(s)
+  /// (write-then-rename via SnapshotStore::persist; one file with a single
+  /// shard — the exact legacy format — or per-shard files plus a manifest).
+  /// Never blocks readers or writers. A persist failure triggers a
+  /// flight-recorder dump before rethrowing.
   void persist(const std::string& path) const;
 
   /// Warm restart from a persisted checkpoint: replaces the store's state
@@ -130,18 +186,30 @@ class ButterflyService {
 
   /// Pins the latest snapshot. Pass it to the query methods to run several
   /// queries against one consistent epoch; queries called with no snapshot
-  /// pin the latest themselves.
-  [[nodiscard]] SnapshotPtr snapshot() const { return store_.current(); }
+  /// pin the latest themselves. Sharded (shards > 1) this MATERIALISES the
+  /// union of the per-shard graphs at one pinned view — an O(edges) rebuild
+  /// plus one cross pass, for drift checks and offline use, not a per-query
+  /// pin; sharded queries pin views (see view()) instead and ignore
+  /// Request::snap.
+  [[nodiscard]] SnapshotPtr snapshot() const;
 
-  /// Ξ_G of the pinned epoch. O(1): maintained incrementally by the writer.
-  /// Never queued, never degraded.
+  /// Pins the latest per-shard snapshots into one ShardView (cheap: N
+  /// atomic loads). Pass it via Request to answer several sharded queries
+  /// against one frozen view. Single-shard services accept it too.
+  [[nodiscard]] shard::ShardViewPtr view() const { return store_.view(); }
+
+  /// Ξ_G of the pinned epoch. Single-shard: O(1), maintained incrementally
+  /// by the writer, never queued, never degraded. Sharded: Σ shard-local
+  /// counts plus the cross-shard correction — a real scatter query that
+  /// caches per view signature and can degrade like any other.
   [[nodiscard]] std::future<QueryResult<count_t>> global_count(
       Request req = {});
 
   /// Butterflies containing V1 vertex u (tip number). Coalesced: concurrent
-  /// same-epoch tip queries share one butterflies_per_v1 pass. Under
-  /// overload the answer may be kStale (previous epoch) or kApprox
-  /// (sampled); the fidelity tag says which.
+  /// same-epoch tip queries share one butterflies_per_v1 pass (per shard,
+  /// when sharded — plus one shared cross aggregate per view signature).
+  /// Under overload the answer may be kStale (previous epoch / view
+  /// generation) or kApprox (sampled); the fidelity tag says which.
   [[nodiscard]] std::future<QueryResult<count_t>> vertex_tip_v1(
       vidx_t u, Request req = {});
   [[nodiscard]] std::future<QueryResult<count_t>> vertex_tip_v2(
@@ -150,18 +218,31 @@ class ButterflyService {
   /// Butterflies containing edge (u, v); 0 when the edge is absent at the
   /// pinned epoch. O(Σ_{w∈N(v)} min(deg u, deg w)), no global pass — cheap
   /// enough that shedding answers it inline (exact) rather than degrading.
+  /// Sharded: owner-shard support plus the cross-shard term, still inline.
   [[nodiscard]] std::future<QueryResult<count_t>> edge_support(
       vidx_t u, vidx_t v, Request req = {});
 
   /// The k V1-pairs with the most wedges at the pinned epoch. Degrades to
-  /// the previous epoch's cached list; with no stale list the future
-  /// carries OverloadError.
+  /// the previous epoch's (or view generation's) cached list; with no stale
+  /// list the future carries OverloadError. Sharded: exact merge of
+  /// per-shard top-k lists and the cross-shard pairs.
   [[nodiscard]] std::future<QueryResult<TopPairsPtr>> top_pairs(
       std::size_t k, Request req = {});
 
   // ---- introspection -----------------------------------------------------
 
-  [[nodiscard]] const SnapshotStore& store() const noexcept { return store_; }
+  /// Shard 0's backing store — with one shard, exactly the pre-sharding
+  /// store (same epochs, same snapshots), keeping the legacy introspection
+  /// surface intact.
+  [[nodiscard]] const SnapshotStore& store() const noexcept {
+    return *store_.local_store(0);
+  }
+  /// The sharded store facade (layout, per-shard handles, global version).
+  [[nodiscard]] const shard::ShardedSnapshotStore& shard_store()
+      const noexcept {
+    return store_;
+  }
+  [[nodiscard]] int shard_count() const noexcept { return shards_; }
   [[nodiscard]] ResultCache& cache() noexcept { return cache_; }
   [[nodiscard]] const Executor& pool() const noexcept { return pool_; }
   [[nodiscard]] std::size_t queue_depth() const { return pool_.queue_depth(); }
@@ -174,49 +255,117 @@ class ButterflyService {
   /// depth, p95 latency, or an SLO error budget burning faster than its
   /// objective allows.
   [[nodiscard]] bool overloaded() const;
-  /// SLO accounting over the observed latency stream.
+  /// Shard-scoped overload: the global verdict OR shard k's own SLO budget
+  /// (tracked per shard when shards > 1, so one hot shard degrades only
+  /// the queries routed to it).
+  [[nodiscard]] bool overloaded(int shard) const;
+  /// SLO accounting over the observed latency stream (store-wide).
   [[nodiscard]] const SloTracker& slo() const noexcept { return slo_; }
+  /// Per-shard SLO accounting; valid for 0 <= k < shard_count() when
+  /// shards > 1 (with one shard the store-wide tracker is the only one).
+  [[nodiscard]] const SloTracker& shard_slo(int k) const {
+    return *shard_slo_.at(static_cast<std::size_t>(k));
+  }
 
   static constexpr std::size_t kLatencyWindow = 256;
 
  private:
   using TipVector = std::shared_ptr<const std::vector<count_t>>;
+  /// Tip memo key: (shard, epoch, v1_side). Single-shard keys are all
+  /// shard 0, preserving the legacy (epoch, side) behavior exactly.
+  using TipKey = std::tuple<int, std::uint64_t, bool>;
 
   std::future<QueryResult<count_t>> vertex_tip(vidx_t vertex, bool v1_side,
                                                Request req);
 
-  /// The coalescing point: returns the full tip vector for (snap->epoch,
-  /// side), computing it at most once per epoch and side. The token belongs
-  /// to the request that ends up computing; CancelledError propagates to
-  /// every coalesced waiter (each degrades independently). The computing
-  /// request's trace context parents the kernel span (svc.kernel.tip_*),
-  /// which closes tagged cancelled=true when the token fires mid-pass.
-  TipVector tips_for(const SnapshotPtr& snap, bool v1_side,
+  // ---- sharded query paths (shards_ > 1 only) ----------------------------
+  std::future<QueryResult<count_t>> sharded_global(Request req);
+  std::future<QueryResult<count_t>> sharded_tip(vidx_t vertex, bool v1_side,
+                                                Request req);
+  std::future<QueryResult<count_t>> sharded_edge(vidx_t u, vidx_t v,
+                                                 Request req);
+  std::future<QueryResult<TopPairsPtr>> sharded_top_pairs(std::size_t k,
+                                                          Request req);
+
+  /// The request's pinned view, else the latest.
+  [[nodiscard]] shard::ShardViewPtr resolve_view(Request& req) const {
+    return req.view ? std::move(req.view) : store_.view();
+  }
+  /// Index of the composed-answer cache tier (per-shard tiers are 0..S-1).
+  [[nodiscard]] std::int32_t view_tier() const noexcept { return shards_; }
+
+  /// Exact sharded support of edge (u, v): owner-shard formula (cached in
+  /// the owner's tier) plus the cross-shard term. 0 when the edge is
+  /// absent.
+  count_t sharded_support(const shard::ShardView& view, int owner, vidx_t u,
+                          vidx_t v);
+
+  /// Shard s's top-k list at the view's pinned epoch, from tier s or one
+  /// count::top_wedge_pairs_v1 pass.
+  TopPairsPtr shard_top_list(const shard::ShardView& view, int s,
+                             std::size_t k);
+
+  /// After a shard publish: roll the (cur, prev) view-generation pair and
+  /// prune the composed-answer tier down to those two signatures.
+  void refresh_view_generation();
+
+  /// Composed-answer probe at the PREVIOUS view generation — the kStale
+  /// rung of every sharded ladder. Empty when no older generation exists.
+  std::optional<QueryResult<count_t>> stale_view_scalar(QueryKind kind,
+                                                        std::int64_t a,
+                                                        std::int64_t b);
+  std::optional<QueryResult<TopPairsPtr>> stale_view_pairs(std::size_t k);
+
+  /// Sharded degradation ladder for a tip query: previous view
+  /// generation's composed answer, then (v1 side) a retained owner-shard
+  /// pass plus the freshest completed cross aggregate, then the sampled
+  /// estimator on the shard graph(s). `owner` is -1 for the scattered v2
+  /// side.
+  std::optional<QueryResult<count_t>> degraded_tip_sharded(
+      const shard::ShardViewPtr& view, vidx_t vertex, bool v1_side,
+      int owner);
+
+  /// The coalescing point: returns the full tip vector for (shard,
+  /// snap->epoch, side), computing it at most once per epoch and side. The
+  /// token belongs to the request that ends up computing; CancelledError
+  /// propagates to every coalesced waiter (each degrades independently).
+  /// The computing request's trace context parents the kernel span
+  /// (svc.kernel.tip_*), which closes tagged cancelled=true when the token
+  /// fires mid-pass.
+  TipVector tips_for(int shard, const SnapshotPtr& snap, bool v1_side,
                      const CancelToken& cancel,
                      const obs::TraceContext& trace = {});
 
-  /// Degradation ladder for a tip query: previous-epoch cache entry, then
-  /// a retained tip-pass memo from an earlier epoch, then the sampled
-  /// estimator on the requested snapshot. Engaged in practice — the approx
-  /// rung always produces — but optional so a future rung can refuse.
+  /// Degradation ladder for a single-shard tip query: previous-epoch cache
+  /// entry, then a retained tip-pass memo from an earlier epoch, then the
+  /// sampled estimator on the requested snapshot. Engaged in practice —
+  /// the approx rung always produces — but optional so a future rung can
+  /// refuse.
   std::optional<QueryResult<count_t>> degraded_tip(const SnapshotPtr& snap,
                                                    vidx_t vertex,
                                                    bool v1_side);
 
   /// Previous-epoch scalar cache probe (the kStale rung shared by tip and
-  /// edge-support queries).
+  /// edge-support queries, single-shard).
   std::optional<QueryResult<count_t>> stale_scalar(const SnapshotPtr& snap,
                                                    QueryKind kind,
                                                    std::int64_t a,
                                                    std::int64_t b);
 
-  /// Most recent completed tip pass for `side` strictly before
+  /// Most recent completed tip pass on `shard` for `side` strictly before
   /// `before_epoch`, if any memo survives.
   std::optional<std::pair<std::uint64_t, TipVector>> stale_tips(
-      std::uint64_t before_epoch, bool v1_side);
+      int shard, std::uint64_t before_epoch, bool v1_side);
 
-  /// Feeds the p95 ring and the SLO tracker with one completed request.
-  void observe_latency(QueryKind kind, double us);
+  /// Feeds the p95 ring and the SLO tracker(s) with one completed request;
+  /// a non-negative `shard` also feeds that shard's tracker.
+  void observe_latency(QueryKind kind, double us, int shard = -1);
+
+  /// Bumps svc.shard.<k>.degraded for a routed query's degrade (no-op for
+  /// scattered queries and with metrics off).
+  void note_degraded(int shard);
+  /// Publishes shard k's generation-scoped hit rate to its gauge.
+  void publish_shard_gauge(int shard);
 
   /// The request's own context when it carries one, else a fresh root when
   /// span collection is on and the head-based sampler picks this request,
@@ -233,15 +382,31 @@ class ButterflyService {
     bool has_joiner = false;  // became a coalesced batch already
   };
 
-  SnapshotStore store_;
+  int shards_;
+  shard::ShardedSnapshotStore store_;
   ResultCache cache_;
   std::uint64_t memo_keep_epochs_;
   std::size_t degrade_queue_depth_;
   double degrade_p95_us_;
   std::int64_t approx_samples_;
+  // Cross-shard correction memo, shared by const readers (snapshot()).
+  mutable shard::ScatterGather scatter_;
+  // Per-shard SLO trackers (empty with one shard); they never bind the
+  // global svc.slo.* instruments — slo_ owns those.
+  std::vector<std::unique_ptr<SloTracker>> shard_slo_;
+  // Bound at construction when metrics are on and shards > 1 (names are
+  // per-shard, so the literal-only BFC_* macros don't apply).
+  std::vector<obs::Gauge*> shard_hit_gauges_;    // svc.shard.<k>.cache_hit_rate
+  std::vector<obs::Counter*> shard_degraded_;    // svc.shard.<k>.degraded
+  // The (current, previous) view generations: composed answers cache under
+  // cur_sig_; prev_sig_ is the stale rung kept across one publish.
+  mutable Mutex view_mu_{"svc.service.view"};
+  std::uint64_t cur_sig_ BFC_GUARDED_BY(view_mu_) = 0;
+  std::uint64_t cur_version_ BFC_GUARDED_BY(view_mu_) = 0;
+  std::uint64_t prev_sig_ BFC_GUARDED_BY(view_mu_) = 0;
+  std::uint64_t prev_version_ BFC_GUARDED_BY(view_mu_) = 0;
   Mutex memo_mu_{"svc.service.memo"};
-  std::map<std::pair<std::uint64_t, bool>, TipPass> tip_memo_
-      BFC_GUARDED_BY(memo_mu_);
+  std::map<TipKey, TipPass> tip_memo_ BFC_GUARDED_BY(memo_mu_);
   mutable Mutex lat_mu_{"svc.service.latency"};
   std::array<double, kLatencyWindow> lat_ring_ BFC_GUARDED_BY(lat_mu_){};
   std::size_t lat_next_ BFC_GUARDED_BY(lat_mu_) = 0;

@@ -7,7 +7,7 @@
 namespace bfc::svc {
 
 SloTracker::SloTracker(std::array<SloPolicy, kQueryKinds> policies,
-                       std::size_t window)
+                       std::size_t window, bool bind_metrics)
     : policies_(policies), window_(window == 0 ? 1 : window) {
   for (std::size_t k = 0; k < kQueryKinds; ++k) {
     if (policies_[k].target_us <= 0.0) continue;
@@ -17,11 +17,13 @@ SloTracker::SloTracker(std::array<SloPolicy, kQueryKinds> policies,
       windows_[k].bad.assign(window_, false);
     }
     if constexpr (obs::kMetricsEnabled) {
-      const std::string suffix = kind_name(static_cast<QueryKind>(k));
-      auto& reg = obs::Registry::instance();
-      violation_counters_[k] = &reg.counter("svc.slo.violations." + suffix);
-      good_counters_[k] = &reg.counter("svc.slo.good." + suffix);
-      burn_gauges_[k] = &reg.gauge("svc.slo.burn_rate." + suffix);
+      if (bind_metrics) {
+        const std::string suffix = kind_name(static_cast<QueryKind>(k));
+        auto& reg = obs::Registry::instance();
+        violation_counters_[k] = &reg.counter("svc.slo.violations." + suffix);
+        good_counters_[k] = &reg.counter("svc.slo.good." + suffix);
+        burn_gauges_[k] = &reg.gauge("svc.slo.burn_rate." + suffix);
+      }
     }
   }
 }

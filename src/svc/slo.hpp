@@ -42,8 +42,13 @@ class SloTracker {
  public:
   static constexpr std::size_t kDefaultWindow = 256;
 
+  /// `bind_metrics` = false skips binding the svc.slo.* instruments — the
+  /// sharded service runs one tracker per shard, and only the store-wide
+  /// tracker may own the global gauges (per-shard trackers would fight
+  /// over them, each publish overwriting the others' burn rates).
   explicit SloTracker(std::array<SloPolicy, kQueryKinds> policies,
-                      std::size_t window = kDefaultWindow);
+                      std::size_t window = kDefaultWindow,
+                      bool bind_metrics = true);
 
   /// True when at least one kind carries a real objective.
   [[nodiscard]] bool enabled() const noexcept { return enabled_; }

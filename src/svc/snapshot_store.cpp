@@ -12,6 +12,7 @@
 #include "chk/validate.hpp"
 #include "graph/io_binary.hpp"
 #include "obs/metrics.hpp"
+#include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "sparse/ops.hpp"
 #include "svc/fault.hpp"
@@ -49,8 +50,8 @@ T read_pod(std::istream& in, const std::string& path, const char* what) {
 
 }  // namespace
 
-SnapshotStore::SnapshotStore(vidx_t n1, vidx_t n2)
-    : n1_(n1), n2_(n2), counter_(n1, n2) {
+SnapshotStore::SnapshotStore(vidx_t n1, vidx_t n2, int shard_id)
+    : n1_(n1), n2_(n2), shard_id_(shard_id), counter_(n1, n2) {
   auto genesis = std::make_shared<GraphSnapshot>();
   genesis->epoch = 0;
   genesis->graph = counter_.to_graph();
@@ -82,6 +83,14 @@ void SnapshotStore::head_store(SnapshotPtr snap) {
 
 PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
   BFC_TRACE_SCOPE("svc.publish");
+  // Shard-owned stores root every publish in its own trace (no head
+  // sampling: publishes are writer-side and rare, and the sharded bench's
+  // concurrency self-check needs to see every one). Standalone stores keep
+  // the span inert — identical behavior to the pre-shard code.
+  obs::TraceContext pub_ctx;
+  if (shard_id_ >= 0 && obs::SpanLog::enabled())
+    pub_ctx = obs::TraceContext::root();
+  obs::Span pub_span(pub_ctx, "svc.shard.publish");
   const MutexLock lock(writer_mu_);
 
   PublishResult result;
@@ -115,6 +124,10 @@ PublishResult SnapshotStore::apply_batch(std::span<const EdgeUpdate> batch) {
   }
 
   head_store(std::move(snap));
+  if (pub_span.armed()) {
+    pub_span.tag("shard", std::to_string(shard_id_));
+    pub_span.tag("epoch", std::to_string(result.epoch));
+  }
   BFC_COUNT_ADD("svc.epochs_published", 1);
   BFC_COUNT_ADD("svc.updates_applied", result.applied);
   return result;

@@ -39,8 +39,14 @@ struct PublishResult {
 
 class SnapshotStore {
  public:
-  /// Starts at epoch 0: the empty graph over fixed vertex sets.
-  SnapshotStore(vidx_t n1, vidx_t n2);
+  /// Starts at epoch 0: the empty graph over fixed vertex sets. A
+  /// non-negative `shard_id` marks this store as one shard of a
+  /// shard::ShardedSnapshotStore: every publish then runs under its own
+  /// "svc.shard.publish" root span tagged with the shard id, which is how
+  /// the serving bench proves that disjoint-range shard publishes overlap
+  /// in time instead of serialising. The default -1 keeps the standalone
+  /// single-store behavior bit-identical.
+  explicit SnapshotStore(vidx_t n1, vidx_t n2, int shard_id = -1);
 
   /// Applies the batch through the incremental counter, materialises the
   /// resulting graph, and publishes it as epoch current+1. Updates are
@@ -89,6 +95,7 @@ class SnapshotStore {
   // data race the annotations surfaced).
   std::atomic<vidx_t> n1_;
   std::atomic<vidx_t> n2_;
+  int shard_id_ = -1;  // >= 0 when owned by a ShardedSnapshotStore
   mutable Mutex writer_mu_{"svc.store.writer"};  // apply_batch/restore
   std::uint64_t next_epoch_ BFC_GUARDED_BY(writer_mu_) = 1;
   // Writer-side mutable state.

@@ -65,6 +65,30 @@ double Rng::uniform() noexcept {
 
 bool Rng::bernoulli(double p) noexcept { return uniform() < p; }
 
+Zipf::Zipf(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+  require(n >= 1, "Zipf: n must be >= 1");
+  require(theta > 0.0 && theta < 1.0, "Zipf: theta must be in (0, 1)");
+  zetan_ = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i)
+    zetan_ += std::pow(static_cast<double>(i), -theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  half_pow_ = std::pow(0.5, theta);
+  const double zeta2 = 1.0 + half_pow_;
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t Zipf::next(Rng& rng) const noexcept {
+  const double u = rng.uniform();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + half_pow_) return 1;
+  const auto rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;  // pow rounding can graze n
+}
+
 double Rng::normal() noexcept {
   if (has_cached_normal_) {
     has_cached_normal_ = false;

@@ -51,4 +51,32 @@ class Rng {
   bool has_cached_normal_ = false;
 };
 
+/// Zipf-distributed ranks over [0, n) with skew theta ∈ (0, 1) — the YCSB
+/// generator (Gray et al.'s rejection-free inversion): P(rank = i) ∝
+/// 1/(i+1)^theta, rank 0 hottest. Construction precomputes the harmonic
+/// normaliser in O(n); each draw is then O(1) — one uniform variate, two
+/// comparisons, one pow. With the serving bench's range partition, rank 0
+/// lands in shard 0, so skewed keys concentrate traffic on the low shards
+/// and the per-shard hit-rate spread becomes visible.
+class Zipf {
+ public:
+  /// n must be >= 1; theta must be in (0, 1) — 0 is uniform (just use
+  /// Rng::bounded), 1 diverges in this parameterisation.
+  Zipf(std::uint64_t n, double theta);
+
+  /// The next rank in [0, n), drawing uniforms from `rng`.
+  std::uint64_t next(Rng& rng) const noexcept;
+
+  [[nodiscard]] std::uint64_t n() const noexcept { return n_; }
+  [[nodiscard]] double theta() const noexcept { return theta_; }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;   // Σ_{i=1..n} i^-theta
+  double eta_;
+  double alpha_;   // 1 / (1 - theta)
+  double half_pow_;  // 0.5^theta
+};
+
 }  // namespace bfc

@@ -1,0 +1,415 @@
+// Tests for the sharded serving subsystem (src/shard/ + the service's
+// sharded paths): range-partition arithmetic, the scatter-gather cross
+// correction on known graphs, and the load-bearing property — for EVERY
+// query kind, a service running S shards answers byte-for-byte what the
+// single-store service answers, for S in {1, 2, 3, 7}, including vertices
+// on the partition boundaries. Plus per-shard cache-tier isolation and a
+// TSan-friendly concurrent disjoint-writers stress.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <barrier>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "count/local_counts.hpp"
+#include "count/top_pairs.hpp"
+#include "obs/metrics.hpp"
+#include "shard/partition.hpp"
+#include "shard/router.hpp"
+#include "shard/scatter_gather.hpp"
+#include "shard/sharded_store.hpp"
+#include "sparse/ops.hpp"
+#include "svc/service.hpp"
+#include "test_helpers.hpp"
+#include "util/rng.hpp"
+
+namespace bfc::svc {
+namespace {
+
+using bfc::testing::random_graph;
+
+std::vector<EdgeUpdate> inserts_of(const graph::BipartiteGraph& g) {
+  std::vector<EdgeUpdate> batch;
+  for (const auto& [u, v] : sparse::edges(g.csr()))
+    batch.push_back(EdgeUpdate::add(u, v));
+  return batch;
+}
+
+/// A mixed insert/delete update stream, reproducible per seed.
+std::vector<EdgeUpdate> random_updates(vidx_t n1, vidx_t n2, int count,
+                                       std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<EdgeUpdate> batch;
+  batch.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i)
+    batch.push_back({static_cast<vidx_t>(rng.bounded(
+                         static_cast<std::uint64_t>(n1))),
+                     static_cast<vidx_t>(rng.bounded(
+                         static_cast<std::uint64_t>(n2))),
+                     rng.bernoulli(0.8)});
+  return batch;
+}
+
+TEST(RangePartition, CoversRangeWithoutOverlap) {
+  for (const vidx_t n1 : {1, 2, 7, 16, 100}) {
+    for (const int shards : {1, 2, 3, 7}) {
+      if (shards > n1) continue;
+      const shard::RangePartition part(n1, shards);
+      EXPECT_EQ(part.begin(0), 0);
+      EXPECT_EQ(part.end(shards - 1), n1);
+      for (int k = 0; k + 1 < shards; ++k)
+        EXPECT_EQ(part.end(k), part.begin(k + 1));
+      for (vidx_t u = 0; u < n1; ++u) {
+        const int k = part.owner(u);
+        EXPECT_GE(u, part.begin(k));
+        EXPECT_LT(u, part.end(k));
+      }
+    }
+  }
+}
+
+TEST(ShardRouter, RoutesByKindAndBucketsByOwner) {
+  const shard::RangePartition part(10, 3);
+  const shard::ShardRouter router(part);
+  EXPECT_FALSE(shard::ShardRouter::scatters(QueryKind::kVertexTipV1));
+  EXPECT_FALSE(shard::ShardRouter::scatters(QueryKind::kEdgeSupport));
+  EXPECT_TRUE(shard::ShardRouter::scatters(QueryKind::kGlobalCount));
+  EXPECT_TRUE(shard::ShardRouter::scatters(QueryKind::kVertexTipV2));
+  EXPECT_TRUE(shard::ShardRouter::scatters(QueryKind::kTopPairs));
+
+  const std::vector<EdgeUpdate> batch = random_updates(10, 6, 50, 3);
+  const auto buckets = router.bucket(batch);
+  ASSERT_EQ(buckets.size(), 3u);
+  std::size_t total = 0;
+  for (int k = 0; k < 3; ++k) {
+    for (const EdgeUpdate& up : buckets[static_cast<std::size_t>(k)])
+      EXPECT_EQ(part.owner(up.u), k);
+    total += buckets[static_cast<std::size_t>(k)].size();
+  }
+  EXPECT_EQ(total, batch.size());
+}
+
+TEST(ScatterGather, SingleButterflyAcrossShards) {
+  // One butterfly with u=0 and u=1 in different shards: invisible to both
+  // shard-local kernels, fully reconstructed by the cross pass.
+  shard::ShardedSnapshotStore store(2, 2, 2);
+  (void)store.apply_batch({EdgeUpdate::add(0, 0), EdgeUpdate::add(0, 1),
+                           EdgeUpdate::add(1, 0), EdgeUpdate::add(1, 1)});
+  const shard::ShardViewPtr view = store.view();
+  EXPECT_EQ(view->local_butterflies(), 0);
+  const shard::CrossAggregate agg = shard::ScatterGather::compute(*view);
+  EXPECT_EQ(agg.butterflies, 1);
+  EXPECT_EQ(shard::ScatterGather::global_count(*view, agg), 1);
+  EXPECT_EQ(agg.tip_v1(0), 1);
+  EXPECT_EQ(agg.tip_v1(1), 1);
+  EXPECT_EQ(agg.tip_v2(0), 1);
+  EXPECT_EQ(agg.tip_v2(1), 1);
+  ASSERT_EQ(agg.pairs.size(), 1u);
+  EXPECT_EQ(agg.pairs[0].a, 0);
+  EXPECT_EQ(agg.pairs[0].b, 1);
+  EXPECT_EQ(agg.pairs[0].wedges, 2);
+  // Owner-local support is 0 (no same-shard mate); the cross term carries
+  // the whole butterfly for each of the 4 edges.
+  EXPECT_EQ(shard::ScatterGather::edge_support_cross(*view, 0, 0, 0), 1);
+  EXPECT_EQ(shard::ScatterGather::edge_support_cross(*view, 1, 1, 1), 1);
+}
+
+TEST(ScatterGather, MemoisesPerSignatureAndKeepsLatestTwo) {
+  shard::ShardedSnapshotStore store(6, 6, 2);
+  (void)store.apply_batch(inserts_of(random_graph(6, 6, 0.5, 11)));
+  shard::ScatterGather sg;
+  const shard::ShardViewPtr v1 = store.view();
+  const shard::CrossAggregatePtr a1 = sg.cross(v1);
+  EXPECT_EQ(a1.get(), sg.cross(v1).get()) << "same signature: same object";
+  ASSERT_TRUE(sg.cached(v1->signature).has_value());
+  ASSERT_TRUE(sg.latest_ready().has_value());
+  EXPECT_EQ(sg.latest_ready()->get(), a1.get());
+
+  (void)store.apply_to_shard(0, {EdgeUpdate::add(0, 5)});
+  const shard::ShardViewPtr v2 = store.view();
+  ASSERT_NE(v2->signature, v1->signature);
+  const shard::CrossAggregatePtr a2 = sg.cross(v2);
+  // Both generations are retained; a third evicts the oldest.
+  EXPECT_TRUE(sg.cached(v1->signature).has_value());
+  EXPECT_TRUE(sg.cached(v2->signature).has_value());
+  (void)store.apply_to_shard(1, {EdgeUpdate::add(3, 4)});
+  const shard::ShardViewPtr v3 = store.view();
+  (void)sg.cross(v3);
+  EXPECT_FALSE(sg.cached(v1->signature).has_value());
+  EXPECT_TRUE(sg.cached(v2->signature).has_value());
+  EXPECT_TRUE(sg.cached(v3->signature).has_value());
+  (void)a2;
+}
+
+// The tentpole invariant: every query kind, every vertex (boundaries
+// included), every shard count — identical answers to the single store.
+TEST(ShardParity, AllQueryKindsMatchSingleStore) {
+  constexpr vidx_t kN1 = 21;  // not divisible by 2, 3 or 7: real remainders
+  constexpr vidx_t kN2 = 15;
+  ButterflyService reference(kN1, kN2, {.threads = 2});
+  // Reference state after 3 mixed batches.
+  for (int b = 0; b < 3; ++b)
+    reference.apply_updates(random_updates(kN1, kN2, 120, 100 + b));
+  const SnapshotPtr ref_snap = reference.snapshot();
+  const std::vector<count_t> ref_tips_v1 =
+      count::butterflies_per_v1(ref_snap->graph);
+  const std::vector<count_t> ref_tips_v2 =
+      count::butterflies_per_v2(ref_snap->graph);
+  const auto ref_edges = sparse::edges(ref_snap->graph.csr());
+  const std::vector<count_t> ref_support =
+      count::support_per_edge(ref_snap->graph);
+  const std::vector<count::VertexPair> ref_top =
+      count::top_wedge_pairs_v1(ref_snap->graph, 8);
+
+  for (const int shards : {1, 2, 3, 7}) {
+    SCOPED_TRACE("shards=" + std::to_string(shards));
+    ButterflyService service(kN1, kN2, {.threads = 2, .shards = shards});
+    for (int b = 0; b < 3; ++b)
+      service.apply_updates(random_updates(kN1, kN2, 120, 100 + b));
+
+    // Global count: zero drift vs the single store.
+    const QueryResult<count_t> global = service.global_count().get();
+    EXPECT_EQ(global.value, ref_snap->butterflies);
+    EXPECT_FALSE(global.degraded());
+    // The materialised union snapshot agrees edge-for-edge.
+    const SnapshotPtr snap = service.snapshot();
+    EXPECT_EQ(snap->edges, ref_snap->edges);
+    EXPECT_EQ(snap->butterflies, ref_snap->butterflies);
+
+    // Every tip, both sides — vertex 0, the boundary vertices of every
+    // shard, and everything between are all in range.
+    for (vidx_t u = 0; u < kN1; ++u) {
+      const QueryResult<count_t> r = service.vertex_tip_v1(u).get();
+      EXPECT_EQ(r.value, ref_tips_v1[static_cast<std::size_t>(u)])
+          << "tip_v1(" << u << ")";
+      EXPECT_FALSE(r.degraded());
+    }
+    for (vidx_t v = 0; v < kN2; ++v) {
+      const QueryResult<count_t> r = service.vertex_tip_v2(v).get();
+      EXPECT_EQ(r.value, ref_tips_v2[static_cast<std::size_t>(v)])
+          << "tip_v2(" << v << ")";
+      EXPECT_FALSE(r.degraded());
+    }
+
+    // Support of every present edge, plus absent-edge zeros.
+    for (std::size_t e = 0; e < ref_edges.size(); ++e) {
+      const auto [u, v] = ref_edges[e];
+      EXPECT_EQ(service.edge_support(u, v).get().value, ref_support[e])
+          << "support(" << u << "," << v << ")";
+    }
+    for (vidx_t u = 0; u < kN1; u += 5)
+      for (vidx_t v = 0; v < kN2; v += 4)
+        if (!ref_snap->graph.has_edge(u, v))
+          EXPECT_EQ(service.edge_support(u, v).get().value, 0);
+
+    // Top pairs: identical ranked list.
+    const QueryResult<TopPairsPtr> top = service.top_pairs(8).get();
+    ASSERT_EQ(top.value->size(), ref_top.size());
+    for (std::size_t i = 0; i < ref_top.size(); ++i) {
+      EXPECT_EQ((*top.value)[i].a, ref_top[i].a);
+      EXPECT_EQ((*top.value)[i].b, ref_top[i].b);
+      EXPECT_EQ((*top.value)[i].wedges, ref_top[i].wedges);
+    }
+  }
+}
+
+TEST(ShardParity, PinnedViewIsolatesFromLaterPublishes) {
+  ButterflyService service(12, 10, {.threads = 2, .shards = 3});
+  service.apply_updates(inserts_of(random_graph(12, 10, 0.4, 21)));
+  const shard::ShardViewPtr pinned = service.view();
+  const count_t before = service.global_count(pinned).get().value;
+
+  service.apply_updates_shard(
+      0, {EdgeUpdate::add(0, 9), EdgeUpdate::add(1, 9),
+          EdgeUpdate::add(2, 9)});
+  // The pinned view still answers the old state; a fresh query sees the new.
+  EXPECT_EQ(service.global_count(pinned).get().value, before);
+  const SnapshotPtr now = service.snapshot();
+  EXPECT_EQ(service.global_count().get().value, now->butterflies);
+}
+
+TEST(ShardParity, ShardScopedApplyEnforcesOwnership) {
+  ButterflyService service(12, 10, {.threads = 1, .shards = 3});
+  // Vertex 11 is owned by the last shard, not shard 0.
+  EXPECT_THROW(service.apply_updates_shard(0, {EdgeUpdate::add(11, 0)}),
+               std::invalid_argument);
+  EXPECT_THROW(service.apply_updates_shard(3, {EdgeUpdate::add(0, 0)}),
+               std::invalid_argument);
+  EXPECT_THROW(service.apply_updates_shard(-1, {EdgeUpdate::add(0, 0)}),
+               std::invalid_argument);
+}
+
+TEST(ShardParity, PersistRestoreRoundTripSharded) {
+  const std::string path = ::testing::TempDir() + "bfc_shard_ckpt.bin";
+  ButterflyService service(14, 9, {.threads = 1, .shards = 3});
+  service.apply_updates(random_updates(14, 9, 80, 31));
+  const count_t count = service.global_count().get().value;
+  const offset_t edges = service.snapshot()->edges;
+  service.persist(path);
+
+  ButterflyService fresh(14, 9, {.threads = 1, .shards = 3});
+  fresh.restore(path);
+  EXPECT_EQ(fresh.global_count().get().value, count);
+  EXPECT_EQ(fresh.snapshot()->edges, edges);
+  // Post-restore queries answer exactly (no stale generation survives).
+  const SnapshotPtr snap = fresh.snapshot();
+  const std::vector<count_t> tips = count::butterflies_per_v1(snap->graph);
+  for (vidx_t u = 0; u < 14; ++u)
+    EXPECT_EQ(fresh.vertex_tip_v1(u).get().value,
+              tips[static_cast<std::size_t>(u)]);
+  std::remove(path.c_str());
+}
+
+// Satellite regression: a publish on shard k must reset ONLY tier k's
+// hit/miss generation; the other shards' streaks and the composed tier's
+// entries for the current/previous generations survive.
+TEST(ResultCacheTiers, ShardPublishResetsOnlyItsTier) {
+  ButterflyService service(12, 10, {.threads = 1, .shards = 2});
+  service.apply_updates(inserts_of(random_graph(12, 10, 0.5, 41)));
+
+  // Warm shard 1's tier: edge-support local components cache under the
+  // owner tier; pick an edge owned by shard 1 (u in the upper range).
+  const SnapshotPtr shard1 = service.shard_store().shard_snapshot(1);
+  vidx_t u1 = -1, v1 = -1;
+  for (const auto& [u, v] : sparse::edges(shard1->graph.csr())) {
+    u1 = u;
+    v1 = v;
+    break;
+  }
+  ASSERT_GE(u1, 0) << "test premise: shard 1 owns at least one edge";
+  (void)service.edge_support(u1, v1).get();  // miss + put (tier 1)
+  (void)service.edge_support(u1, v1).get();  // view-tier hit
+  const std::int64_t tier1_hits = service.cache().hits(1);
+  const std::int64_t tier1_misses = service.cache().misses(1);
+  EXPECT_GT(tier1_misses, 0);
+
+  // Publish on shard 0 only.
+  service.apply_updates_shard(0, {EdgeUpdate::add(0, 0), EdgeUpdate::add(1, 1)});
+
+  // Tier 0's generation reset; tier 1's streak is untouched.
+  EXPECT_EQ(service.cache().hits(0), 0);
+  EXPECT_EQ(service.cache().misses(0), 0);
+  EXPECT_EQ(service.cache().hits(1), tier1_hits);
+  EXPECT_EQ(service.cache().misses(1), tier1_misses);
+
+  // And the shard-1 local component is still served from cache: the next
+  // support query at the NEW view signature misses the composed tier but
+  // hits tier 1.
+  const std::int64_t before = service.cache().hits(1);
+  (void)service.edge_support(u1, v1).get();
+  EXPECT_GT(service.cache().hits(1), before);
+}
+
+TEST(ResultCacheTiers, TierScopedInvalidationKeepsOtherTiers) {
+  ResultCache cache(64, 3);
+  cache.put(CacheKey{5, QueryKind::kVertexTipV1, 1, 0, 0}, count_t{10});
+  cache.put(CacheKey{7, QueryKind::kVertexTipV1, 2, 0, 1}, count_t{20});
+  cache.put(CacheKey{9, QueryKind::kVertexTipV1, 3, 0, 2}, count_t{30});
+  (void)cache.get(CacheKey{7, QueryKind::kVertexTipV1, 2, 0, 1});  // tier-1 hit
+  ASSERT_EQ(cache.hits(1), 1);
+
+  cache.invalidate_tier_older_than(0, 6);
+  EXPECT_FALSE(
+      cache.get(CacheKey{5, QueryKind::kVertexTipV1, 1, 0, 0}).has_value());
+  // Tier 1's entry AND its previous hit streak survive (the get above adds
+  // one more hit on top of the pre-invalidation one).
+  EXPECT_TRUE(
+      cache.get(CacheKey{7, QueryKind::kVertexTipV1, 2, 0, 1}).has_value());
+  EXPECT_EQ(cache.hits(1), 2);
+  EXPECT_TRUE(
+      cache.get(CacheKey{9, QueryKind::kVertexTipV1, 3, 0, 2}).has_value());
+
+  // Keep-list pruning: retain only epoch 9 in tier 2.
+  cache.put(CacheKey{8, QueryKind::kGlobalCount, 0, 0, 2}, count_t{1});
+  const std::uint64_t keep[] = {9};
+  cache.invalidate_tier_keep(2, keep);
+  EXPECT_FALSE(
+      cache.get(CacheKey{8, QueryKind::kGlobalCount, 0, 0, 2}).has_value());
+  EXPECT_TRUE(
+      cache.get(CacheKey{9, QueryKind::kVertexTipV1, 3, 0, 2}).has_value());
+}
+
+// Concurrent disjoint-range writers vs readers: one writer per shard
+// publishing its own range in rounds, readers hammering every query kind
+// mid-flight. Run under TSan this is the data-race certificate for the
+// lock-free shard-map swap + per-shard publish locks; in any mode the final
+// state must match a sequential per-shard replay into one store.
+TEST(ShardStress, ConcurrentDisjointWritersMatchSequentialReplay) {
+  constexpr vidx_t kN1 = 24;
+  constexpr vidx_t kN2 = 12;
+  constexpr int kShards = 3;
+  constexpr int kRounds = 8;
+  constexpr int kPerRound = 15;
+  ButterflyService service(kN1, kN2, {.threads = 2, .shards = kShards});
+  const shard::RangePartition& part = service.shard_store().partition();
+
+  // Pre-generate each writer's per-round batches so the replay is exact.
+  std::vector<std::vector<std::vector<EdgeUpdate>>> script(kShards);
+  for (int k = 0; k < kShards; ++k) {
+    Rng rng(900 + static_cast<std::uint64_t>(k));
+    script[static_cast<std::size_t>(k)].resize(kRounds);
+    for (int r = 0; r < kRounds; ++r) {
+      auto& batch = script[static_cast<std::size_t>(k)][
+          static_cast<std::size_t>(r)];
+      for (int i = 0; i < kPerRound; ++i) {
+        const auto lo = static_cast<std::uint64_t>(part.begin(k));
+        const auto hi = static_cast<std::uint64_t>(part.end(k));
+        batch.push_back({static_cast<vidx_t>(lo + rng.bounded(hi - lo)),
+                         static_cast<vidx_t>(rng.bounded(kN2)),
+                         rng.bernoulli(0.75)});
+      }
+    }
+  }
+
+  std::barrier sync(kShards);
+  std::atomic<bool> readers_run{true};
+  std::vector<std::thread> writers;
+  writers.reserve(kShards);
+  for (int k = 0; k < kShards; ++k)
+    writers.emplace_back([&, k] {
+      for (int r = 0; r < kRounds; ++r) {
+        sync.arrive_and_wait();  // keep the publishes genuinely concurrent
+        (void)service.apply_updates_shard(
+            k, script[static_cast<std::size_t>(k)][
+                   static_cast<std::size_t>(r)]);
+      }
+    });
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 2; ++t)
+    readers.emplace_back([&, t] {
+      Rng rng(77 + static_cast<std::uint64_t>(t));
+      while (readers_run.load(std::memory_order_relaxed)) {
+        const shard::ShardViewPtr view = service.view();
+        const auto u = static_cast<vidx_t>(rng.bounded(kN1));
+        const auto v = static_cast<vidx_t>(rng.bounded(kN2));
+        ASSERT_GE(service.global_count(view).get().value, 0);
+        ASSERT_GE(service.vertex_tip_v1(u, view).get().value, 0);
+        ASSERT_GE(service.vertex_tip_v2(v, view).get().value, 0);
+        ASSERT_GE(service.edge_support(u, v, view).get().value, 0);
+      }
+    });
+  for (auto& w : writers) w.join();
+  readers_run.store(false, std::memory_order_relaxed);
+  for (auto& r : readers) r.join();
+
+  // Sequential replay: per-shard order is the only order that matters for
+  // the final counts (disjoint ranges commute).
+  ButterflyService replay(kN1, kN2, {.threads = 1});
+  for (int k = 0; k < kShards; ++k)
+    for (int r = 0; r < kRounds; ++r)
+      replay.apply_updates(script[static_cast<std::size_t>(k)][
+          static_cast<std::size_t>(r)]);
+  const SnapshotPtr expect = replay.snapshot();
+  const SnapshotPtr got = service.snapshot();
+  EXPECT_EQ(got->edges, expect->edges);
+  EXPECT_EQ(got->butterflies, expect->butterflies) << "count drift";
+  const std::vector<count_t> tips = count::butterflies_per_v1(expect->graph);
+  for (vidx_t u = 0; u < kN1; ++u)
+    EXPECT_EQ(service.vertex_tip_v1(u).get().value,
+              tips[static_cast<std::size_t>(u)]);
+}
+
+}  // namespace
+}  // namespace bfc::svc
