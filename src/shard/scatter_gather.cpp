@@ -127,7 +127,19 @@ CrossAggregatePtr ScatterGather::cross(const ShardViewPtr& view,
     if (!fut.valid()) {
       fut = mine.get_future().share();
       memo_.push_back(MemoEntry{sig, fut});
-      if (memo_.size() > 2) memo_.erase(memo_.begin());
+      if (memo_.size() > 2) {
+        // Evict the oldest COMPLETED entry only. An in-flight compute keeps
+        // its slot so late callers for its signature still coalesce instead
+        // of launching a duplicate pass; the memo may transiently exceed
+        // two entries while several signatures are in flight at once.
+        for (auto it = memo_.begin(); it != memo_.end(); ++it) {
+          if (it->result.wait_for(std::chrono::seconds(0)) ==
+              std::future_status::ready) {
+            memo_.erase(it);
+            break;
+          }
+        }
+      }
       computer = true;
     }
   }
@@ -150,6 +162,14 @@ CrossAggregatePtr ScatterGather::cross(const ShardViewPtr& view,
     }
   }
   return fut.get();
+}
+
+void ScatterGather::clear() {
+  // Dropping an in-flight entry is safe: the computing thread holds its own
+  // promise/future and its failure-path erase-by-signature simply finds
+  // nothing; already-coalesced waiters still get that compute's outcome.
+  const MutexLock lock(mu_);
+  memo_.clear();
 }
 
 std::optional<CrossAggregatePtr> ScatterGather::cached(

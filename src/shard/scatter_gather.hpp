@@ -82,11 +82,17 @@ class ScatterGather {
   /// The cross aggregate for `view`, computed at most once per signature
   /// (concurrent callers coalesce onto one shared future; the computing
   /// caller's token cancels for everyone, and CancelledError propagates to
-  /// every waiter). Keeps the latest two signatures; older aggregates are
-  /// dropped.
+  /// every waiter). Keeps the latest two completed signatures; older
+  /// completed aggregates are dropped (in-flight ones are never evicted).
   CrossAggregatePtr cross(const ShardViewPtr& view,
                           const CancelToken& cancel = {},
                           const obs::TraceContext& trace = {});
+
+  /// Drops every memo entry. Required after a store restore: signatures
+  /// hash per-shard epochs only, and restore rewinds the epoch sequences,
+  /// so a retained aggregate could collide with a future view of different
+  /// content.
+  void clear();
 
   /// Memo probe without computing — the stale rung of the degrade ladder.
   [[nodiscard]] std::optional<CrossAggregatePtr> cached(
@@ -124,7 +130,9 @@ class ScatterGather {
   };
 
   mutable Mutex mu_{"shard.scatter.memo"};
-  std::vector<MemoEntry> memo_ BFC_GUARDED_BY(mu_);  // newest last, ≤ 2
+  // Newest last; ≤ 2 completed entries (in-flight computes are never
+  // evicted, so the vector may transiently run longer under churn).
+  std::vector<MemoEntry> memo_ BFC_GUARDED_BY(mu_);
 };
 
 }  // namespace bfc::shard

@@ -190,7 +190,9 @@ void ShardedSnapshotStore::restore(const std::string& path) {
     // Restore into a FRESH full-range shard and only then swap the map, so
     // a corrupt file leaves this store untouched — and so the restored
     // dimensions (which a legacy checkpoint is free to change) rebuild the
-    // partition instead of fighting it.
+    // partition instead of fighting it. The layout rewrite below leans on
+    // restore()'s documented full exclusivity: no concurrent writers AND no
+    // concurrent partition()/ShardRouter readers (see header).
     auto reborn =
         std::make_shared<LocalShard>(0, n1(), n2(), vidx_t{0}, n1());
     reborn->restore(path);  // throws on any corruption, nothing changed yet

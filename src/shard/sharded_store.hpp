@@ -86,14 +86,24 @@ class ShardedSnapshotStore {
     return version_.load(std::memory_order_relaxed);
   }
 
-  // ---- checkpointing (writer-exclusive, like SnapshotStore::restore) -----
+  // ---- checkpointing ----------------------------------------------------
 
   void persist(const std::string& path) const;
+  /// Warm-start from a checkpoint. Like SnapshotStore::restore this demands
+  /// writer exclusivity — and, in the single-shard case, reader exclusivity
+  /// for the LAYOUT accessors too: a legacy checkpoint may change the
+  /// dimensions, so restore() rebuilds part_ and rewrites n1_/n2_, and a
+  /// concurrent partition()/ShardRouter user would race on the rebuild.
+  /// n1()/n2() stay individually tear-free (atomic, SnapshotStore idiom)
+  /// but readers needing dimensions coherent with a graph must take them
+  /// from a pinned view, never from here across a restore.
   void restore(const std::string& path);
 
   // ---- layout ------------------------------------------------------------
 
   [[nodiscard]] int shard_count() const noexcept { return part_.shards(); }
+  /// The live partition, lock-free. Must not be called concurrently with a
+  /// single-shard restore(), which may rebuild it — see restore().
   [[nodiscard]] const RangePartition& partition() const noexcept {
     return part_;
   }
@@ -126,7 +136,9 @@ class ShardedSnapshotStore {
   [[nodiscard]] ShardMapPtr map_load() const;
   void map_store(ShardMapPtr map);
 
-  RangePartition part_;  // rebuilt only by single-shard restore (exclusive)
+  // Rebuilt only by single-shard restore(), which the contract makes fully
+  // exclusive (no concurrent partition() readers) — see restore().
+  RangePartition part_;
   std::atomic<vidx_t> n1_;
   std::atomic<vidx_t> n2_;
   std::atomic<std::uint64_t> version_{0};

@@ -233,8 +233,12 @@ void ButterflyService::restore(const std::string& path) {
   obs::FlightRecorder::record("restore", path.c_str(),
                               static_cast<std::int64_t>(store_.epoch()));
   // The epoch sequence restarted: every cached/memoised answer is keyed by
-  // epochs that no longer mean anything.
+  // epochs that no longer mean anything. That includes the cross-aggregate
+  // memo — its view signatures hash per-shard epochs, so a post-restore
+  // update stream could re-reach a memoised epoch vector with different
+  // graph content and serve a pre-restore aggregate as kExact.
   cache_.invalidate_all();
+  scatter_.clear();
   {
     const MutexLock lock(memo_mu_);
     tip_memo_.clear();

@@ -233,9 +233,14 @@ class ButterflyService {
 
   /// Shard 0's backing store — with one shard, exactly the pre-sharding
   /// store (same epochs, same snapshots), keeping the legacy introspection
-  /// surface intact.
-  [[nodiscard]] const SnapshotStore& store() const noexcept {
-    return *store_.local_store(0);
+  /// surface intact. Throws std::invalid_argument if slot 0 was swapped to
+  /// a non-local handle (swap_shard); use shard_store() for those layouts.
+  [[nodiscard]] const SnapshotStore& store() const {
+    const SnapshotStore* local = store_.local_store(0);
+    require(local != nullptr,
+            "ButterflyService::store: shard 0 is not a LocalShard (swapped "
+            "handle) — use shard_store()");
+    return *local;
   }
   /// The sharded store facade (layout, per-shard handles, global version).
   [[nodiscard]] const shard::ShardedSnapshotStore& shard_store()

@@ -262,6 +262,78 @@ TEST(ShardParity, PersistRestoreRoundTripSharded) {
   std::remove(path.c_str());
 }
 
+// Review regression: restore() must drop the cross-aggregate memo. View
+// signatures hash per-shard epochs only, so after a restore rewinds the
+// epoch sequences, a different post-restore update stream can re-reach a
+// memoised epoch vector — the retained aggregate would then be served as
+// kExact for different graph content.
+TEST(ShardParity, RestoreClearsCrossAggregateMemo) {
+  const std::string path = ::testing::TempDir() + "bfc_shard_memo_ckpt.bin";
+  ButterflyService service(8, 6, {.threads = 1, .shards = 2});
+  // Base state touching both shards, no butterflies: epochs (1, 1).
+  service.apply_updates({EdgeUpdate::add(2, 0), EdgeUpdate::add(6, 5)});
+  service.persist(path);
+
+  // One cross-shard butterfly (pair 0/4, wedge count 2): epochs (2, 2);
+  // answering memoises the cross aggregate at this signature.
+  service.apply_updates({EdgeUpdate::add(0, 0), EdgeUpdate::add(0, 1),
+                         EdgeUpdate::add(4, 0), EdgeUpdate::add(4, 1)});
+  EXPECT_EQ(service.global_count().get().value, 1);
+
+  // Rewind to epochs (1, 1), then re-reach epochs (2, 2) with DIFFERENT
+  // content: pair 1/5 with wedge count 3 → C(3, 2) = 3 cross butterflies.
+  service.restore(path);
+  service.apply_updates({EdgeUpdate::add(1, 2), EdgeUpdate::add(1, 3),
+                         EdgeUpdate::add(1, 4), EdgeUpdate::add(5, 2),
+                         EdgeUpdate::add(5, 3), EdgeUpdate::add(5, 4)});
+  const QueryResult<count_t> after = service.global_count().get();
+  EXPECT_EQ(after.value, 3);
+  EXPECT_FALSE(after.degraded());
+  for (const char* suffix : {"", ".shard0", ".shard1"})
+    std::remove((path + suffix).c_str());
+}
+
+/// A ShardHandle that is NOT a LocalShard — the shape a future out-of-process
+/// shard takes at the swap_shard() seam. Delegates to an inner LocalShard so
+/// the data path still works; only the concrete type differs.
+class OpaqueShard final : public shard::ShardHandle {
+ public:
+  OpaqueShard(int id, vidx_t n1, vidx_t n2, vidx_t lo, vidx_t hi)
+      : inner_(id, n1, n2, lo, hi) {}
+  PublishResult apply(std::span<const EdgeUpdate> batch) override {
+    return inner_.apply(batch);
+  }
+  [[nodiscard]] SnapshotPtr pin() const override { return inner_.pin(); }
+  [[nodiscard]] std::uint64_t epoch() const override { return inner_.epoch(); }
+  void persist(const std::string& path) const override {
+    inner_.persist(path);
+  }
+  void restore(const std::string& path) override { inner_.restore(path); }
+  [[nodiscard]] int id() const noexcept override { return inner_.id(); }
+  [[nodiscard]] vidx_t range_begin() const noexcept override {
+    return inner_.range_begin();
+  }
+  [[nodiscard]] vidx_t range_end() const noexcept override {
+    return inner_.range_end();
+  }
+
+ private:
+  shard::LocalShard inner_;
+};
+
+// Review regression: local_store() must report a swapped-in non-local
+// handle as null (a diagnosable state) rather than leaving callers to
+// dereference it, and the handle seam must still carry the data path.
+TEST(ShardedStore, LocalStoreIsNullForSwappedHandle) {
+  shard::ShardedSnapshotStore store(8, 4, 2);
+  ASSERT_NE(store.local_store(0), nullptr);
+  store.swap_shard(0, std::make_shared<OpaqueShard>(0, 8, 4, 0, 4));
+  EXPECT_EQ(store.local_store(0), nullptr);
+  EXPECT_NE(store.local_store(1), nullptr);
+  (void)store.apply_to_shard(0, {EdgeUpdate::add(0, 0)});
+  EXPECT_EQ(store.shard_snapshot(0)->edges, 1);
+}
+
 // Satellite regression: a publish on shard k must reset ONLY tier k's
 // hit/miss generation; the other shards' streaks and the composed tier's
 // entries for the current/previous generations survive.
