@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_common.hpp"
+#include "chk/checked_math.hpp"
 #include "gen/generators.hpp"
 #include "peel/decompose.hpp"
 #include "peel/peeling.hpp"
@@ -40,7 +41,8 @@ int main(int argc, char** argv) {
   Table table({"k", "tip LA rounds", "tip LA s", "tip |E|", "wing LA rounds",
                "wing LA s", "wing |E|"});
 
-  for (count_t k = 1; k <= std::max<count_t>(tips.max_tip, 1); k *= 4) {
+  for (count_t k = 1; k <= std::max<count_t>(tips.max_tip, 1);
+       k = chk::checked_mul(k, 4)) {
     Timer t_tip;
     const peel::TipPeelResult tip = peel::k_tip(g, k);
     const double tip_secs = t_tip.seconds();

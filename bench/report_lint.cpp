@@ -4,6 +4,12 @@
 //   report_lint --trace       out.json  check a chrome://tracing file
 //   report_lint --openmetrics out.txt   check an OpenMetrics text dump
 //                                       (--metrics-file / /metrics output)
+//   ... --families tools/analyze/metrics.registry
+//                                       additionally require every svc_/obs_/
+//                                       chk_ family in the dump to map back
+//                                       to a `metric` entry in the registry
+//                                       bfc-analyze enforces on source
+//                                       literals — one contract, one file
 //
 // Exits 0 when the file parses and has the documented shape, 1 with a
 // diagnostic otherwise. The `validate-report` and `telemetry-smoke` ctests
@@ -20,6 +26,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "registry.hpp"  // tools/analyze: the shared telemetry-name registry
 #include "util/cli.hpp"
 
 namespace {
@@ -148,7 +155,63 @@ double parse_double(const std::string& s, const std::string& what) {
   }
 }
 
-void lint_openmetrics(const std::string& path) {
+// An OpenMetrics family name is the registry metric name mangled to the
+// legal charset ('.' -> '_'), with `<seg>` placeholders standing for one or
+// more name characters (the mangling erases segment boundaries, so a
+// placeholder may legitimately swallow several underscores: svc.latency_us.
+// <kind> covers svc_latency_us_tip_v1).
+bool family_matches_entry(const std::string& family, const std::string& entry,
+                          std::size_t fi = 0, std::size_t ei = 0) {
+  while (ei < entry.size()) {
+    if (entry[ei] == '<') {
+      const std::size_t close = entry.find('>', ei);
+      check(close != std::string::npos,
+            "registry entry '" + entry + "': unterminated placeholder");
+      // wildcard: try every non-empty tail consumption
+      for (std::size_t take = 1; fi + take <= family.size(); ++take)
+        if (family_matches_entry(family, entry, fi + take, close + 1))
+          return true;
+      return false;
+    }
+    const char want = entry[ei] == '.' ? '_' : entry[ei];
+    if (fi >= family.size() || family[fi] != want) return false;
+    ++fi;
+    ++ei;
+  }
+  return fi == family.size();
+}
+
+void check_families_against_registry(
+    const std::map<std::string, Family>& families,
+    const std::string& registry_path) {
+  const bfc::analyze::Registry registry =
+      bfc::analyze::Registry::load(registry_path);
+  std::vector<std::string> metric_entries;
+  for (const auto& e : registry.entries)
+    if (e.kind == "metric") metric_entries.push_back(e.name);
+  check(!metric_entries.empty(),
+        "registry " + registry_path + " declares no metric entries");
+  std::size_t checked = 0;
+  for (const auto& [name, fam] : families) {
+    (void)fam;
+    if (name.rfind("svc_", 0) != 0 && name.rfind("obs_", 0) != 0 &&
+        name.rfind("chk_", 0) != 0)
+      continue;
+    ++checked;
+    const bool known = std::any_of(
+        metric_entries.begin(), metric_entries.end(),
+        [&](const std::string& e) { return family_matches_entry(name, e); });
+    check(known, "family '" + name + "' maps to no metric entry in " +
+                     registry_path +
+                     " (bfc-analyze keeps source literals in sync with that "
+                     "file; add the family there and to docs/telemetry.md)");
+  }
+  std::cout << "openmetrics families ok: " << checked
+            << " namespaced families covered by " << registry_path << "\n";
+}
+
+void lint_openmetrics(const std::string& path,
+                      const std::string& families_registry) {
   std::ifstream in(path);
   check(static_cast<bool>(in), "cannot open " + path);
   std::vector<std::string> lines;
@@ -310,6 +373,8 @@ void lint_openmetrics(const std::string& path) {
   }
   std::cout << "openmetrics ok: " << families.size() << " metric families, "
             << lines.size() << " lines\n";
+  if (!families_registry.empty())
+    check_families_against_registry(families, families_registry);
 }
 
 }  // namespace
@@ -319,15 +384,18 @@ int main(int argc, char** argv) {
   const std::string report_path = cli.get("report", "");
   const std::string trace_path = cli.get("trace", "");
   const std::string metrics_path = cli.get("openmetrics", "");
+  const std::string families_registry = cli.get("families", "");
   if (report_path.empty() && trace_path.empty() && metrics_path.empty()) {
     std::cerr << "usage: report_lint --report <run.json> | --trace "
-                 "<trace.json> | --openmetrics <metrics.txt>\n";
+                 "<trace.json> | --openmetrics <metrics.txt> "
+                 "[--families <metrics.registry>]\n";
     return 2;
   }
   try {
     if (!report_path.empty()) lint_report(load(report_path));
     if (!trace_path.empty()) lint_trace(load(trace_path));
-    if (!metrics_path.empty()) lint_openmetrics(metrics_path);
+    if (!metrics_path.empty())
+      lint_openmetrics(metrics_path, families_registry);
   } catch (const std::exception& e) {
     std::cerr << "report_lint: " << e.what() << '\n';
     return 1;

@@ -3,7 +3,9 @@
 # drift vs. a from-scratch recount; nonzero cache hits and coalesced batches
 # in normal mode; nonzero shed/rejected/expired work in overload mode), then
 # validates the RunReport artifact with report_lint.
-# Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>; optional -DMODE=
+# Expects -DBENCH=<path> -DLINT=<path> -DOUT=<dir>; optional -DMODE= and
+# -DREGISTRY=<metrics.registry> (adds --families to the OpenMetrics lint so
+# dump families must map back to the bfc-analyze registry)
 #   full      (default) the standard smoke load
 #   light     reduced load for the sanitizer lanes, where slowdown makes the
 #             full config's wall-clock latency numbers flaky
@@ -84,8 +86,12 @@ if(MODE STREQUAL "shard")
   # The OpenMetrics dump must lint clean (report_lint additionally enforces
   # that per-shard svc_shard_<k>_* families form a dense 0..N-1 range) and
   # actually carry the per-shard plane.
+  set(families_args)
+  if(DEFINED REGISTRY)
+    set(families_args --families "${REGISTRY}")
+  endif()
   execute_process(
-    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt"
+    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt" ${families_args}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)
@@ -108,8 +114,12 @@ endif()
 
 if(MODE STREQUAL "telemetry")
   # The OpenMetrics dump must lint clean and carry the SLO instruments.
+  set(families_args)
+  if(DEFINED REGISTRY)
+    set(families_args --families "${REGISTRY}")
+  endif()
   execute_process(
-    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt"
+    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt" ${families_args}
     RESULT_VARIABLE rc
     OUTPUT_VARIABLE out
     ERROR_VARIABLE err)

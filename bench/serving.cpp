@@ -617,8 +617,10 @@ int main(int argc, char** argv) {
             << Table::fixed(static_cast<double>(answered) / elapsed, 1)
             << " qps aggregate) across " << service.snapshot()->epoch
             << " published epochs\n";
-  std::cout << "degraded answers: " << degraded_answers.load()
-            << "  shed without answer: " << overload_errors.load() << "\n";
+  std::cout << "degraded answers: "
+            << degraded_answers.load(std::memory_order_relaxed)
+            << "  shed without answer: "
+            << overload_errors.load(std::memory_order_relaxed) << "\n";
   const auto gen_rate = [&](int k) {
     const std::int64_t total = shard_gen_hits[static_cast<std::size_t>(k)] +
                                shard_gen_misses[static_cast<std::size_t>(k)];
@@ -650,8 +652,10 @@ int main(int argc, char** argv) {
   report.set_config("pool", static_cast<std::int64_t>(pool));
   report.set_config("overload", static_cast<std::int64_t>(overload ? 1 : 0));
   report.set_config("max_queue", static_cast<std::int64_t>(max_queue));
-  report.set_config("degraded_answers", degraded_answers.load());
-  report.set_config("overload_errors", overload_errors.load());
+  report.set_config("degraded_answers",
+                    degraded_answers.load(std::memory_order_relaxed));
+  report.set_config("overload_errors",
+                    overload_errors.load(std::memory_order_relaxed));
   report.set_config("shards", static_cast<std::int64_t>(shards));
   report.set_config("zipf", zipf_theta);
   if (sharded) {

@@ -38,6 +38,7 @@ int main(int argc, char** argv) {
   // vertex" — peeling should sharpen onto the planted communities.
   Table table({"k", "kept V1", "block kept", "precision", "recall",
                "kept |E|", "rounds"});
+  // bfc-analyze: checked-accumulation-ok threshold sweep bounded by the 4096 literal
   for (count_t k = 1; k <= 4096; k *= 8) {
     const peel::TipPeelResult r = peel::k_tip(g, k);
     vidx_t kept = 0, block_kept = 0;

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "count/baselines.hpp"
+#include "chk/checked_math.hpp"
 #include "count/dynamic.hpp"
 #include "gen/konect_like.hpp"
 #include "sparse/ops.hpp"
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
   const auto checkpoint = std::max<std::int64_t>(1, limit / 5);
   for (std::int64_t e = 0; e < limit; ++e) {
     const auto& [u, v] = stream[static_cast<std::size_t>(e)];
-    created_total += counter.insert(u, v);
+    created_total = chk::checked_add(created_total, counter.insert(u, v));
     live.emplace_back(u, v);
     if (live.size() > window) {
       const auto& [ou, ov] = live.front();

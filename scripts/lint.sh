@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Project lint gate: two repo-specific rules enforced with grep, then
-# clang-tidy over the library sources when the tool is available.
+# Project lint gate: two repo-specific shell rules, the bfc-analyze static
+# analyzer, then clang-tidy over the library sources when available.
 #
 #   scripts/lint.sh [--require-clang-tidy] [build-dir]
 #
@@ -14,27 +14,12 @@
 #   A trace span with no counters renders as a bare timing bar in the run
 #   report, with nothing to correlate the time against.
 #
-# Rule C — no raw std synchronization primitives (std::mutex,
-#   std::shared_mutex, std::condition_variable[_any], std::scoped_lock,
-#   std::lock_guard, std::unique_lock, std::shared_lock) anywhere in src/
-#   outside util/sync.hpp. Raw primitives bypass both the Clang Thread
-#   Safety Analysis annotations and the checked-build lock-order checker;
-#   bfc::Mutex / bfc::SharedMutex / bfc::CondVar and their guards are the
-#   only sanctioned spellings. Lines that genuinely must touch the std
-#   types (the wrapper internals, the lock-order checker's own untracked
-#   mutex) carry a `// bfc-lint: raw-sync-ok` comment.
-#
-# Rule D — every std::atomic operation in src/obs/ and src/svc/ must name
-#   its memory order explicitly (the argument may sit on the next line);
-#   a deliberate seq_cst needs a `// seq_cst: <why>` justification. The
-#   default-seq_cst spelling hides the ordering decision exactly where the
-#   concurrent layers need it visible.
-#
-# Rule E — every svc./obs./chk. metric name registered in src/ (via the
-#   BFC_* macros or a direct Registry counter()/gauge()/histogram() call)
-#   must appear somewhere under docs/. The metric catalog in
-#   docs/telemetry.md is what dashboards and alerts are built against; an
-#   undocumented instrument is a catalog that has silently rotted.
+# bfc-analyze — the token-aware rules that replaced the old grep rules C
+#   (raw sync primitives), D (implicit memory orders) and E (undocumented
+#   metrics), plus epoch-discipline, checked-accumulation,
+#   cancellation-checkpoint and span-pairing. Runs against the checked-in
+#   baseline (tools/analyze/baseline.json), so only NEW violations fail.
+#   See docs/static-analysis.md for the rule catalog and suppression syntax.
 #
 # clang-tidy — runs over src/*.cpp with the repo .clang-tidy profile when
 #   clang-tidy and build/compile_commands.json exist. Skipped with a warning
@@ -82,86 +67,21 @@ else
   echo "lint: rule B ok (every trace scope file publishes a metric)"
 fi
 
-# --- Rule C: raw std sync primitives only inside the sync wrapper -----------
-raw_sync='std::(mutex|shared_mutex|condition_variable|condition_variable_any|scoped_lock|lock_guard|unique_lock|shared_lock)[[:space:]<{(;]'
-if matches=$(grep -rnE "$raw_sync" src 2>/dev/null \
-               | grep -v 'bfc-lint: raw-sync-ok'); then
-  echo "lint: FAIL rule C — raw std sync primitive outside util/sync.hpp:" >&2
-  echo "$matches" >&2
-  echo "  (use bfc::Mutex/SharedMutex/CondVar + MutexLock/WriterLock/SharedLock" >&2
-  echo "   from util/sync.hpp, or annotate wrapper internals with" >&2
-  echo "   '// bfc-lint: raw-sync-ok')" >&2
+# --- bfc-analyze: the token-aware project rules -----------------------------
+analyze_bin="$build_dir/tools/analyze/bfc-analyze"
+if [[ ! -x "$analyze_bin" ]]; then
+  echo "lint: FAIL — $analyze_bin not built." >&2
+  echo "  bfc-analyze replaced the old grep rules C/D/E; build it first:" >&2
+  echo "    cmake -B $build_dir -S . && cmake --build $build_dir --target bfc-analyze" >&2
+  fail=1
+elif ! "$analyze_bin" --root . \
+       --baseline tools/analyze/baseline.json src bench examples; then
+  echo "lint: FAIL bfc-analyze — new findings above (not in tools/analyze/baseline.json)." >&2
+  echo "  Fix them, suppress with '// bfc-analyze: <rule>-ok <why>', or" >&2
+  echo "  re-baseline deliberately (docs/static-analysis.md#baseline-workflow)." >&2
   fail=1
 else
-  echo "lint: rule C ok (no raw sync primitives outside util/sync.hpp)"
-fi
-
-# --- Rule D: explicit memory orders on obs/svc atomics ----------------------
-# Join each atomic op with its continuation line so a memory_order argument
-# wrapped by clang-format still counts, then flag ops with neither an
-# explicit order nor a '// seq_cst: <why>' justification.
-atomic_violations=$(
-  find src/obs src/svc -name '*.hpp' -o -name '*.cpp' | sort | while IFS= read -r f; do
-    awk -v file="$f" '
-      {
-        line = $0
-        if (prev_pending) {
-          joined = prev " " line
-          if (joined !~ /memory_order/ && joined !~ /\/\/ seq_cst:/)
-            printf "%s:%d: %s\n", file, prev_nr, prev
-          prev_pending = 0
-        }
-        if (line ~ /\.(load|store|fetch_add|fetch_sub|exchange|compare_exchange_weak|compare_exchange_strong)\(/) {
-          if (line ~ /memory_order/ || line ~ /\/\/ seq_cst:/) next
-          prev = line; prev_nr = NR; prev_pending = 1
-        }
-      }
-      END {
-        if (prev_pending) printf "%s:%d: %s\n", file, prev_nr, prev
-      }
-    ' "$f"
-  done
-)
-if [[ -n "$atomic_violations" ]]; then
-  echo "lint: FAIL rule D — atomic op without explicit memory order:" >&2
-  echo "$atomic_violations" >&2
-  echo "  (name the order — relaxed for counters, acquire/release for" >&2
-  echo "   publication — or justify seq_cst with '// seq_cst: <why>')" >&2
-  fail=1
-else
-  echo "lint: rule D ok (obs/svc atomics name their memory orders)"
-fi
-
-# --- Rule E: every registered metric name is documented ---------------------
-# Names are extracted only from metric-publishing contexts (the macros and
-# direct Registry registrations), so mutex site names and span names don't
-# count. Dynamically suffixed families (svc.slo.violations.<kind>) appear in
-# source as a prefix literal ending in '.'; the trailing dot is stripped and
-# the docs must mention the family prefix.
-metric_names=$(
-  {
-    grep -rhoE 'BFC_(COUNT_ADD|GAUGE_SET|HIST_OBSERVE)\("[^"]+"' src \
-        --include='*.cpp' --include='*.hpp'
-    grep -rhoE '\.(counter|gauge|histogram)\("[^"]+"' src \
-        --include='*.cpp' --include='*.hpp'
-  } | sed -E 's/.*\("([^"]+)".*/\1/' \
-    | grep -E '^(svc|obs|chk)\.' | sed -E 's/\.$//' | sort -u
-)
-undocumented=()
-while IFS= read -r name; do
-  [[ -z "$name" ]] && continue
-  if ! grep -rqF "$name" docs; then
-    undocumented+=("$name")
-  fi
-done <<<"$metric_names"
-
-if ((${#undocumented[@]})); then
-  echo "lint: FAIL rule E — metric registered in src/ but absent from docs/:" >&2
-  printf '  %s\n' "${undocumented[@]}" >&2
-  echo "  (add it to the catalog in docs/telemetry.md)" >&2
-  fail=1
-else
-  echo "lint: rule E ok ($(wc -l <<<"$metric_names") metric names all documented)"
+  echo "lint: bfc-analyze ok (no findings beyond the checked-in baseline)"
 fi
 
 # --- clang-tidy over the library ------------------------------------------

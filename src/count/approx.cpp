@@ -1,5 +1,7 @@
 #include "count/approx.hpp"
 
+#include "chk/checked_math.hpp"
+
 #include <algorithm>
 #include <cmath>
 
@@ -43,7 +45,7 @@ count_t butterflies_at_vertex(const graph::BipartiteGraph& g, vidx_t u,
   }
   count_t total = 0;
   for (const vidx_t j : touched) {
-    total += choose2(acc[static_cast<std::size_t>(j)]);
+    total = chk::checked_add(total, choose2(acc[static_cast<std::size_t>(j)]));
     acc[static_cast<std::size_t>(j)] = 0;
   }
   return total;
@@ -94,7 +96,8 @@ ApproxResult approx_edge_sampling(const graph::BipartiteGraph& g,
     // Eq. (23): support = Σ_{w∈N(v)} |N(u)∩N(w)| − deg(u) − deg(v) + 1.
     count_t wedge_sum = 0;
     for (const vidx_t w : at.row(v))
-      wedge_sum += sparse::intersection_size(a.row(u), a.row(w));
+      wedge_sum = chk::checked_add(
+          wedge_sum, sparse::intersection_size(a.row(u), a.row(w)));
     x.push_back(static_cast<double>(wedge_sum - a.row_degree(u) -
                                     at.row_degree(v) + 1));
   }
@@ -111,7 +114,7 @@ ApproxResult approx_wedge_sampling(const graph::BipartiteGraph& g,
   for (vidx_t w = 0; w < g.n2(); ++w) {
     const count_t c = choose2(at.row_degree(w));
     weights[static_cast<std::size_t>(w)] = static_cast<double>(c);
-    total_wedges += c;
+    total_wedges = chk::checked_add(total_wedges, c);
   }
   if (total_wedges == 0) return {};
 
@@ -153,7 +156,7 @@ ApproxResult approx_tip_at(const sparse::CsrPattern& lines,
   for (std::size_t i = 0; i < nu.size(); ++i) {
     const count_t c = lines_t.row_degree(nu[i]) - 1;
     weights[i] = static_cast<double>(c);
-    total_wedges += c;
+    total_wedges = chk::checked_add(total_wedges, c);
   }
   if (total_wedges == 0) return {};  // isolated or wedge-free: exactly 0
 

@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "count/baselines.hpp"
+#include "chk/checked_math.hpp"
 
 namespace bfc::count {
 namespace {
@@ -16,10 +17,10 @@ struct Plan {
 Plan plan_for(const graph::BipartiteGraph& g) {
   count_t via_v2 = 0;  // wedge points in V2, endpoints in V1
   for (vidx_t v = 0; v < g.n2(); ++v)
-    via_v2 += choose2(g.csc().row_degree(v));
+    via_v2 = chk::checked_add(via_v2, chk::checked_choose2(g.csc().row_degree(v)));
   count_t via_v1 = 0;
   for (vidx_t u = 0; u < g.n1(); ++u)
-    via_v1 += choose2(g.csr().row_degree(u));
+    via_v1 = chk::checked_add(via_v1, chk::checked_choose2(g.csr().row_degree(u)));
   if (via_v2 <= via_v1) return {&g.csc(), via_v2};
   return {&g.csr(), via_v1};
 }
@@ -58,7 +59,8 @@ count_t batch_sort(const graph::BipartiteGraph& g, count_t max_wedges) {
   for (std::size_t i = 0; i < wedges.size();) {
     std::size_t j = i;
     while (j < wedges.size() && wedges[j] == wedges[i]) ++j;
-    total += choose2(static_cast<count_t>(j - i));
+    total = chk::checked_add(total,
+                             chk::checked_choose2(static_cast<count_t>(j - i)));
     i = j;
   }
   return total;
@@ -81,7 +83,7 @@ count_t batch_hash(const graph::BipartiteGraph& g, count_t max_wedges) {
   count_t total = 0;
   for (const auto& [key, n] : groups) {
     (void)key;
-    total += choose2(n);
+    total = chk::checked_add(total, chk::checked_choose2(n));
   }
   return total;
 }

@@ -1,4 +1,5 @@
 #include "count/bounded_memory.hpp"
+#include "chk/checked_math.hpp"
 
 #include <algorithm>
 #include <cstdio>
@@ -86,8 +87,10 @@ BoundedMemoryStats count_bounded_memory(const graph::BipartiteGraph& g,
   // Enumerate from whichever side generates fewer wedges, like the exact
   // batch counters.
   count_t via_v2 = 0, via_v1 = 0;
-  for (vidx_t v = 0; v < g.n2(); ++v) via_v2 += choose2(g.csc().row_degree(v));
-  for (vidx_t u = 0; u < g.n1(); ++u) via_v1 += choose2(g.csr().row_degree(u));
+  for (vidx_t v = 0; v < g.n2(); ++v)
+    via_v2 = chk::checked_add(via_v2, chk::checked_choose2(g.csc().row_degree(v)));
+  for (vidx_t u = 0; u < g.n1(); ++u)
+    via_v1 = chk::checked_add(via_v1, chk::checked_choose2(g.csr().row_degree(u)));
   const sparse::CsrPattern& wp = via_v2 <= via_v1 ? g.csc() : g.csr();
   stats.total_wedges = std::min(via_v2, via_v1);
 
@@ -136,16 +139,19 @@ BoundedMemoryStats count_bounded_memory(const graph::BipartiteGraph& g,
     const HeapItem top = heap.top();
     heap.pop();
     if (have_current && top.entry.key != current_key) {
-      stats.butterflies += choose2(current_count);
+      stats.butterflies =
+          chk::checked_add(stats.butterflies, chk::checked_choose2(current_count));
       current_count = 0;
     }
     have_current = true;
     current_key = top.entry.key;
-    current_count += top.entry.count;
+    current_count = chk::checked_add(current_count, top.entry.count);
     RunEntry e{};
     if (runs[top.run].next(e)) heap.push({e, top.run});
   }
-  if (have_current) stats.butterflies += choose2(current_count);
+  if (have_current)
+    stats.butterflies =
+        chk::checked_add(stats.butterflies, chk::checked_choose2(current_count));
   return stats;
 }
 

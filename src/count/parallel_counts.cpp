@@ -56,7 +56,7 @@ count_t wedge_reference_parallel(const graph::BipartiteGraph& g,
   count_t cost_v1_side = 0, cost_v2_side = 0;
   for (vidx_t v = 0; v < g.n2(); ++v) {
     const count_t d = g.csc().row_degree(v);
-    cost_v1_side += d * d;
+    cost_v1_side = chk::checked_add(cost_v1_side, chk::checked_mul(d, d));
   }
   for (vidx_t u = 0; u < g.n1(); ++u) {
     const count_t d = g.csr().row_degree(u);

@@ -2,6 +2,7 @@
 #include <numeric>
 
 #include "count/baselines.hpp"
+#include "chk/checked_math.hpp"
 
 namespace bfc::count {
 namespace {
@@ -70,7 +71,8 @@ count_t vertex_priority(const graph::BipartiteGraph& g) {
       }
     }
     for (const vidx_t y : touched) {
-      total += choose2(acc[static_cast<std::size_t>(y)]);
+      total = chk::checked_add(total,
+                               chk::checked_choose2(acc[static_cast<std::size_t>(y)]));
       acc[static_cast<std::size_t>(y)] = 0;
     }
   }

@@ -1,4 +1,5 @@
 #include "count/baselines.hpp"
+#include "chk/checked_math.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/spgemm.hpp"
 
@@ -9,7 +10,7 @@ count_t wedge_work(const sparse::CsrPattern& wedge_point_side) {
   count_t work = 0;
   for (vidx_t v = 0; v < wedge_point_side.rows(); ++v) {
     const count_t d = wedge_point_side.row_degree(v);
-    work += d * d;
+    work = chk::checked_add(work, chk::checked_mul(d, d));
   }
   return work;
 }

@@ -1,4 +1,5 @@
 #include "dense/dense_matrix.hpp"
+#include "chk/checked_math.hpp"
 
 #include <ostream>
 
@@ -61,16 +62,17 @@ DenseMatrix DenseMatrix::transpose() const {
   return t;
 }
 
-count_t DenseMatrix::sum() const noexcept {
+count_t DenseMatrix::sum() const {
   count_t total = 0;
-  for (const count_t v : data_) total += v;
+  for (const count_t v : data_) total = chk::checked_add(total, v);
   return total;
 }
 
 count_t DenseMatrix::trace() const {
   require(rows_ == cols_, "trace: matrix not square");
   count_t total = 0;
-  for (vidx_t i = 0; i < rows_; ++i) total += (*this)(i, i);
+  for (vidx_t i = 0; i < rows_; ++i)
+    total = chk::checked_add(total, (*this)(i, i));
   return total;
 }
 

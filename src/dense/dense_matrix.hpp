@@ -44,7 +44,7 @@ class DenseMatrix {
   [[nodiscard]] DenseMatrix transpose() const;
 
   /// Sum of all entries.
-  [[nodiscard]] count_t sum() const noexcept;
+  [[nodiscard]] count_t sum() const;
 
   /// Trace (square matrices only).
   [[nodiscard]] count_t trace() const;

@@ -1,4 +1,5 @@
 #include "dense/spec.hpp"
+#include "chk/checked_math.hpp"
 
 namespace bfc::dense {
 namespace {
@@ -48,7 +49,8 @@ count_t butterflies_pairwise(const DenseMatrix& a) {
   const DenseMatrix b = multiply(a, a.transpose());
   count_t total = 0;
   for (vidx_t i = 0; i < b.rows(); ++i)
-    for (vidx_t j = i + 1; j < b.cols(); ++j) total += choose2(b(i, j));
+    for (vidx_t j = i + 1; j < b.cols(); ++j)
+      total = chk::checked_add(total, chk::checked_choose2(b(i, j)));
   return total;
 }
 

@@ -1,4 +1,5 @@
 #include "gb/butterflies.hpp"
+#include "chk/checked_math.hpp"
 
 namespace bfc::gb {
 namespace {
@@ -57,7 +58,7 @@ count_t butterflies_loop(const graph::BipartiteGraph& g, la::Invariant inv) {
     const count_t update =
         dot(wedge_counts, wedge_counts) - reduce(wedge_counts);
     require(update % 2 == 0, "gb loop: odd update numerator");
-    total += update / 2;
+    total = chk::checked_add(total, update / 2);
   }
   return total;
 }

@@ -160,7 +160,7 @@ count_t trace(const sparse::CsrCounts& a) {
     const RowView row = row_view(a, r);
     const auto* it = std::lower_bound(row.idx, row.idx + row.len, r);
     if (it != row.idx + row.len && *it == r)
-      total += row.val[it - row.idx];
+      total = chk::checked_add(total, row.val[it - row.idx]);
   }
   return total;
 }

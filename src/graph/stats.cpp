@@ -1,4 +1,5 @@
 #include "graph/stats.hpp"
+#include "chk/checked_math.hpp"
 
 #include <algorithm>
 #include <cmath>
@@ -16,7 +17,7 @@ DegreeSummary summarize_degrees(const std::vector<offset_t>& deg) {
   s.max = *std::max_element(deg.begin(), deg.end());
   count_t total = 0;
   for (const offset_t d : deg) {
-    total += d;
+    total = chk::checked_add(total, d);
     if (d == 0) ++s.isolated;
   }
   s.mean = static_cast<double>(total) / static_cast<double>(deg.size());
@@ -25,7 +26,8 @@ DegreeSummary summarize_degrees(const std::vector<offset_t>& deg) {
 
 count_t wedge_sum(const std::vector<offset_t>& deg) {
   count_t total = 0;
-  for (const offset_t d : deg) total += choose2(d);
+  for (const offset_t d : deg)
+    total = chk::checked_add(total, chk::checked_choose2(d));
   return total;
 }
 
@@ -58,7 +60,7 @@ count_t caterpillars(const BipartiteGraph& g) {
     if (du <= 0) continue;
     for (const vidx_t v : a.row(u)) {
       const count_t dv = deg2[static_cast<std::size_t>(v)] - 1;
-      if (dv > 0) total += du * dv;
+      if (dv > 0) total = chk::checked_add(total, chk::checked_mul(du, dv));
     }
   }
   return total;

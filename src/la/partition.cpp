@@ -1,4 +1,5 @@
 #include "la/partition.hpp"
+#include "chk/checked_math.hpp"
 
 namespace bfc::la {
 
@@ -25,7 +26,8 @@ std::vector<Step> traversal_steps(vidx_t n, Direction direction,
 
 count_t total_peer_width(const std::vector<Step>& steps) {
   count_t total = 0;
-  for (const Step& s : steps) total += s.peer_hi - s.peer_lo;
+  for (const Step& s : steps)
+    total = chk::checked_add(total, s.peer_hi - s.peer_lo);
   return total;
 }
 

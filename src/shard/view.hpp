@@ -42,9 +42,10 @@ struct ShardView {
     return total;
   }
 
-  [[nodiscard]] offset_t edges() const noexcept {
+  [[nodiscard]] offset_t edges() const {
     offset_t total = 0;
-    for (const svc::SnapshotPtr& s : shards) total += s->edges;
+    for (const svc::SnapshotPtr& s : shards)
+      total = chk::checked_add(total, s->edges);
     return total;
   }
 

@@ -64,7 +64,7 @@ count_t gram_pairwise_butterflies(const CsrPattern& a, const CsrPattern& at) {
     }
     for (const vidx_t j : touched) {
       if constexpr (obs::kMetricsEnabled)
-        obs_wedges += acc[static_cast<std::size_t>(j)];
+        obs_wedges = chk::checked_add(obs_wedges, acc[static_cast<std::size_t>(j)]);
       total = chk::checked_add(
           total, chk::checked_choose2(acc[static_cast<std::size_t>(j)]));
       acc[static_cast<std::size_t>(j)] = 0;

@@ -46,7 +46,7 @@ count_t support_of_edge(const graph::BipartiteGraph& g, vidx_t u, vidx_t v) {
   const std::span<const vidx_t> nv = g.neighbors_of_v2(v);
   count_t sum = 0;
   for (const vidx_t w : nv)
-    sum += sparse::intersection_size(nu, g.neighbors_of_v1(w));
+    sum = chk::checked_add(sum, sparse::intersection_size(nu, g.neighbors_of_v1(w)));
   return sum - static_cast<count_t>(nu.size()) -
          static_cast<count_t>(nv.size()) + 1;
 }

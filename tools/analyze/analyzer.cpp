@@ -1,0 +1,282 @@
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/json.hpp"
+
+namespace bfc::analyze {
+namespace {
+
+namespace fs = std::filesystem;
+using bfc::obs::Json;
+
+[[nodiscard]] std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+[[nodiscard]] bool wanted_extension(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+Baseline Baseline::parse(const std::string& json_text) {
+  Baseline b;
+  const Json doc = Json::parse(json_text);
+  const auto& obj = doc.as_object();
+  const auto version = obj.find("version");
+  if (version == obj.end() || version->second.as_int() != 1)
+    throw std::runtime_error("baseline: unsupported version (want 1)");
+  const auto findings = obj.find("findings");
+  if (findings == obj.end()) return b;
+  for (const Json& f : findings->second.as_array()) {
+    const auto& fo = f.as_object();
+    const auto fp = fo.find("fingerprint");
+    if (fp == fo.end())
+      throw std::runtime_error("baseline: finding without fingerprint");
+    b.fingerprints.push_back(fp->second.as_string());
+  }
+  return b;
+}
+
+Baseline Baseline::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read baseline " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::vector<Finding> run_rules(const std::vector<SourceFile>& files,
+                               const Registry* registry) {
+  RuleContext ctx;
+  ctx.registry = registry;
+  for (const Rule& r : all_rules()) ctx.rule_names.emplace_back(r.name);
+
+  std::vector<Finding> out;
+  for (const SourceFile& f : files)
+    for (const Rule& r : all_rules()) r.run(f, ctx, out);
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.col, a.rule) <
+           std::tie(b.file, b.line, b.col, b.rule);
+  });
+  fingerprint(out);
+  return out;
+}
+
+std::vector<Finding> check_registry_documented(const Registry& registry,
+                                               const std::string& docs_blob) {
+  std::vector<Finding> out;
+  for (const RegistryEntry& e : registry.entries) {
+    if (e.kind == "tag") continue;  // tag keys are documented via span tables
+    std::string needle = e.name;
+    if (!needle.empty() && needle.back() == '.') needle.pop_back();
+    if (docs_blob.find(needle) != std::string::npos) continue;
+    out.push_back(Finding{
+        "metric-registry", registry.path, e.line, 1,
+        "registry " + e.kind + " '" + e.name +
+            "' is not mentioned anywhere under docs/; document it (operators "
+            "discover telemetry through docs/telemetry.md, not the source)",
+        e.kind + " " + e.name, ""});
+  }
+  fingerprint(out);
+  return out;
+}
+
+void fingerprint(std::vector<Finding>& findings) {
+  std::map<std::string, int> ordinals;
+  for (Finding& f : findings) {
+    const std::string h =
+        hex64(fnv1a(f.rule + "|" + f.file + "|" + f.snippet));
+    const int ord = ordinals[h]++;
+    f.fingerprint = h + ":" + std::to_string(ord);
+  }
+}
+
+std::vector<Finding> diff_baseline(const std::vector<Finding>& findings,
+                                   const Baseline& baseline) {
+  std::map<std::string, int> waived;
+  for (const std::string& fp : baseline.fingerprints) ++waived[fp];
+  std::vector<Finding> fresh;
+  for (const Finding& f : findings) {
+    const auto it = waived.find(f.fingerprint);
+    if (it != waived.end() && it->second > 0) {
+      --it->second;
+      continue;
+    }
+    fresh.push_back(f);
+  }
+  return fresh;
+}
+
+std::string render_text(const std::vector<Finding>& findings) {
+  std::ostringstream out;
+  for (const Finding& f : findings) {
+    out << f.file << ":" << f.line << ":" << f.col << ": [" << f.rule << "] "
+        << f.message << "\n";
+    if (!f.snippet.empty()) out << "    " << f.snippet << "\n";
+  }
+  out << findings.size() << " finding" << (findings.size() == 1 ? "" : "s")
+      << "\n";
+  return out.str();
+}
+
+namespace {
+
+[[nodiscard]] Json finding_json(const Finding& f) {
+  Json j = Json::object();
+  j["rule"] = f.rule;
+  j["file"] = f.file;
+  j["line"] = static_cast<std::int64_t>(f.line);
+  j["col"] = static_cast<std::int64_t>(f.col);
+  j["message"] = f.message;
+  j["snippet"] = f.snippet;
+  j["fingerprint"] = f.fingerprint;
+  return j;
+}
+
+}  // namespace
+
+std::string render_json(const std::vector<Finding>& findings) {
+  Json doc = Json::object();
+  doc["version"] = static_cast<std::int64_t>(1);
+  doc["count"] = static_cast<std::int64_t>(findings.size());
+  Json arr = Json::array();
+  for (const Finding& f : findings) arr.push_back(finding_json(f));
+  doc["findings"] = std::move(arr);
+  return doc.dump(2) + "\n";
+}
+
+std::string render_sarif(const std::vector<Finding>& findings) {
+  Json rules = Json::array();
+  for (const Rule& r : all_rules()) {
+    Json rj = Json::object();
+    rj["id"] = std::string(r.name);
+    Json desc = Json::object();
+    desc["text"] = std::string(r.summary);
+    rj["shortDescription"] = std::move(desc);
+    rules.push_back(std::move(rj));
+  }
+  Json driver = Json::object();
+  driver["name"] = "bfc-analyze";
+  driver["informationUri"] =
+      "https://example.invalid/bfc/docs/static-analysis.md";
+  driver["rules"] = std::move(rules);
+  Json tool = Json::object();
+  tool["driver"] = std::move(driver);
+
+  Json results = Json::array();
+  for (const Finding& f : findings) {
+    Json msg = Json::object();
+    msg["text"] = f.message;
+    Json artifact = Json::object();
+    artifact["uri"] = f.file;
+    Json region = Json::object();
+    region["startLine"] = static_cast<std::int64_t>(f.line);
+    region["startColumn"] = static_cast<std::int64_t>(f.col);
+    if (!f.snippet.empty()) {
+      Json snip = Json::object();
+      snip["text"] = f.snippet;
+      region["snippet"] = std::move(snip);
+    }
+    Json physical = Json::object();
+    physical["artifactLocation"] = std::move(artifact);
+    physical["region"] = std::move(region);
+    Json location = Json::object();
+    location["physicalLocation"] = std::move(physical);
+    Json locations = Json::array();
+    locations.push_back(std::move(location));
+    Json fps = Json::object();
+    fps["bfcAnalyze/v1"] = f.fingerprint;
+    Json result = Json::object();
+    result["ruleId"] = f.rule;
+    result["level"] = "error";
+    result["message"] = std::move(msg);
+    result["locations"] = std::move(locations);
+    result["partialFingerprints"] = std::move(fps);
+    results.push_back(std::move(result));
+  }
+  Json run = Json::object();
+  run["tool"] = std::move(tool);
+  run["results"] = std::move(results);
+  Json runs = Json::array();
+  runs.push_back(std::move(run));
+  Json doc = Json::object();
+  doc["$schema"] =
+      "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+      "Schemata/sarif-schema-2.1.0.json";
+  doc["version"] = "2.1.0";
+  doc["runs"] = std::move(runs);
+  return doc.dump(2) + "\n";
+}
+
+std::string render_baseline(const std::vector<Finding>& findings) {
+  Json doc = Json::object();
+  doc["version"] = static_cast<std::int64_t>(1);
+  Json arr = Json::array();
+  for (const Finding& f : findings) {
+    Json j = Json::object();
+    j["rule"] = f.rule;
+    j["file"] = f.file;
+    j["fingerprint"] = f.fingerprint;
+    j["line"] = static_cast<std::int64_t>(f.line);
+    j["snippet"] = f.snippet;
+    arr.push_back(std::move(j));
+  }
+  doc["findings"] = std::move(arr);
+  return doc.dump(2) + "\n";
+}
+
+std::vector<SourceFile> load_tree(const std::string& root,
+                                  const std::vector<std::string>& paths) {
+  std::vector<std::string> rel_files;
+  const fs::path base(root);
+  for (const std::string& p : paths) {
+    const fs::path full = base / p;
+    if (fs::is_regular_file(full)) {
+      rel_files.push_back(p);
+      continue;
+    }
+    if (!fs::is_directory(full))
+      throw std::runtime_error("no such path under root: " + p);
+    for (const auto& entry : fs::recursive_directory_iterator(full)) {
+      if (!entry.is_regular_file() || !wanted_extension(entry.path()))
+        continue;
+      rel_files.push_back(
+          fs::relative(entry.path(), base).generic_string());
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+  rel_files.erase(std::unique(rel_files.begin(), rel_files.end()),
+                  rel_files.end());
+  std::vector<SourceFile> out;
+  out.reserve(rel_files.size());
+  for (const std::string& rel : rel_files)
+    out.push_back(SourceFile::from_disk((base / rel).string(), rel));
+  return out;
+}
+
+}  // namespace bfc::analyze

@@ -1,0 +1,59 @@
+// The engine: file discovery, rule dispatch, content-based fingerprints,
+// baseline load/diff/write, and the three output formats (text, JSON,
+// SARIF 2.1.0). main.cpp is a thin CLI over this so tests/test_analyze.cpp
+// can drive everything in-process on string fixtures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+#include "registry.hpp"
+#include "rules.hpp"
+
+namespace bfc::analyze {
+
+struct Baseline {
+  /// fingerprint -> accepted count (a multiset: N known findings with the
+  /// same fingerprint waive exactly N occurrences).
+  std::vector<std::string> fingerprints;
+
+  [[nodiscard]] static Baseline parse(const std::string& json_text);
+  [[nodiscard]] static Baseline load(const std::string& path);
+};
+
+/// Runs every rule over `files`, fingerprints the findings, and sorts them
+/// (file, line, col, rule). `registry` may be null.
+[[nodiscard]] std::vector<Finding> run_rules(
+    const std::vector<SourceFile>& files, const Registry* registry);
+
+/// Registry-vs-docs consistency: every metric/span entry's literal text must
+/// appear somewhere under the docs tree, so the registry cannot grow names
+/// the operator documentation never explains. `docs_blob` is the
+/// concatenated content of all docs files.
+[[nodiscard]] std::vector<Finding> check_registry_documented(
+    const Registry& registry, const std::string& docs_blob);
+
+/// Fills `fingerprint` on each finding: fnv1a(rule|file|snippet) in hex plus
+/// an ordinal among same-hash findings, so baselines survive line shifts but
+/// a SECOND identical violation in the same file is still new.
+void fingerprint(std::vector<Finding>& findings);
+
+/// Findings whose fingerprints are not covered by the baseline multiset.
+[[nodiscard]] std::vector<Finding> diff_baseline(
+    const std::vector<Finding>& findings, const Baseline& baseline);
+
+[[nodiscard]] std::string render_text(const std::vector<Finding>& findings);
+[[nodiscard]] std::string render_json(const std::vector<Finding>& findings);
+[[nodiscard]] std::string render_sarif(const std::vector<Finding>& findings);
+/// The checked-in baseline format (version 1), also valid --format=json
+/// input for humans diffing it.
+[[nodiscard]] std::string render_baseline(
+    const std::vector<Finding>& findings);
+
+/// Recursively collects *.cpp / *.hpp / *.h under root/<path> for each path,
+/// lexes them, and returns them sorted by repo-relative path.
+[[nodiscard]] std::vector<SourceFile> load_tree(
+    const std::string& root, const std::vector<std::string>& paths);
+
+}  // namespace bfc::analyze

@@ -1,0 +1,215 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace bfc::analyze {
+namespace {
+
+[[nodiscard]] bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+[[nodiscard]] bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Multi-character punctuators, longest first so maximal munch works with a
+/// simple prefix scan. Single characters fall through to a 1-char token.
+constexpr const char* kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "++", "--", "+=", "-=",
+    "*=",  "/=",  "%=",  "&=",  "|=", "^=", "==", "!=", "<=", ">=",
+    "&&",  "||",  "<<",  ">>",  "##",
+};
+
+}  // namespace
+
+LexedFile lex(const std::string& source) {
+  LexedFile out;
+
+  // Split raw lines first (snippets and suppression lookups need them).
+  {
+    std::string cur;
+    for (const char c : source) {
+      if (c == '\n') {
+        out.lines.push_back(cur);
+        cur.clear();
+      } else {
+        cur.push_back(c);
+      }
+    }
+    out.lines.push_back(cur);
+  }
+
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  int col = 1;
+
+  const auto advance = [&](std::size_t count) {
+    for (std::size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (source[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+  };
+  const auto add_comment = [&](int at_line, const std::string& text) {
+    std::string& slot = out.comments[at_line];
+    if (!slot.empty()) slot += ' ';
+    slot += text;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance(1);
+      continue;
+    }
+    // Line continuation.
+    if (c == '\\' && i + 1 < n && (source[i + 1] == '\n' ||
+                                   (source[i + 1] == '\r' && i + 2 < n &&
+                                    source[i + 2] == '\n'))) {
+      advance(source[i + 1] == '\n' ? 2 : 3);
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      const int at = line;
+      std::size_t end = i;
+      while (end < n && source[end] != '\n') ++end;
+      add_comment(at, source.substr(i + 2, end - i - 2));
+      advance(end - i);
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      const int at = line;
+      std::size_t end = i + 2;
+      while (end + 1 < n && !(source[end] == '*' && source[end + 1] == '/'))
+        ++end;
+      const std::size_t stop = end + 1 < n ? end + 2 : n;
+      add_comment(at, source.substr(i + 2, stop - i - (end + 1 < n ? 4 : 2)));
+      advance(stop - i);
+      continue;
+    }
+    // Raw string literal (optionally behind an encoding prefix).
+    {
+      std::size_t p = i;
+      if (p < n && (source[p] == 'L' || source[p] == 'U')) ++p;
+      else if (p < n && source[p] == 'u') {
+        ++p;
+        if (p < n && source[p] == '8') ++p;
+      }
+      if (p + 1 < n && source[p] == 'R' && source[p + 1] == '"') {
+        std::size_t d = p + 2;
+        while (d < n && source[d] != '(') ++d;
+        const std::string delim =
+            ")" + source.substr(p + 2, d - p - 2) + "\"";
+        const std::size_t body = d + 1;
+        std::size_t end = source.find(delim, body);
+        if (end == std::string::npos) end = n;
+        Token t{Tok::kString, source.substr(body, end - body), line, col};
+        out.tokens.push_back(std::move(t));
+        out.code_lines.insert(line);
+        const std::size_t stop =
+            end == n ? n : end + delim.size();
+        advance(stop - i);
+        continue;
+      }
+    }
+    // String / char literal (skip over encoding prefix if present).
+    {
+      std::size_t p = i;
+      if (p < n && (source[p] == 'L' || source[p] == 'U')) ++p;
+      else if (p < n && source[p] == 'u') {
+        ++p;
+        if (p < n && source[p] == '8') ++p;
+      }
+      if (p < n && (source[p] == '"' || source[p] == '\'') &&
+          (p == i || ident_start(source[i]))) {
+        const char quote = source[p];
+        std::size_t end = p + 1;
+        while (end < n && source[end] != quote) {
+          if (source[end] == '\\' && end + 1 < n) ++end;
+          if (source[end] == '\n') break;  // unterminated: stop at newline
+          ++end;
+        }
+        Token t{quote == '"' ? Tok::kString : Tok::kChar,
+                source.substr(p + 1, end - p - 1), line, col};
+        out.tokens.push_back(std::move(t));
+        out.code_lines.insert(line);
+        advance((end < n && source[end] == quote ? end + 1 : end) - i);
+        continue;
+      }
+    }
+    // Identifier.
+    if (ident_start(c)) {
+      std::size_t end = i + 1;
+      while (end < n && ident_char(source[end])) ++end;
+      out.tokens.push_back(
+          Token{Tok::kIdent, source.substr(i, end - i), line, col});
+      out.code_lines.insert(line);
+      advance(end - i);
+      continue;
+    }
+    // Number (pp-number: digits, letters, quotes-as-separators, exponents).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])) != 0)) {
+      std::size_t end = i + 1;
+      while (end < n) {
+        const char d = source[end];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          ++end;
+        } else if ((d == '+' || d == '-') && end > i &&
+                   (source[end - 1] == 'e' || source[end - 1] == 'E' ||
+                    source[end - 1] == 'p' || source[end - 1] == 'P')) {
+          ++end;
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back(
+          Token{Tok::kNumber, source.substr(i, end - i), line, col});
+      out.code_lines.insert(line);
+      advance(end - i);
+      continue;
+    }
+    // Punctuator: longest multi-char match, else one char.
+    {
+      std::string matched(1, c);
+      for (const char* p : kPuncts) {
+        const std::size_t len = std::string(p).size();
+        if (i + len <= n && source.compare(i, len, p) == 0) {
+          matched = p;
+          break;
+        }
+      }
+      out.tokens.push_back(Token{Tok::kPunct, matched, line, col});
+      out.code_lines.insert(line);
+      advance(matched.size());
+    }
+  }
+  return out;
+}
+
+std::size_t match_bracket(const std::vector<Token>& tokens, std::size_t i) {
+  if (i >= tokens.size() || tokens[i].kind != Tok::kPunct)
+    return tokens.size();
+  const std::string& open = tokens[i].text;
+  std::string close;
+  if (open == "(") close = ")";
+  else if (open == "[") close = "]";
+  else if (open == "{") close = "}";
+  else return tokens.size();
+  int depth = 0;
+  for (std::size_t j = i; j < tokens.size(); ++j) {
+    if (tokens[j].kind != Tok::kPunct) continue;
+    if (tokens[j].text == open) ++depth;
+    else if (tokens[j].text == close && --depth == 0) return j;
+  }
+  return tokens.size();
+}
+
+}  // namespace bfc::analyze

@@ -1,0 +1,65 @@
+// Token-level C++ lexer for bfc-analyze. This is NOT a compiler frontend:
+// it produces the token stream the project's rules need — identifiers,
+// numbers, string/char literals, punctuation — with line/column positions,
+// while routing comments into a per-line side table (suppression markers
+// and `// seq_cst:` justifications live there). Matching on tokens instead
+// of raw text is what kills the grep-era false positives: a `std::mutex`
+// inside a comment or a string literal is not a finding.
+//
+// Deliberate simplifications (documented, not accidental): preprocessor
+// directives are lexed like ordinary tokens (the rules anchor on call-shaped
+// macro names, so that is what they want), and templates are not parsed —
+// rules that need nesting walk the bracket structure themselves.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace bfc::analyze {
+
+enum class Tok {
+  kIdent,
+  kNumber,
+  kString,  // text = literal contents WITHOUT quotes, escapes unprocessed
+  kChar,    // text = contents without quotes
+  kPunct,
+};
+
+struct Token {
+  Tok kind = Tok::kPunct;
+  std::string text;
+  int line = 1;
+  int col = 1;
+
+  [[nodiscard]] bool is(Tok k, const char* s) const {
+    return kind == k && text == s;
+  }
+  [[nodiscard]] bool ident(const char* s) const { return is(Tok::kIdent, s); }
+  [[nodiscard]] bool punct(const char* s) const { return is(Tok::kPunct, s); }
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// line -> all comment text that STARTS on that line (// and /* */),
+  /// concatenated with a separating space.
+  std::map<int, std::string> comments;
+  /// Raw source lines, index = line - 1 (used for finding snippets).
+  std::vector<std::string> lines;
+  /// Lines that carry at least one non-comment token.
+  std::set<int> code_lines;
+};
+
+/// Lexes a whole translation unit. Never throws on malformed input: an
+/// unterminated literal is closed at end of file (the analyzer must degrade
+/// gracefully on code it half-understands, not crash the lint gate).
+[[nodiscard]] LexedFile lex(const std::string& source);
+
+/// Index of the matching closer for the opener at `i` ('(', '[' or '{'),
+/// or tokens.size() when unbalanced. Angle brackets are NOT bracketed —
+/// this walks real bracket structure only.
+[[nodiscard]] std::size_t match_bracket(const std::vector<Token>& tokens,
+                                        std::size_t i);
+
+}  // namespace bfc::analyze

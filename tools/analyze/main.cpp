@@ -1,0 +1,201 @@
+// bfc-analyze: project-specific static analysis for the butterfly-counting
+// codebase. Token-level, dependency-free (no LLVM), fast enough to run on
+// every PR. See docs/static-analysis.md for the rule catalog and workflow.
+//
+//   bfc-analyze --root . [--format=text|json|sarif] [--out FILE]
+//               [--baseline FILE] [--write-baseline FILE]
+//               [--registry FILE] [--docs DIR] [--list-rules] [paths...]
+//
+// Exit codes: 0 = clean (no non-baseline findings), 1 = findings, 2 = usage
+// or I/O error.
+
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace bfc::analyze;
+
+struct Options {
+  std::string root = ".";
+  std::string format = "text";
+  std::string out_path;            // empty = stdout
+  std::string baseline_path;       // empty = no baseline diff
+  std::string write_baseline_path; // empty = don't write
+  std::string registry_path;       // empty = default under root
+  std::string docs_dir;            // empty = default under root
+  bool list_rules = false;
+  bool no_registry = false;
+  std::vector<std::string> paths;
+};
+
+void usage(std::ostream& os) {
+  os << "usage: bfc-analyze [--root DIR] [--format=text|json|sarif]\n"
+        "                   [--out FILE] [--baseline FILE]\n"
+        "                   [--write-baseline FILE] [--registry FILE]\n"
+        "                   [--docs DIR] [--no-registry] [--list-rules]\n"
+        "                   [paths...]   (default: src bench examples)\n";
+}
+
+[[nodiscard]] bool take_value(const std::string& arg, const char* name,
+                              int argc, char** argv, int& i,
+                              std::string& out) {
+  const std::string flag(name);
+  if (arg == flag) {
+    if (i + 1 >= argc) throw std::runtime_error(flag + " needs a value");
+    out = argv[++i];
+    return true;
+  }
+  if (arg.compare(0, flag.size() + 1, flag + "=") == 0) {
+    out = arg.substr(flag.size() + 1);
+    return true;
+  }
+  return false;
+}
+
+[[nodiscard]] Options parse_args(int argc, char** argv) {
+  Options o;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      std::exit(0);
+    }
+    if (arg == "--list-rules") {
+      o.list_rules = true;
+    } else if (arg == "--no-registry") {
+      o.no_registry = true;
+    } else if (take_value(arg, "--root", argc, argv, i, o.root) ||
+               take_value(arg, "--format", argc, argv, i, o.format) ||
+               take_value(arg, "--out", argc, argv, i, o.out_path) ||
+               take_value(arg, "--baseline", argc, argv, i,
+                          o.baseline_path) ||
+               take_value(arg, "--write-baseline", argc, argv, i,
+                          o.write_baseline_path) ||
+               take_value(arg, "--registry", argc, argv, i,
+                          o.registry_path) ||
+               take_value(arg, "--docs", argc, argv, i, o.docs_dir)) {
+      // handled
+    } else if (!arg.empty() && arg[0] == '-') {
+      throw std::runtime_error("unknown flag " + arg);
+    } else {
+      o.paths.push_back(arg);
+    }
+  }
+  if (o.format != "text" && o.format != "json" && o.format != "sarif")
+    throw std::runtime_error("unknown --format " + o.format);
+  if (o.paths.empty()) o.paths = {"src", "bench", "examples"};
+  return o;
+}
+
+[[nodiscard]] std::string slurp_docs(const std::string& dir) {
+  std::ostringstream blob;
+  if (!fs::is_directory(dir)) return "";
+  for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+    if (!entry.is_regular_file()) continue;
+    std::ifstream in(entry.path(), std::ios::binary);
+    blob << in.rdbuf() << '\n';
+  }
+  return blob.str();
+}
+
+void write_output(const Options& o, const std::string& text) {
+  if (o.out_path.empty()) {
+    std::cout << text;
+    return;
+  }
+  std::ofstream out(o.out_path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write " + o.out_path);
+  out << text;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opts;
+  try {
+    opts = parse_args(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "bfc-analyze: " << e.what() << "\n";
+    usage(std::cerr);
+    return 2;
+  }
+
+  if (opts.list_rules) {
+    for (const Rule& r : all_rules())
+      std::cout << r.name << "  —  " << r.summary << "\n";
+    return 0;
+  }
+
+  try {
+    Registry registry;
+    bool have_registry = false;
+    if (!opts.no_registry) {
+      std::string reg_path = opts.registry_path;
+      if (reg_path.empty()) {
+        const fs::path dflt =
+            fs::path(opts.root) / "tools" / "analyze" / "metrics.registry";
+        if (fs::is_regular_file(dflt)) reg_path = dflt.string();
+      }
+      if (!reg_path.empty()) {
+        registry = Registry::load(reg_path);
+        // Findings report the registry path relative to the root when
+        // possible, so baselines are machine-independent.
+        std::error_code ec;
+        const fs::path rel = fs::relative(reg_path, opts.root, ec);
+        if (!ec && !rel.empty() && rel.generic_string().rfind("..", 0) != 0)
+          registry.path = rel.generic_string();
+        have_registry = true;
+      }
+    }
+
+    const std::vector<SourceFile> files = load_tree(opts.root, opts.paths);
+    std::vector<Finding> findings =
+        run_rules(files, have_registry ? &registry : nullptr);
+
+    if (have_registry) {
+      const std::string docs_dir =
+          opts.docs_dir.empty() ? (fs::path(opts.root) / "docs").string()
+                                : opts.docs_dir;
+      std::vector<Finding> doc_findings =
+          check_registry_documented(registry, slurp_docs(docs_dir));
+      findings.insert(findings.end(), doc_findings.begin(),
+                      doc_findings.end());
+      fingerprint(findings);  // recompute ordinals over the merged list
+    }
+
+    if (!opts.write_baseline_path.empty()) {
+      std::ofstream out(opts.write_baseline_path, std::ios::binary);
+      if (!out)
+        throw std::runtime_error("cannot write " + opts.write_baseline_path);
+      out << render_baseline(findings);
+      std::cerr << "bfc-analyze: wrote baseline with " << findings.size()
+                << " findings to " << opts.write_baseline_path << "\n";
+      return 0;
+    }
+
+    if (!opts.baseline_path.empty())
+      findings = diff_baseline(findings, Baseline::load(opts.baseline_path));
+
+    std::string rendered;
+    if (opts.format == "json") rendered = render_json(findings);
+    else if (opts.format == "sarif") rendered = render_sarif(findings);
+    else rendered = render_text(findings);
+    write_output(opts, rendered);
+
+    if (!findings.empty() && opts.format != "text")
+      std::cerr << "bfc-analyze: " << findings.size()
+                << " non-baseline finding(s)\n";
+    return findings.empty() ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::cerr << "bfc-analyze: " << e.what() << "\n";
+    return 2;
+  }
+}

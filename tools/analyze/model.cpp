@@ -1,0 +1,131 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfc::analyze {
+namespace {
+
+[[nodiscard]] std::string trim(std::string s) {
+  const auto sp = [](char c) {
+    return std::isspace(static_cast<unsigned char>(c)) != 0;
+  };
+  while (!s.empty() && sp(s.front())) s.erase(s.begin());
+  while (!s.empty() && sp(s.back())) s.pop_back();
+  return s;
+}
+
+/// Extracts every suppression marker from one line's comment text.
+void parse_markers(const std::string& comment, int line,
+                   std::vector<Suppression>& out) {
+  // Modern spelling: "bfc-analyze: <rule>-ok <why>" — possibly several per
+  // comment, so scan for every occurrence of the introducer.
+  for (std::size_t pos = comment.find("bfc-analyze:");
+       pos != std::string::npos;
+       pos = comment.find("bfc-analyze:", pos + 1)) {
+    std::istringstream in(comment.substr(pos + std::string("bfc-analyze:").size()));
+    std::string word;
+    if (!(in >> word)) {
+      out.push_back(Suppression{"", "", line, false});
+      continue;
+    }
+    Suppression s;
+    s.line = line;
+    constexpr const char* kOk = "-ok";
+    if (word.size() > 3 && word.compare(word.size() - 3, 3, kOk) == 0) {
+      s.rule = word.substr(0, word.size() - 3);
+    } else {
+      s.rule = word;  // malformed: missing "-ok"; keep for diagnostics
+      out.push_back(std::move(s));
+      continue;
+    }
+    std::string why;
+    std::getline(in, why);
+    s.why = trim(why);
+    out.push_back(std::move(s));
+  }
+  // Legacy spelling 1: "bfc-lint: raw-sync-ok" (rationale optional — the
+  // historical call sites predate the mandatory-why policy).
+  if (const auto pos = comment.find("bfc-lint: raw-sync-ok");
+      pos != std::string::npos) {
+    Suppression s;
+    s.rule = "raw-sync";
+    s.why = trim(comment.substr(pos + std::string("bfc-lint: raw-sync-ok").size()));
+    if (s.why.empty()) s.why = "(legacy marker)";
+    s.line = line;
+    s.legacy = true;
+    out.push_back(std::move(s));
+  }
+  // Legacy spelling 2: "seq_cst: <why>" — lint.sh rule D's escape hatch.
+  if (const auto pos = comment.find("seq_cst:"); pos != std::string::npos) {
+    Suppression s;
+    s.rule = "seq-cst";
+    s.why = trim(comment.substr(pos + std::string("seq_cst:").size()));
+    if (s.why.empty()) s.why = "(legacy marker)";
+    s.line = line;
+    s.legacy = true;
+    out.push_back(std::move(s));
+  }
+}
+
+}  // namespace
+
+SourceFile SourceFile::from_string(std::string path,
+                                   const std::string& content) {
+  SourceFile f;
+  f.path = std::move(path);
+  f.lex = bfc::analyze::lex(content);
+  for (const auto& [line, text] : f.lex.comments)
+    parse_markers(text, line, f.suppressions);
+  return f;
+}
+
+SourceFile SourceFile::from_disk(const std::string& abs_path,
+                                 std::string rel_path) {
+  std::ifstream in(abs_path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read " + abs_path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_string(std::move(rel_path), buf.str());
+}
+
+std::string SourceFile::snippet(int line) const {
+  if (line < 1 || static_cast<std::size_t>(line) > lex.lines.size()) return "";
+  const std::string& raw = lex.lines[static_cast<std::size_t>(line - 1)];
+  std::string out;
+  bool in_space = true;  // also eats leading whitespace
+  for (const char c : raw) {
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (!in_space) out.push_back(' ');
+      in_space = true;
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  while (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+bool SourceFile::suppressed(const std::string& rule, int line) const {
+  for (const auto& s : suppressions) {
+    if (s.rule != rule || s.why.empty()) continue;
+    if (s.line == line ||
+        (s.line == line - 1 && !line_has_code(s.line))) {
+      s.used = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool SourceFile::under(std::initializer_list<const char*> prefixes) const {
+  return std::any_of(prefixes.begin(), prefixes.end(), [&](const char* p) {
+    return path.compare(0, std::string(p).size(), p) == 0;
+  });
+}
+
+}  // namespace bfc::analyze

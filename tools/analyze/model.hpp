@@ -1,0 +1,61 @@
+// A lexed source file plus the project-rule metadata the engine layers on
+// top of the raw token stream: per-line suppression markers and snippet
+// extraction for findings/baselines.
+//
+// Suppression syntax (documented in docs/static-analysis.md):
+//
+//   // bfc-analyze: <rule>-ok <why>
+//
+// The rationale is MANDATORY — a bare marker does not suppress and instead
+// surfaces as a `suppression` finding, so "I silenced the tool" always
+// carries a reviewable sentence of justification. A marker on a line of its
+// own applies to the next code line (clang-tidy NOLINTNEXTLINE style).
+//
+// Two legacy spellings from the grep-era lint rules keep working so the
+// migration does not churn every historical call site:
+//   // bfc-lint: raw-sync-ok            (suppresses rule raw-sync)
+//   // seq_cst: <why>                   (suppresses rule seq-cst)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace bfc::analyze {
+
+struct Suppression {
+  std::string rule;
+  std::string why;  // empty = malformed marker (does not suppress)
+  int line = 0;
+  bool legacy = false;
+  mutable bool used = false;  // for unused-suppression reporting
+};
+
+struct SourceFile {
+  std::string path;  // repo-relative, '/'-separated — what findings report
+  LexedFile lex;
+  std::vector<Suppression> suppressions;
+
+  [[nodiscard]] static SourceFile from_string(std::string path,
+                                              const std::string& content);
+  /// Throws std::runtime_error when the file cannot be read.
+  [[nodiscard]] static SourceFile from_disk(const std::string& abs_path,
+                                            std::string rel_path);
+
+  [[nodiscard]] bool line_has_code(int line) const {
+    return lex.code_lines.count(line) != 0;
+  }
+  /// Trimmed, whitespace-collapsed source line (1-based); "" out of range.
+  [[nodiscard]] std::string snippet(int line) const;
+
+  /// True when a well-formed suppression for `rule` covers `line` — on the
+  /// line itself or on a marker-only line directly above it.
+  [[nodiscard]] bool suppressed(const std::string& rule, int line) const;
+
+  /// True when the path starts with any of the given '/'-terminated-or-file
+  /// prefixes ("src/svc/", "bench/serving.cpp").
+  [[nodiscard]] bool under(std::initializer_list<const char*> prefixes) const;
+};
+
+}  // namespace bfc::analyze

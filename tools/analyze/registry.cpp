@@ -1,0 +1,86 @@
+#include "registry.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace bfc::analyze {
+namespace {
+
+[[nodiscard]] std::vector<std::string> split_dots(const std::string& s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (const char c : s) {
+    if (c == '.') {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+bool registry_name_matches(const std::string& entry,
+                           const std::string& literal) {
+  const bool prefix = !literal.empty() && literal.back() == '.';
+  std::vector<std::string> es = split_dots(entry);
+  std::vector<std::string> ls = split_dots(literal);
+  if (prefix) ls.pop_back();  // drop the empty trailing segment
+  if (prefix ? es.size() < ls.size() : es.size() != ls.size()) return false;
+  for (std::size_t k = 0; k < ls.size(); ++k) {
+    const std::string& e = es[k];
+    const bool placeholder =
+        e.size() >= 2 && e.front() == '<' && e.back() == '>';
+    if (!placeholder && e != ls[k]) return false;
+  }
+  return true;
+}
+
+Registry Registry::parse(std::string path, const std::string& content,
+                         std::vector<std::pair<int, std::string>>* errors) {
+  Registry reg;
+  reg.path = std::move(path);
+  std::istringstream in(content);
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    if (const auto hash = raw.find('#'); hash != std::string::npos)
+      raw.erase(hash);
+    std::istringstream fields(raw);
+    std::string kind, name, extra;
+    if (!(fields >> kind)) continue;  // blank / comment-only line
+    const bool ok = (fields >> name) && !(fields >> extra) &&
+                    (kind == "metric" || kind == "span" || kind == "tag");
+    if (!ok) {
+      if (errors != nullptr) errors->emplace_back(line, raw);
+      continue;
+    }
+    reg.entries.push_back(RegistryEntry{kind, name, line});
+  }
+  return reg;
+}
+
+Registry Registry::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("cannot read registry " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(path, buf.str());
+}
+
+bool Registry::matches(const std::string& kind,
+                       const std::string& literal) const {
+  for (const auto& e : entries) {
+    if (e.kind != kind) continue;
+    if (registry_name_matches(e.name, literal)) return true;
+  }
+  return false;
+}
+
+}  // namespace bfc::analyze
