@@ -21,6 +21,13 @@
 #             zero count drift against a sequential --shards 1 replay and
 #             overlapping per-shard publish spans; the OpenMetrics dump must
 #             then lint clean with dense svc_shard_<k>_* families
+#   chaos     4 out-of-process shard hosts (needs -DHOST=<bfc-shard-host>);
+#             one is SIGKILLed mid-load. The bench self-checks failure-domain
+#             isolation: zero failed queries, dead range stale-tagged while
+#             healthy ranges stay exact, exactly one supervised restart, and
+#             zero drift after the recovery replay. No --spans-out here: the
+#             publish spans land inside the host processes, so the overlap
+#             self-check has nothing to see client-side.
 file(MAKE_DIRECTORY "${OUT}")
 set(report "${OUT}/serving_report.json")
 
@@ -50,6 +57,13 @@ elseif(MODE STREQUAL "shard")
            --degrade-depth 64
            --metrics-file "${OUT}/metrics.txt"
            --spans-out "${OUT}/spans.json")
+elseif(MODE STREQUAL "chaos")
+  if(NOT DEFINED HOST)
+    message(FATAL_ERROR "MODE=chaos needs -DHOST=<path to bfc-shard-host>")
+  endif()
+  set(load --shards 4 --kill-shard 2@mid --host-bin "${HOST}" --scale 0.02
+           --readers 4 --epochs 6 --batch 60 --queries 200 --pool 2
+           --metrics-file "${OUT}/metrics.txt")
 elseif(MODE STREQUAL "telemetry")
   # --degrade-depth 64 for the same structural-shed reason as MODE=overload.
   set(load --overload --scale 0.05 --readers 6 --epochs 3 --batch 60
@@ -110,6 +124,32 @@ if(MODE STREQUAL "shard")
   if(spans_text STREQUAL "")
     message(FATAL_ERROR "spans.json is empty")
   endif()
+endif()
+
+if(MODE STREQUAL "chaos")
+  # The chaos bench self-checked isolation/recovery/drift; the OpenMetrics
+  # dump must additionally lint clean against the registry and carry the
+  # failure-domain instruments the run just exercised.
+  set(families_args)
+  if(DEFINED REGISTRY)
+    set(families_args --families "${REGISTRY}")
+  endif()
+  execute_process(
+    COMMAND "${LINT}" --openmetrics "${OUT}/metrics.txt" ${families_args}
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "openmetrics lint failed (rc=${rc}):\n${out}\n${err}")
+  endif()
+  message(STATUS "${out}")
+  file(READ "${OUT}/metrics.txt" metrics_text)
+  foreach(family svc_remote_retries svc_supervisor_restarts
+          svc_shard_2_circuit_state svc_shard_2_unavailable)
+    if(NOT metrics_text MATCHES "${family}")
+      message(FATAL_ERROR "OpenMetrics dump is missing ${family}")
+    endif()
+  endforeach()
 endif()
 
 if(MODE STREQUAL "telemetry")

@@ -30,6 +30,18 @@
 //
 //   ./serving --shards 4 [--zipf 0.9]
 //
+// Chaos mode moves every shard into its own bfc-shard-host process behind a
+// RemoteShard and SIGKILLs one of them mid-load while the supervisor watches:
+//
+//   ./serving --shards 4 --kill-shard 2@mid --host-bin path/to/bfc-shard-host
+//
+// <round> is a 0-based publish round or "mid" (= epochs/2). The run fails
+// unless: no query ever failed outright, the dead range's answers were
+// tagged stale (per-shard fidelity bit) while a healthy range stayed exact,
+// the supervisor restarted the host exactly once from its checkpoint, the
+// victim writer's replay converged, and the final count still matches the
+// sequential --shards 1 replay — crash recovery with zero drift.
+//
 // Telemetry plane (all optional, see docs/telemetry.md):
 //
 //   --metrics-port N   serve the OpenMetrics rendering on 127.0.0.1:N
@@ -54,10 +66,14 @@
 // epoch drifts from a from-scratch recount, or — when kernel metrics are
 // compiled in — if the run produced no cache hits or no coalesced batches
 // (normal mode), or no shed/rejected work (overload mode).
+#include <signal.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <barrier>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <memory>
@@ -77,6 +93,9 @@
 #include "obs/profiler.hpp"
 #include "obs/spans.hpp"
 #include "shard/partition.hpp"
+#include "shard/remote.hpp"
+#include "shard/supervisor.hpp"
+#include "shard/transport.hpp"
 #include "sparse/ops.hpp"
 #include "svc/service.hpp"
 #include "util/rng.hpp"
@@ -266,10 +285,10 @@ int main(int argc, char** argv) {
   const BenchConfig cfg = bfc::bench::parse_config(
       argc, argv,
       {"readers", "epochs", "batch", "queries", "pool", "mix", "shards",
-       "zipf", "overload", "max-queue", "policy", "deadline-ms",
-       "degrade-depth", "metrics-port", "metrics-file", "spans-out",
-       "trace-sample", "profile-hz", "profile-out", "flight-out", "slo-ms",
-       "slo-objective"});
+       "zipf", "kill-shard", "host-bin", "overload", "max-queue", "policy",
+       "deadline-ms", "degrade-depth", "metrics-port", "metrics-file",
+       "spans-out", "trace-sample", "profile-hz", "profile-out", "flight-out",
+       "slo-ms", "slo-objective"});
   const Cli cli(argc, argv);
   const int readers = static_cast<int>(cli.get_int("readers", 4));
   const int epochs = static_cast<int>(cli.get_int("epochs", 8));
@@ -290,6 +309,29 @@ int main(int argc, char** argv) {
   require(zipf_theta >= 0.0 && zipf_theta < 1.0,
           "--zipf must be in [0, 1): 0 disables, YCSB theta otherwise");
 
+  // Chaos mode: out-of-process shard hosts, one SIGKILLed mid-run.
+  const std::string kill_spec = cli.get("kill-shard", "");
+  const std::string host_bin = cli.get("host-bin", "");
+  const bool chaos = !kill_spec.empty();
+  int victim = -1;
+  int kill_round = -1;
+  if (chaos) {
+    require(sharded, "--kill-shard needs --shards > 1");
+    require(!host_bin.empty(),
+            "--kill-shard needs --host-bin <path to bfc-shard-host>");
+    const std::size_t at = kill_spec.find('@');
+    require(at != std::string::npos && at > 0 && at + 1 < kill_spec.size(),
+            "--kill-shard spec is <shard>@<round|mid>, got '" + kill_spec +
+                "'");
+    victim = std::stoi(kill_spec.substr(0, at));
+    const std::string round = kill_spec.substr(at + 1);
+    kill_round = round == "mid" ? epochs / 2 : std::stoi(round);
+    require(victim >= 0 && victim < shards,
+            "--kill-shard shard index out of range");
+    require(kill_round >= 0 && kill_round < epochs,
+            "--kill-shard round must be in [0, epochs)");
+  }
+
   // Overload mode: bounded queue sized to saturate under the reader load,
   // tight deadlines, degraded-mode threshold at half the bound.
   const bool overload = cli.get_bool("overload", false);
@@ -306,6 +348,9 @@ int main(int argc, char** argv) {
                : 0,
       0));
   require(!overload || max_queue > 0, "--overload needs --max-queue >= 1");
+  require(!overload || !chaos,
+          "--kill-shard and --overload are separate acceptance runs: chaos "
+          "asserts zero failed queries, overload asserts shed work");
 
   // ---- telemetry plane ----------------------------------------------------
   const bool has_metrics_port = cli.has("metrics-port");
@@ -354,11 +399,57 @@ int main(int argc, char** argv) {
     service_options.slo_objective = slo_objective;
   }
   svc::ButterflyService service(n1, n2, service_options);
+  const shard::RangePartition part = service.shard_store().partition();
+
+  // Chaos plumbing: every shard moves into its own bfc-shard-host process
+  // behind a RemoteShard BEFORE the initial load, so all shard state lives
+  // across a process boundary and every publish/pin crosses the socket.
+  std::optional<shard::ShardSupervisor> supervisor;
+  std::vector<std::shared_ptr<shard::RemoteShard>> remotes;
+  std::vector<std::string> chaos_ckpts;
+  if (chaos) {
+    const std::string stem =
+        "/tmp/bfc_chaos_" + std::to_string(::getpid()) + "_";
+    supervisor.emplace();
+    for (int k = 0; k < shards; ++k) {
+      shard::HostSpec spec;
+      spec.binary = host_bin;
+      spec.socket = stem + std::to_string(k) + ".sock";
+      spec.id = k;
+      spec.n1 = n1;
+      spec.n2 = n2;
+      spec.lo = part.begin(k);
+      spec.hi = part.end(k);
+      supervisor->add_host(spec);
+      auto remote = std::make_shared<shard::RemoteShard>(
+          k, n1, n2, spec.lo, spec.hi, spec.socket);
+      service.swap_shard(k, remote);
+      remotes.push_back(std::move(remote));
+      chaos_ckpts.push_back(stem + std::to_string(k) + ".ckpt");
+    }
+  }
+
   {
     std::vector<svc::EdgeUpdate> load;
     for (const auto& [u, v] : sparse::edges(initial.csr()))
       load.push_back(svc::EdgeUpdate::add(u, v));
     service.apply_updates(load);
+  }
+
+  if (chaos) {
+    // Checkpoint every host right after the initial load and hand the paths
+    // to the supervisor: a restart restores this state, and the victim
+    // writer replays its scripted rounds on top — exact by construction.
+    for (int k = 0; k < shards; ++k) {
+      remotes[static_cast<std::size_t>(k)]->persist(
+          chaos_ckpts[static_cast<std::size_t>(k)]);
+      supervisor->set_snapshot(k, chaos_ckpts[static_cast<std::size_t>(k)]);
+    }
+    supervisor->start_monitor([](int k, std::uint64_t restored_epoch) {
+      std::cout << "supervisor: restarted shard " << k
+                << " from its checkpoint (restored epoch " << restored_epoch
+                << ")\n";
+    });
   }
   std::cout << "graph: |V1|=" << n1 << " |V2|=" << n2
             << " |E|=" << service.snapshot()->edges << "  readers=" << readers
@@ -370,7 +461,6 @@ int main(int argc, char** argv) {
               << svc::shed_policy_name(policy) << " deadline="
               << Table::fixed(deadline_ms, 1) << " ms degrade-depth="
               << degrade_depth << "\n";
-  const shard::RangePartition part = service.shard_store().partition();
   if (sharded) {
     std::cout << "sharded: " << shards << " range-partitioned stores, "
               << shards << " concurrent writers (V1 ranges";
@@ -382,6 +472,10 @@ int main(int argc, char** argv) {
   if (zipf_theta > 0.0)
     std::cout << "zipf: theta=" << Table::fixed(zipf_theta, 2)
               << " (rank 0 hottest; low ranks land in shard 0)\n";
+  if (chaos)
+    std::cout << "chaos: " << shards << " out-of-process hosts (" << host_bin
+              << "); SIGKILL shard " << victim << " after round " << kill_round
+              << "\n";
   std::cout << "\n";
 
   // Key popularity: --zipf draws ranks from the YCSB Zipf generator (rank 0
@@ -413,6 +507,12 @@ int main(int argc, char** argv) {
   std::atomic<std::int64_t> completed_at_reset{0};
   std::atomic<std::int64_t> degraded_answers{0};
   std::atomic<std::int64_t> overload_errors{0};
+
+  // Chaos evidence, written by the victim writer and read after the join.
+  std::atomic<bool> saw_victim_stale{false};
+  std::atomic<bool> saw_healthy_exact{false};
+  std::atomic<bool> chaos_recovery_failed{false};
+  std::atomic<std::int64_t> outage_rounds{0};
 
   // Sharded writers replay a pre-generated script: shard k's round-e batch
   // only touches V1 vertices in [begin(k), end(k)), so the N writers can
@@ -517,11 +617,72 @@ int main(int argc, char** argv) {
     } else {
       for (int k = 0; k < shards; ++k)
         threads.emplace_back([&, k] {
+          const auto& rounds = script[static_cast<std::size_t>(k)];
+          // behind = the host restored its initial-load checkpoint (or is
+          // about to), so every scripted round applied so far is gone from
+          // it. Recovery replays the script from round 0 in publish order:
+          // EdgeUpdate batches are absolute (add -> present, del -> absent),
+          // so reapplying an ordered prefix that partially landed converges
+          // on exactly the sequential state.
+          bool behind = false;
+          const auto replay_through = [&](int upto) {
+            for (int r = 0; r < upto; ++r)
+              service.apply_updates_shard(k, rounds[static_cast<std::size_t>(
+                                                 r)]);
+          };
           for (int e = 0; e < epochs; ++e) {
-            service.apply_updates_shard(
-                k, script[static_cast<std::size_t>(k)]
-                         [static_cast<std::size_t>(e)]);
+            try {
+              if (behind) {
+                replay_through(e);
+                behind = false;
+              }
+              service.apply_updates_shard(k,
+                                          rounds[static_cast<std::size_t>(e)]);
+            } catch (const shard::ShardUnavailableError&) {
+              behind = true;  // quarantined round; the drain below replays it
+              outage_rounds.fetch_add(1, std::memory_order_relaxed);
+            }
+            if (chaos && k == victim && e == kill_round) {
+              supervisor->kill_host(victim, SIGKILL);
+              behind = true;  // the restart will restore the checkpoint
+              // Witness the failure domain from the query plane while the
+              // range is dark: the dead range's answer must pick up the
+              // victim's staleness bit (the circuit opens after a handful
+              // of failed pins), and a healthy range must stay exact in
+              // the same window. Bounded spin: the breaker opens in
+              // milliseconds, long before the supervised restart lands.
+              const vidx_t dead_u = part.begin(victim);
+              const vidx_t live_u = part.begin(victim == 0 ? 1 : 0);
+              for (int t = 0; t < 20000; ++t) {
+                const svc::QueryResult<count_t> r =
+                    service.vertex_tip_v1(dead_u).get();
+                if (r.stale_shards >> victim & 1u) {
+                  saw_victim_stale.store(true, std::memory_order_relaxed);
+                  break;
+                }
+              }
+              const svc::QueryResult<count_t> live =
+                  service.vertex_tip_v1(live_u).get();
+              if (!live.degraded())
+                saw_healthy_exact.store(true, std::memory_order_relaxed);
+            }
             round_barrier.arrive_and_wait();
+          }
+          // Drain: rounds lost to the outage are still owed. Wait out the
+          // supervised restart and replay the whole script in order.
+          const auto give_up =
+              std::chrono::steady_clock::now() + std::chrono::seconds(60);
+          while (behind) {
+            try {
+              replay_through(epochs);
+              behind = false;
+            } catch (const shard::ShardUnavailableError&) {
+              if (std::chrono::steady_clock::now() > give_up) {
+                chaos_recovery_failed.store(true, std::memory_order_relaxed);
+                break;
+              }
+              std::this_thread::sleep_for(std::chrono::milliseconds(20));
+            }
           }
         });
     }
@@ -670,6 +831,75 @@ int main(int argc, char** argv) {
     report.set_config("view_tier_hit_rate", gen_rate(shards));
   }
 
+  // Chaos acceptance: the failure was observed from the query plane,
+  // isolated to its range, healed by exactly one supervised restart, and no
+  // query ever failed outright. The drift checks below then prove the
+  // recovery replay converged on the sequential state.
+  if (chaos) {
+    if (chaos_recovery_failed.load(std::memory_order_relaxed)) {
+      std::cerr << "FATAL: the victim shard never recovered; the replay "
+                   "drain gave up\n";
+      return 1;
+    }
+    if (supervisor->restarts() != 1) {
+      std::cerr << "FATAL: expected exactly one supervised restart, saw "
+                << supervisor->restarts() << "\n";
+      return 1;
+    }
+    if (!saw_victim_stale.load(std::memory_order_relaxed)) {
+      std::cerr << "FATAL: no query on the dead range picked up shard "
+                << victim << "'s staleness bit during the outage\n";
+      return 1;
+    }
+    if (!saw_healthy_exact.load(std::memory_order_relaxed)) {
+      std::cerr << "FATAL: a healthy-range query degraded during the "
+                   "outage; the failure was not isolated to the dead shard\n";
+      return 1;
+    }
+    if (overload_errors.load(std::memory_order_relaxed) != 0) {
+      std::cerr << "FATAL: "
+                << overload_errors.load(std::memory_order_relaxed)
+                << " query(ies) failed outright during the chaos run; a "
+                   "dead shard must degrade answers, never fail them\n";
+      return 1;
+    }
+    std::cout << "chaos check: shard " << victim << " SIGKILLed after round "
+              << kill_round << ", "
+              << outage_rounds.load(std::memory_order_relaxed)
+              << " publish round(s) quarantined, 1 supervised restart, dead "
+                 "range served stale, healthy ranges exact, zero failed "
+                 "queries\n";
+    if constexpr (obs::kMetricsEnabled) {
+      const auto counter = [](const std::string& name) {
+        return obs::Registry::instance().counter(name).value();
+      };
+      const std::int64_t retries = counter("svc.remote.retries");
+      const std::int64_t unavailable =
+          counter("svc.shard." + std::to_string(victim) + ".unavailable");
+      const std::int64_t restarts = counter("svc.supervisor.restarts");
+      if (retries <= 0 || unavailable <= 0 || restarts != 1) {
+        std::cerr << "FATAL: failure-domain counters look wrong: "
+                     "svc.remote.retries="
+                  << retries << " svc.shard." << victim
+                  << ".unavailable=" << unavailable
+                  << " svc.supervisor.restarts=" << restarts << "\n";
+        return 1;
+      }
+      std::cout << "chaos telemetry: svc.remote.retries=" << retries
+                << " svc.remote.timeouts=" << counter("svc.remote.timeouts")
+                << " svc.shard." << victim << ".unavailable=" << unavailable
+                << " svc.supervisor.restarts=" << restarts << "\n";
+    }
+    report.set_config("chaos_victim", static_cast<std::int64_t>(victim));
+    report.set_config("chaos_kill_round",
+                      static_cast<std::int64_t>(kill_round));
+    report.set_config("chaos_outage_rounds",
+                      outage_rounds.load(std::memory_order_relaxed));
+    report.set_config("chaos_restarts",
+                      static_cast<std::int64_t>(supervisor->restarts()));
+    supervisor->stop_monitor();
+  }
+
   // Zero-drift acceptance: the incrementally maintained count at the final
   // epoch must equal a from-scratch recount of the materialised snapshot —
   // shedding and degrading reads must never have touched the write path.
@@ -810,6 +1040,7 @@ int main(int argc, char** argv) {
               << " observations across a " << tail << "-query tail\n";
   }
 
+  for (const std::string& p : chaos_ckpts) std::remove(p.c_str());
   bfc::bench::write_reports(cfg);
   return 0;
 }

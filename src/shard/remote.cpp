@@ -1,0 +1,296 @@
+#include "shard/remote.hpp"
+
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/spans.hpp"
+
+namespace bfc::shard {
+
+RemoteShard::RemoteShard(int id, vidx_t n1, vidx_t n2, vidx_t lo, vidx_t hi,
+                         std::string socket_path, RemoteOptions opts)
+    : id_(id),
+      n1_(n1),
+      n2_(n2),
+      lo_(lo),
+      hi_(hi),
+      socket_(std::move(socket_path)),
+      opts_(opts),
+      jitter_(opts.jitter_seed + static_cast<std::uint64_t>(id)) {
+  require(id >= 0, "RemoteShard: id must be >= 0");
+  require(0 <= lo && lo <= hi && hi <= n1,
+          "RemoteShard: owned range must satisfy 0 <= lo <= hi <= n1");
+  // Epoch 0 = the empty graph over the full dimensions, matching a
+  // freshly started host. pin() is total from the first instant.
+  auto empty = std::make_shared<svc::GraphSnapshot>();
+  empty->graph = graph::BipartiteGraph::from_edges(n1, n2, {});
+  {
+    const MutexLock lock(mu_);
+    cached_ = std::move(empty);
+  }
+  if constexpr (obs::kMetricsEnabled) {
+    auto& reg = obs::Registry::instance();
+    retries_ = &reg.counter("svc.remote.retries");
+    timeouts_ = &reg.counter("svc.remote.timeouts");
+    // Per-shard families: same literal "svc.shard." prefix discipline as
+    // LocalShard's publishes counter (documented in docs/telemetry.md).
+    unavailable_ = &reg.counter("svc.shard." + std::to_string(id) +
+                                ".unavailable");
+    circuit_gauge_ = &reg.gauge("svc.shard." + std::to_string(id) +
+                                ".circuit_state");
+    circuit_gauge_->set(0.0);
+  }
+}
+
+void RemoteShard::set_state(CircuitState s) const {
+  state_ = s;
+  if (circuit_gauge_ != nullptr)
+    circuit_gauge_->set(static_cast<double>(static_cast<int>(s)));
+}
+
+bool RemoteShard::admit_call() const {
+  const MutexLock lock(mu_);
+  if (state_ != CircuitState::kOpen) return true;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - opened_at_ <
+      std::chrono::milliseconds(opts_.open_cooldown_ms))
+    return false;
+  set_state(CircuitState::kHalfOpen);  // one probe may pass
+  return true;
+}
+
+void RemoteShard::record_success() const {
+  const MutexLock lock(mu_);
+  failures_ = 0;
+  if (state_ != CircuitState::kClosed) set_state(CircuitState::kClosed);
+}
+
+void RemoteShard::record_failure() const {
+  if (unavailable_ != nullptr) unavailable_->increment();
+  const MutexLock lock(mu_);
+  ++failures_;
+  if (state_ == CircuitState::kHalfOpen ||
+      failures_ >= opts_.failure_threshold) {
+    set_state(CircuitState::kOpen);
+    opened_at_ = std::chrono::steady_clock::now();
+  }
+}
+
+std::string RemoteShard::rpc(wire::Msg msg, std::string_view payload,
+                             bool idempotent, int timeout_ms) const {
+  // Transport spans root their own traces, like svc.shard.publish: an RPC
+  // belongs to whatever query is running, but the query's context doesn't
+  // thread through the ShardHandle seam, and cross-process legs are exactly
+  // what a post-mortem wants to see unsampled.
+  obs::TraceContext ctx;
+  if (obs::SpanLog::enabled()) ctx = obs::TraceContext::root();
+  obs::Span span(ctx, "svc.remote.call");
+  span.tag("shard", std::to_string(id_));
+  span.tag("msg", std::to_string(static_cast<int>(msg)));
+  if (!admit_call()) {
+    if (unavailable_ != nullptr) unavailable_->increment();
+    span.tag("outcome", "open");
+    throw ShardUnavailableError("shard " + std::to_string(id_) +
+                                ": circuit open");
+  }
+  const int attempts = idempotent ? opts_.max_attempts : 1;
+  for (int a = 0;; ++a) {
+    try {
+      std::string reply = call_host(socket_, msg, payload, timeout_ms);
+      record_success();
+      span.tag("outcome", "ok");
+      return reply;
+    } catch (const ShardTimeoutError&) {
+      if (timeouts_ != nullptr) timeouts_->increment();
+      if (a + 1 >= attempts) {
+        record_failure();
+        span.tag("outcome", "timeout");
+        throw;
+      }
+    } catch (const ShardUnavailableError&) {
+      if (a + 1 >= attempts) {
+        record_failure();
+        span.tag("outcome", "unavailable");
+        throw;
+      }
+    }
+    // Jittered exponential backoff: base·2^a plus up to one extra base.
+    int sleep_ms;
+    {
+      const MutexLock lock(mu_);
+      const auto jitter = static_cast<int>(jitter_.bounded(
+          static_cast<std::uint64_t>(opts_.backoff_base_ms) + 1));
+      sleep_ms = (opts_.backoff_base_ms << a) + jitter;
+    }
+    if (retries_ != nullptr) retries_->increment();
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+  }
+}
+
+svc::PublishResult RemoteShard::apply(
+    std::span<const svc::EdgeUpdate> batch) {
+  for (const svc::EdgeUpdate& up : batch)
+    require(lo_ <= up.u && up.u < hi_,
+            "RemoteShard: update routed to the wrong shard (u=" +
+                std::to_string(up.u) + " outside [" + std::to_string(lo_) +
+                ", " + std::to_string(hi_) + ") of shard " +
+                std::to_string(id_) + ")");
+  // Publishes are not idempotent at the transport level: when the reply is
+  // lost the batch may or may not have landed, and a blind replay would
+  // publish a second epoch. One attempt; the caller owns recovery (the
+  // chaos bench replays whole rounds after a supervised restore, where
+  // replay from the restored state is exact by construction).
+  const std::string reply = rpc(wire::Msg::kApply, wire::encode_batch(batch),
+                                /*idempotent=*/false,
+                                opts_.transfer_timeout_ms);
+  return wire::decode_publish(reply);
+}
+
+svc::SnapshotPtr RemoteShard::pin() const {
+  std::uint64_t cached_epoch = 0;
+  {
+    const MutexLock lock(mu_);
+    cached_epoch = cached_->epoch;
+  }
+  try {
+    // The reply must outlive the Cursor: Cursor is a view, not an owner.
+    const std::string reply = rpc(wire::Msg::kEpoch, "", /*idempotent=*/true,
+                                  opts_.call_timeout_ms);
+    wire::Cursor c(reply);
+    const std::uint64_t remote_epoch = c.u64();
+    if (remote_epoch != cached_epoch) {
+      const std::string blob = rpc(wire::Msg::kPin, "", /*idempotent=*/true,
+                                   opts_.transfer_timeout_ms);
+      svc::SnapshotPtr fresh = wire::decode_snapshot(blob);
+      const MutexLock lock(mu_);
+      cached_ = fresh;
+    }
+  } catch (const ShardUnavailableError&) {
+    // Serve the last known epoch; the view layer tags the range stale via
+    // healthy(). The breaker/unavailable accounting happened inside rpc().
+  }
+  const MutexLock lock(mu_);
+  return cached_;
+}
+
+std::uint64_t RemoteShard::epoch() const {
+  try {
+    const std::string reply = rpc(wire::Msg::kEpoch, "", /*idempotent=*/true,
+                                  opts_.call_timeout_ms);
+    wire::Cursor c(reply);
+    return c.u64();
+  } catch (const ShardUnavailableError&) {
+    const MutexLock lock(mu_);
+    return cached_->epoch;
+  }
+}
+
+void RemoteShard::persist(const std::string& path) const {
+  wire::Payload p;
+  p.str(path);
+  (void)rpc(wire::Msg::kPersist, p.view(), /*idempotent=*/false,
+            opts_.transfer_timeout_ms);
+}
+
+void RemoteShard::restore(const std::string& path) {
+  wire::Payload p;
+  p.str(path);
+  const std::string reply = rpc(wire::Msg::kRestore, p.view(),
+                                /*idempotent=*/false,
+                                opts_.transfer_timeout_ms);
+  wire::Cursor c(reply);
+  const std::uint64_t restored_epoch = c.u64();
+  // Drop the cache so the next pin() transfers the restored graph even
+  // when the restored epoch collides with the cached one.
+  auto empty = std::make_shared<svc::GraphSnapshot>();
+  empty->graph = graph::BipartiteGraph::from_edges(n1_, n2_, {});
+  const MutexLock lock(mu_);
+  cached_ = std::move(empty);
+  (void)restored_epoch;
+}
+
+bool RemoteShard::healthy() const noexcept {
+  const MutexLock lock(mu_);
+  return state_ == CircuitState::kClosed;
+}
+
+CircuitState RemoteShard::circuit() const noexcept {
+  const MutexLock lock(mu_);
+  return state_;
+}
+
+count_t RemoteShard::query_global() const {
+  const std::string reply = rpc(wire::Msg::kGlobal, "", /*idempotent=*/true,
+                                opts_.call_timeout_ms);
+  wire::Cursor c(reply);
+  (void)c.u64();  // epoch
+  return c.i64();
+}
+
+count_t RemoteShard::query_tip_v1(vidx_t u) const {
+  wire::Payload p;
+  p.u64(static_cast<std::uint64_t>(u));
+  const std::string reply = rpc(wire::Msg::kTipV1, p.view(),
+                                /*idempotent=*/true,
+                                opts_.transfer_timeout_ms);
+  wire::Cursor c(reply);
+  (void)c.u64();
+  return c.i64();
+}
+
+count_t RemoteShard::query_tip_v2(vidx_t v) const {
+  wire::Payload p;
+  p.u64(static_cast<std::uint64_t>(v));
+  const std::string reply = rpc(wire::Msg::kTipV2, p.view(),
+                                /*idempotent=*/true,
+                                opts_.transfer_timeout_ms);
+  wire::Cursor c(reply);
+  (void)c.u64();
+  return c.i64();
+}
+
+count_t RemoteShard::query_edge_support(vidx_t u, vidx_t v) const {
+  wire::Payload p;
+  p.u64(static_cast<std::uint64_t>(u));
+  p.u64(static_cast<std::uint64_t>(v));
+  const std::string reply = rpc(wire::Msg::kEdgeSupport, p.view(),
+                                /*idempotent=*/true,
+                                opts_.transfer_timeout_ms);
+  wire::Cursor c(reply);
+  (void)c.u64();
+  return c.i64();
+}
+
+std::vector<count::VertexPair> RemoteShard::query_top_pairs(
+    std::size_t k) const {
+  wire::Payload p;
+  p.u64(k);
+  const std::string reply = rpc(wire::Msg::kTopPairs, p.view(),
+                                /*idempotent=*/true,
+                                opts_.transfer_timeout_ms);
+  std::uint64_t epoch = 0;
+  return wire::decode_pairs(reply, epoch);
+}
+
+bool RemoteShard::probe() const noexcept {
+  try {
+    const std::string reply =
+        call_host(socket_, wire::Msg::kPing, "", opts_.call_timeout_ms);
+    wire::Cursor c(reply);
+    const auto host_id = static_cast<int>(c.u64());
+    const auto host_lo = static_cast<vidx_t>(c.u64());
+    const auto host_hi = static_cast<vidx_t>(c.u64());
+    const bool ok = host_id == id_ && host_lo == lo_ && host_hi == hi_;
+    if (ok)
+      record_success();
+    else
+      record_failure();
+    return ok;
+  } catch (...) {
+    record_failure();
+    return false;
+  }
+}
+
+}  // namespace bfc::shard

@@ -120,13 +120,15 @@ CrossAggregatePtr ScatterGather::cross(const ShardViewPtr& view,
   std::shared_future<CrossAggregatePtr> fut;
   std::promise<CrossAggregatePtr> mine;
   bool computer = false;
+  std::uint64_t my_pass = 0;
   {
     const MutexLock lock(mu_);
     for (const MemoEntry& e : memo_)
       if (e.signature == sig) fut = e.result;
     if (!fut.valid()) {
       fut = mine.get_future().share();
-      memo_.push_back(MemoEntry{sig, fut});
+      my_pass = ++next_pass_id_;
+      memo_.push_back(MemoEntry{sig, my_pass, fut});
       if (memo_.size() > 2) {
         // Evict the oldest COMPLETED entry only. An in-flight compute keeps
         // its slot so late callers for its signature still coalesce instead
@@ -151,11 +153,14 @@ CrossAggregatePtr ScatterGather::cross(const ShardViewPtr& view,
     } catch (...) {
       // Drop the failed entry so the next caller retries, then let every
       // coalesced waiter see the same exception (CancelledError included —
-      // each degrades independently, like the tip-pass memo).
+      // each degrades independently, like the tip-pass memo). Erase ONLY
+      // our own entry (pass_id match): a clear() racing this failure may
+      // already have installed a fresh in-flight pass under this signature,
+      // and that pass — and the waiters coalesced onto it — must survive.
       {
         const MutexLock lock(mu_);
         std::erase_if(memo_, [&](const MemoEntry& e) {
-          return e.signature == sig;
+          return e.signature == sig && e.pass_id == my_pass;
         });
       }
       mine.set_exception(std::current_exception());

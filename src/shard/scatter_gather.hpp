@@ -126,6 +126,13 @@ class ScatterGather {
  private:
   struct MemoEntry {
     std::uint64_t signature = 0;
+    // Identity of the compute that inserted this entry. The failure-path
+    // erase matches on (signature, pass_id), not signature alone: between a
+    // compute failing and it reacquiring mu_, a clear() + fresh query can
+    // install a NEW in-flight entry under the same signature, and erasing
+    // by signature would evict that healthy pass (a later caller would then
+    // launch a duplicate compute instead of coalescing).
+    std::uint64_t pass_id = 0;
     std::shared_future<CrossAggregatePtr> result;
   };
 
@@ -133,6 +140,7 @@ class ScatterGather {
   // Newest last; ≤ 2 completed entries (in-flight computes are never
   // evicted, so the vector may transiently run longer under churn).
   std::vector<MemoEntry> memo_ BFC_GUARDED_BY(mu_);
+  std::uint64_t next_pass_id_ BFC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace bfc::shard

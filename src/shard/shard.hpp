@@ -56,6 +56,14 @@ class ShardHandle {
   /// Owned V1 interval [range_begin(), range_end()).
   [[nodiscard]] virtual vidx_t range_begin() const noexcept = 0;
   [[nodiscard]] virtual vidx_t range_end() const noexcept = 0;
+
+  /// Whether the shard can currently serve fresh answers. In-process shards
+  /// are always healthy; a RemoteShard reports false while its circuit
+  /// breaker is open (host crashed / unreachable), in which case pin()
+  /// still returns the last known snapshot so views stay total — the
+  /// sharded store folds this bit into ShardView::stale_mask and the
+  /// service downgrades fidelity instead of failing the query.
+  [[nodiscard]] virtual bool healthy() const noexcept { return true; }
 };
 
 using ShardHandlePtr = std::shared_ptr<ShardHandle>;

@@ -103,7 +103,14 @@ ShardViewPtr ShardedSnapshotStore::view() const {
   const ShardMapPtr map = map_load();
   auto v = std::make_shared<ShardView>();
   v->shards.reserve(map->shards.size());
-  for (const ShardHandlePtr& h : map->shards) v->shards.push_back(h->pin());
+  for (std::size_t k = 0; k < map->shards.size(); ++k) {
+    const ShardHandlePtr& h = map->shards[k];
+    v->shards.push_back(h->pin());
+    // healthy() AFTER pin(): a RemoteShard discovers a dead host during
+    // the pin, so probing first would blame a healthy snapshot on a shard
+    // that only just failed (or miss a failure by one view).
+    if (!h->healthy() && k < 64) v->stale_mask |= std::uint64_t{1} << k;
+  }
   v->version = version();
   v->signature = ShardView::signature_of(v->shards);
   return v;

@@ -1,0 +1,240 @@
+#include "shard/supervisor.hpp"
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "shard/transport.hpp"
+
+namespace bfc::shard {
+
+namespace {
+
+// kEpoch against a freshly restarted host; 0 when even that fails (the
+// caller still gets its on_restart, with the most conservative epoch).
+std::uint64_t query_epoch(const std::string& socket, int timeout_ms) {
+  try {
+    const std::string reply =
+        call_host(socket, wire::Msg::kEpoch, "", timeout_ms);
+    wire::Cursor c(reply);
+    return c.u64();
+  } catch (...) {
+    return 0;
+  }
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(SupervisorOptions opts) : opts_(opts) {}
+
+ShardSupervisor::~ShardSupervisor() {
+  stop_monitor();
+  const MutexLock lock(mu_);
+  for (Host& h : hosts_) {
+    if (h.pid <= 0) continue;
+    ::kill(h.pid, SIGKILL);
+    ::waitpid(h.pid, nullptr, 0);
+    h.pid = -1;
+  }
+}
+
+pid_t ShardSupervisor::spawn(const HostSpec& spec) {
+  std::vector<std::string> args = {
+      spec.binary,
+      "--socket", spec.socket,
+      "--shard",  std::to_string(spec.id),
+      "--n1",     std::to_string(spec.n1),
+      "--n2",     std::to_string(spec.n2),
+      "--lo",     std::to_string(spec.lo),
+      "--hi",     std::to_string(spec.hi)};
+  if (!spec.snapshot.empty()) {
+    args.emplace_back("--restore");
+    args.push_back(spec.snapshot);
+  }
+  for (const std::string& a : spec.extra_args) args.push_back(a);
+
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t child = ::fork();
+  require(child >= 0, "ShardSupervisor: fork failed");
+  if (child == 0) {
+    ::execv(argv[0], argv.data());
+    // Exec failure: exit without running atexit handlers of the parent
+    // image we still share.
+    ::_exit(127);
+  }
+  return child;
+}
+
+bool ShardSupervisor::ping(const HostSpec& spec) const {
+  try {
+    const std::string reply =
+        call_host(spec.socket, wire::Msg::kPing, "", opts_.probe_timeout_ms);
+    wire::Cursor c(reply);
+    const auto id = static_cast<int>(c.u64());
+    const auto lo = static_cast<vidx_t>(c.u64());
+    const auto hi = static_cast<vidx_t>(c.u64());
+    return id == spec.id && lo == spec.lo && hi == spec.hi;
+  } catch (...) {
+    return false;
+  }
+}
+
+void ShardSupervisor::wait_ready(const HostSpec& spec) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(opts_.startup_timeout_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (ping(spec)) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  require(false, "ShardSupervisor: host for shard " +
+                     std::to_string(spec.id) + " did not become ready on " +
+                     spec.socket);
+}
+
+int ShardSupervisor::add_host(HostSpec spec) {
+  const pid_t child = spawn(spec);
+  try {
+    wait_ready(spec);
+  } catch (...) {
+    ::kill(child, SIGKILL);
+    ::waitpid(child, nullptr, 0);
+    throw;
+  }
+  const MutexLock lock(mu_);
+  hosts_.push_back(Host{std::move(spec), child, 0});
+  return static_cast<int>(hosts_.size()) - 1;
+}
+
+void ShardSupervisor::set_snapshot(int k, std::string path) {
+  const MutexLock lock(mu_);
+  require(k >= 0 && static_cast<std::size_t>(k) < hosts_.size(),
+          "ShardSupervisor: bad host index");
+  hosts_[static_cast<std::size_t>(k)].spec.snapshot = std::move(path);
+}
+
+pid_t ShardSupervisor::pid(int k) const {
+  const MutexLock lock(mu_);
+  require(k >= 0 && static_cast<std::size_t>(k) < hosts_.size(),
+          "ShardSupervisor: bad host index");
+  return hosts_[static_cast<std::size_t>(k)].pid;
+}
+
+std::size_t ShardSupervisor::host_count() const {
+  const MutexLock lock(mu_);
+  return hosts_.size();
+}
+
+void ShardSupervisor::kill_host(int k, int sig) {
+  const pid_t target = pid(k);
+  require(target > 0, "ShardSupervisor: host not running");
+  ::kill(target, sig);
+}
+
+bool ShardSupervisor::alive(int k) const {
+  HostSpec spec;
+  {
+    const MutexLock lock(mu_);
+    require(k >= 0 && static_cast<std::size_t>(k) < hosts_.size(),
+            "ShardSupervisor: bad host index");
+    spec = hosts_[static_cast<std::size_t>(k)].spec;
+  }
+  return ping(spec);
+}
+
+void ShardSupervisor::monitor_tick() {
+  // Snapshot under the lock, operate outside it: a restart blocks for the
+  // child's startup and must not hold mu_ against add_host/kill_host.
+  std::size_t n;
+  {
+    const MutexLock lock(mu_);
+    n = hosts_.size();
+  }
+  for (std::size_t k = 0; k < n; ++k) {
+    HostSpec spec;
+    pid_t p;
+    {
+      const MutexLock lock(mu_);
+      spec = hosts_[k].spec;
+      p = hosts_[k].pid;
+    }
+    if (p <= 0) continue;
+
+    bool dead = false;
+    int status = 0;
+    if (::waitpid(p, &status, WNOHANG) == p) {
+      dead = true;  // crash/SIGKILL: the child is reaped
+    } else if (!ping(spec)) {
+      // Alive but unresponsive. Tolerate a few misses (a long pin/apply
+      // can monopolise the single-threaded host), then SIGKILL: a hung
+      // host is indistinguishable from a dead range for its readers.
+      const MutexLock lock(mu_);
+      if (++hosts_[k].probe_failures >= opts_.probe_failures_to_kill) {
+        ::kill(p, SIGKILL);
+        ::waitpid(p, nullptr, 0);
+        hosts_[k].probe_failures = 0;
+        dead = true;
+      }
+    } else {
+      const MutexLock lock(mu_);
+      hosts_[k].probe_failures = 0;
+    }
+    if (!dead) continue;
+
+    // The range is quarantined (the RemoteShard's circuit is open or will
+    // open on its next call). Restart from the last checkpoint.
+    const pid_t fresh = spawn(spec);
+    try {
+      wait_ready(spec);
+    } catch (...) {
+      ::kill(fresh, SIGKILL);
+      ::waitpid(fresh, nullptr, 0);
+      {
+        const MutexLock lock(mu_);
+        hosts_[k].pid = -1;  // gave up; a later tick may be told to retry
+      }
+      continue;
+    }
+    {
+      const MutexLock lock(mu_);
+      hosts_[k].pid = fresh;
+    }
+    restarts_.fetch_add(1, std::memory_order_relaxed);
+    BFC_COUNT_ADD("svc.supervisor.restarts", 1);
+    if (on_restart_) {
+      const std::uint64_t epoch =
+          query_epoch(spec.socket, opts_.probe_timeout_ms);
+      on_restart_(static_cast<int>(k), epoch);
+    }
+  }
+}
+
+void ShardSupervisor::start_monitor(RestartCallback on_restart) {
+  require(!monitor_.joinable(), "ShardSupervisor: monitor already running");
+  on_restart_ = std::move(on_restart);
+  monitor_ = std::jthread([this](std::stop_token st) {
+    while (!st.stop_requested()) {
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(opts_.health_interval_ms));
+      if (st.stop_requested()) break;
+      monitor_tick();
+    }
+  });
+}
+
+void ShardSupervisor::stop_monitor() {
+  if (monitor_.joinable()) {
+    monitor_.request_stop();
+    monitor_.join();
+  }
+}
+
+}  // namespace bfc::shard

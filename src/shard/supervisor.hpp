@@ -1,0 +1,110 @@
+// ShardSupervisor: keeps a fleet of bfc-shard-host processes alive. One
+// jthread health loop per supervisor:
+//
+//   spawn ──▶ READY (ping answers with the expected id/range)
+//     │                                │
+//     │         waitpid(WNOHANG) says the child exited/was SIGKILLed,
+//     │         or `probe_failures_to_kill` consecutive pings fail
+//     │         (hung host — the supervisor SIGKILLs it itself)
+//     ▼                                ▼
+//   QUARANTINED: the range is dark. The RemoteShard pointing at the
+//   socket has already opened its circuit from the failed calls, so the
+//   service is serving the range stale/degraded — not failing. The
+//   supervisor respawns the host with --restore <last checkpoint>,
+//   waits until ping answers, then fires on_restart(k, restored_epoch)
+//   so the owner can replay every batch newer than the checkpoint.
+//   Replay-from-checkpoint is exact: restore rebuilds the state the
+//   checkpoint captured, and batches are reapplied in publish order.
+//
+// Restart counts are exported as svc.supervisor.restarts.
+#pragma once
+
+#include <sys/types.h>
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "util/common.hpp"
+#include "util/sync.hpp"
+
+namespace bfc::shard {
+
+struct HostSpec {
+  std::string binary;  // path to bfc-shard-host
+  std::string socket;  // Unix socket path (< 108 bytes)
+  int id = 0;
+  vidx_t n1 = 0, n2 = 0, lo = 0, hi = 0;
+  std::string snapshot;  // restore source for restarts ("" = cold start)
+  std::vector<std::string> extra_args;  // e.g. {"--crash-at", "3"}
+};
+
+struct SupervisorOptions {
+  int health_interval_ms = 50;    // monitor tick
+  int startup_timeout_ms = 15000; // spawn -> first successful ping
+  int probe_timeout_ms = 250;     // per health ping
+  int probe_failures_to_kill = 4; // hung-host threshold
+};
+
+class ShardSupervisor {
+ public:
+  /// (shard index, epoch the restarted host restored to).
+  using RestartCallback = std::function<void(int, std::uint64_t)>;
+
+  explicit ShardSupervisor(SupervisorOptions opts = {});
+  ~ShardSupervisor();
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// Spawns the host and blocks until it answers a ping (or throws after
+  /// startup_timeout_ms). Returns the host's index.
+  int add_host(HostSpec spec);
+
+  /// Updates the checkpoint a future restart will restore from (the owner
+  /// calls this after every successful persist).
+  void set_snapshot(int k, std::string path);
+
+  /// Starts the health/restart loop. Must be called at most once.
+  void start_monitor(RestartCallback on_restart);
+
+  /// Stops the monitor (running restarts finish first). Children stay up.
+  void stop_monitor();
+
+  [[nodiscard]] pid_t pid(int k) const;
+  [[nodiscard]] std::size_t host_count() const;
+
+  /// Chaos entry point: deliver `sig` (default SIGKILL) to host k.
+  void kill_host(int k, int sig);
+
+  /// Completed restarts since construction.
+  [[nodiscard]] std::uint64_t restarts() const noexcept {
+    return restarts_.load(std::memory_order_relaxed);
+  }
+
+  /// One ping with the monitor's probe timeout.
+  [[nodiscard]] bool alive(int k) const;
+
+ private:
+  struct Host {
+    HostSpec spec;
+    pid_t pid = -1;
+    int probe_failures = 0;
+  };
+
+  [[nodiscard]] static pid_t spawn(const HostSpec& spec);
+  void wait_ready(const HostSpec& spec) const;
+  [[nodiscard]] bool ping(const HostSpec& spec) const;
+  void monitor_tick();
+
+  SupervisorOptions opts_;
+  mutable Mutex mu_{"shard.supervisor"};
+  std::vector<Host> hosts_ BFC_GUARDED_BY(mu_);
+  std::atomic<std::uint64_t> restarts_{0};
+  RestartCallback on_restart_;
+  std::jthread monitor_;  // last member: stops before hosts_ dies
+};
+
+}  // namespace bfc::shard

@@ -27,9 +27,19 @@ struct ShardView {
   std::vector<svc::SnapshotPtr> shards;  // index = shard id, never null
   std::uint64_t version = 0;    // global publish counter at pin time
   std::uint64_t signature = 0;  // order-sensitive hash of per-shard epochs
+  // Bit k set: shard k was unhealthy at pin time (open circuit on a
+  // RemoteShard), so shards[k] is its last *known* snapshot rather than a
+  // fresh pin. Values composed from this view are still exact for the
+  // pinned epoch combination — the mask is a freshness annotation the
+  // service surfaces as QueryResult::stale_shards, never a validity bit.
+  std::uint64_t stale_mask = 0;
 
   [[nodiscard]] int shard_count() const noexcept {
     return static_cast<int>(shards.size());
+  }
+
+  [[nodiscard]] bool shard_stale(int k) const noexcept {
+    return k < 64 && ((stale_mask >> k) & 1u) != 0;
   }
 
   /// Σ over shards of the shard-local butterfly count: butterflies whose

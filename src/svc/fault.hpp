@@ -12,6 +12,14 @@
 //                     publishing
 //   kPersistNoRename  persist writes the .tmp file then "crashes" before
 //                     the atomic rename — the previous snapshot survives
+//   kTransportDrop    a RemoteShard send/recv leg fails as if the peer
+//                     vanished (connection refused / EOF mid-frame)
+//   kTransportDelay   a RemoteShard receive leg stalls param() milliseconds
+//                     before reading — long enough params trip the per-leg
+//                     timeout and exercise retry/backoff deterministically
+//   kShardHostCrash   bfc-shard-host _exit(137)s before replying to the
+//                     current request, simulating a SIGKILLed host without
+//                     an external killer
 //
 // Everything compiles to constant-false stubs unless -DBFC_CHECKED=ON, so
 // the release hot paths carry no fault-injection branches at all; the
@@ -30,9 +38,12 @@ enum class Point : std::uint8_t {
   kPersistTruncate,
   kPersistCorrupt,
   kPersistNoRename,
+  kTransportDrop,
+  kTransportDelay,
+  kShardHostCrash,
 };
 
-inline constexpr int kPoints = 5;
+inline constexpr int kPoints = 8;
 
 #if defined(BFC_CHECKED_ENABLED) && BFC_CHECKED_ENABLED
 

@@ -139,6 +139,12 @@ struct QueryResult {
   T value{};
   std::uint64_t epoch = 0;
   Fidelity fidelity = Fidelity::kExact;
+  // Per-shard fidelity (sharded serving only): bit k set means shard k's
+  // contribution came from its last known snapshot because the shard was
+  // unreachable (open circuit) when the view was pinned. Nonzero implies
+  // fidelity != kExact for queries whose answer touches those ranges;
+  // single-store answers always leave it 0.
+  std::uint64_t stale_shards = 0;
 
   [[nodiscard]] bool degraded() const noexcept {
     return fidelity != Fidelity::kExact;

@@ -15,6 +15,7 @@
 #include "obs/spans.hpp"
 #include "obs/trace.hpp"
 #include "shard/router.hpp"
+#include "shard/transport.hpp"
 #include "sparse/ops.hpp"
 #include "svc/fault.hpp"
 #include "util/timer.hpp"
@@ -247,6 +248,23 @@ void ButterflyService::restore(const std::string& path) {
   const MutexLock lock(view_mu_);
   // cur == prev: no previous generation — the stale-view rung stays empty
   // until the first post-restore publish.
+  cur_sig_ = prev_sig_ = v->signature;
+  cur_version_ = prev_version_ = v->version;
+}
+
+void ButterflyService::swap_shard(int k, shard::ShardHandlePtr handle) {
+  store_.swap_shard(k, std::move(handle));
+  // The new handle's epoch sequence need not extend the old one (a remote
+  // host starts at its own epoch), so every epoch/signature-keyed tier is
+  // meaningless — same flush discipline as restore().
+  cache_.invalidate_all();
+  scatter_.clear();
+  {
+    const MutexLock lock(memo_mu_);
+    tip_memo_.clear();
+  }
+  const shard::ShardViewPtr v = store_.view();
+  const MutexLock lock(view_mu_);
   cur_sig_ = prev_sig_ = v->signature;
   cur_version_ = prev_version_ = v->version;
 }
@@ -524,15 +542,24 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_global(
   BFC_COUNT_ADD("svc.scatter_queries", 1);
   const SpanPtr span = open_span(root_context(req), "svc.query.global");
   span_tag(span, "sig", std::to_string(view->signature));
+  // Partial-result contract: a scatter query folds every range in, so any
+  // unreachable shard (its snapshot is the last known epoch, not a fresh
+  // pin) downgrades the whole answer to kStale with the per-shard bits in
+  // stale_shards. The VALUE is still exact for the pinned epoch vector —
+  // only freshness is in question.
+  const std::uint64_t qmask = view->stale_mask;
+  const Fidelity base_fid = qmask ? Fidelity::kStale : Fidelity::kExact;
+  const char* base_outcome = qmask ? "stale" : "exact";
   const CacheKey key{view->signature, QueryKind::kGlobalCount, 0, 0,
                      view_tier()};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.global", 0);
     observe_latency(QueryKind::kGlobalCount, 0.0);
+    if (qmask) note_stale_mask(qmask);
     span_tag(span, "cache", "hit");
-    span_tag(span, "outcome", "exact");
-    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
-                                             view->version, Fidelity::kExact});
+    span_tag(span, "outcome", base_outcome);
+    return ready_future(QueryResult<count_t>{
+        std::get<count_t>(*hit), view->version, base_fid, qmask});
   }
   span_tag(span, "cache", "miss");
   auto degraded = [this, view, span]() -> std::optional<QueryResult<count_t>> {
@@ -572,8 +599,9 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_global(
     }
     return d;
   };
-  auto exact = [this, view, key, degraded, deadline = req.deadline, span,
-                trace = span_ctx(span), timer = Timer()] {
+  auto exact = [this, view, key, degraded, qmask, base_fid, base_outcome,
+                deadline = req.deadline, span, trace = span_ctx(span),
+                timer = Timer()] {
     try {
       const shard::CrossAggregatePtr agg =
           scatter_.cross(view, deadline.token(), trace);
@@ -582,10 +610,20 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_global(
       const double us = timer.seconds() * 1e6;
       BFC_HIST_OBSERVE("svc.latency_us.global", us);
       observe_latency(QueryKind::kGlobalCount, us);
-      span_tag(span, "outcome", "exact");
+      if (qmask) note_stale_mask(qmask);
+      span_tag(span, "outcome", base_outcome);
       span_close(span);
-      return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+      return QueryResult<count_t>{value, view->version, base_fid, qmask};
     } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = degraded()) return std::move(*d);
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    } catch (const shard::ShardUnavailableError&) {
+      // A cross-process leg died mid-compute: same ladder as a deadline
+      // trip — the range isolation contract forbids failing the query.
       BFC_COUNT_ADD("svc.kernels_cancelled", 1);
       span_tag(span, "cancelled", "true");
       if (auto d = degraded()) return std::move(*d);
@@ -617,6 +655,16 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_tip(
       root_context(req), v1_side ? "svc.query.tip_v1" : "svc.query.tip_v2");
   span_tag(span, "sig", std::to_string(view->signature));
   if (owner >= 0) span_tag(span, "shard", std::to_string(owner));
+  // Routed (tip_v1): stale only when the OWNER range is dark — a dead
+  // shard can take no publishes, so every other range's answer is exact
+  // for the pinned view (the per-vertex locality argument). Scattered
+  // (tip_v2): any dark shard taints the whole sum.
+  const std::uint64_t qmask =
+      v1_side ? (view->stale_mask &
+                 (owner < 64 ? std::uint64_t{1} << owner : 0u))
+              : view->stale_mask;
+  const Fidelity base_fid = qmask ? Fidelity::kStale : Fidelity::kExact;
+  const char* base_outcome = qmask ? "stale" : "exact";
   const CacheKey key{view->signature, kind, vertex, 0, view_tier()};
   if (const auto hit = cache_.get(key)) {
     if (v1_side)
@@ -624,10 +672,11 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_tip(
     else
       BFC_HIST_OBSERVE("svc.latency_us.tip_v2", 0);
     observe_latency(kind, 0.0, owner);
+    if (qmask) note_stale_mask(qmask);
     span_tag(span, "cache", "hit");
-    span_tag(span, "outcome", "exact");
-    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
-                                             view->version, Fidelity::kExact});
+    span_tag(span, "outcome", base_outcome);
+    return ready_future(QueryResult<count_t>{
+        std::get<count_t>(*hit), view->version, base_fid, qmask});
   }
   span_tag(span, "cache", "miss");
   auto degraded = [this, view, vertex, v1_side, owner, span] {
@@ -654,8 +703,8 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_tip(
     return d;
   };
   auto exact = [this, view, key, kind, vertex, v1_side, owner, degraded,
-                deadline = req.deadline, span, trace = span_ctx(span),
-                timer = Timer()] {
+                qmask, base_fid, base_outcome, deadline = req.deadline, span,
+                trace = span_ctx(span), timer = Timer()] {
     try {
       const shard::CrossAggregatePtr agg =
           scatter_.cross(view, deadline.token(), trace);
@@ -685,10 +734,18 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_tip(
       else
         BFC_HIST_OBSERVE("svc.latency_us.tip_v2", us);
       observe_latency(kind, us, owner);
-      span_tag(span, "outcome", "exact");
+      if (qmask) note_stale_mask(qmask);
+      span_tag(span, "outcome", base_outcome);
       span_close(span);
-      return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+      return QueryResult<count_t>{value, view->version, base_fid, qmask};
     } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = degraded()) return std::move(*d);
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    } catch (const shard::ShardUnavailableError&) {
       BFC_COUNT_ADD("svc.kernels_cancelled", 1);
       span_tag(span, "cancelled", "true");
       if (auto d = degraded()) return std::move(*d);
@@ -715,20 +772,28 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_edge(
   const SpanPtr span = open_span(root_context(req), "svc.query.edge");
   span_tag(span, "sig", std::to_string(view->signature));
   span_tag(span, "shard", std::to_string(owner));
+  // Routed query: only the owner range's darkness taints the answer (see
+  // sharded_tip).
+  const std::uint64_t qmask =
+      view->stale_mask & (owner < 64 ? std::uint64_t{1} << owner : 0u);
+  const Fidelity base_fid = qmask ? Fidelity::kStale : Fidelity::kExact;
+  const char* base_outcome = qmask ? "stale" : "exact";
   const CacheKey key{view->signature, QueryKind::kEdgeSupport, u, v,
                      view_tier()};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.edge", 0);
     observe_latency(QueryKind::kEdgeSupport, 0.0, owner);
+    if (qmask) note_stale_mask(qmask);
     span_tag(span, "cache", "hit");
-    span_tag(span, "outcome", "exact");
-    return ready_future(QueryResult<count_t>{std::get<count_t>(*hit),
-                                             view->version, Fidelity::kExact});
+    span_tag(span, "outcome", base_outcome);
+    return ready_future(QueryResult<count_t>{
+        std::get<count_t>(*hit), view->version, base_fid, qmask});
   }
   span_tag(span, "cache", "miss");
   // Same contract as single-shard: support is one row scan per shard, cheap
   // enough to answer inline (exact) when shedding.
-  auto inline_answer = [this, view, key, owner, u, v,
+  auto inline_answer = [this, view, key, owner, u, v, qmask, base_fid,
+                        base_outcome,
                         span]() -> std::optional<QueryResult<count_t>> {
     if (auto stale = stale_view_scalar(QueryKind::kEdgeSupport, u, v)) {
       BFC_COUNT_ADD("svc.degraded", 1);
@@ -741,24 +806,27 @@ std::future<QueryResult<count_t>> ButterflyService::sharded_edge(
     const count_t value = sharded_support(*view, owner, u, v);
     cache_.put(key, value);
     BFC_COUNT_ADD("svc.inline_answers", 1);
+    if (qmask) note_stale_mask(qmask);
     span_tag(span, "inline", "true");
-    span_tag(span, "outcome", "exact");
+    span_tag(span, "outcome", base_outcome);
     span_close(span);
-    return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+    return QueryResult<count_t>{value, view->version, base_fid, qmask};
   };
   if (overloaded(owner)) {
     span_tag(span, "degrade", "admission");
     return ready_future(std::move(*inline_answer()));
   }
-  auto exact = [this, view, key, owner, u, v, span, timer = Timer()] {
+  auto exact = [this, view, key, owner, u, v, qmask, base_fid, base_outcome,
+                span, timer = Timer()] {
     const count_t value = sharded_support(*view, owner, u, v);
     cache_.put(key, value);
     const double us = timer.seconds() * 1e6;
     BFC_HIST_OBSERVE("svc.latency_us.edge", us);
     observe_latency(QueryKind::kEdgeSupport, us, owner);
-    span_tag(span, "outcome", "exact");
+    if (qmask) note_stale_mask(qmask);
+    span_tag(span, "outcome", base_outcome);
     span_close(span);
-    return QueryResult<count_t>{value, view->version, Fidelity::kExact};
+    return QueryResult<count_t>{value, view->version, base_fid, qmask};
   };
   if (auto fut = pool_.try_submit(std::move(exact), req.deadline,
                                   inline_answer, span_ctx(span)))
@@ -774,15 +842,21 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::sharded_top_pairs(
   BFC_COUNT_ADD("svc.scatter_queries", 1);
   const SpanPtr span = open_span(root_context(req), "svc.query.top_pairs");
   span_tag(span, "sig", std::to_string(view->signature));
+  // Scatter query: any dark shard taints the merged list (see
+  // sharded_global).
+  const std::uint64_t qmask = view->stale_mask;
+  const Fidelity base_fid = qmask ? Fidelity::kStale : Fidelity::kExact;
+  const char* base_outcome = qmask ? "stale" : "exact";
   const CacheKey key{view->signature, QueryKind::kTopPairs,
                      static_cast<std::int64_t>(k), 0, view_tier()};
   if (const auto hit = cache_.get(key)) {
     BFC_HIST_OBSERVE("svc.latency_us.top_pairs", 0);
     observe_latency(QueryKind::kTopPairs, 0.0);
+    if (qmask) note_stale_mask(qmask);
     span_tag(span, "cache", "hit");
-    span_tag(span, "outcome", "exact");
+    span_tag(span, "outcome", base_outcome);
     return ready_future(QueryResult<TopPairsPtr>{
-        std::get<TopPairsPtr>(*hit), view->version, Fidelity::kExact});
+        std::get<TopPairsPtr>(*hit), view->version, base_fid, qmask});
   }
   span_tag(span, "cache", "miss");
   // Only stale rung, as in single-shard mode: no cheap sampled substitute
@@ -803,8 +877,9 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::sharded_top_pairs(
       return ready_future(std::move(*d));
     }
   }
-  auto exact = [this, view, key, k, span, deadline = req.deadline,
-                trace = span_ctx(span), timer = Timer()] {
+  auto exact = [this, view, key, k, qmask, base_fid, base_outcome, span,
+                deadline = req.deadline, trace = span_ctx(span),
+                timer = Timer()] {
     try {
       const shard::CrossAggregatePtr agg =
           scatter_.cross(view, deadline.token(), trace);
@@ -818,11 +893,28 @@ std::future<QueryResult<TopPairsPtr>> ButterflyService::sharded_top_pairs(
       const double us = timer.seconds() * 1e6;
       BFC_HIST_OBSERVE("svc.latency_us.top_pairs", us);
       observe_latency(QueryKind::kTopPairs, us);
-      span_tag(span, "outcome", "exact");
+      if (qmask) note_stale_mask(qmask);
+      span_tag(span, "outcome", base_outcome);
       span_close(span);
       return QueryResult<TopPairsPtr>{TopPairsPtr(pairs), view->version,
-                                      Fidelity::kExact};
+                                      base_fid, qmask};
     } catch (const CancelledError&) {
+      BFC_COUNT_ADD("svc.kernels_cancelled", 1);
+      span_tag(span, "cancelled", "true");
+      if (auto d = stale_view_pairs(k)) {
+        BFC_COUNT_ADD("svc.degraded", 1);
+        BFC_COUNT_ADD("svc.stale_answers", 1);
+        span_tag(span, "outcome", "stale");
+        span_close(span);
+        return std::move(*d);
+      }
+      span_tag(span, "outcome", "shed");
+      span_close(span);
+      throw OverloadError(OverloadError::Reason::kDeadline);
+    } catch (const shard::ShardUnavailableError&) {
+      // A leg's host died between the view pin and the fan-out. Same
+      // ladder as cancellation: last retired view if one exists, else
+      // shed — the NEXT pin will mark the range stale and answer.
       BFC_COUNT_ADD("svc.kernels_cancelled", 1);
       span_tag(span, "cancelled", "true");
       if (auto d = stale_view_pairs(k)) {
@@ -1112,6 +1204,13 @@ void ButterflyService::note_degraded(int shard) {
   if (c != nullptr) c->increment();
 }
 
+void ButterflyService::note_stale_mask(std::uint64_t mask) {
+  BFC_COUNT_ADD("svc.degraded", 1);
+  BFC_COUNT_ADD("svc.stale_answers", 1);
+  for (int k = 0; k < shards_ && k < 64; ++k)
+    if (((mask >> k) & 1u) != 0) note_degraded(k);
+}
+
 void ButterflyService::publish_shard_gauge(int shard) {
   if (shard < 0 || shard >= static_cast<int>(shard_hit_gauges_.size()))
     return;
@@ -1144,12 +1243,14 @@ ButterflyService::TipVector ButterflyService::tips_for(
   std::promise<TipVector> mine;
   std::shared_future<TipVector> pass;
   bool compute = false;
+  std::uint64_t my_pass = 0;
   {
     const MutexLock lock(memo_mu_);
     const auto it = tip_memo_.find(key);
     if (it == tip_memo_.end()) {
       pass = mine.get_future().share();
-      tip_memo_.emplace(key, TipPass{pass, false});
+      my_pass = ++next_tip_pass_;
+      tip_memo_.emplace(key, TipPass{pass, false, my_pass});
       compute = true;
     } else {
       pass = it->second.result;
@@ -1186,23 +1287,29 @@ ButterflyService::TipVector ButterflyService::tips_for(
       kernel_span.tag("cancelled", "true");
       kernel_span.tag("outcome", "cancelled");
       kernel_span.close();
-      {
-        const MutexLock lock(memo_mu_);
-        tip_memo_.erase(key);
-      }
+      drop_tip_pass(key, my_pass);
       mine.set_exception(std::current_exception());
     } catch (...) {
       // Drop the memo so a later query can retry, then propagate to every
       // request already coalesced onto this pass (each degrades on its own).
       kernel_span.tag("outcome", "error");
-      {
-        const MutexLock lock(memo_mu_);
-        tip_memo_.erase(key);
-      }
+      drop_tip_pass(key, my_pass);
       mine.set_exception(std::current_exception());
     }
   }
   return pass.get();
+}
+
+void ButterflyService::drop_tip_pass(const TipKey& key, std::uint64_t pass_id) {
+  // Erase only OUR memo entry. Between the kernel failing and this lock
+  // acquisition a memo flush (publish retirement, restore, swap_shard) plus
+  // a fresh query can have installed a NEW in-flight pass under the same
+  // key; a blind erase would orphan that healthy pass and force a later
+  // caller into a duplicate compute.
+  const MutexLock lock(memo_mu_);
+  const auto it = tip_memo_.find(key);
+  if (it != tip_memo_.end() && it->second.pass_id == pass_id)
+    tip_memo_.erase(it);
 }
 
 }  // namespace bfc::svc

@@ -182,6 +182,14 @@ class ButterflyService {
   /// service unchanged.
   void restore(const std::string& path);
 
+  /// Replaces shard k's handle (same id and owned range — the store
+  /// enforces it); THE entry point for moving a range out of process: swap
+  /// in a shard::RemoteShard and every query path serves across the socket
+  /// unchanged. Flushes all caches/memos and resets the view generation,
+  /// exactly like restore(): the new handle's epoch sequence need not
+  /// extend the old one. Not safe concurrently with writers on shard k.
+  void swap_shard(int k, shard::ShardHandlePtr handle);
+
   // ---- reader side -------------------------------------------------------
 
   /// Pins the latest snapshot. Pass it to the query methods to run several
@@ -341,6 +349,11 @@ class ButterflyService {
                      const CancelToken& cancel,
                      const obs::TraceContext& trace = {});
 
+  /// Failure-path memo drop for tips_for: erases the (key) entry only if it
+  /// still belongs to pass `pass_id`, so a failed pass can never evict a
+  /// newer in-flight pass re-inserted under the same key.
+  void drop_tip_pass(const TipKey& key, std::uint64_t pass_id);
+
   /// Degradation ladder for a single-shard tip query: previous-epoch cache
   /// entry, then a retained tip-pass memo from an earlier epoch, then the
   /// sampled estimator on the requested snapshot. Engaged in practice —
@@ -369,6 +382,10 @@ class ButterflyService {
   /// Bumps svc.shard.<k>.degraded for a routed query's degrade (no-op for
   /// scattered queries and with metrics off).
   void note_degraded(int shard);
+  /// Accounts one answer served with unreachable shards (stale_shards
+  /// mask): global degrade counters plus svc.shard.<k>.degraded per set
+  /// bit — the circuit breaker's contribution to the degrade telemetry.
+  void note_stale_mask(std::uint64_t mask);
   /// Publishes shard k's generation-scoped hit rate to its gauge.
   void publish_shard_gauge(int shard);
 
@@ -385,6 +402,11 @@ class ButterflyService {
   struct TipPass {
     std::shared_future<TipVector> result;
     bool has_joiner = false;  // became a coalesced batch already
+    // Identity of the compute that inserted this entry; the failure-path
+    // erase in tips_for matches it so a failed pass never evicts a fresh
+    // in-flight pass re-inserted under the same key after a memo flush
+    // (publish retirement, restore, swap_shard).
+    std::uint64_t pass_id = 0;
   };
 
   int shards_;
@@ -412,6 +434,7 @@ class ButterflyService {
   std::uint64_t prev_version_ BFC_GUARDED_BY(view_mu_) = 0;
   Mutex memo_mu_{"svc.service.memo"};
   std::map<TipKey, TipPass> tip_memo_ BFC_GUARDED_BY(memo_mu_);
+  std::uint64_t next_tip_pass_ BFC_GUARDED_BY(memo_mu_) = 0;
   mutable Mutex lat_mu_{"svc.service.latency"};
   std::array<double, kLatencyWindow> lat_ring_ BFC_GUARDED_BY(lat_mu_){};
   std::size_t lat_next_ BFC_GUARDED_BY(lat_mu_) = 0;

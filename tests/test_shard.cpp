@@ -9,10 +9,12 @@
 
 #include <atomic>
 #include <barrier>
+#include <chrono>
 #include <cstdio>
 #include <thread>
 #include <vector>
 
+#include "chk/check.hpp"
 #include "count/local_counts.hpp"
 #include "count/top_pairs.hpp"
 #include "obs/metrics.hpp"
@@ -21,6 +23,7 @@
 #include "shard/scatter_gather.hpp"
 #include "shard/sharded_store.hpp"
 #include "sparse/ops.hpp"
+#include "svc/fault.hpp"
 #include "svc/service.hpp"
 #include "test_helpers.hpp"
 #include "util/rng.hpp"
@@ -481,6 +484,193 @@ TEST(ShardStress, ConcurrentDisjointWritersMatchSequentialReplay) {
   for (vidx_t u = 0; u < kN1; ++u)
     EXPECT_EQ(service.vertex_tip_v1(u).get().value,
               tips[static_cast<std::size_t>(u)]);
+}
+
+// ---------------------------------------------------------------------------
+// Memo failure paths: a failed pass must not poison later callers
+// ---------------------------------------------------------------------------
+
+// Review regression: ScatterGather's failure path erases its memo entry so
+// the NEXT caller recomputes instead of inheriting the exception — and the
+// erase is identity-guarded (signature AND pass id), so a failed pass can
+// never evict a fresh in-flight pass re-inserted under its signature.
+TEST(ScatterGather, CancelledComputeDropsMemoAndRetrySucceeds) {
+  shard::ShardedSnapshotStore store(8, 6, 2);
+  // One cross-shard butterfly: pair (0, 4) with common neighbors {0, 1}.
+  (void)store.apply_batch({EdgeUpdate::add(0, 0), EdgeUpdate::add(0, 1),
+                           EdgeUpdate::add(4, 0), EdgeUpdate::add(4, 1)});
+  const shard::ShardViewPtr view = store.view();
+  shard::ScatterGather sg;
+  const CancelToken expired(CancelToken::Clock::now() -
+                            std::chrono::milliseconds(1));
+  EXPECT_THROW((void)sg.cross(view, expired), CancelledError);
+  // The failed signature is dropped, not cached: no stale rung exists...
+  EXPECT_FALSE(sg.cached(view->signature).has_value());
+  // ...and an unarmed retry computes the aggregate from scratch.
+  const shard::CrossAggregatePtr agg = sg.cross(view);
+  EXPECT_EQ(agg->butterflies, 1);
+  EXPECT_TRUE(sg.cached(view->signature).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Persist/restore crash modes across the BFCSHD01 manifest (checked builds)
+// ---------------------------------------------------------------------------
+//
+// The single-store crash modes (kPersistTruncate / kPersistCorrupt /
+// kPersistNoRename) are covered in test_robustness.cpp; these runs cross
+// them with shards > 1, where a checkpoint is N per-shard files bound by a
+// manifest and the fault lands inside ONE shard's file write. The armed
+// Scoped(point, 0, 1) fires on the first per-shard persist, i.e. shard 0.
+
+class ShardPersistRestoreFaults : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if constexpr (!chk::kCheckedEnabled)
+      GTEST_SKIP() << "fault injection compiled out (BFC_CHECKED=OFF)";
+  }
+  void TearDown() override { svc::fault::reset(); }
+
+  static void cleanup(const std::string& path) {
+    for (const char* suffix :
+         {"", ".tmp", ".shard0", ".shard0.tmp", ".shard1", ".shard1.tmp",
+          ".shard2", ".shard2.tmp"})
+      std::remove((path + suffix).c_str());
+  }
+
+  /// One edge per V1 vertex at column `v`: every shard's bucket is
+  /// non-empty, so one apply_batch bumps every shard's epoch by one.
+  static std::vector<EdgeUpdate> full_row(vidx_t n1, vidx_t v) {
+    std::vector<EdgeUpdate> batch;
+    for (vidx_t u = 0; u < n1; ++u) batch.push_back(EdgeUpdate::add(u, v));
+    return batch;
+  }
+};
+
+TEST_F(ShardPersistRestoreFaults, TruncatedShardFileRejectedAtRestore) {
+  const std::string path = ::testing::TempDir() + "bfc_shardfault_torn.ckpt";
+  shard::ShardedSnapshotStore writer(12, 8, 3);
+  (void)writer.apply_batch(full_row(12, 0));
+  {
+    const svc::fault::Scoped torn(svc::fault::Point::kPersistTruncate, 0, 1);
+    writer.persist(path);  // shard 0's file lands half-length
+  }
+  shard::ShardedSnapshotStore victim(12, 8, 3);
+  (void)victim.apply_batch({EdgeUpdate::add(0, 0)});
+  const std::uint64_t epoch_before = victim.epoch();
+  EXPECT_THROW(victim.restore(path), std::runtime_error);
+  // All-or-nothing: the torn shard file must leave the victim untouched.
+  EXPECT_EQ(victim.epoch(), epoch_before);
+  EXPECT_EQ(victim.view()->edges(), 1);
+  cleanup(path);
+}
+
+TEST_F(ShardPersistRestoreFaults, BitRotInOneShardFileRejectedAtRestore) {
+  const std::string path = ::testing::TempDir() + "bfc_shardfault_rot.ckpt";
+  shard::ShardedSnapshotStore writer(12, 8, 3);
+  (void)writer.apply_batch(full_row(12, 0));
+  {
+    const svc::fault::Scoped rot(svc::fault::Point::kPersistCorrupt, 0, 1,
+                                 /*byte*/ 40);
+    writer.persist(path);
+  }
+  shard::ShardedSnapshotStore victim(12, 8, 3);
+  EXPECT_THROW(victim.restore(path), std::runtime_error);
+  EXPECT_EQ(victim.epoch(), 0u);
+  EXPECT_EQ(victim.view()->edges(), 0);
+  cleanup(path);
+}
+
+TEST_F(ShardPersistRestoreFaults, NoRenameWithoutPriorCheckpointIsMissing) {
+  const std::string path = ::testing::TempDir() + "bfc_shardfault_miss.ckpt";
+  shard::ShardedSnapshotStore writer(12, 8, 3);
+  (void)writer.apply_batch(full_row(12, 0));
+  {
+    const svc::fault::Scoped crash(svc::fault::Point::kPersistNoRename, 0, 1);
+    writer.persist(path);  // shard 0's file is never published
+    EXPECT_EQ(svc::fault::fired_count(svc::fault::Point::kPersistNoRename),
+              1u);
+  }
+  shard::ShardedSnapshotStore victim(12, 8, 3);
+  EXPECT_THROW(victim.restore(path), std::runtime_error);
+  EXPECT_EQ(victim.epoch(), 0u);
+  cleanup(path);
+}
+
+TEST_F(ShardPersistRestoreFaults, NoRenameOverPriorCheckpointIsAFuzzyCut) {
+  // Crash-before-rename on shard 0's SECOND persist leaves its FIRST file
+  // authoritative while shards 1-2 publish fresh files. The manifest binds
+  // layout, not epochs — per-shard checkpoints are individually atomic and
+  // the cut across shards is fuzzy BY DESIGN (exactly the consistency a
+  // ShardView offers): restore must succeed with shard 0 at the old state.
+  const std::string path = ::testing::TempDir() + "bfc_shardfault_fuzzy.ckpt";
+  shard::ShardedSnapshotStore writer(12, 8, 3);
+  (void)writer.apply_batch(full_row(12, 0));  // epochs (1, 1, 1)
+  writer.persist(path);
+  (void)writer.apply_batch(full_row(12, 1));  // epochs (2, 2, 2)
+  {
+    const svc::fault::Scoped crash(svc::fault::Point::kPersistNoRename, 0, 1);
+    writer.persist(path);
+  }
+  shard::ShardedSnapshotStore victim(12, 8, 3);
+  victim.restore(path);
+  EXPECT_EQ(victim.shard_snapshot(0)->epoch, 1u);  // old state survives
+  EXPECT_EQ(victim.shard_snapshot(1)->epoch, 2u);
+  EXPECT_EQ(victim.shard_snapshot(2)->epoch, 2u);
+  // Shard 0 owns V1 range [0, 4): 4 edges from the first row only; the
+  // other shards carry both rows.
+  EXPECT_EQ(victim.shard_snapshot(0)->edges, 4);
+  EXPECT_EQ(victim.view()->edges(), 4 + 8 + 8);
+  cleanup(path);
+}
+
+// ---------------------------------------------------------------------------
+// Coalesced-pass failure under racing queries (checked builds)
+// ---------------------------------------------------------------------------
+
+class ShardFaultGated : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if constexpr (!chk::kCheckedEnabled)
+      GTEST_SKIP() << "fault injection compiled out (BFC_CHECKED=OFF)";
+  }
+  void TearDown() override { svc::fault::reset(); }
+};
+
+// Review regression for the tip-pass memo's failure path: when the pass one
+// query computes blows its deadline, every query coalesced onto it must
+// degrade INDEPENDENTLY (no crash, no wedged future), the failed entry must
+// leave the memo, and the next query must recompute exact — the failed
+// pass's erase must not have poisoned anything inserted after it.
+TEST_F(ShardFaultGated, RacingQueriesSurviveAFaultedTipPass) {
+  using namespace std::chrono_literals;
+  ButterflyService service(8, 6, {.threads = 2, .shards = 2});
+  std::vector<EdgeUpdate> k33;
+  for (vidx_t u = 0; u < 3; ++u)
+    for (vidx_t v = 0; v < 3; ++v) k33.push_back(EdgeUpdate::add(u, v));
+  (void)service.apply_updates(k33);  // all butterflies live on shard 0
+
+  // One firing: exactly one tip pass sleeps 80 ms; both racing queries
+  // carry 10 ms deadlines, so whichever computes cancels for both.
+  const svc::fault::Scoped slow(svc::fault::Point::kSlowKernel, 0, 1, 80);
+  const shard::ShardViewPtr view = service.view();
+  std::future<QueryResult<count_t>> a =
+      service.vertex_tip_v1(0, Request(view, Deadline::after(10ms)));
+  std::future<QueryResult<count_t>> b =
+      service.vertex_tip_v1(1, Request(view, Deadline::after(10ms)));
+  for (auto* fut : {&a, &b}) {
+    try {
+      const QueryResult<count_t> r = fut->get();
+      EXPECT_TRUE(r.degraded());  // approx rung at worst — never a crash
+    } catch (const OverloadError&) {
+      // Shedding outright is also a legal independent outcome.
+    }
+  }
+
+  // The fault consumed its firing and the failed pass left the memo: the
+  // next query recomputes and answers exact.
+  const QueryResult<count_t> exact = service.vertex_tip_v1(0).get();
+  EXPECT_EQ(exact.value, 6);
+  EXPECT_FALSE(exact.degraded());
 }
 
 }  // namespace
