@@ -445,12 +445,20 @@ int main(int argc, char** argv) {
           chaos_ckpts[static_cast<std::size_t>(k)]);
       supervisor->set_snapshot(k, chaos_ckpts[static_cast<std::size_t>(k)]);
     }
+    // The monitor is NOT started here: the victim writer starts it right
+    // after the staleness witness below. With the monitor live from the
+    // start, a fast restart can heal the range before the circuit breaker
+    // (3 consecutive failed pins, ~tens of ms) ever opens, and the witness
+    // would race the recovery instead of deterministically observing the
+    // dark range.
+  }
+  const auto start_chaos_monitor = [&supervisor] {
     supervisor->start_monitor([](int k, std::uint64_t restored_epoch) {
       std::cout << "supervisor: restarted shard " << k
                 << " from its checkpoint (restored epoch " << restored_epoch
                 << ")\n";
     });
-  }
+  };
   std::cout << "graph: |V1|=" << n1 << " |V2|=" << n2
             << " |E|=" << service.snapshot()->edges << "  readers=" << readers
             << " pool=" << pool << " epochs=" << epochs
@@ -665,6 +673,9 @@ int main(int argc, char** argv) {
                   service.vertex_tip_v1(live_u).get();
               if (!live.degraded())
                 saw_healthy_exact.store(true, std::memory_order_relaxed);
+              // Witness done: now let the supervisor notice the corpse and
+              // restore it (the drain below waits for that restart).
+              start_chaos_monitor();
             }
             round_barrier.arrive_and_wait();
           }

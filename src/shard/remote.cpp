@@ -169,6 +169,13 @@ svc::SnapshotPtr RemoteShard::pin() const {
   } catch (const ShardUnavailableError&) {
     // Serve the last known epoch; the view layer tags the range stale via
     // healthy(). The breaker/unavailable accounting happened inside rpc().
+  } catch (const std::exception&) {
+    // Host kError replies and corrupt snapshot blobs surface as plain
+    // std::exception (runtime_error from rpc(), decode failures from
+    // decode_snapshot/read_binary). Those bypass rpc()'s breaker
+    // accounting, so record the failure here — pin() never throws; the
+    // range degrades to its last known epoch like any transport failure.
+    record_failure();
   }
   const MutexLock lock(mu_);
   return cached_;
@@ -181,9 +188,12 @@ std::uint64_t RemoteShard::epoch() const {
     wire::Cursor c(reply);
     return c.u64();
   } catch (const ShardUnavailableError&) {
-    const MutexLock lock(mu_);
-    return cached_->epoch;
+    // Breaker accounting happened inside rpc().
+  } catch (const std::exception&) {
+    record_failure();  // host kError / short payload — see pin()
   }
+  const MutexLock lock(mu_);
+  return cached_->epoch;
 }
 
 void RemoteShard::persist(const std::string& path) const {

@@ -38,6 +38,11 @@ std::string shard_file(const std::string& path, int k) {
 ShardedSnapshotStore::ShardedSnapshotStore(vidx_t n1, vidx_t n2, int shards)
     : part_(n1, shards), n1_(n1), n2_(n2) {
   require(n2 >= 0, "ShardedSnapshotStore: n2 must be >= 0");
+  // ShardView::stale_mask (and QueryResult::stale_shards) is a 64-bit
+  // per-shard bitmap; a shard beyond bit 63 could fail without ever being
+  // taggable, silently serving stale data as kExact. Refuse the layout.
+  require(shards <= 64,
+          "ShardedSnapshotStore: at most 64 shards (stale_mask is 64-bit)");
   auto map = std::make_shared<ShardMap>();
   map->shards.reserve(static_cast<std::size_t>(shards));
   for (int k = 0; k < shards; ++k)
@@ -109,7 +114,9 @@ ShardViewPtr ShardedSnapshotStore::view() const {
     // healthy() AFTER pin(): a RemoteShard discovers a dead host during
     // the pin, so probing first would blame a healthy snapshot on a shard
     // that only just failed (or miss a failure by one view).
-    if (!h->healthy() && k < 64) v->stale_mask |= std::uint64_t{1} << k;
+    // k < 64 always holds (constructor refuses wider layouts), so every
+    // unhealthy shard is representable in the mask.
+    if (!h->healthy()) v->stale_mask |= std::uint64_t{1} << k;
   }
   v->version = version();
   v->signature = ShardView::signature_of(v->shards);

@@ -39,6 +39,8 @@ namespace bfc::shard {
 class ShardedSnapshotStore {
  public:
   /// Builds `shards` LocalShards over [0, n1), each starting at epoch 0.
+  /// At most 64 shards: ShardView::stale_mask tags staleness per shard in
+  /// a 64-bit bitmap, and an untaggable shard would degrade silently.
   ShardedSnapshotStore(vidx_t n1, vidx_t n2, int shards);
 
   // ---- writer side -------------------------------------------------------

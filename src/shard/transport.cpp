@@ -337,20 +337,28 @@ std::string call_host(const std::string& socket_path, wire::Msg msg,
     if (budget_ms <= 0)
       throw ShardTimeoutError("injected transport delay past deadline");
   }
-  const int fd = connect_unix(socket_path, budget_ms);
+  // One deadline for the whole call: the connect leg gets the full budget,
+  // the recv leg only what's left of it, so a slow connect cannot stretch
+  // the RPC to ~2x timeout_ms.
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  int fd = connect_unix(socket_path, budget_ms);
   std::string reply;
   try {
     wire::send_frame(fd, msg, payload);
-    const wire::Frame f = wire::recv_frame(fd, budget_ms);
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    const int recv_ms = left.count() > 0 ? static_cast<int>(left.count()) : 0;
+    const wire::Frame f = wire::recv_frame(fd, recv_ms);
     ::close(fd);
+    fd = -1;  // the kError/bad-kind throws below must not close again
     if (f.msg == wire::Msg::kError)
       throw std::runtime_error("shard host error: " + f.payload);
     if (f.msg != wire::Msg::kReply)
       throw ShardUnavailableError("unexpected reply kind");
     reply = f.payload;
   } catch (...) {
-    // recv_frame/send_frame throw before the close above runs.
-    ::close(fd);
+    if (fd >= 0) ::close(fd);
     throw;
   }
   return reply;
