@@ -1,0 +1,60 @@
+#!/usr/bin/env bash
+# Contract test for bfc-analyze's incremental cache (--cache): a cold run
+# analyzes every file, a warm run over the unchanged tree skips >= 90% of
+# them (in practice: all), and editing exactly one file re-analyzes exactly
+# that file. Works on a scratch copy of the real tree so the edit never
+# touches the checkout. Wired as the `analyze-cache` ctest.
+set -euo pipefail
+
+bin="${1:?usage: check_analyze_cache.sh <bfc-analyze-binary> <repo-root>}"
+root="${2:?usage: check_analyze_cache.sh <bfc-analyze-binary> <repo-root>}"
+
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+mkdir -p "$tmp/tree/tools"
+cp -r "$root/src" "$root/bench" "$root/examples" "$root/docs" "$tmp/tree/"
+cp -r "$root/tools/analyze" "$tmp/tree/tools/"  # registry + baseline
+
+cache="$tmp/analyze.cache"
+
+# Prints "<hits> <misses>" for one run.
+run() {
+  "$bin" --root "$tmp/tree" \
+         --baseline "$tmp/tree/tools/analyze/baseline.json" \
+         --cache "$cache" src bench examples >/dev/null 2>"$tmp/stderr" \
+    || { echo "check_analyze_cache: FAIL — analyzer exited nonzero:" >&2
+         cat "$tmp/stderr" >&2; exit 1; }
+  sed -nE 's/.*cache: ([0-9]+) hits?, ([0-9]+) miss(es)?.*/\1 \2/p' \
+    "$tmp/stderr"
+}
+
+read -r hits misses <<<"$(run)"
+total=$((hits + misses))
+if ((hits != 0 || total == 0)); then
+  echo "check_analyze_cache: FAIL — cold run expected 0 hits over >0 files," \
+       "got $hits hits, $misses misses" >&2
+  exit 1
+fi
+echo "cold run: $misses files analyzed"
+
+read -r hits misses <<<"$(run)"
+# The contract is >= 90% skipped; an unchanged tree should hit 100%.
+if ((hits * 10 < total * 9)); then
+  echo "check_analyze_cache: FAIL — warm run skipped only $hits/$total" >&2
+  exit 1
+fi
+echo "warm run: $hits/$total files skipped"
+
+# Edit one file: exactly that file must be re-analyzed.
+victim="$(find "$tmp/tree/src" -name '*.cpp' | sort | head -n1)"
+printf '\n// touched by check_analyze_cache.sh\n' >>"$victim"
+read -r hits misses <<<"$(run)"
+if ((misses != 1 || hits != total - 1)); then
+  echo "check_analyze_cache: FAIL — after editing one file expected" \
+       "1 miss / $((total - 1)) hits, got $misses misses / $hits hits" >&2
+  exit 1
+fi
+echo "edit invalidation: exactly 1 file re-analyzed"
+
+echo "check_analyze_cache: OK"

@@ -75,7 +75,9 @@ if [[ ! -x "$analyze_bin" ]]; then
   echo "    cmake -B $build_dir -S . && cmake --build $build_dir --target bfc-analyze" >&2
   fail=1
 elif ! "$analyze_bin" --root . \
-       --baseline tools/analyze/baseline.json src bench examples; then
+       --baseline tools/analyze/baseline.json \
+       --cache "$build_dir/tools/analyze/analyze.cache" \
+       src bench examples; then
   echo "lint: FAIL bfc-analyze — new findings above (not in tools/analyze/baseline.json)." >&2
   echo "  Fix them, suppress with '// bfc-analyze: <rule>-ok <why>', or" >&2
   echo "  re-baseline deliberately (docs/static-analysis.md#baseline-workflow)." >&2

@@ -33,12 +33,21 @@ ShardSupervisor::ShardSupervisor(SupervisorOptions opts) : opts_(opts) {}
 
 ShardSupervisor::~ShardSupervisor() {
   stop_monitor();
-  const MutexLock lock(mu_);
-  for (Host& h : hosts_) {
-    if (h.pid <= 0) continue;
-    ::kill(h.pid, SIGKILL);
-    ::waitpid(h.pid, nullptr, 0);
-    h.pid = -1;
+  // Collect the doomed pids under the lock, but kill/reap OUTSIDE it:
+  // waitpid blocks until the child exits, and holding mu_ through that
+  // stalls any thread still probing or querying hosts.
+  std::vector<pid_t> doomed;
+  {
+    const MutexLock lock(mu_);
+    for (Host& h : hosts_) {
+      if (h.pid <= 0) continue;
+      doomed.push_back(h.pid);
+      h.pid = -1;
+    }
+  }
+  for (const pid_t pid : doomed) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, nullptr, 0);
   }
 }
 
@@ -176,11 +185,19 @@ void ShardSupervisor::monitor_tick() {
       // Alive but unresponsive. Tolerate a few misses (a long pin/apply
       // can monopolise the single-threaded host), then SIGKILL: a hung
       // host is indistinguishable from a dead range for its readers.
-      const MutexLock lock(mu_);
-      if (++hosts_[k].probe_failures >= opts_.probe_failures_to_kill) {
+      // Decide under the lock, but reap outside it — waitpid blocks until
+      // the child is gone, and mu_ must stay available to query threads.
+      bool doomed = false;
+      {
+        const MutexLock lock(mu_);
+        if (++hosts_[k].probe_failures >= opts_.probe_failures_to_kill) {
+          hosts_[k].probe_failures = 0;
+          doomed = true;
+        }
+      }
+      if (doomed) {
         ::kill(p, SIGKILL);
         ::waitpid(p, nullptr, 0);
-        hosts_[k].probe_failures = 0;
         dead = true;
       }
     } else {

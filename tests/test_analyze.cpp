@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "analyzer.hpp"
+#include "cache.hpp"
+#include "flow.hpp"
 #include "model.hpp"
 #include "obs/json.hpp"
 #include "registry.hpp"
@@ -441,6 +443,417 @@ TEST(AnalyzeRender, JsonAndSarifAreWellFormed) {
                 .at("rules")
                 .size(),
             all_rules().size());
+}
+
+// ------------------------------------------------------------- flow model
+
+TEST(AnalyzeFlow, ExtractsQualifiedFunctionsAndParams) {
+  const std::string code =
+      "std::uint64_t RemoteShard::query_wedges(vidx_t u, int timeout_ms) {\n"
+      "  return 0;\n"
+      "}\n";
+  const SourceFile sf = SourceFile::from_string("src/shard/x.cpp", code);
+  const auto fns = extract_functions(sf);
+  ASSERT_EQ(fns.size(), 1u);
+  EXPECT_EQ(fns[0].name, "query_wedges");
+  ASSERT_EQ(fns[0].params.size(), 2u);
+  EXPECT_EQ(fns[0].params[1].name, "timeout_ms");
+}
+
+TEST(AnalyzeFlow, ParsesBranchesLoopsAndTry) {
+  const std::string code =
+      "void f(int x) {\n"
+      "  if (x > 0) { g(); } else { h(); }\n"
+      "  for (int i = 0; i < x; ++i) { g(); }\n"
+      "  try { g(); } catch (...) { h(); }\n"
+      "}\n";
+  const SourceFile sf = SourceFile::from_string("src/svc/x.cpp", code);
+  const auto fns = extract_functions(sf);
+  ASSERT_EQ(fns.size(), 1u);
+  ASSERT_EQ(fns[0].body.size(), 3u);
+  EXPECT_EQ(fns[0].body[0].kind, Stmt::Kind::kIf);
+  EXPECT_EQ(fns[0].body[1].kind, Stmt::Kind::kLoop);
+  EXPECT_EQ(fns[0].body[2].kind, Stmt::Kind::kTry);
+}
+
+// --------------------------------------------------------- lifetime-escape
+
+// Regression: the shipped Cursor bug — a wire::Cursor constructed straight
+// from the temporary std::string returned by rpc(); the buffer dies at the
+// end of the statement and every subsequent read is use-after-free.
+TEST(AnalyzeLifetime, FiresOnCursorOverTemporaryRpcReply) {
+  const std::string code =
+      "std::uint64_t RemoteShard::query(vidx_t u) {\n"
+      "  wire::Cursor c(rpc(wire::Kind::kQuery, encode(u)));\n"
+      "  return c.u64();\n"
+      "}\n";
+  const auto fs = of_rule(analyze_one("src/shard/remote.cpp", code),
+                          "lifetime-escape");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 2);
+  EXPECT_NE(fs[0].message.find("rpc"), std::string::npos);
+}
+
+TEST(AnalyzeLifetime, QuietOnTheFixedNamedOwnerShape) {
+  const std::string code =
+      "std::uint64_t RemoteShard::query(vidx_t u) {\n"
+      "  const std::string reply = rpc(wire::Kind::kQuery, encode(u));\n"
+      "  wire::Cursor c(reply);\n"
+      "  return c.u64();\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(analyze_one("src/shard/remote.cpp", code),
+                      "lifetime-escape")
+                  .empty());
+}
+
+TEST(AnalyzeLifetime, FiresOnViewBoundToSubstrAndStrTemporaries) {
+  const std::string code =
+      "void f(const std::string& s, std::ostringstream& oss) {\n"
+      "  std::string_view head = s.substr(0, 4);\n"
+      "  std::string_view all = oss.str();\n"
+      "}\n";
+  const auto fs =
+      of_rule(analyze_one("src/svc/x.cpp", code), "lifetime-escape");
+  ASSERT_EQ(fs.size(), 2u);
+}
+
+TEST(AnalyzeLifetime, QuietOnSpanReturningAccessorsAndViewSubstr) {
+  // The codebase's dominant idiom: accessors handing out spans over
+  // long-lived graph buffers, and substr on something already a view.
+  const std::string code =
+      "void f(const CsrView& g, std::string_view sv, vidx_t u) {\n"
+      "  const std::span<const vidx_t> nu = g.neighbors_of_v1(u);\n"
+      "  std::string_view tail = sv.substr(2);\n"
+      "  use(nu, tail);\n"
+      "}\n";
+  EXPECT_TRUE(
+      of_rule(analyze_one("src/svc/x.cpp", code), "lifetime-escape").empty());
+}
+
+TEST(AnalyzeLifetime, FiresOnReturningViewOfLocalOwner) {
+  const std::string code =
+      "std::string_view render_tag() {\n"
+      "  std::string s = compose();\n"
+      "  return s;\n"
+      "}\n"
+      "std::span<const char> frame() {\n"
+      "  std::vector<char> buf(16);\n"
+      "  std::span<const char> v = buf;\n"
+      "  return v;\n"
+      "}\n";
+  const auto fs =
+      of_rule(analyze_one("src/svc/x.cpp", code), "lifetime-escape");
+  ASSERT_EQ(fs.size(), 2u);
+  EXPECT_EQ(fs[0].line, 3);
+  EXPECT_EQ(fs[1].line, 8);
+}
+
+TEST(AnalyzeLifetime, QuietOnReturningViewOfParamOrMember) {
+  const std::string code =
+      "std::string_view name(const std::string& stored) {\n"
+      "  std::string_view v = stored;\n"
+      "  return v;\n"
+      "}\n";
+  EXPECT_TRUE(
+      of_rule(analyze_one("src/svc/x.cpp", code), "lifetime-escape").empty());
+}
+
+TEST(AnalyzeLifetime, SuppressionWithRationaleSilences) {
+  const std::string code =
+      "void f() {\n"
+      "  // bfc-analyze: lifetime-escape-ok consumed before end of statement\n"
+      "  wire::Cursor c(rpc(wire::Kind::kPing, \"\"));\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(analyze_one("src/shard/remote.cpp", code),
+                      "lifetime-escape")
+                  .empty());
+}
+
+// ------------------------------------------------------------ fd-lifecycle
+
+// Regression: the shipped call_host double-close — the happy path closes
+// the socket, then the tail of the try body throws and the catch closes it
+// again. The fix (sentinel + guard) must stay quiet.
+TEST(AnalyzeFd, FiresOnDoubleCloseAcrossCatch) {
+  const std::string code =
+      "std::string call_host(const std::string& path, int timeout_ms) {\n"
+      "  int fd = connect_unix(path, timeout_ms);\n"
+      "  try {\n"
+      "    send_frame(fd, msg, timeout_ms);\n"
+      "    Frame f = recv_frame(fd, timeout_ms);\n"
+      "    ::close(fd);\n"
+      "    decode(f);\n"
+      "    return f.payload;\n"
+      "  } catch (...) {\n"
+      "    ::close(fd);\n"
+      "    throw;\n"
+      "  }\n"
+      "}\n";
+  const auto fs =
+      of_rule(analyze_one("src/shard/transport.cpp", code), "fd-lifecycle");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 10);
+  EXPECT_NE(fs[0].message.find("close"), std::string::npos);
+}
+
+TEST(AnalyzeFd, QuietOnSentinelGuardedClose) {
+  const std::string code =
+      "std::string call_host(const std::string& path, int timeout_ms) {\n"
+      "  int fd = connect_unix(path, timeout_ms);\n"
+      "  try {\n"
+      "    send_frame(fd, msg, timeout_ms);\n"
+      "    Frame f = recv_frame(fd, timeout_ms);\n"
+      "    ::close(fd);\n"
+      "    fd = -1;\n"
+      "    decode(f);\n"
+      "    return f.payload;\n"
+      "  } catch (...) {\n"
+      "    if (fd >= 0) ::close(fd);\n"
+      "    throw;\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(analyze_one("src/shard/transport.cpp", code),
+                      "fd-lifecycle")
+                  .empty());
+}
+
+TEST(AnalyzeFd, FiresOnLeakAtEarlyReturnAndEndOfFunction) {
+  const std::string code =
+      "void a(const char* p) {\n"
+      "  int fd = ::open(p, 0);\n"
+      "  if (fd < 0) return;\n"
+      "  if (parse(p)) return;\n"  // leaks fd
+      "  ::close(fd);\n"
+      "}\n"
+      "void b(const char* p) {\n"
+      "  int fd = ::open(p, 0);\n"
+      "  use(fd);\n"
+      "}\n";  // leaks fd at end of function
+  const auto fs = of_rule(analyze_one("src/obs/x.cpp", code), "fd-lifecycle");
+  ASSERT_EQ(fs.size(), 2u);
+}
+
+TEST(AnalyzeFd, QuietOnOwnershipTransferAndGuardedPaths) {
+  const std::string code =
+      "int listen_unix(const std::string& path) {\n"
+      "  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);\n"
+      "  require(fd >= 0, \"socket\");\n"
+      "  if (::bind(fd, addr, len) != 0) {\n"
+      "    ::close(fd);\n"
+      "    require(false, \"bind\");\n"
+      "  }\n"
+      "  return fd;\n"
+      "}\n"
+      "void adopt(const char* p) {\n"
+      "  int fd = ::open(p, 0);\n"
+      "  if (fd < 0) return;\n"
+      "  member_fd_ = fd;\n"
+      "}\n";
+  EXPECT_TRUE(
+      of_rule(analyze_one("src/shard/transport.cpp", code), "fd-lifecycle")
+          .empty());
+}
+
+TEST(AnalyzeFd, FiresOnUseAfterClose) {
+  const std::string code =
+      "void f(const char* p) {\n"
+      "  int fd = ::open(p, 0);\n"
+      "  if (fd < 0) return;\n"
+      "  ::close(fd);\n"
+      "  ::send(fd, \"x\", 1, 0);\n"
+      "}\n";
+  const auto fs = of_rule(analyze_one("src/obs/x.cpp", code), "fd-lifecycle");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 5);
+}
+
+// -------------------------------------------------------- retry-idempotence
+
+// Regression: a backoff loop retrying apply() — a lost reply after a
+// successful apply double-applies the batch on the next attempt.
+TEST(AnalyzeRetry, FiresOnSingleAttemptCallInsideRetryLoop) {
+  const std::string code =
+      "void push(RemoteShard& sh, const Batch& b) {\n"
+      "  for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {\n"
+      "    try {\n"
+      "      sh.apply(b);\n"
+      "      return;\n"
+      "    } catch (const std::exception&) {\n"
+      "      std::this_thread::sleep_for(backoff(attempt));\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  const auto fs =
+      of_rule(analyze_one("src/shard/x.cpp", code), "retry-idempotence");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_EQ(fs[0].line, 4);
+}
+
+TEST(AnalyzeRetry, QuietOnIdempotentRetryAndRethrowingCatch) {
+  const std::string code =
+      // Idempotent probe: retrying query/ping is safe.
+      "void wait_up(RemoteShard& sh) {\n"
+      "  for (int attempt = 0; attempt < 5; ++attempt) {\n"
+      "    try {\n"
+      "      sh.ping();\n"
+      "      return;\n"
+      "    } catch (const std::exception&) {\n"
+      "      std::this_thread::sleep_for(std::chrono::milliseconds(5));\n"
+      "    }\n"
+      "  }\n"
+      "}\n"
+      // Catch rethrows = not a retry of the body; single-attempt is fine.
+      "void once(RemoteShard& sh, const Batch& b) {\n"
+      "  for (int attempt = 0; attempt < 5; ++attempt) {\n"
+      "    try {\n"
+      "      sh.apply(b);\n"
+      "      return;\n"
+      "    } catch (const std::exception&) {\n"
+      "      throw;\n"
+      "    }\n"
+      "  }\n"
+      "}\n";
+  EXPECT_TRUE(
+      of_rule(analyze_one("src/shard/x.cpp", code), "retry-idempotence")
+          .empty());
+}
+
+// ----------------------------------------------------- deadline-propagation
+
+TEST(AnalyzeDeadline, FiresWhenDeadlineParamNotThreaded) {
+  const std::string code =
+      "bool read_all(int fd, char* p, std::size_t n, int timeout_ms) {\n"
+      "  return ::recv(fd, p, n, 0) == static_cast<ssize_t>(n);\n"
+      "}\n";
+  const auto fs = of_rule(analyze_one("src/shard/transport.cpp", code),
+                          "deadline-propagation");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("timeout_ms"), std::string::npos);
+}
+
+TEST(AnalyzeDeadline, QuietWhenThreadedDerivedOrPacedByPoll) {
+  const std::string code =
+      // Derived budget threaded into poll; the recv after a bounded poll
+      // is paced and allowed.
+      "bool read_all(int fd, char* p, std::size_t n, int timeout_ms) {\n"
+      "  const int wait_ms = remaining(timeout_ms);\n"
+      "  if (::poll(&pfd, 1, wait_ms) <= 0) return false;\n"
+      "  return ::recv(fd, p, n, 0) == static_cast<ssize_t>(n);\n"
+      "}\n"
+      // WNOHANG-style flags satisfy on their own.
+      "void reap(int timeout_ms) {\n"
+      "  ::waitpid(-1, nullptr, WNOHANG);\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(analyze_one("src/shard/transport.cpp", code),
+                      "deadline-propagation")
+                  .empty());
+}
+
+TEST(AnalyzeDeadline, FiresOnBlockingCallUnderLockGuard) {
+  const std::string code =
+      "void Supervisor::reap(pid_t p) {\n"
+      "  const MutexLock lock(mu_);\n"
+      "  ::waitpid(p, nullptr, 0);\n"
+      "}\n";
+  const auto fs = of_rule(analyze_one("src/shard/supervisor.cpp", code),
+                          "deadline-propagation");
+  ASSERT_EQ(fs.size(), 1u);
+  EXPECT_NE(fs[0].message.find("lock"), std::string::npos);
+}
+
+TEST(AnalyzeDeadline, QuietWhenGuardScopeEndsOrUnlocksFirst) {
+  const std::string code =
+      // Block-scoped guard released before the blocking leg.
+      "void a(pid_t p) {\n"
+      "  {\n"
+      "    const MutexLock lock(mu_);\n"
+      "    doomed_.push_back(p);\n"
+      "  }\n"
+      "  ::waitpid(p, nullptr, 0);\n"
+      "}\n"
+      // Explicit unlock() before, lock() after.
+      "void b(Task& task) {\n"
+      "  MutexLock lock(mu_);\n"
+      "  lock.unlock();\n"
+      "  task.rpc(\"go\");\n"
+      "  lock.lock();\n"
+      "}\n";
+  EXPECT_TRUE(of_rule(analyze_one("src/svc/executor.cpp", code),
+                      "deadline-propagation")
+                  .empty());
+}
+
+// -------------------------------------------------------- incremental cache
+
+TEST(AnalyzeCache, HitsOnUnchangedContentMissesOnEdit) {
+  const std::string clean = "void f() { g(); }\n";
+  const std::string dirty = "count_t t = 0;\nt += 1;\n";
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_string("src/a.cpp", clean));
+  files.push_back(SourceFile::from_string("src/count/b.cpp", dirty));
+
+  Cache cache;
+  CacheStats cold;
+  const auto first = run_rules_cached(files, nullptr, cache, cold);
+  EXPECT_EQ(cold.hits, 0u);
+  EXPECT_EQ(cold.misses, 2u);
+  ASSERT_EQ(first.size(), 1u);  // the checked-accumulation hit in b.cpp
+
+  // Unchanged tree: all hits, identical findings (fingerprints included).
+  CacheStats warm;
+  const auto second = run_rules_cached(files, nullptr, cache, warm);
+  EXPECT_EQ(warm.hits, 2u);
+  EXPECT_EQ(warm.misses, 0u);
+  ASSERT_EQ(second.size(), 1u);
+  EXPECT_EQ(second[0].fingerprint, first[0].fingerprint);
+  EXPECT_EQ(second[0].message, first[0].message);
+
+  // Edit one file: exactly one miss, and the cached findings still replay
+  // for the untouched file.
+  files[0] = SourceFile::from_string("src/a.cpp", "void f() { h(); }\n");
+  CacheStats edited;
+  const auto third = run_rules_cached(files, nullptr, cache, edited);
+  EXPECT_EQ(edited.hits, 1u);
+  EXPECT_EQ(edited.misses, 1u);
+  EXPECT_EQ(third.size(), 1u);
+}
+
+TEST(AnalyzeCache, ToolHashChangeInvalidatesWholesale) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_string("src/a.cpp", "void f() {}\n"));
+  Cache cache;
+  CacheStats cold;
+  (void)run_rules_cached(files, nullptr, cache, cold);
+  ASSERT_EQ(cold.misses, 1u);
+
+  // A cache written by a different rule set / registry must not replay.
+  cache.tool_hash = "0000000000000000";
+  CacheStats stale;
+  (void)run_rules_cached(files, nullptr, cache, stale);
+  EXPECT_EQ(stale.hits, 0u);
+  EXPECT_EQ(stale.misses, 1u);
+  EXPECT_EQ(cache.tool_hash, compute_tool_hash(nullptr));
+}
+
+TEST(AnalyzeCache, RenderParseRoundTripAndCorruptInputIsCold) {
+  std::vector<SourceFile> files;
+  files.push_back(SourceFile::from_string("src/count/b.cpp",
+                                          "count_t t = 0;\nt += 1;\n"));
+  Cache cache;
+  CacheStats s1;
+  (void)run_rules_cached(files, nullptr, cache, s1);
+
+  const Cache reloaded = Cache::parse(cache.render());
+  EXPECT_EQ(reloaded.tool_hash, cache.tool_hash);
+  ASSERT_EQ(reloaded.files.size(), 1u);
+  const auto& entry = reloaded.files.at("src/count/b.cpp");
+  EXPECT_EQ(entry.content_hash,
+            cache.files.at("src/count/b.cpp").content_hash);
+  ASSERT_EQ(entry.findings.size(), 1u);
+  EXPECT_EQ(entry.findings[0].rule, "checked-accumulation");
+
+  // Corrupt JSON never throws out of load(): worst case is a cold run.
+  EXPECT_THROW((void)Cache::parse("not json"), std::exception);
 }
 
 }  // namespace

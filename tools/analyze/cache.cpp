@@ -1,0 +1,205 @@
+#include "cache.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "analyzer.hpp"  // fingerprint()
+#include "obs/json.hpp"
+
+namespace bfc::analyze {
+namespace {
+
+using bfc::obs::Json;
+
+[[nodiscard]] std::uint64_t fnv1a_init() { return 1469598103934665603ULL; }
+
+void fnv1a_feed(std::uint64_t& h, const std::string& s) {
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  // Separator byte so {"ab","c"} and {"a","bc"} hash differently.
+  h ^= 0xFFU;
+  h *= 1099511628211ULL;
+}
+
+[[nodiscard]] std::string hex64(std::uint64_t v) {
+  static const char* kDigits = "0123456789abcdef";
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kDigits[v & 0xF];
+    v >>= 4;
+  }
+  return out;
+}
+
+[[nodiscard]] Json finding_to_json(const Finding& f) {
+  Json j = Json::object();
+  j["rule"] = f.rule;
+  j["line"] = static_cast<std::int64_t>(f.line);
+  j["col"] = static_cast<std::int64_t>(f.col);
+  j["message"] = f.message;
+  j["snippet"] = f.snippet;
+  return j;
+}
+
+[[nodiscard]] Finding finding_from_json(const Json& j,
+                                        const std::string& file) {
+  const auto& o = j.as_object();
+  Finding f;
+  f.file = file;
+  const auto get = [&o](const char* key) -> const Json& {
+    const auto it = o.find(key);
+    if (it == o.end())
+      throw std::runtime_error(std::string("cache finding missing ") + key);
+    return it->second;
+  };
+  f.rule = get("rule").as_string();
+  f.line = static_cast<int>(get("line").as_int());
+  f.col = static_cast<int>(get("col").as_int());
+  f.message = get("message").as_string();
+  f.snippet = get("snippet").as_string();
+  return f;
+}
+
+}  // namespace
+
+Cache Cache::parse(const std::string& json_text) {
+  Cache c;
+  const Json doc = Json::parse(json_text);
+  const auto& obj = doc.as_object();
+  const auto version = obj.find("version");
+  if (version == obj.end() || version->second.as_int() != 1)
+    throw std::runtime_error("cache: unsupported version (want 1)");
+  const auto tool = obj.find("tool");
+  if (tool != obj.end()) c.tool_hash = tool->second.as_string();
+  const auto files = obj.find("files");
+  if (files == obj.end()) return c;
+  for (const Json& fj : files->second.as_array()) {
+    const auto& fo = fj.as_object();
+    const auto path = fo.find("path");
+    const auto hash = fo.find("hash");
+    if (path == fo.end() || hash == fo.end())
+      throw std::runtime_error("cache: file entry missing path/hash");
+    CacheEntry entry;
+    entry.content_hash = hash->second.as_string();
+    const auto findings = fo.find("findings");
+    if (findings != fo.end())
+      for (const Json& j : findings->second.as_array())
+        entry.findings.push_back(
+            finding_from_json(j, path->second.as_string()));
+    c.files[path->second.as_string()] = std::move(entry);
+  }
+  return c;
+}
+
+Cache Cache::load(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Cache{};
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  try {
+    return parse(buf.str());
+  } catch (const std::exception&) {
+    return Cache{};  // corrupt cache = cold run, never an error
+  }
+}
+
+std::string Cache::render() const {
+  Json doc = Json::object();
+  doc["version"] = static_cast<std::int64_t>(1);
+  doc["tool"] = tool_hash;
+  Json arr = Json::array();
+  for (const auto& [path, entry] : files) {
+    Json fj = Json::object();
+    fj["path"] = path;
+    fj["hash"] = entry.content_hash;
+    Json findings = Json::array();
+    for (const Finding& f : entry.findings)
+      findings.push_back(finding_to_json(f));
+    fj["findings"] = std::move(findings);
+    arr.push_back(std::move(fj));
+  }
+  doc["files"] = std::move(arr);
+  return doc.dump(2) + "\n";
+}
+
+void Cache::save(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("cannot write cache " + path);
+  out << render();
+}
+
+std::string content_hash(const LexedFile& lex) {
+  std::uint64_t h = fnv1a_init();
+  for (const std::string& line : lex.lines) fnv1a_feed(h, line);
+  return hex64(h);
+}
+
+std::string compute_tool_hash(const Registry* registry) {
+  std::uint64_t h = fnv1a_init();
+  fnv1a_feed(h, "bfc-analyze-cache-rev-" + std::to_string(kCacheRevision));
+  for (const Rule& r : all_rules()) {
+    fnv1a_feed(h, r.name);
+    fnv1a_feed(h, r.summary);
+  }
+  if (registry == nullptr) {
+    fnv1a_feed(h, "<no-registry>");
+  } else {
+    for (const RegistryEntry& e : registry->entries) {
+      fnv1a_feed(h, e.kind);
+      fnv1a_feed(h, e.name);
+    }
+  }
+  return hex64(h);
+}
+
+std::vector<Finding> run_rules_cached(const std::vector<SourceFile>& files,
+                                      const Registry* registry, Cache& cache,
+                                      CacheStats& stats) {
+  const std::string tool = compute_tool_hash(registry);
+  if (cache.tool_hash != tool) {
+    cache.files.clear();
+    cache.tool_hash = tool;
+  }
+
+  RuleContext ctx;
+  ctx.registry = registry;
+  for (const Rule& r : all_rules()) ctx.rule_names.emplace_back(r.name);
+
+  std::vector<Finding> out;
+  for (const SourceFile& f : files) {
+    const std::string hash = content_hash(f.lex);
+    const auto it = cache.files.find(f.path);
+    if (it != cache.files.end() && it->second.content_hash == hash) {
+      ++stats.hits;
+      out.insert(out.end(), it->second.findings.begin(),
+                 it->second.findings.end());
+      continue;
+    }
+    ++stats.misses;
+    std::vector<Finding> fresh;
+    for (const Rule& r : all_rules()) r.run(f, ctx, fresh);
+    out.insert(out.end(), fresh.begin(), fresh.end());
+    CacheEntry entry;
+    entry.content_hash = hash;
+    entry.findings = std::move(fresh);
+    cache.files[f.path] = std::move(entry);
+  }
+  // Entries are merged in place, never pruned: a subset run (CI analyzing
+  // only the files changed since the merge base) must not evict the rest
+  // of the tree. Entries for deleted files are harmless — lookups are
+  // keyed by path + content hash, and the tool hash bounds their lifetime.
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.col, a.rule) <
+           std::tie(b.file, b.line, b.col, b.rule);
+  });
+  fingerprint(out);
+  return out;
+}
+
+}  // namespace bfc::analyze

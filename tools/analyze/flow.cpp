@@ -1,0 +1,530 @@
+#include "flow.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace bfc::analyze {
+namespace {
+
+using Tokens = std::vector<Token>;
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kWords = {
+      "if",     "for",    "while",    "switch",        "catch",
+      "return", "sizeof", "alignof",  "decltype",      "noexcept",
+      "new",    "delete", "throw",    "static_assert", "alignas",
+      "do",     "else",   "try",      "case",          "default",
+      "goto",   "break",  "continue", "operator",      "requires",
+  };
+  return kWords;
+}
+
+[[nodiscard]] bool is_type_punct(const Token& t) {
+  return t.kind == Tok::kPunct &&
+         (t.text == "::" || t.text == "*" || t.text == "&" ||
+          t.text == "&&");
+}
+
+/// Skips a template argument list starting at the '<' at `i`; returns the
+/// index one past the matching '>', or `i` when this does not look like a
+/// closed template list before `end` (caller treats it as an expression).
+[[nodiscard]] std::size_t skip_template(const Tokens& t, std::size_t i,
+                                        std::size_t end) {
+  int depth = 0;
+  for (std::size_t j = i; j < end && j < i + 64; ++j) {
+    if (t[j].kind != Tok::kPunct) continue;
+    if (t[j].text == "<") ++depth;
+    else if (t[j].text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t[j].text == ">>") {
+      depth -= 2;
+      if (depth <= 0) return j + 1;
+    } else if (t[j].text == ";" || t[j].text == "{") {
+      break;  // statement ended before the list closed: not a template
+    }
+  }
+  return i;
+}
+
+// ------------------------------------------------------- statement parsing
+
+std::size_t parse_one(const Tokens& t, std::size_t p, std::size_t to,
+                      Stmt& out);
+
+/// Simple / return / throw / break / continue statement: consumes to the
+/// ';' at depth 0. Nested braces (lambda bodies, brace-initializers)
+/// become child kBlock statements so scope-tracking walks see into them.
+std::size_t parse_simple(const Tokens& t, std::size_t p, std::size_t to,
+                         Stmt& out) {
+  out.begin = p;
+  if (t[p].ident("return")) out.kind = Stmt::Kind::kReturn;
+  else if (t[p].ident("throw")) out.kind = Stmt::Kind::kThrow;
+  else if (t[p].ident("break")) out.kind = Stmt::Kind::kBreak;
+  else if (t[p].ident("continue")) out.kind = Stmt::Kind::kContinue;
+  else out.kind = Stmt::Kind::kSimple;
+  std::size_t q = p;
+  while (q < to) {
+    if (t[q].punct("(") || t[q].punct("[")) {
+      const std::size_t close = match_bracket(t, q);
+      q = close >= to ? to : close + 1;
+      continue;
+    }
+    if (t[q].punct("{")) {
+      const std::size_t close = match_bracket(t, q);
+      if (close >= to) {
+        q = to;
+        break;
+      }
+      Stmt child;
+      child.kind = Stmt::Kind::kBlock;
+      child.begin = q;
+      child.end = close + 1;
+      child.blocks.clear();
+      Stmt inner;
+      inner.kind = Stmt::Kind::kBlock;
+      // Parse the nested region; attach its statements as this child's
+      // blocks so walkers recurse naturally.
+      child.blocks = parse_stmts(t, q + 1, close);
+      out.blocks.push_back(std::move(child));
+      q = close + 1;
+      continue;
+    }
+    if (t[q].punct(";")) {
+      ++q;
+      break;
+    }
+    if (t[q].punct("}")) break;  // malformed: end of the enclosing block
+    ++q;
+  }
+  out.end = q;
+  return q;
+}
+
+/// `if`, loops, `switch`, `try`, `{` blocks, labels; falls back to
+/// parse_simple. Returns one past the statement.
+std::size_t parse_one(const Tokens& t, std::size_t p, std::size_t to,
+                      Stmt& out) {
+  const Token& tok = t[p];
+  if (tok.punct("{")) {
+    const std::size_t close = match_bracket(t, p);
+    out.kind = Stmt::Kind::kBlock;
+    out.begin = p;
+    if (close >= to) {
+      out.end = to;
+      return to;
+    }
+    out.blocks = parse_stmts(t, p + 1, close);
+    out.end = close + 1;
+    return out.end;
+  }
+  if (tok.ident("if")) {
+    out.kind = Stmt::Kind::kIf;
+    out.begin = p;
+    std::size_t q = p + 1;
+    if (q < to && t[q].ident("constexpr")) ++q;
+    if (q >= to || !t[q].punct("(")) return parse_simple(t, p, to, out);
+    const std::size_t close = match_bracket(t, q);
+    if (close >= to) {
+      out.end = to;
+      return to;
+    }
+    out.cond_begin = q + 1;
+    out.cond_end = close;
+    std::size_t r = close + 1;
+    Stmt then_s;
+    r = parse_one(t, r, to, then_s);
+    out.blocks.push_back(std::move(then_s));
+    if (r < to && t[r].ident("else")) {
+      Stmt else_s;
+      r = parse_one(t, r + 1, to, else_s);
+      out.blocks.push_back(std::move(else_s));
+    }
+    out.end = r;
+    return r;
+  }
+  if (tok.ident("for") || tok.ident("while")) {
+    out.kind = Stmt::Kind::kLoop;
+    out.begin = p;
+    std::size_t q = p + 1;
+    if (q >= to || !t[q].punct("(")) return parse_simple(t, p, to, out);
+    const std::size_t close = match_bracket(t, q);
+    if (close >= to) {
+      out.end = to;
+      return to;
+    }
+    out.cond_begin = q + 1;
+    out.cond_end = close;
+    Stmt body;
+    const std::size_t r = parse_one(t, close + 1, to, body);
+    out.blocks.push_back(std::move(body));
+    out.end = r;
+    return r;
+  }
+  if (tok.ident("do")) {
+    out.kind = Stmt::Kind::kLoop;
+    out.begin = p;
+    Stmt body;
+    std::size_t r = parse_one(t, p + 1, to, body);
+    out.blocks.push_back(std::move(body));
+    // while (cond) ;
+    if (r < to && t[r].ident("while") && r + 1 < to && t[r + 1].punct("(")) {
+      const std::size_t close = match_bracket(t, r + 1);
+      if (close < to) {
+        out.cond_begin = r + 2;
+        out.cond_end = close;
+        r = close + 1;
+        if (r < to && t[r].punct(";")) ++r;
+      } else {
+        r = to;
+      }
+    }
+    out.end = r;
+    return r;
+  }
+  if (tok.ident("switch")) {
+    out.kind = Stmt::Kind::kSwitch;
+    out.begin = p;
+    std::size_t q = p + 1;
+    if (q >= to || !t[q].punct("(")) return parse_simple(t, p, to, out);
+    const std::size_t close = match_bracket(t, q);
+    if (close >= to) {
+      out.end = to;
+      return to;
+    }
+    out.cond_begin = q + 1;
+    out.cond_end = close;
+    Stmt body;
+    const std::size_t r = parse_one(t, close + 1, to, body);
+    out.blocks.push_back(std::move(body));
+    out.end = r;
+    return r;
+  }
+  if (tok.ident("try")) {
+    out.kind = Stmt::Kind::kTry;
+    out.begin = p;
+    Stmt body;
+    std::size_t r = parse_one(t, p + 1, to, body);
+    out.blocks.push_back(std::move(body));
+    while (r < to && t[r].ident("catch")) {
+      std::size_t q = r + 1;
+      if (q < to && t[q].punct("(")) {
+        const std::size_t close = match_bracket(t, q);
+        q = close >= to ? to : close + 1;
+      }
+      Stmt handler;
+      r = parse_one(t, q, to, handler);
+      out.blocks.push_back(std::move(handler));
+    }
+    out.end = r;
+    return r;
+  }
+  return parse_simple(t, p, to, out);
+}
+
+}  // namespace
+
+std::vector<Stmt> parse_stmts(const Tokens& t, std::size_t from,
+                              std::size_t to) {
+  std::vector<Stmt> out;
+  std::size_t p = from;
+  while (p < to) {
+    if (t[p].punct(";")) {
+      ++p;
+      continue;
+    }
+    // `case expr:` / `default:` markers: consume, keep parsing the
+    // following statements in the same (switch-body) sequence.
+    if (t[p].ident("case")) {
+      std::size_t q = p + 1;
+      int depth = 0;
+      while (q < to) {
+        if (t[q].kind == Tok::kPunct) {
+          const std::string& s = t[q].text;
+          if (s == "(" || s == "[" || s == "{") ++depth;
+          else if (s == ")" || s == "]" || s == "}") --depth;
+          else if (s == ":" && depth == 0) break;
+        }
+        ++q;
+      }
+      p = q < to ? q + 1 : to;
+      continue;
+    }
+    if (t[p].ident("default") && p + 1 < to && t[p + 1].punct(":")) {
+      p += 2;
+      continue;
+    }
+    if (t[p].punct("}")) break;  // malformed input; stop rather than spin
+    Stmt s;
+    const std::size_t next = parse_one(t, p, to, s);
+    out.push_back(std::move(s));
+    if (next <= p) break;  // defensive: never loop forever on odd input
+    p = next;
+  }
+  return out;
+}
+
+// ---------------------------------------------------- declaration parsing
+
+std::optional<DeclInfo> parse_decl(const Tokens& t, std::size_t begin,
+                                   std::size_t end) {
+  std::size_t p = begin;
+  std::vector<std::size_t> idents;  // indices of kIdent tokens in the run
+  std::size_t run_begin = p;
+  while (p < end) {
+    const Token& tok = t[p];
+    if (tok.kind == Tok::kIdent) {
+      if (control_keywords().count(tok.text) != 0) return std::nullopt;
+      idents.push_back(p);
+      ++p;
+      if (p < end && t[p].punct("<")) {
+        const std::size_t past = skip_template(t, p, end);
+        if (past == p) return std::nullopt;  // expression, not a decl
+        p = past;
+      }
+      continue;
+    }
+    if (is_type_punct(tok)) {
+      ++p;
+      continue;
+    }
+    break;
+  }
+  (void)run_begin;
+  if (idents.size() < 2) return std::nullopt;
+  const std::size_t name_at = idents.back();
+  // A name directly after '::' is a qualified reference (call/static use),
+  // not a declared local.
+  if (name_at > begin && t[name_at - 1].punct("::")) return std::nullopt;
+  if (p >= end) return std::nullopt;
+
+  DeclInfo d;
+  d.name = t[name_at].text;
+  d.name_at = name_at;
+  for (std::size_t j = begin; j < name_at; ++j) {
+    if (!d.type.empty()) d.type += ' ';
+    d.type += t[j].text;
+  }
+  d.init_begin = d.init_end = p;
+
+  if (t[p].punct(";")) return d;
+  if (t[p].punct("=")) {
+    d.init_begin = p + 1;
+    std::size_t q = p + 1;
+    int depth = 0;
+    while (q < end) {
+      if (t[q].kind == Tok::kPunct) {
+        const std::string& s = t[q].text;
+        if (s == "(" || s == "[" || s == "{") ++depth;
+        else if (s == ")" || s == "]" || s == "}") --depth;
+        else if (depth == 0 && (s == ";" || s == ",")) break;
+      }
+      ++q;
+    }
+    d.init_end = q;
+    return d;
+  }
+  if (t[p].punct("(") || t[p].punct("{")) {
+    const std::size_t close = match_bracket(t, p);
+    if (close >= end) return std::nullopt;
+    // `int f(int);` local function declarations would match here; the
+    // rules only care about object declarations, and the tree has no
+    // block-scope function declarations, so accept the ambiguity.
+    d.init_begin = p + 1;
+    d.init_end = close;
+    return d;
+  }
+  return std::nullopt;
+}
+
+bool type_mentions(const std::string& type, const char* ident) {
+  const std::string needle(ident);
+  std::size_t pos = 0;
+  while ((pos = type.find(needle, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || type[pos - 1] == ' ';
+    const std::size_t after = pos + needle.size();
+    const bool right_ok = after == type.size() || type[after] == ' ';
+    if (left_ok && right_ok) return true;
+    pos = after;
+  }
+  return false;
+}
+
+bool FuncInfo::ret_type_mentions(const char* ident) const {
+  return std::any_of(ret_type.begin(), ret_type.end(),
+                     [&](const std::string& s) { return s == ident; });
+}
+
+// ----------------------------------------------------- function extraction
+
+namespace {
+
+/// Parses one parameter declaration (token range) into type text + name.
+[[nodiscard]] Param parse_param(const Tokens& t, std::size_t from,
+                                std::size_t to) {
+  // Strip a default argument.
+  for (std::size_t j = from; j < to; ++j) {
+    if (t[j].punct("=")) {
+      to = j;
+      break;
+    }
+    if (t[j].punct("(") || t[j].punct("[") || t[j].punct("<")) break;
+  }
+  Param p;
+  std::size_t last_ident = to;
+  for (std::size_t j = from; j < to; ++j)
+    if (t[j].kind == Tok::kIdent) last_ident = j;
+  // The trailing identifier is the name iff it is not the only token of a
+  // type-only (unnamed) parameter and is not a template argument.
+  const bool named =
+      last_ident < to && last_ident > from &&
+      (last_ident + 1 == to || t[last_ident + 1].punct("[")) &&
+      !t[last_ident - 1].punct("<") && !t[last_ident - 1].punct("::") &&
+      !t[last_ident - 1].punct(",");
+  const std::size_t type_end = named ? last_ident : to;
+  for (std::size_t j = from; j < type_end; ++j) {
+    if (!p.type.empty()) p.type += ' ';
+    p.type += t[j].text;
+  }
+  if (named) p.name = t[last_ident].text;
+  return p;
+}
+
+}  // namespace
+
+std::vector<FuncInfo> extract_functions(const SourceFile& f) {
+  const Tokens& t = f.lex.tokens;
+  std::vector<FuncInfo> out;
+  for (std::size_t i = 0; i + 1 < t.size(); ++i) {
+    if (t[i].kind != Tok::kIdent || !t[i + 1].punct("(")) continue;
+    if (control_keywords().count(t[i].text) != 0) continue;
+    const std::size_t params_close = match_bracket(t, i + 1);
+    if (params_close >= t.size()) continue;
+
+    // Scan past trailing qualifiers / trailing return / ctor init list for
+    // the body '{'. Anything outside the expected shapes means this was a
+    // call or declaration, not a definition.
+    std::size_t j = params_close + 1;
+    bool body_found = false;
+    std::size_t body_open = 0;
+    bool failed = false;
+    while (j < t.size() && !body_found && !failed) {
+      const Token& tok = t[j];
+      if (tok.punct(";") || tok.punct(")") || tok.punct(",") ||
+          tok.punct("=")) {
+        failed = true;
+        break;
+      }
+      if (tok.punct("{")) {
+        body_found = true;
+        body_open = j;
+        break;
+      }
+      if (tok.punct(":")) {
+        // Constructor initializer list: `ident (args)` or `ident {args}`
+        // entries separated by commas, then the body brace.
+        ++j;
+        for (;;) {
+          while (j < t.size() &&
+                 (t[j].kind == Tok::kIdent || t[j].punct("::")))
+            ++j;
+          if (j < t.size() && t[j].punct("<")) {
+            const std::size_t past = skip_template(t, j, t.size());
+            if (past == j) {
+              failed = true;
+              break;
+            }
+            j = past;
+          }
+          if (j >= t.size() ||
+              !(t[j].punct("(") || t[j].punct("{"))) {
+            failed = true;
+            break;
+          }
+          const std::size_t close = match_bracket(t, j);
+          if (close >= t.size()) {
+            failed = true;
+            break;
+          }
+          j = close + 1;
+          if (j < t.size() && t[j].punct(",")) {
+            ++j;
+            continue;
+          }
+          if (j < t.size() && t[j].punct("{")) {
+            body_found = true;
+            body_open = j;
+          } else {
+            failed = true;
+          }
+          break;
+        }
+        break;
+      }
+      if (tok.ident("noexcept") && j + 1 < t.size() && t[j + 1].punct("(")) {
+        const std::size_t close = match_bracket(t, j + 1);
+        if (close >= t.size()) {
+          failed = true;
+          break;
+        }
+        j = close + 1;
+        continue;
+      }
+      if (tok.kind == Tok::kIdent || tok.punct("&") || tok.punct("&&") ||
+          tok.punct("->") || tok.punct("::") || tok.punct("<") ||
+          tok.punct(">") || tok.punct("*")) {
+        ++j;
+        continue;
+      }
+      failed = true;
+    }
+    if (!body_found || failed) continue;
+    const std::size_t body_close = match_bracket(t, body_open);
+    if (body_close >= t.size()) continue;
+
+    FuncInfo fn;
+    fn.name = t[i].text;
+    fn.body_open = body_open;
+    fn.body_close = body_close;
+
+    // Qualified names (`Class::method`, `Class::~Class`): the qualifier
+    // belongs to the name, not the return type.
+    std::size_t name_start = i;
+    while (name_start >= 2 && t[name_start - 1].punct("::") &&
+           t[name_start - 2].kind == Tok::kIdent)
+      name_start -= 2;
+    if (name_start >= 1 && t[name_start - 1].punct("~")) --name_start;
+    for (std::size_t b = name_start; b-- > 0;) {
+      const Token& tok = t[b];
+      const bool type_like =
+          (tok.kind == Tok::kIdent &&
+           control_keywords().count(tok.text) == 0) ||
+          is_type_punct(tok) || tok.punct("<") || tok.punct(">");
+      if (!type_like || name_start - b > 12) break;
+      fn.ret_type.insert(fn.ret_type.begin(), tok.text);
+    }
+
+    // Parameters: depth-0 comma split of (i+1, params_close).
+    std::size_t field_begin = i + 2;
+    int depth = 0;
+    for (std::size_t q = i + 2; q <= params_close; ++q) {
+      const bool at_end = q == params_close;
+      if (!at_end && t[q].kind == Tok::kPunct) {
+        const std::string& s = t[q].text;
+        if (s == "(" || s == "[" || s == "{" || s == "<") ++depth;
+        else if (s == ")" || s == "]" || s == "}" || s == ">") --depth;
+      }
+      if (at_end || (depth == 0 && t[q].punct(","))) {
+        if (q > field_begin)
+          fn.params.push_back(parse_param(t, field_begin, q));
+        field_begin = q + 1;
+      }
+    }
+
+    fn.body = parse_stmts(t, body_open + 1, body_close);
+    out.push_back(std::move(fn));
+    i = body_close;  // bodies do not nest; skipping avoids lambda misfires
+  }
+  return out;
+}
+
+}  // namespace bfc::analyze

@@ -1,0 +1,114 @@
+// The flow layer of bfc-analyze: a symbol-aware, flow-sensitive
+// intra-procedural model built on the lexer, still with no LLVM anywhere.
+// Three pieces, each deliberately approximate but honest about it:
+//
+//  * Function extraction. A linear scan finds every function body in a
+//    translation unit — free functions, member definitions, constructors
+//    with init lists — and records its name, parameter list (type text +
+//    name), return-type tokens and body token range. Declarations without
+//    bodies are skipped; lambdas are NOT functions here (their bodies are
+//    walked as nested blocks of the enclosing function, which is what the
+//    scope-tracking rules want).
+//
+//  * A statement/region tree. parse_stmts() turns a body token range into
+//    a tree of statements: if/else, loops, try/catch, switch, nested
+//    blocks (including lambda bodies and brace-initializers — over-
+//    approximating those as blocks is harmless for the rules that walk
+//    scopes), return/throw/break/continue as distinct kinds. This is the
+//    branch structure the abstract walks in rules_flow.cpp merge over.
+//
+//  * Declaration scanning. parse_decl() recognises `Type name(init)`,
+//    `Type name = init`, `Type name{init}` statement heads so rules can
+//    build per-function symbol tables (locals, parameters) with type
+//    text, and reason about the initializer expression — in particular
+//    whether it materialises a temporary at a call site, which is the
+//    whole lifetime-escape rule.
+//
+// Known, accepted approximations: templates in expressions can confuse
+// the `<`/`>` skip (declarations only, and only when a statement starts
+// with a less-than expression, which real code does not); preprocessor
+// conditionals are lexed as ordinary tokens so both arms of an #if are
+// walked (a may-analysis walking dead code errs on the loud side);
+// goto is not modelled (the tree walk simply never follows it — the repo
+// has none, and the rules degrade to intra-block checks if one appears).
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace bfc::analyze {
+
+/// One parsed statement; `begin/end` is the token range of the whole
+/// statement including any nested blocks.
+struct Stmt {
+  enum class Kind {
+    kSimple,    // expression / declaration statement up to ';'
+    kBlock,     // { ... }
+    kIf,        // blocks = [then, else?]
+    kLoop,      // for / while / do-while; blocks = [body]
+    kSwitch,    // blocks = [body]
+    kTry,       // blocks = [try-body, catch-1, catch-2, ...]
+    kReturn,    // return expr ;
+    kThrow,     // throw expr ;  (bare rethrow `throw;` included)
+    kBreak,     // break ;
+    kContinue,  // continue ;
+  };
+  Kind kind = Kind::kSimple;
+  std::size_t begin = 0;
+  std::size_t end = 0;  // one past the last token of the statement
+  /// Condition range for kIf/kLoop/kSwitch: tokens inside the parens
+  /// (for `for` loops this is the whole header — init; cond; step).
+  std::size_t cond_begin = 0;
+  std::size_t cond_end = 0;
+  std::vector<Stmt> blocks;
+};
+
+struct Param {
+  std::string type;  // space-joined type tokens ("const CancelToken &")
+  std::string name;  // "" for unnamed parameters
+};
+
+struct FuncInfo {
+  std::string name;
+  std::vector<std::string> ret_type;  // tokens before the name (may be empty
+                                      // for constructors/destructors)
+  std::vector<Param> params;
+  std::size_t body_open = 0;   // index of '{'
+  std::size_t body_close = 0;  // index of matching '}'
+  std::vector<Stmt> body;      // parsed region tree of (body_open, body_close)
+
+  [[nodiscard]] bool ret_type_mentions(const char* ident) const;
+};
+
+/// Every function body in the file, in source order.
+[[nodiscard]] std::vector<FuncInfo> extract_functions(const SourceFile& f);
+
+/// Parses the statements of token range [from, to).
+[[nodiscard]] std::vector<Stmt> parse_stmts(const std::vector<Token>& t,
+                                            std::size_t from, std::size_t to);
+
+/// A recognised declaration at the head of a simple statement.
+struct DeclInfo {
+  std::string type;        // space-joined type tokens, e.g. "wire :: Cursor"
+  std::string name;        // declared identifier
+  std::size_t name_at;     // token index of the name
+  std::size_t init_begin;  // initializer token range [init_begin, init_end);
+  std::size_t init_end;    //   empty range when there is no initializer
+};
+
+/// Recognises `Type name(init);` / `Type name = init;` / `Type name{init};`
+/// at [begin, end). Returns nullopt for expressions, assignments, calls,
+/// and anything with fewer than one type token before the name.
+[[nodiscard]] std::optional<DeclInfo> parse_decl(const std::vector<Token>& t,
+                                                 std::size_t begin,
+                                                 std::size_t end);
+
+/// True when the space-joined `type` string contains `ident` as a whole
+/// token ("wire :: Cursor" mentions "Cursor" but not "urso").
+[[nodiscard]] bool type_mentions(const std::string& type, const char* ident);
+
+}  // namespace bfc::analyze

@@ -4,7 +4,13 @@
 //
 //   bfc-analyze --root . [--format=text|json|sarif] [--out FILE]
 //               [--baseline FILE] [--write-baseline FILE]
+//               [--update-baseline FILE] [--cache FILE]
 //               [--registry FILE] [--docs DIR] [--list-rules] [paths...]
+//
+// --cache FILE keeps a content-hash cache so unchanged files skip the rule
+// pass entirely (stats go to stderr). --update-baseline rewrites an existing
+// baseline in place: stale fingerprints are pruned, surviving ones kept, and
+// NEW findings are never silently absorbed — they render and exit 1.
 //
 // Exit codes: 0 = clean (no non-baseline findings), 1 = findings, 2 = usage
 // or I/O error.
@@ -12,11 +18,13 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "analyzer.hpp"
+#include "cache.hpp"
 
 namespace {
 
@@ -29,6 +37,8 @@ struct Options {
   std::string out_path;            // empty = stdout
   std::string baseline_path;       // empty = no baseline diff
   std::string write_baseline_path; // empty = don't write
+  std::string update_baseline_path;  // empty = don't update in place
+  std::string cache_path;          // empty = no incremental cache
   std::string registry_path;       // empty = default under root
   std::string docs_dir;            // empty = default under root
   bool list_rules = false;
@@ -39,7 +49,8 @@ struct Options {
 void usage(std::ostream& os) {
   os << "usage: bfc-analyze [--root DIR] [--format=text|json|sarif]\n"
         "                   [--out FILE] [--baseline FILE]\n"
-        "                   [--write-baseline FILE] [--registry FILE]\n"
+        "                   [--write-baseline FILE] [--update-baseline FILE]\n"
+        "                   [--cache FILE] [--registry FILE]\n"
         "                   [--docs DIR] [--no-registry] [--list-rules]\n"
         "                   [paths...]   (default: src bench examples)\n";
 }
@@ -79,6 +90,9 @@ void usage(std::ostream& os) {
                           o.baseline_path) ||
                take_value(arg, "--write-baseline", argc, argv, i,
                           o.write_baseline_path) ||
+               take_value(arg, "--update-baseline", argc, argv, i,
+                          o.update_baseline_path) ||
+               take_value(arg, "--cache", argc, argv, i, o.cache_path) ||
                take_value(arg, "--registry", argc, argv, i,
                           o.registry_path) ||
                take_value(arg, "--docs", argc, argv, i, o.docs_dir)) {
@@ -91,6 +105,9 @@ void usage(std::ostream& os) {
   }
   if (o.format != "text" && o.format != "json" && o.format != "sarif")
     throw std::runtime_error("unknown --format " + o.format);
+  if (!o.write_baseline_path.empty() && !o.update_baseline_path.empty())
+    throw std::runtime_error(
+        "--write-baseline and --update-baseline are mutually exclusive");
   if (o.paths.empty()) o.paths = {"src", "bench", "examples"};
   return o;
 }
@@ -157,8 +174,19 @@ int main(int argc, char** argv) {
     }
 
     const std::vector<SourceFile> files = load_tree(opts.root, opts.paths);
-    std::vector<Finding> findings =
-        run_rules(files, have_registry ? &registry : nullptr);
+    const Registry* reg = have_registry ? &registry : nullptr;
+    std::vector<Finding> findings;
+    if (opts.cache_path.empty()) {
+      findings = run_rules(files, reg);
+    } else {
+      Cache cache = Cache::load(opts.cache_path);
+      CacheStats stats;
+      findings = run_rules_cached(files, reg, cache, stats);
+      cache.save(opts.cache_path);
+      std::cerr << "bfc-analyze: cache: " << stats.hits << " hit"
+                << (stats.hits == 1 ? "" : "s") << ", " << stats.misses
+                << " miss" << (stats.misses == 1 ? "" : "es") << "\n";
+    }
 
     if (have_registry) {
       const std::string docs_dir =
@@ -179,6 +207,39 @@ int main(int argc, char** argv) {
       std::cerr << "bfc-analyze: wrote baseline with " << findings.size()
                 << " findings to " << opts.write_baseline_path << "\n";
       return 0;
+    }
+
+    if (!opts.update_baseline_path.empty()) {
+      // Refresh an existing baseline in place: keep only fingerprints that
+      // still match a current finding (pruning the stale ones), but never
+      // absorb NEW findings — those still render and fail, so waiving a
+      // fresh violation stays an explicit --write-baseline decision.
+      const Baseline old = Baseline::load(opts.update_baseline_path);
+      std::map<std::string, int> waived;
+      for (const std::string& fp : old.fingerprints) ++waived[fp];
+      std::vector<Finding> kept;
+      std::vector<Finding> fresh;
+      for (const Finding& f : findings) {
+        const auto it = waived.find(f.fingerprint);
+        if (it != waived.end() && it->second > 0) {
+          --it->second;
+          kept.push_back(f);
+        } else {
+          fresh.push_back(f);
+        }
+      }
+      std::ofstream out(opts.update_baseline_path, std::ios::binary);
+      if (!out)
+        throw std::runtime_error("cannot write " + opts.update_baseline_path);
+      out << render_baseline(kept);
+      std::cerr << "bfc-analyze: baseline " << opts.update_baseline_path
+                << ": kept " << kept.size() << ", pruned "
+                << (old.fingerprints.size() - kept.size()) << " stale\n";
+      if (fresh.empty()) return 0;
+      write_output(opts, render_text(fresh));
+      std::cerr << "bfc-analyze: " << fresh.size()
+                << " new finding(s) NOT added to baseline\n";
+      return 1;
     }
 
     if (!opts.baseline_path.empty())

@@ -553,7 +553,8 @@ void emit(const SourceFile& f, const char* rule, const Token& tok,
 }
 
 const std::vector<Rule>& all_rules() {
-  static const std::vector<Rule> kRules = {
+  static const std::vector<Rule> kRules = [] {
+    std::vector<Rule> rules = {
       {"epoch-discipline",
        "snapshot/shard-view lifetime escapes and epoch-less cache keys",
        rule_epoch_discipline},
@@ -575,7 +576,13 @@ const std::vector<Rule>& all_rules() {
        rule_span_pairing},
       {"suppression", "malformed or unknown suppression markers",
        rule_suppression},
-  };
+    };
+    // The flow-sensitive families (rules_flow.cpp) ride on the same
+    // engine; keeping them in one registry means baselines, suppressions
+    // and the suppression meta-rule see them like any other rule.
+    for (Rule& r : flow_rules()) rules.push_back(std::move(r));
+    return rules;
+  }();
   return kRules;
 }
 

@@ -11,6 +11,12 @@
 //   metric-registry         metric literals must exist in metrics.registry
 //   span-pairing            span/tag literals: lifetime + registry contract
 //   suppression             malformed or unknown suppression markers
+// Flow-sensitive families (rules_flow.cpp, built on flow.hpp):
+//   lifetime-escape         views bound to temporaries / escaping locals
+//   fd-lifecycle            close-exactly-once on every path, incl. throws
+//   retry-idempotence       retry loops wrap only idempotent RPCs
+//   deadline-propagation    deadlines reach every blocking leg; no blocking
+//                           syscall under a live lock guard
 #pragma once
 
 #include <functional>
@@ -46,6 +52,11 @@ struct Rule {
 };
 
 [[nodiscard]] const std::vector<Rule>& all_rules();
+
+/// The flow-sensitive rule families (rules_flow.cpp): lifetime-escape,
+/// fd-lifecycle, retry-idempotence, deadline-propagation. Merged into
+/// all_rules(); exposed separately for targeted tests.
+[[nodiscard]] std::vector<Rule> flow_rules();
 
 /// Appends a finding at `tok` unless a suppression for `rule` covers it.
 void emit(const SourceFile& f, const char* rule, const Token& tok,
